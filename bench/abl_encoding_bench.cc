@@ -1,0 +1,142 @@
+// Ablation A4: CDBS (binary) vs CDQS (quaternary) dynamic codes.
+//
+// The paper adopts the Zhang containment scheme "encoded by means of the
+// CDQS, or alternatively the CDBS, encoder" (§4.1). This sweep compares
+// the two code spaces under the three access patterns the executor
+// generates: bulk initial assignment, uniformly random insertions and
+// the skewed append pattern of repeated insLast operations. Counters
+// report the storage cost (total bits) alongside the running time.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "label/bitstring.h"
+#include "label/qstring.h"
+
+namespace xupdate {
+namespace {
+
+using label::BitString;
+using label::QString;
+
+void BM_CdbsInitialAssignment(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  size_t bits = 0;
+  for (auto _ : state) {
+    std::vector<BitString> codes = label::cdbs::InitialCodes(n);
+    bits = 0;
+    for (const auto& c : codes) bits += c.size();
+    benchmark::DoNotOptimize(codes);
+  }
+  state.counters["total_bits"] = static_cast<double>(bits);
+}
+
+void BM_CdqsInitialAssignment(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  size_t bits = 0;
+  for (auto _ : state) {
+    std::vector<QString> codes = label::cdqs::InitialCodes(n);
+    bits = 0;
+    for (const auto& c : codes) bits += c.bit_size();
+    benchmark::DoNotOptimize(codes);
+  }
+  state.counters["total_bits"] = static_cast<double>(bits);
+}
+
+void BM_CdbsRandomInsertions(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  size_t bits = 0;
+  for (auto _ : state) {
+    Rng rng(1);
+    std::vector<BitString> codes = label::cdbs::InitialCodes(64);
+    for (size_t i = 0; i < n; ++i) {
+      size_t gap = static_cast<size_t>(rng.Below(codes.size() + 1));
+      BitString left = gap == 0 ? BitString() : codes[gap - 1];
+      BitString right = gap == codes.size() ? BitString() : codes[gap];
+      auto fresh = label::cdbs::Between(left, right);
+      if (!fresh.ok()) {
+        state.SkipWithError("insertion failed");
+        return;
+      }
+      codes.insert(codes.begin() + static_cast<ptrdiff_t>(gap), *fresh);
+    }
+    bits = 0;
+    for (const auto& c : codes) bits += c.size();
+  }
+  state.counters["total_bits"] = static_cast<double>(bits);
+}
+
+void BM_CdqsRandomInsertions(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  size_t bits = 0;
+  for (auto _ : state) {
+    Rng rng(1);
+    std::vector<QString> codes = label::cdqs::InitialCodes(64);
+    for (size_t i = 0; i < n; ++i) {
+      size_t gap = static_cast<size_t>(rng.Below(codes.size() + 1));
+      QString left = gap == 0 ? QString() : codes[gap - 1];
+      QString right = gap == codes.size() ? QString() : codes[gap];
+      auto fresh = label::cdqs::Between(left, right);
+      if (!fresh.ok()) {
+        state.SkipWithError("insertion failed");
+        return;
+      }
+      codes.insert(codes.begin() + static_cast<ptrdiff_t>(gap), *fresh);
+    }
+    bits = 0;
+    for (const auto& c : codes) bits += c.bit_size();
+  }
+  state.counters["total_bits"] = static_cast<double>(bits);
+}
+
+void BM_CdbsSkewedAppends(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  size_t bits = 0;
+  for (auto _ : state) {
+    BitString cursor = BitString::FromBits("1");
+    for (size_t i = 0; i < n; ++i) {
+      auto next = label::cdbs::Between(cursor, BitString());
+      if (!next.ok()) {
+        state.SkipWithError("append failed");
+        return;
+      }
+      cursor = *next;
+    }
+    bits = cursor.size();
+    benchmark::DoNotOptimize(cursor);
+  }
+  state.counters["final_bits"] = static_cast<double>(bits);
+}
+
+void BM_CdqsSkewedAppends(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  size_t bits = 0;
+  for (auto _ : state) {
+    QString cursor = QString::FromDigits("2");
+    for (size_t i = 0; i < n; ++i) {
+      auto next = label::cdqs::Between(cursor, QString());
+      if (!next.ok()) {
+        state.SkipWithError("append failed");
+        return;
+      }
+      cursor = *next;
+    }
+    bits = cursor.bit_size();
+    benchmark::DoNotOptimize(cursor);
+  }
+  state.counters["final_bits"] = static_cast<double>(bits);
+}
+
+BENCHMARK(BM_CdbsInitialAssignment)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_CdqsInitialAssignment)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_CdbsRandomInsertions)->Arg(2000)->Arg(10000);
+BENCHMARK(BM_CdqsRandomInsertions)->Arg(2000)->Arg(10000);
+BENCHMARK(BM_CdbsSkewedAppends)->Arg(1000)->Arg(10000);
+BENCHMARK(BM_CdqsSkewedAppends)->Arg(1000)->Arg(10000);
+
+}  // namespace
+}  // namespace xupdate
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+// Ablation A2: cost of the eight Table 1 structural predicates.
+//
+// §4.1 claims the extended containment labeling decides every
+// relationship in constant time; this bench measures ns/op over random
+// label pairs of a real document, independent of document size.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "label/node_label.h"
+
+namespace xupdate {
+namespace {
+
+struct LabelPairs {
+  std::vector<std::pair<label::NodeLabel, label::NodeLabel>> pairs;
+};
+
+const LabelPairs& PairsFixture(size_t mb) {
+  static std::map<size_t, std::unique_ptr<LabelPairs>> cache;
+  auto it = cache.find(mb);
+  if (it != cache.end()) return *it->second;
+  const bench::BenchDocument& fixture = bench::XmarkFixture(mb);
+  std::vector<xml::NodeId> nodes = fixture.doc.AllNodesInOrder();
+  Rng rng(17);
+  auto out = std::make_unique<LabelPairs>();
+  out->pairs.reserve(4096);
+  for (size_t i = 0; i < 4096; ++i) {
+    xml::NodeId a = nodes[static_cast<size_t>(rng.Below(nodes.size()))];
+    xml::NodeId b = nodes[static_cast<size_t>(rng.Below(nodes.size()))];
+    out->pairs.emplace_back(*fixture.labeling.Find(a),
+                            *fixture.labeling.Find(b));
+  }
+  return *cache.emplace(mb, std::move(out)).first->second;
+}
+
+template <bool (*Predicate)(const label::NodeLabel&,
+                            const label::NodeLabel&)>
+void BM_Predicate(benchmark::State& state) {
+  const LabelPairs& fixture =
+      PairsFixture(static_cast<size_t>(state.range(0)));
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [a, b] = fixture.pairs[i++ & 4095];
+    benchmark::DoNotOptimize(Predicate(a, b));
+  }
+  state.counters["doc_mb"] = static_cast<double>(state.range(0));
+}
+
+// Two document sizes demonstrate size independence (O(1) in nodes; the
+// code length of a label grows only logarithmically).
+#define XUPDATE_PREDICATE_BENCH(name)                        \
+  BENCHMARK(BM_Predicate<label::name>)                        \
+      ->Name("BM_" #name)                                     \
+      ->Arg(1)                                                \
+      ->Arg(8)
+
+XUPDATE_PREDICATE_BENCH(Precedes);
+XUPDATE_PREDICATE_BENCH(IsLeftSiblingOf);
+XUPDATE_PREDICATE_BENCH(IsChildOf);
+XUPDATE_PREDICATE_BENCH(IsAttributeOf);
+XUPDATE_PREDICATE_BENCH(IsFirstChildOf);
+XUPDATE_PREDICATE_BENCH(IsLastChildOf);
+XUPDATE_PREDICATE_BENCH(IsDescendantOf);
+XUPDATE_PREDICATE_BENCH(IsNonAttributeDescendantOf);
+
+}  // namespace
+}  // namespace xupdate
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+// Ablation A5: inline id annotations vs. external sidecar storage.
+//
+// The paper's §6 notes that storing ids and labels inside documents
+// roughly triples their size and proposes external structures as future
+// work. This sweep compares, per document size: (a) the inline scheme
+// (annotated document; labels re-derived at parse) and (b) the sidecar
+// scheme (pristine document + external id/label table; labels loaded
+// verbatim). Counters report both artifacts' sizes.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "label/sidecar.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace xupdate {
+namespace {
+
+struct SidecarFixture {
+  std::string plain;
+  std::string sidecar;
+};
+
+const SidecarFixture& Fixture(size_t mb) {
+  static std::map<size_t, std::unique_ptr<SidecarFixture>> cache;
+  auto it = cache.find(mb);
+  if (it != cache.end()) return *it->second;
+  const bench::BenchDocument& base = bench::XmarkFixture(mb);
+  auto fixture = std::make_unique<SidecarFixture>();
+  auto plain = xml::SerializeDocument(base.doc);
+  auto sidecar = label::SaveSidecar(base.doc, base.labeling);
+  if (!plain.ok() || !sidecar.ok()) abort();
+  fixture->plain = std::move(*plain);
+  fixture->sidecar = std::move(*sidecar);
+  return *cache.emplace(mb, std::move(fixture)).first->second;
+}
+
+void BM_LoadInlineAnnotated(benchmark::State& state) {
+  size_t mb = static_cast<size_t>(state.range(0));
+  const bench::BenchDocument& base = bench::XmarkFixture(mb);
+  for (auto _ : state) {
+    auto doc = xml::ParseDocument(base.annotated_text);
+    if (!doc.ok()) {
+      state.SkipWithError(doc.status().ToString().c_str());
+      return;
+    }
+    label::Labeling labeling = label::Labeling::Build(*doc);
+    benchmark::DoNotOptimize(labeling);
+  }
+  state.counters["doc_bytes"] =
+      static_cast<double>(base.annotated_text.size());
+  state.counters["extra_bytes"] = 0;
+}
+
+void BM_LoadWithSidecar(benchmark::State& state) {
+  size_t mb = static_cast<size_t>(state.range(0));
+  const SidecarFixture& fixture = Fixture(mb);
+  for (auto _ : state) {
+    auto loaded = label::LoadWithSidecar(fixture.plain, fixture.sidecar);
+    if (!loaded.ok()) {
+      state.SkipWithError(loaded.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(*loaded);
+  }
+  state.counters["doc_bytes"] = static_cast<double>(fixture.plain.size());
+  state.counters["extra_bytes"] =
+      static_cast<double>(fixture.sidecar.size());
+}
+
+void Sizes(benchmark::internal::Benchmark* b) {
+  b->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+}
+
+BENCHMARK(BM_LoadInlineAnnotated)->Apply(Sizes);
+BENCHMARK(BM_LoadWithSidecar)->Apply(Sizes);
+
+}  // namespace
+}  // namespace xupdate
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+// Figure 6a: streaming vs in-memory PUL evaluation.
+//
+// Paper workload: XMark documents of growing size, a PUL of 1000
+// operations; the streaming evaluator processes the document as a SAX
+// event stream while the in-memory evaluator loads it completely.
+// Expected shape: both engines scale linearly with document size, the
+// streaming engine is a constant factor (~3x in the paper) faster and
+// its advantage grows in absolute terms with document size.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "exec/in_memory.h"
+#include "exec/streaming.h"
+#include "workload/pul_generator.h"
+
+namespace xupdate {
+namespace {
+
+constexpr size_t kPulOps = 1000;
+
+const pul::Pul& PulFixture(size_t mb) {
+  static std::map<size_t, std::unique_ptr<pul::Pul>> cache;
+  auto it = cache.find(mb);
+  if (it != cache.end()) return *it->second;
+  const bench::BenchDocument& fixture = bench::XmarkFixture(mb);
+  workload::PulGenerator gen(fixture.doc, fixture.labeling, 1234);
+  workload::PulGenerator::PulOptions options;
+  options.num_ops = kPulOps;
+  auto pul = gen.Generate(options);
+  if (!pul.ok()) {
+    fprintf(stderr, "pul generation failed: %s\n",
+            pul.status().ToString().c_str());
+    abort();
+  }
+  return *cache.emplace(mb, std::make_unique<pul::Pul>(std::move(*pul)))
+              .first->second;
+}
+
+void ReportDocCounters(benchmark::State& state, size_t input_bytes,
+                       size_t output_bytes) {
+  state.counters["doc_mb"] =
+      static_cast<double>(state.range(0));
+  state.counters["MB/s"] = benchmark::Counter(
+      static_cast<double>(input_bytes) * static_cast<double>(state.iterations()) / 1e6,
+      benchmark::Counter::kIsRate);
+  state.counters["out_bytes"] = static_cast<double>(output_bytes);
+}
+
+void BM_InMemoryEval(benchmark::State& state) {
+  size_t mb = static_cast<size_t>(state.range(0));
+  const bench::BenchDocument& fixture = bench::XmarkFixture(mb);
+  const pul::Pul& pul = PulFixture(mb);
+  exec::InMemoryEvaluator evaluator;
+  size_t out_bytes = 0;
+  for (auto _ : state) {
+    auto result = evaluator.Evaluate(fixture.annotated_text, pul);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    out_bytes = result->size();
+    benchmark::DoNotOptimize(*result);
+  }
+  ReportDocCounters(state, fixture.annotated_text.size(), out_bytes);
+}
+
+void BM_StreamingEval(benchmark::State& state) {
+  size_t mb = static_cast<size_t>(state.range(0));
+  const bench::BenchDocument& fixture = bench::XmarkFixture(mb);
+  const pul::Pul& pul = PulFixture(mb);
+  exec::StreamingEvaluator evaluator;
+  size_t out_bytes = 0;
+  for (auto _ : state) {
+    auto result = evaluator.Evaluate(fixture.annotated_text, pul);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    out_bytes = result->size();
+    benchmark::DoNotOptimize(*result);
+  }
+  ReportDocCounters(state, fixture.annotated_text.size(), out_bytes);
+}
+
+void DocSizes(benchmark::internal::Benchmark* b) {
+  for (size_t mb = 1; mb <= xupdate::bench::MaxDocMb(); mb *= 2) {
+    b->Arg(static_cast<int64_t>(mb));
+  }
+  b->Unit(benchmark::kMillisecond);
+}
+
+BENCHMARK(BM_InMemoryEval)->Apply(DocSizes);
+BENCHMARK(BM_StreamingEval)->Apply(DocSizes);
+
+}  // namespace
+}  // namespace xupdate
+
+BENCHMARK_MAIN();

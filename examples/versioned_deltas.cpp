@@ -1,0 +1,138 @@
+// Document versioning (paper §1): versions are stored as deltas (PULs)
+// over an original document. Aggregation lets the archive drop
+// intermediate versions — collapsing a run of deltas into one — while
+// still being able to materialize any retained version.
+
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "core/aggregate.h"
+#include "label/labeling.h"
+#include "pul/apply.h"
+#include "pul/obtainable.h"
+#include "pul/pul_io.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+#include "xquery/eval.h"
+
+namespace {
+
+template <typename T>
+T Check(xupdate::Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::cerr << what << " failed: " << result.status() << "\n";
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+void Check(const xupdate::Status& status, const char* what) {
+  if (!status.ok()) {
+    std::cerr << what << " failed: " << status << "\n";
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace xupdate;
+
+  const char* v0_text =
+      "<spec version=\"0\">"
+      "<section id=\"intro\"><p>First cut.</p></section>"
+      "</spec>";
+  xml::Document v0 = Check(xml::ParseDocument(v0_text), "parse");
+
+  // Build five versions, each described by a delta over its predecessor.
+  const char* edits[] = {
+      "replace value of node /spec/@version with \"1\", "
+      "insert nodes <section id=\"api\"><p>API sketch.</p></section> "
+      "as last into /spec",
+
+      "replace value of node /spec/@version with \"2\", "
+      "replace value of node //section[@id='intro']/p/text() with "
+      "\"Polished intro.\"",
+
+      "replace value of node /spec/@version with \"3\", "
+      "insert nodes <p>Error handling.</p> as last into "
+      "//section[@id='api']",
+
+      "replace value of node /spec/@version with \"4\", "
+      "delete nodes //section[@id='intro']",
+  };
+
+  std::vector<pul::Pul> deltas;
+  xml::Document head = v0;
+  label::Labeling labels = label::Labeling::Build(head);
+  xml::NodeId id_base = head.max_assigned_id() + 1000;
+  for (const char* edit : edits) {
+    xquery::ProducerContext ctx;
+    ctx.doc = &head;
+    ctx.labeling = &labels;
+    ctx.id_base = id_base;
+    id_base += 1000;
+    pul::Pul delta = Check(xquery::ProducePul(edit, ctx), "edit");
+    pul::ApplyOptions apply;
+    apply.labeling = &labels;
+    Check(pul::ApplyPul(&head, delta, apply), "apply");
+    deltas.push_back(std::move(delta));
+  }
+  std::cout << "archive: v0 document + " << deltas.size() << " deltas\n";
+
+  // Materializing a version = applying a prefix of the delta chain.
+  auto materialize = [&](size_t version) {
+    xml::Document doc = v0;
+    for (size_t i = 0; i < version; ++i) {
+      Check(pul::ApplyPul(&doc, deltas[i]), "materialize");
+    }
+    return doc;
+  };
+
+  // Retention policy: keep v0, v2 and v4; v1 and v3 are collapsed away.
+  // delta(v0->v2) = aggregate(d1, d2); delta(v2->v4) = aggregate(d3, d4).
+  pul::Pul v0_to_v2 =
+      Check(core::Aggregate({&deltas[0], &deltas[1]}), "collapse v1");
+  pul::Pul v2_to_v4 =
+      Check(core::Aggregate({&deltas[2], &deltas[3]}), "collapse v3");
+  std::cout << "collapsed archive: v0 + delta(v0->v2) ["
+            << v0_to_v2.size() << " ops] + delta(v2->v4) ["
+            << v2_to_v4.size() << " ops]\n";
+
+  // The collapsed chain reproduces the retained versions exactly.
+  xml::Document v2_direct = materialize(2);
+  xml::Document v2_collapsed = v0;
+  Check(pul::ApplyPul(&v2_collapsed, v0_to_v2), "v2 via collapse");
+  bool v2_ok = pul::CanonicalForm(v2_direct) ==
+               pul::CanonicalForm(v2_collapsed);
+
+  xml::Document v4_direct = materialize(4);
+  xml::Document v4_collapsed = v2_collapsed;
+  Check(pul::ApplyPul(&v4_collapsed, v2_to_v4), "v4 via collapse");
+  bool v4_ok = pul::CanonicalForm(v4_direct) ==
+               pul::CanonicalForm(v4_collapsed);
+
+  std::cout << "v2 reproduced: " << (v2_ok ? "yes" : "NO")
+            << ", v4 reproduced: " << (v4_ok ? "yes" : "NO") << "\n";
+
+  // Storage comparison: deltas vs. full copies.
+  size_t full_bytes = 0;
+  for (size_t v = 1; v <= 4; ++v) {
+    xml::SerializeOptions opts;
+    opts.with_ids = true;
+    full_bytes +=
+        Check(xml::SerializeDocument(materialize(v), opts), "size").size();
+  }
+  size_t delta_bytes = Check(pul::SerializePul(v0_to_v2), "size").size() +
+                       Check(pul::SerializePul(v2_to_v4), "size").size();
+  std::cout << "storing full versions v1..v4: " << full_bytes
+            << " bytes; collapsed deltas: " << delta_bytes << " bytes\n";
+
+  xml::SerializeOptions pretty;
+  pretty.pretty = true;
+  std::cout << "\nhead version (v4):\n"
+            << Check(xml::SerializeDocument(v4_direct, pretty), "print")
+            << "\n";
+  return (v2_ok && v4_ok) ? 0 : 1;
+}

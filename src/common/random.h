@@ -1,0 +1,51 @@
+#ifndef XUPDATE_COMMON_RANDOM_H_
+#define XUPDATE_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xupdate {
+
+// Deterministic 64-bit PRNG (xoshiro256** seeded via splitmix64).
+// Used by the XMark generator, the synthetic-PUL workload generator and
+// the property tests so that every run is reproducible from a seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform over the full 64-bit range.
+  uint64_t Next();
+
+  // Uniform in [0, bound); bound must be > 0.
+  uint64_t Below(uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive; requires lo <= hi.
+  int64_t Range(int64_t lo, int64_t hi);
+
+  // True with probability p (clamped to [0,1]).
+  bool Chance(double p);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Picks an index weighted by `weights` (all >= 0, not all zero).
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(Below(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace xupdate
+
+#endif  // XUPDATE_COMMON_RANDOM_H_

@@ -1,0 +1,80 @@
+#ifndef XUPDATE_COMMON_RESULT_H_
+#define XUPDATE_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace xupdate {
+
+// A Status or a value of type T, in the style of arrow::Result /
+// absl::StatusOr. `Result<T> r = F(); if (!r.ok()) return r.status();`
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value or from a (non-ok) Status keeps
+  // call sites terse: `return value;` / `return Status::NotFound(...)`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "ok Status must carry a value");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the value or dies; only for tests and examples where the
+  // failure is a programming error.
+  T ValueOrDie() && {
+    if (!ok()) {
+      // Examples/tests call this only on inputs known to be valid.
+      assert(false && "ValueOrDie on error Result");
+    }
+    return std::move(*value_);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagates the error of a Result expression, else assigns its value.
+#define XUPDATE_ASSIGN_OR_RETURN(lhs, expr)            \
+  XUPDATE_ASSIGN_OR_RETURN_IMPL(                       \
+      XUPDATE_CONCAT_NAME(_result_, __LINE__), lhs, expr)
+
+#define XUPDATE_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr)  \
+  auto tmp = (expr);                                   \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).value()
+
+#define XUPDATE_CONCAT_NAME(a, b) XUPDATE_CONCAT_NAME_INNER(a, b)
+#define XUPDATE_CONCAT_NAME_INNER(a, b) a##b
+
+}  // namespace xupdate
+
+#endif  // XUPDATE_COMMON_RESULT_H_

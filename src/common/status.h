@@ -1,0 +1,105 @@
+#ifndef XUPDATE_COMMON_STATUS_H_
+#define XUPDATE_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace xupdate {
+
+// Error category for a failed operation. Mirrors the dynamic-error
+// taxonomy of the XQuery Update Facility processing model plus the usual
+// systems-library codes.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  // A PUL operation violates its applicability conditions (Table 2 of
+  // the paper), e.g. inserting an attribute tree before a node.
+  kNotApplicable = 1,
+  // Two operations in one PUL are incompatible (Definition 3), e.g. two
+  // renames of the same node.
+  kIncompatible = 2,
+  // Conflict resolution could not satisfy the producers' policies
+  // (Algorithm 3 aborts).
+  kUnresolvedConflict = 3,
+  // Malformed input (XML text, serialized PUL, XQuery expression...).
+  kParseError = 4,
+  // A node id referenced by an operation does not exist.
+  kNotFound = 5,
+  // Caller misuse of an API (preconditions violated).
+  kInvalidArgument = 6,
+  // Filesystem failure.
+  kIoError = 7,
+  // Anything that indicates an internal invariant was broken.
+  kInternal = 8,
+};
+
+// Returns a stable human-readable name, e.g. "NotApplicable".
+std::string_view StatusCodeToString(StatusCode code);
+
+// Value-semantic error carrier used across the whole library; the public
+// API never throws. An ok status carries no message and no allocation.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status NotApplicable(std::string msg) {
+    return Status(StatusCode::kNotApplicable, std::move(msg));
+  }
+  static Status Incompatible(std::string msg) {
+    return Status(StatusCode::kIncompatible, std::move(msg));
+  }
+  static Status UnresolvedConflict(std::string msg) {
+    return Status(StatusCode::kUnresolvedConflict, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+// Propagates a non-ok Status out of the enclosing function.
+#define XUPDATE_RETURN_IF_ERROR(expr)                \
+  do {                                               \
+    ::xupdate::Status _status = (expr);              \
+    if (!_status.ok()) return _status;               \
+  } while (false)
+
+}  // namespace xupdate
+
+#endif  // XUPDATE_COMMON_STATUS_H_

@@ -1,0 +1,167 @@
+#include "common/string_util.h"
+
+#include <cctype>
+
+namespace xupdate {
+
+std::string XmlEscape(std::string_view text, bool in_attribute) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        if (in_attribute) {
+          out += "&quot;";
+        } else {
+          out += c;
+        }
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string XmlUnescape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  size_t i = 0;
+  while (i < text.size()) {
+    if (text[i] != '&') {
+      out += text[i++];
+      continue;
+    }
+    size_t semi = text.find(';', i);
+    if (semi == std::string_view::npos || semi - i > 10) {
+      out += text[i++];
+      continue;
+    }
+    std::string_view entity = text.substr(i + 1, semi - i - 1);
+    if (entity == "amp") {
+      out += '&';
+    } else if (entity == "lt") {
+      out += '<';
+    } else if (entity == "gt") {
+      out += '>';
+    } else if (entity == "quot") {
+      out += '"';
+    } else if (entity == "apos") {
+      out += '\'';
+    } else if (!entity.empty() && entity[0] == '#') {
+      uint32_t cp = 0;
+      bool valid = entity.size() > 1;
+      if (entity.size() > 2 && (entity[1] == 'x' || entity[1] == 'X')) {
+        for (size_t k = 2; k < entity.size(); ++k) {
+          char c = entity[k];
+          uint32_t digit;
+          if (c >= '0' && c <= '9') {
+            digit = static_cast<uint32_t>(c - '0');
+          } else if (c >= 'a' && c <= 'f') {
+            digit = static_cast<uint32_t>(c - 'a' + 10);
+          } else if (c >= 'A' && c <= 'F') {
+            digit = static_cast<uint32_t>(c - 'A' + 10);
+          } else {
+            valid = false;
+            break;
+          }
+          cp = cp * 16 + digit;
+        }
+      } else {
+        for (size_t k = 1; k < entity.size(); ++k) {
+          if (!std::isdigit(static_cast<unsigned char>(entity[k]))) {
+            valid = false;
+            break;
+          }
+          cp = cp * 10 + static_cast<uint32_t>(entity[k] - '0');
+        }
+      }
+      if (!valid || cp == 0 || cp > 0x10ffff) {
+        out += text[i++];
+        continue;
+      }
+      // UTF-8 encode.
+      if (cp < 0x80) {
+        out += static_cast<char>(cp);
+      } else if (cp < 0x800) {
+        out += static_cast<char>(0xc0 | (cp >> 6));
+        out += static_cast<char>(0x80 | (cp & 0x3f));
+      } else if (cp < 0x10000) {
+        out += static_cast<char>(0xe0 | (cp >> 12));
+        out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+        out += static_cast<char>(0x80 | (cp & 0x3f));
+      } else {
+        out += static_cast<char>(0xf0 | (cp >> 18));
+        out += static_cast<char>(0x80 | ((cp >> 12) & 0x3f));
+        out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+        out += static_cast<char>(0x80 | (cp & 0x3f));
+      }
+    } else {
+      // Unknown entity: keep verbatim.
+      out += text[i];
+      ++i;
+      continue;
+    }
+    i = semi + 1;
+  }
+  return out;
+}
+
+bool IsValidXmlName(std::string_view name) {
+  if (name.empty()) return false;
+  char c0 = name[0];
+  if (!(std::isalpha(static_cast<unsigned char>(c0)) || c0 == '_' ||
+        c0 == ':')) {
+    return false;
+  }
+  for (char c : name.substr(1)) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '.' ||
+          c == '_' || c == ':' || c == '-')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  size_t b = 0;
+  size_t e = s.size();
+  auto is_space = [](char c) {
+    return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+  };
+  while (b < e && is_space(s[b])) ++b;
+  while (e > b && is_space(s[e - 1])) --e;
+  return s.substr(b, e - b);
+}
+
+int64_t ParseNonNegativeInt(std::string_view s) {
+  if (s.empty()) return -1;
+  int64_t value = 0;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return -1;
+    if (value > (INT64_MAX - 9) / 10) return -1;
+    value = value * 10 + (c - '0');
+  }
+  return value;
+}
+
+}  // namespace xupdate

@@ -1,0 +1,34 @@
+#ifndef XUPDATE_COMMON_STRING_UTIL_H_
+#define XUPDATE_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xupdate {
+
+// Escapes &, <, > (text content) — and additionally " when `in_attribute`
+// — per XML 1.0 character escaping rules.
+std::string XmlEscape(std::string_view text, bool in_attribute = false);
+
+// Resolves the five predefined XML entities plus decimal/hex character
+// references. Unknown entities are left verbatim (non-validating).
+std::string XmlUnescape(std::string_view text);
+
+// True if `name` is a valid (namespace-less) XML element/attribute name
+// for our non-validating subset: [A-Za-z_:][A-Za-z0-9._:-]*.
+bool IsValidXmlName(std::string_view name);
+
+// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+// Whitespace trim (space, tab, CR, LF) from both ends.
+std::string_view Trim(std::string_view s);
+
+// Parses a non-negative integer; returns -1 on malformed input.
+int64_t ParseNonNegativeInt(std::string_view s);
+
+}  // namespace xupdate
+
+#endif  // XUPDATE_COMMON_STRING_UTIL_H_

@@ -1,0 +1,40 @@
+#ifndef XUPDATE_CORE_DIFF_H_
+#define XUPDATE_CORE_DIFF_H_
+
+#include "common/result.h"
+#include "label/labeling.h"
+#include "pul/pul.h"
+#include "xml/document.h"
+
+namespace xupdate::core {
+
+// Delta derivation by version comparison — the change-detection side of
+// the paper's versioning context (§5 cites Cobena et al.'s diff-based
+// deltas; here the delta comes out directly as a PUL, so every reasoning
+// operator applies to it).
+//
+// Computes a PUL that transforms `from` into `to` (up to the ids of
+// newly created nodes): `Apply(from, delta)` is structurally equal to
+// `to`, and nodes surviving from `from` keep their identities. The two
+// documents are matched through the shared id space — `to` is typically
+// an edited copy of `from` — which keeps the diff linear-ish instead of
+// requiring tree-edit-distance search:
+//
+//   * elements matched by id: name changes become ren, attribute
+//     changes become insA / del / ren / repV on the attribute nodes;
+//   * text nodes matched by id: value changes become repV;
+//   * child sequences are aligned on the longest subsequence of
+//     id-matched children that kept their relative order (anchors);
+//     everything else is expressed as del plus run-wise insertions
+//     (moved nodes are re-created as fresh copies — the update
+//     vocabulary of Table 2 has no move primitive);
+//   * anchored children are diffed recursively.
+//
+// Requires the two documents to share the root node id.
+Result<pul::Pul> ComputeDelta(const xml::Document& from,
+                              const label::Labeling& from_labeling,
+                              const xml::Document& to);
+
+}  // namespace xupdate::core
+
+#endif  // XUPDATE_CORE_DIFF_H_

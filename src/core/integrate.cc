@@ -1,0 +1,357 @@
+#include "core/integrate.h"
+
+#include <algorithm>
+#include <functional>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "label/node_label.h"
+
+namespace xupdate::core {
+
+namespace {
+
+using pul::OpKind;
+using pul::Pul;
+using pul::UpdateOp;
+using xml::NodeId;
+using xml::NodeType;
+
+// repN with an empty replacement list behaves exactly like del
+// (footnote 3 of the paper); the conflict rules treat it as del.
+OpKind EffectiveKind(const UpdateOp& op) {
+  if (op.kind == OpKind::kReplaceNode && op.param_trees.empty()) {
+    return OpKind::kDelete;
+  }
+  return op.kind;
+}
+
+bool IsType1Kind(OpKind kind) {
+  return kind == OpKind::kRename || kind == OpKind::kReplaceNode ||
+         kind == OpKind::kReplaceChildren || kind == OpKind::kReplaceValue;
+}
+
+bool IsType3Kind(OpKind kind) {
+  return kind == OpKind::kInsBefore || kind == OpKind::kInsAfter ||
+         kind == OpKind::kInsFirst || kind == OpKind::kInsLast;
+}
+
+// Operations a same-target repN/del overrides (local override, rule 4).
+bool IsLocallyOverridable(OpKind effective) {
+  switch (effective) {
+    case OpKind::kRename:
+    case OpKind::kReplaceValue:
+    case OpKind::kReplaceChildren:
+    case OpKind::kInsFirst:
+    case OpKind::kInsLast:
+    case OpKind::kInsAttributes:
+    case OpKind::kInsInto:
+    case OpKind::kDelete:
+      return true;
+    default:
+      return false;
+  }
+}
+
+struct TaggedOp {
+  OpRef ref;
+  const UpdateOp* op = nullptr;
+  const Pul* owner = nullptr;
+  OpKind effective = OpKind::kDelete;
+  bool conflicted = false;
+};
+
+// One target node with all the operations aimed at it.
+struct Group {
+  NodeId target = xml::kInvalidNode;
+  const label::NodeLabel* label = nullptr;
+  std::vector<TaggedOp*> ops;
+  std::vector<int> children;  // indices into the group vector (type-5 tree)
+};
+
+// Attribute names inserted by an insA operation.
+std::vector<std::string_view> InsertedAttributeNames(const TaggedOp& op) {
+  std::vector<std::string_view> names;
+  for (NodeId r : op.op->param_trees) {
+    names.push_back(op.owner->forest().name(r));
+  }
+  return names;
+}
+
+class Integrator {
+ public:
+  explicit Integrator(const std::vector<const Pul*>& puls) : puls_(puls) {}
+
+  Result<IntegrationResult> Run();
+
+ private:
+  void DetectLocalConflicts(Group& group);
+  void DetectNonLocalConflicts();
+
+  const std::vector<const Pul*>& puls_;
+  std::vector<TaggedOp> tagged_;
+  std::vector<Group> groups_;
+  std::vector<Conflict> conflicts_;
+};
+
+void Integrator::DetectLocalConflicts(Group& group) {
+  // Spans of operations from at least two distinct PULs are required for
+  // any conflict.
+  auto distinct_puls = [](const std::vector<TaggedOp*>& ops) {
+    int first = -1;
+    for (const TaggedOp* t : ops) {
+      if (first == -1) {
+        first = t->ref.pul;
+      } else if (t->ref.pul != first) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  // Types 1 and 3: same effective kind, same target.
+  for (int k = 0; k < pul::kNumOpKinds; ++k) {
+    OpKind kind = static_cast<OpKind>(k);
+    if (!IsType1Kind(kind) && !IsType3Kind(kind)) continue;
+    std::vector<TaggedOp*> same_kind;
+    for (TaggedOp* t : group.ops) {
+      if (t->effective == kind) same_kind.push_back(t);
+    }
+    if (same_kind.size() < 2 || !distinct_puls(same_kind)) continue;
+    Conflict c;
+    c.type = IsType1Kind(kind) ? ConflictType::kRepeatedModification
+                               : ConflictType::kInsertionOrder;
+    for (TaggedOp* t : same_kind) {
+      c.ops.push_back(t->ref);
+      t->conflicted = true;
+    }
+    conflicts_.push_back(std::move(c));
+  }
+
+  // Type 2: insA operations from different PULs inserting at least one
+  // common attribute name; conflicts are the connected components of the
+  // shared-name relation.
+  std::vector<TaggedOp*> ins_attr;
+  for (TaggedOp* t : group.ops) {
+    if (t->effective == OpKind::kInsAttributes) ins_attr.push_back(t);
+  }
+  if (ins_attr.size() >= 2) {
+    std::vector<std::vector<std::string_view>> names;
+    names.reserve(ins_attr.size());
+    for (TaggedOp* t : ins_attr) names.push_back(InsertedAttributeNames(*t));
+    std::vector<int> component(ins_attr.size());
+    for (size_t i = 0; i < ins_attr.size(); ++i) {
+      component[i] = static_cast<int>(i);
+    }
+    std::function<int(int)> find = [&](int x) {
+      while (component[static_cast<size_t>(x)] != x) {
+        x = component[static_cast<size_t>(x)];
+      }
+      return x;
+    };
+    bool any_edge = false;
+    for (size_t i = 0; i < ins_attr.size(); ++i) {
+      for (size_t j = i + 1; j < ins_attr.size(); ++j) {
+        if (ins_attr[i]->ref.pul == ins_attr[j]->ref.pul) continue;
+        bool share = false;
+        for (std::string_view a : names[i]) {
+          for (std::string_view b : names[j]) {
+            if (a == b) {
+              share = true;
+              break;
+            }
+          }
+          if (share) break;
+        }
+        if (share) {
+          component[static_cast<size_t>(find(static_cast<int>(i)))] =
+              find(static_cast<int>(j));
+          any_edge = true;
+        }
+      }
+    }
+    if (any_edge) {
+      std::unordered_map<int, Conflict> by_component;
+      for (size_t i = 0; i < ins_attr.size(); ++i) {
+        by_component[find(static_cast<int>(i))].ops.push_back(
+            ins_attr[i]->ref);
+      }
+      for (auto& [root, c] : by_component) {
+        if (c.ops.size() < 2) continue;
+        c.type = ConflictType::kRepeatedAttributeInsertion;
+        for (const OpRef& ref : c.ops) {
+          for (TaggedOp* t : ins_attr) {
+            if (t->ref == ref) {
+              t->conflicted = true;
+              break;
+            }
+          }
+        }
+        conflicts_.push_back(std::move(c));
+      }
+    }
+  }
+
+  // Type 4: local overrides.
+  for (TaggedOp* overrider : group.ops) {
+    OpKind ok = overrider->effective;
+    bool full = ok == OpKind::kReplaceNode || ok == OpKind::kDelete;
+    bool children_only = ok == OpKind::kReplaceChildren;
+    if (!full && !children_only) continue;
+    Conflict c;
+    c.type = ConflictType::kLocalOverride;
+    c.overrider = overrider->ref;
+    for (TaggedOp* other : group.ops) {
+      if (other == overrider || other->ref.pul == overrider->ref.pul) {
+        continue;
+      }
+      OpKind o2 = other->effective;
+      bool hit = false;
+      if (full) {
+        hit = IsLocallyOverridable(o2) &&
+              !(ok == OpKind::kDelete && o2 == OpKind::kDelete);
+      } else {
+        hit = o2 == OpKind::kInsFirst || o2 == OpKind::kInsInto ||
+              o2 == OpKind::kInsLast;
+      }
+      if (hit) {
+        c.ops.push_back(other->ref);
+        other->conflicted = true;
+      }
+    }
+    if (!c.ops.empty()) {
+      overrider->conflicted = true;
+      conflicts_.push_back(std::move(c));
+    }
+  }
+}
+
+void Integrator::DetectNonLocalConflicts() {
+  // Postorder over the target tree built in Run(); every node passes the
+  // list of operations in its subtree up to its parent, where the
+  // ancestor's repN/del/repC operations are matched against them.
+  std::vector<std::vector<TaggedOp*>> subtree(groups_.size());
+  // groups_ is in document order, so children always follow parents;
+  // iterate in reverse for a valid postorder.
+  for (size_t gi = groups_.size(); gi-- > 0;) {
+    Group& g = groups_[gi];
+    std::vector<TaggedOp*> below;
+    for (int child : g.children) {
+      auto& sub = subtree[static_cast<size_t>(child)];
+      below.insert(below.end(), sub.begin(), sub.end());
+      sub.clear();
+      sub.shrink_to_fit();
+    }
+    for (TaggedOp* overrider : g.ops) {
+      OpKind ok = overrider->effective;
+      bool full = ok == OpKind::kReplaceNode || ok == OpKind::kDelete;
+      bool children_only = ok == OpKind::kReplaceChildren;
+      if (!full && !children_only) continue;
+      Conflict c;
+      c.type = ConflictType::kNonLocalOverride;
+      c.overrider = overrider->ref;
+      for (TaggedOp* other : below) {
+        if (other->ref.pul == overrider->ref.pul) continue;
+        if (other->effective == OpKind::kDelete) continue;
+        if (children_only &&
+            other->op->target_label.parent == g.target &&
+            other->op->target_label.type == NodeType::kAttribute) {
+          continue;  // attributes of the repC target survive
+        }
+        c.ops.push_back(other->ref);
+        other->conflicted = true;
+      }
+      if (!c.ops.empty()) {
+        overrider->conflicted = true;
+        conflicts_.push_back(std::move(c));
+      }
+    }
+    below.insert(below.end(), g.ops.begin(), g.ops.end());
+    subtree[gi] = std::move(below);
+  }
+}
+
+Result<IntegrationResult> Integrator::Run() {
+  // Tag and validate.
+  for (size_t p = 0; p < puls_.size(); ++p) {
+    XUPDATE_RETURN_IF_ERROR(puls_[p]->CheckCompatible());
+    const auto& ops = puls_[p]->ops();
+    for (size_t o = 0; o < ops.size(); ++o) {
+      if (!ops[o].target_label.valid()) {
+        return Status::InvalidArgument(
+            "integration requires target labels on every operation");
+      }
+      TaggedOp t;
+      t.ref = {static_cast<int>(p), static_cast<int>(o)};
+      t.op = &ops[o];
+      t.owner = puls_[p];
+      t.effective = EffectiveKind(ops[o]);
+      tagged_.push_back(t);
+    }
+  }
+
+  // Partition by target in document order of the targets.
+  std::unordered_map<NodeId, size_t> group_of;
+  for (TaggedOp& t : tagged_) {
+    auto [it, inserted] = group_of.emplace(t.op->target, groups_.size());
+    if (inserted) {
+      Group g;
+      g.target = t.op->target;
+      g.label = &t.op->target_label;
+      groups_.push_back(std::move(g));
+    }
+    groups_[it->second].ops.push_back(&t);
+  }
+  std::sort(groups_.begin(), groups_.end(),
+            [](const Group& a, const Group& b) {
+              return a.label->start < b.label->start;
+            });
+
+  // Local conflicts (types 1-4).
+  for (Group& g : groups_) DetectLocalConflicts(g);
+
+  // Containment tree over the sorted targets: the parent of a group is
+  // the closest enclosing target (paper's tree T; a virtual root covers
+  // forests). Stack sweep over document order.
+  std::vector<int> stack;
+  for (size_t gi = 0; gi < groups_.size(); ++gi) {
+    const label::NodeLabel* lab = groups_[gi].label;
+    while (!stack.empty()) {
+      const label::NodeLabel* top =
+          groups_[static_cast<size_t>(stack.back())].label;
+      if (top->end < lab->start) {
+        stack.pop_back();
+      } else {
+        break;
+      }
+    }
+    if (!stack.empty()) {
+      groups_[static_cast<size_t>(stack.back())].children.push_back(
+          static_cast<int>(gi));
+    }
+    stack.push_back(static_cast<int>(gi));
+  }
+
+  DetectNonLocalConflicts();
+
+  // Delta: all unconflicted operations, merged into a single PUL.
+  IntegrationResult result;
+  for (const TaggedOp& t : tagged_) {
+    if (t.conflicted) continue;
+    XUPDATE_RETURN_IF_ERROR(
+        result.merged.AdoptOp(t.owner->forest(), *t.op));
+  }
+  result.conflicts = std::move(conflicts_);
+  return result;
+}
+
+}  // namespace
+
+Result<IntegrationResult> Integrate(
+    const std::vector<const pul::Pul*>& puls) {
+  Integrator integrator(puls);
+  return integrator.Run();
+}
+
+}  // namespace xupdate::core

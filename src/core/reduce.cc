@@ -1,0 +1,844 @@
+#include "core/reduce.h"
+
+#include <algorithm>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "label/bitstring.h"
+#include "label/node_label.h"
+#include "xml/serializer.h"
+
+namespace xupdate::core {
+
+namespace {
+
+using label::BitString;
+using label::NodeLabel;
+using pul::OpClass;
+using pul::OpKind;
+using pul::Pul;
+using pul::UpdateOp;
+using xml::kInvalidNode;
+using xml::NodeId;
+using xml::NodeType;
+
+bool IsChildInsertion(OpKind kind) {
+  return kind == OpKind::kInsFirst || kind == OpKind::kInsInto ||
+         kind == OpKind::kInsLast;
+}
+
+// op1-kinds overridden by a same-target repN/del (rule O1): everything
+// except the sibling insertions (their effect survives the target's
+// removal) and repN itself.
+bool IsO1Overridable(OpKind kind) {
+  switch (kind) {
+    case OpKind::kRename:
+    case OpKind::kReplaceValue:
+    case OpKind::kReplaceChildren:
+    case OpKind::kDelete:
+    case OpKind::kInsFirst:
+    case OpKind::kInsLast:
+    case OpKind::kInsInto:
+    case OpKind::kInsAttributes:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// One candidate rule application: ops in their rule roles plus the merge
+// recipe (result kind, identity donor, parameter order).
+struct PairApp {
+  int op1;
+  int op2;
+  OpKind result;
+  int shape;
+  int first;
+  int second;
+};
+
+// Reduction engine over a working copy of the input PUL's operations.
+// Rules are found through O(1) hash lookups keyed on the structural
+// information carried in the operation labels (same target, parent,
+// left sibling); the A-D rules O3/O4 use one O(k log k) interval sweep
+// per pass — matching the paper's optimized algorithm (§3.1).
+class Reducer {
+ public:
+  Reducer(const Pul& input, ReduceMode mode)
+      : input_(input), mode_(mode) {}
+
+  Result<Pul> Run(ReduceStats* stats);
+
+ private:
+  bool Alive(int i) const { return alive_[static_cast<size_t>(i)] != 0; }
+  const UpdateOp& Op(int i) const { return ops_[static_cast<size_t>(i)]; }
+
+  void Kill(int i) {
+    alive_[static_cast<size_t>(i)] = 0;
+    ++applications_;
+  }
+
+  int AddMerged(UpdateOp op, size_t rank) {
+    int index = static_cast<int>(ops_.size());
+    by_target_[op.target].push_back(index);
+    ops_.push_back(std::move(op));
+    alive_.push_back(1);
+    queued_.push_back(0);
+    rank_.push_back(rank);
+    return index;
+  }
+
+  // All alive ops with the given target and kind, excluding `exclude`.
+  void FindPartners(NodeId target, OpKind kind, int exclude,
+                    std::vector<int>* out) const {
+    auto it = by_target_.find(target);
+    if (it == by_target_.end()) return;
+    for (int j : it->second) {
+      if (j != exclude && Alive(j) && Op(j).kind == kind) out->push_back(j);
+    }
+  }
+  int FirstPartner(NodeId target, OpKind kind, int exclude) const {
+    auto it = by_target_.find(target);
+    if (it == by_target_.end()) return -1;
+    for (int j : it->second) {
+      if (j != exclude && Alive(j) && Op(j).kind == kind) return j;
+    }
+    return -1;
+  }
+
+  // Builds the merged operation of an I/IR rule. `first`/`second` give
+  // the parameter concatenation order; the result op's kind/target come
+  // from `shape_from`.
+  void ApplyMerge(OpKind result_kind, int shape_from, int first,
+                  int second) {
+    UpdateOp merged;
+    merged.kind = result_kind;
+    merged.target = Op(shape_from).target;
+    merged.target_label = Op(shape_from).target_label;
+    merged.param_trees = Op(first).param_trees;
+    merged.param_trees.insert(merged.param_trees.end(),
+                              Op(second).param_trees.begin(),
+                              Op(second).param_trees.end());
+    size_t rank = std::min(rank_[static_cast<size_t>(first)],
+                           rank_[static_cast<size_t>(second)]);
+    Kill(first);
+    if (second != first) alive_[static_cast<size_t>(second)] = 0;
+    int index = AddMerged(std::move(merged), rank);
+    Enqueue(index);
+  }
+
+  void Enqueue(int i) {
+    if (queued_[static_cast<size_t>(i)] == 0) {
+      queued_[static_cast<size_t>(i)] = 1;
+      worklist_.push_back(i);
+    }
+  }
+  void EnqueueBucket(NodeId target) {
+    auto it = by_target_.find(target);
+    if (it == by_target_.end()) return;
+    for (int j : it->second) {
+      if (Alive(j)) Enqueue(j);
+    }
+  }
+
+  // One merge-rule application attempt centered on op `i` for `stage`.
+  // Returns true if a rule fired (i or a partner may now be dead).
+  bool TryMergeRules(int stage, int i);
+  // Same-target drop rules O1/O2 centered on op `i`.
+  bool TryDropRules(int i);
+  // O3/O4: drops every op whose target lies strictly inside the interval
+  // of a repN/del (or non-attribute-inside a repC) target.
+  bool SweepOverrides();
+
+  // Worklist fixpoint of the rules of `stage` (plain/deterministic).
+  bool StageFixpoint(int stage);
+  // One canonical-order application for `stage`; true if something fired.
+  bool CanonicalStageStep(int stage);
+  // All applicable ordered pairs of the rule-within-stage.
+  void CollectRulePairs(int stage, int rule, std::vector<PairApp>* out);
+  static int RulesInStage(int stage);
+
+  // <o sort key (document order of targets, then parameter order).
+  const std::string& OpKey(int i);
+
+  Result<Pul> Assemble();
+
+  const Pul& input_;
+  ReduceMode mode_;
+  std::vector<UpdateOp> ops_;
+  std::vector<char> alive_;
+  std::vector<char> queued_;
+  std::vector<size_t> rank_;  // PUL listing order, inherited by merges
+  std::deque<int> worklist_;
+  std::unordered_map<NodeId, std::vector<int>> by_target_;
+  std::unordered_map<int, std::string> key_cache_;
+  size_t applications_ = 0;
+};
+
+bool Reducer::TryDropRules(int i) {
+  const UpdateOp& op = Op(i);
+  // O1, as the overridden side.
+  if (IsO1Overridable(op.kind)) {
+    int killer = FirstPartner(op.target, OpKind::kReplaceNode, i);
+    if (killer < 0) killer = FirstPartner(op.target, OpKind::kDelete, i);
+    if (killer >= 0) {
+      Kill(i);
+      return true;
+    }
+  }
+  // O1, as the overriding side: drop overridable partners.
+  if (op.kind == OpKind::kReplaceNode || op.kind == OpKind::kDelete) {
+    auto it = by_target_.find(op.target);
+    if (it != by_target_.end()) {
+      for (int j : it->second) {
+        if (j != i && Alive(j) && IsO1Overridable(Op(j).kind)) {
+          Kill(j);
+          return true;
+        }
+      }
+    }
+  }
+  // O2: child insertions overridden by a same-target repC.
+  if (IsChildInsertion(op.kind)) {
+    if (FirstPartner(op.target, OpKind::kReplaceChildren, i) >= 0) {
+      Kill(i);
+      return true;
+    }
+  }
+  if (op.kind == OpKind::kReplaceChildren) {
+    auto it = by_target_.find(op.target);
+    if (it != by_target_.end()) {
+      for (int j : it->second) {
+        if (j != i && Alive(j) && IsChildInsertion(Op(j).kind)) {
+          Kill(j);
+          return true;
+        }
+      }
+    }
+  }
+  return false;
+}
+
+bool Reducer::TryMergeRules(int stage, int i) {
+  const UpdateOp& op = Op(i);
+  const NodeLabel& lab = op.target_label;
+  // Helper lambdas for the two lookup directions.
+  auto merge_same_target = [&](OpKind mine, OpKind other, OpKind result,
+                               bool mine_first, int shape) -> bool {
+    // shape: 0 = my op gives target/kind identity, 1 = partner does.
+    if (op.kind != mine) return false;
+    int j = FirstPartner(op.target, other, i);
+    if (j < 0) return false;
+    int shape_from = shape == 0 ? i : j;
+    if (mine_first) {
+      ApplyMerge(result, shape_from, i, j);
+    } else {
+      ApplyMerge(result, shape_from, j, i);
+    }
+    return true;
+  };
+
+  switch (stage) {
+    case 1:
+      // I5: same insertion kind, same target.
+      if (pul::ClassOf(op.kind) == OpClass::kInsertion) {
+        int j = FirstPartner(op.target, op.kind, i);
+        if (j >= 0) {
+          // Keep PUL listing order: the earlier op's parameters first
+          // (rank survives merging, so chained merges stay in order —
+          // matching the Table 3 worked example).
+          bool i_first = rank_[static_cast<size_t>(i)] <
+                         rank_[static_cast<size_t>(j)];
+          int first = i_first ? i : j;
+          int second = i_first ? j : i;
+          ApplyMerge(op.kind, first, first, second);
+          return true;
+        }
+      }
+      return false;
+    case 2:
+      // I6: insInto(v,L1) + insFirst(v,L2) -> insFirst(v,[L2,L1]).
+      if (merge_same_target(OpKind::kInsInto, OpKind::kInsFirst,
+                            OpKind::kInsFirst, /*mine_first=*/false, 1)) {
+        return true;
+      }
+      return merge_same_target(OpKind::kInsFirst, OpKind::kInsInto,
+                               OpKind::kInsFirst, /*mine_first=*/true, 0);
+    case 3:
+      // I7: insInto(v,L1) + insLast(v,L2) -> insLast(v,[L1,L2]).
+      if (merge_same_target(OpKind::kInsInto, OpKind::kInsLast,
+                            OpKind::kInsLast, /*mine_first=*/true, 1)) {
+        return true;
+      }
+      return merge_same_target(OpKind::kInsLast, OpKind::kInsInto,
+                               OpKind::kInsLast, /*mine_first=*/false, 0);
+    case 4:
+      // IR8: repN(v,L1) + insBefore(v,L2) -> repN(v,[L2,L1]).
+      // IR9: repN(v,L1) + insAfter(v,L2)  -> repN(v,[L1,L2]).
+      if (merge_same_target(OpKind::kReplaceNode, OpKind::kInsBefore,
+                            OpKind::kReplaceNode, /*mine_first=*/false, 0)) {
+        return true;
+      }
+      if (merge_same_target(OpKind::kInsBefore, OpKind::kReplaceNode,
+                            OpKind::kReplaceNode, /*mine_first=*/true, 1)) {
+        return true;
+      }
+      if (merge_same_target(OpKind::kReplaceNode, OpKind::kInsAfter,
+                            OpKind::kReplaceNode, /*mine_first=*/true, 0)) {
+        return true;
+      }
+      return merge_same_target(OpKind::kInsAfter, OpKind::kReplaceNode,
+                               OpKind::kReplaceNode, /*mine_first=*/false, 1);
+    case 5:
+      // I10: insInto(v,L1) + insBefore(v',L2), v' child of v
+      //      -> insBefore(v',[L1,L2]).
+      if (op.kind == OpKind::kInsBefore && lab.valid() &&
+          lab.parent != kInvalidNode &&
+          lab.type != NodeType::kAttribute) {
+        int j = FirstPartner(lab.parent, OpKind::kInsInto, i);
+        if (j >= 0) {
+          ApplyMerge(OpKind::kInsBefore, i, j, i);
+          return true;
+        }
+      }
+      if (op.kind == OpKind::kInsInto) {
+        // Reverse direction: find an insBefore on one of v's children.
+        // Children are not indexed; rely on the child-side attempt above
+        // (every op passes through the worklist).
+      }
+      return false;
+    case 6:
+      // I11: insInto(v,L1) + insAfter(v',L2), v' child of v
+      //      -> insAfter(v',[L2,L1]).
+      if (op.kind == OpKind::kInsAfter && lab.valid() &&
+          lab.parent != kInvalidNode &&
+          lab.type != NodeType::kAttribute) {
+        int j = FirstPartner(lab.parent, OpKind::kInsInto, i);
+        if (j >= 0) {
+          ApplyMerge(OpKind::kInsAfter, i, i, j);
+          return true;
+        }
+      }
+      return false;
+    case 7:
+      // IR12: repN(v,L1) + insInto(v',L2), v child of v'
+      //       -> repN(v,[L1,L2]).
+      if (op.kind == OpKind::kReplaceNode && lab.valid() &&
+          lab.parent != kInvalidNode &&
+          lab.type != NodeType::kAttribute) {
+        int j = FirstPartner(lab.parent, OpKind::kInsInto, i);
+        if (j >= 0) {
+          ApplyMerge(OpKind::kReplaceNode, i, i, j);
+          return true;
+        }
+      }
+      return false;
+    case 8: {
+      if (!lab.valid() || lab.parent == kInvalidNode) return false;
+      // IR13: repN(v,L1) + insA(v',L2), v attribute of v'
+      //       -> repN(v,[L1,L2]).
+      if (op.kind == OpKind::kReplaceNode &&
+          lab.type == NodeType::kAttribute) {
+        int j = FirstPartner(lab.parent, OpKind::kInsAttributes, i);
+        if (j >= 0) {
+          ApplyMerge(OpKind::kReplaceNode, i, i, j);
+          return true;
+        }
+      }
+      if (lab.type == NodeType::kAttribute) return false;
+      bool first_child = lab.left_sibling == kInvalidNode;
+      bool last_child = lab.is_last_child;
+      // I14: insBefore(v,L1) + insFirst(v',L2), v first child of v'
+      //      -> insBefore(v,[L2,L1]).
+      if (op.kind == OpKind::kInsBefore && first_child) {
+        int j = FirstPartner(lab.parent, OpKind::kInsFirst, i);
+        if (j >= 0) {
+          ApplyMerge(OpKind::kInsBefore, i, j, i);
+          return true;
+        }
+      }
+      // I15: insAfter(v,L1) + insLast(v',L2), v last child of v'
+      //      -> insAfter(v,[L1,L2]).
+      if (op.kind == OpKind::kInsAfter && last_child) {
+        int j = FirstPartner(lab.parent, OpKind::kInsLast, i);
+        if (j >= 0) {
+          ApplyMerge(OpKind::kInsAfter, i, i, j);
+          return true;
+        }
+      }
+      // IR16: repN(v,L1) + insFirst(v',L2), v first child -> repN(v,[L2,L1]).
+      if (op.kind == OpKind::kReplaceNode && first_child) {
+        int j = FirstPartner(lab.parent, OpKind::kInsFirst, i);
+        if (j >= 0) {
+          ApplyMerge(OpKind::kReplaceNode, i, j, i);
+          return true;
+        }
+      }
+      // IR17: repN(v,L1) + insLast(v',L2), v last child -> repN(v,[L1,L2]).
+      if (op.kind == OpKind::kReplaceNode && last_child) {
+        int j = FirstPartner(lab.parent, OpKind::kInsLast, i);
+        if (j >= 0) {
+          ApplyMerge(OpKind::kReplaceNode, i, i, j);
+          return true;
+        }
+      }
+      return false;
+    }
+    case 9: {
+      if (!lab.valid() || lab.type == NodeType::kAttribute) return false;
+      NodeId left = lab.left_sibling;
+      // I18: insBefore(v,L1) + insAfter(v',L2), v' left sibling of v
+      //      -> insBefore(v,[L2,L1]).
+      if (op.kind == OpKind::kInsBefore && left != kInvalidNode) {
+        int j = FirstPartner(left, OpKind::kInsAfter, i);
+        if (j >= 0) {
+          ApplyMerge(OpKind::kInsBefore, i, j, i);
+          return true;
+        }
+      }
+      // IR19: repN(v,L1) + insAfter(v',L2), v' left sibling of v
+      //       -> repN(v,[L2,L1]). (Parameter order corrected from the
+      //       garbled figure; see DESIGN.md.)
+      if (op.kind == OpKind::kReplaceNode && left != kInvalidNode) {
+        int j = FirstPartner(left, OpKind::kInsAfter, i);
+        if (j >= 0) {
+          ApplyMerge(OpKind::kReplaceNode, i, j, i);
+          return true;
+        }
+      }
+      // IR20: repN(v,L1) + insBefore(v',L2), v left sibling of v'
+      //       -> repN(v,[L1,L2]). Looked up from the insBefore side.
+      if (op.kind == OpKind::kInsBefore && left != kInvalidNode) {
+        int j = FirstPartner(left, OpKind::kReplaceNode, i);
+        if (j >= 0) {
+          ApplyMerge(OpKind::kReplaceNode, j, j, i);
+          return true;
+        }
+      }
+      return false;
+    }
+    default:
+      return false;
+  }
+}
+
+bool Reducer::SweepOverrides() {
+  struct Event {
+    const BitString* code;
+    // 0 = query (op target), 1 = open interval. (Close events are not
+    // needed: a stack ordered by interval nesting suffices.)
+    int type;
+    int op_index;
+  };
+  std::vector<Event> events;
+  events.reserve(ops_.size() * 2);
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    if (!Alive(static_cast<int>(i))) continue;
+    const UpdateOp& op = ops_[i];
+    if (!op.target_label.valid()) continue;
+    events.push_back({&op.target_label.start, 0, static_cast<int>(i)});
+    if (op.kind == OpKind::kReplaceNode || op.kind == OpKind::kDelete ||
+        op.kind == OpKind::kReplaceChildren) {
+      events.push_back({&op.target_label.start, 1, static_cast<int>(i)});
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const Event& a, const Event& b) {
+              int c = a.code->Compare(*b.code);
+              if (c != 0) return c < 0;
+              return a.type < b.type;  // queries before opens at a node
+            });
+  // Stack of open killer intervals (indices into ops_), innermost on top.
+  struct OpenKiller {
+    int op_index;
+    bool children_only;  // repC: attributes of the target survive
+  };
+  std::vector<OpenKiller> open;
+  bool any = false;
+  for (const Event& ev : events) {
+    const UpdateOp& op = ops_[static_cast<size_t>(ev.op_index)];
+    // Pop intervals that ended before this position.
+    while (!open.empty()) {
+      const UpdateOp& killer =
+          ops_[static_cast<size_t>(open.back().op_index)];
+      if (killer.target_label.end < *ev.code) {
+        open.pop_back();
+      } else {
+        break;
+      }
+    }
+    if (ev.type == 1) {
+      open.push_back(
+          {ev.op_index, op.kind == OpKind::kReplaceChildren});
+      continue;
+    }
+    if (!Alive(ev.op_index) || open.empty()) continue;
+    bool killed = false;
+    for (const OpenKiller& k : open) {
+      const UpdateOp& killer = ops_[static_cast<size_t>(k.op_index)];
+      if (killer.target == op.target) continue;  // same node: O1/O2 turf
+      if (k.children_only &&
+          op.target_label.parent == killer.target &&
+          op.target_label.type == NodeType::kAttribute) {
+        continue;  // attribute of the repC target survives
+      }
+      killed = true;
+      break;
+    }
+    if (killed) {
+      Kill(ev.op_index);
+      any = true;
+    }
+  }
+  return any;
+}
+
+bool Reducer::StageFixpoint(int stage) {
+  bool any = false;
+  if (stage == 1) {
+    any |= SweepOverrides();
+  }
+  queued_.assign(ops_.size(), 0);
+  worklist_.clear();
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    if (Alive(static_cast<int>(i))) Enqueue(static_cast<int>(i));
+  }
+  while (!worklist_.empty()) {
+    int i = worklist_.front();
+    worklist_.pop_front();
+    queued_[static_cast<size_t>(i)] = 0;
+    if (!Alive(i)) continue;
+    bool fired = true;
+    while (fired && Alive(i)) {
+      fired = false;
+      if (stage == 1 && TryDropRules(i)) {
+        fired = true;
+        any = true;
+        // A drop may enable rules for the remaining bucket members.
+        EnqueueBucket(Op(i).target);
+        continue;
+      }
+      if (TryMergeRules(stage, i)) {
+        fired = true;
+        any = true;
+      }
+    }
+  }
+  return any;
+}
+
+const std::string& Reducer::OpKey(int i) {
+  auto it = key_cache_.find(i);
+  if (it != key_cache_.end()) return it->second;
+  const UpdateOp& op = Op(i);
+  std::string key;
+  if (op.target_label.valid()) {
+    key += '0';
+    key += op.target_label.start.ToString();
+  } else {
+    key += '1';
+    char buf[24];
+    snprintf(buf, sizeof(buf), "%020llu",
+             static_cast<unsigned long long>(op.target));
+    key += buf;
+  }
+  key += '\x01';
+  // Lexicographic order of the serialized parameters (<lex of <o).
+  for (NodeId r : op.param_trees) {
+    switch (input_.forest().type(r)) {
+      case NodeType::kElement: {
+        auto text = xml::SerializeSubtree(input_.forest(), r, {});
+        if (text.ok()) key += *text;
+        break;
+      }
+      case NodeType::kText:
+        key += "t:";
+        key += input_.forest().value(r);
+        break;
+      case NodeType::kAttribute:
+        key += "a:";
+        key += input_.forest().name(r);
+        key += '=';
+        key += input_.forest().value(r);
+        break;
+    }
+    key += '\x02';
+  }
+  key += op.param_string;
+  return key_cache_.emplace(i, std::move(key)).first->second;
+}
+
+void Reducer::CollectRulePairs(int stage, int rule,
+                               std::vector<PairApp>* out) {
+  std::vector<int> partners;
+  auto emit = [&](int op1, int op2, OpKind result, int shape, int first,
+                  int second) {
+    out->push_back({op1, op2, result, shape, first, second});
+  };
+  for (size_t idx = 0; idx < ops_.size(); ++idx) {
+    int i = static_cast<int>(idx);
+    if (!Alive(i)) continue;
+    const UpdateOp& op = Op(i);
+    const NodeLabel& lab = op.target_label;
+    partners.clear();
+    switch (stage * 10 + rule) {
+      case 10:  // I5: op1 and op2 same insertion kind, same target.
+        if (pul::ClassOf(op.kind) != OpClass::kInsertion) break;
+        FindPartners(op.target, op.kind, i, &partners);
+        for (int j : partners) emit(i, j, op.kind, i, i, j);
+        break;
+      case 20:  // I6: insInto + insFirst(v) -> insFirst(v,[L2,L1])
+        if (op.kind != OpKind::kInsInto) break;
+        FindPartners(op.target, OpKind::kInsFirst, i, &partners);
+        for (int j : partners) emit(i, j, OpKind::kInsFirst, j, j, i);
+        break;
+      case 30:  // I7: insInto + insLast(v) -> insLast(v,[L1,L2])
+        if (op.kind != OpKind::kInsInto) break;
+        FindPartners(op.target, OpKind::kInsLast, i, &partners);
+        for (int j : partners) emit(i, j, OpKind::kInsLast, j, i, j);
+        break;
+      case 40:  // IR8: repN + insBefore(v) -> repN(v,[L2,L1])
+        if (op.kind != OpKind::kReplaceNode) break;
+        FindPartners(op.target, OpKind::kInsBefore, i, &partners);
+        for (int j : partners) emit(i, j, OpKind::kReplaceNode, i, j, i);
+        break;
+      case 41:  // IR9: repN + insAfter(v) -> repN(v,[L1,L2])
+        if (op.kind != OpKind::kReplaceNode) break;
+        FindPartners(op.target, OpKind::kInsAfter, i, &partners);
+        for (int j : partners) emit(i, j, OpKind::kReplaceNode, i, i, j);
+        break;
+      case 50:  // I10: insInto(v) + insBefore(v' child of v)
+        if (op.kind != OpKind::kInsBefore || !lab.valid() ||
+            lab.parent == kInvalidNode ||
+            lab.type == NodeType::kAttribute) {
+          break;
+        }
+        FindPartners(lab.parent, OpKind::kInsInto, i, &partners);
+        for (int j : partners) emit(j, i, OpKind::kInsBefore, i, j, i);
+        break;
+      case 60:  // I11: insInto(v) + insAfter(v' child of v)
+        if (op.kind != OpKind::kInsAfter || !lab.valid() ||
+            lab.parent == kInvalidNode ||
+            lab.type == NodeType::kAttribute) {
+          break;
+        }
+        FindPartners(lab.parent, OpKind::kInsInto, i, &partners);
+        for (int j : partners) emit(j, i, OpKind::kInsAfter, i, i, j);
+        break;
+      case 70:  // IR12: repN(v child of v') + insInto(v')
+        if (op.kind != OpKind::kReplaceNode || !lab.valid() ||
+            lab.parent == kInvalidNode ||
+            lab.type == NodeType::kAttribute) {
+          break;
+        }
+        FindPartners(lab.parent, OpKind::kInsInto, i, &partners);
+        for (int j : partners) emit(i, j, OpKind::kReplaceNode, i, i, j);
+        break;
+      case 80:  // IR13: repN(attribute v of v') + insA(v')
+        if (op.kind != OpKind::kReplaceNode || !lab.valid() ||
+            lab.parent == kInvalidNode ||
+            lab.type != NodeType::kAttribute) {
+          break;
+        }
+        FindPartners(lab.parent, OpKind::kInsAttributes, i, &partners);
+        for (int j : partners) emit(i, j, OpKind::kReplaceNode, i, i, j);
+        break;
+      case 81:  // I14: insBefore(first child v of v') + insFirst(v')
+        if (op.kind != OpKind::kInsBefore || !lab.valid() ||
+            lab.parent == kInvalidNode ||
+            lab.type == NodeType::kAttribute ||
+            lab.left_sibling != kInvalidNode) {
+          break;
+        }
+        FindPartners(lab.parent, OpKind::kInsFirst, i, &partners);
+        for (int j : partners) emit(i, j, OpKind::kInsBefore, i, j, i);
+        break;
+      case 82:  // I15: insAfter(last child v of v') + insLast(v')
+        if (op.kind != OpKind::kInsAfter || !lab.valid() ||
+            lab.parent == kInvalidNode ||
+            lab.type == NodeType::kAttribute || !lab.is_last_child) {
+          break;
+        }
+        FindPartners(lab.parent, OpKind::kInsLast, i, &partners);
+        for (int j : partners) emit(i, j, OpKind::kInsAfter, i, i, j);
+        break;
+      case 83:  // IR16: repN(first child v) + insFirst(parent)
+        if (op.kind != OpKind::kReplaceNode || !lab.valid() ||
+            lab.parent == kInvalidNode ||
+            lab.type == NodeType::kAttribute ||
+            lab.left_sibling != kInvalidNode) {
+          break;
+        }
+        FindPartners(lab.parent, OpKind::kInsFirst, i, &partners);
+        for (int j : partners) emit(i, j, OpKind::kReplaceNode, i, j, i);
+        break;
+      case 84:  // IR17: repN(last child v) + insLast(parent)
+        if (op.kind != OpKind::kReplaceNode || !lab.valid() ||
+            lab.parent == kInvalidNode ||
+            lab.type == NodeType::kAttribute || !lab.is_last_child) {
+          break;
+        }
+        FindPartners(lab.parent, OpKind::kInsLast, i, &partners);
+        for (int j : partners) emit(i, j, OpKind::kReplaceNode, i, i, j);
+        break;
+      case 90:  // I18: insBefore(v) + insAfter(left sibling of v)
+        if (op.kind != OpKind::kInsBefore || !lab.valid() ||
+            lab.type == NodeType::kAttribute ||
+            lab.left_sibling == kInvalidNode) {
+          break;
+        }
+        FindPartners(lab.left_sibling, OpKind::kInsAfter, i, &partners);
+        for (int j : partners) emit(i, j, OpKind::kInsBefore, i, j, i);
+        break;
+      case 91:  // IR19: repN(v) + insAfter(left sibling of v)
+        if (op.kind != OpKind::kReplaceNode || !lab.valid() ||
+            lab.type == NodeType::kAttribute ||
+            lab.left_sibling == kInvalidNode) {
+          break;
+        }
+        FindPartners(lab.left_sibling, OpKind::kInsAfter, i, &partners);
+        for (int j : partners) emit(i, j, OpKind::kReplaceNode, i, j, i);
+        break;
+      case 92:  // IR20: repN(v) + insBefore(v', v left sibling of v')
+        if (op.kind != OpKind::kInsBefore || !lab.valid() ||
+            lab.type == NodeType::kAttribute ||
+            lab.left_sibling == kInvalidNode) {
+          break;
+        }
+        FindPartners(lab.left_sibling, OpKind::kReplaceNode, i, &partners);
+        for (int j : partners) emit(j, i, OpKind::kReplaceNode, j, j, i);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+int Reducer::RulesInStage(int stage) {
+  switch (stage) {
+    case 4:
+      return 2;
+    case 8:
+      return 5;
+    case 9:
+      return 3;
+    default:
+      return 1;
+  }
+}
+
+bool Reducer::CanonicalStageStep(int stage) {
+  // Drops are order-insensitive: flush them first through the fast path.
+  if (stage == 1) {
+    bool dropped = SweepOverrides();
+    for (size_t i = 0; i < ops_.size(); ++i) {
+      int idx = static_cast<int>(i);
+      if (Alive(idx) && TryDropRules(idx)) dropped = true;
+    }
+    if (dropped) return true;
+  }
+  // Definition 9: per rule, fire the <p-minimal applicable ordered pair.
+  std::vector<PairApp> pairs;
+  for (int rule = 0; rule < RulesInStage(stage); ++rule) {
+    pairs.clear();
+    CollectRulePairs(stage, rule, &pairs);
+    if (pairs.empty()) continue;
+    const PairApp* best = &pairs[0];
+    for (const PairApp& cand : pairs) {
+      if (OpKey(cand.op1) < OpKey(best->op1) ||
+          (OpKey(cand.op1) == OpKey(best->op1) &&
+           OpKey(cand.op2) < OpKey(best->op2))) {
+        best = &cand;
+      }
+    }
+    ApplyMerge(best->result, best->shape, best->first, best->second);
+    return true;
+  }
+  return false;
+}
+
+Result<Pul> Reducer::Assemble() {
+  Pul out;
+  out.set_policies(input_.policies());
+  out.BindIdSpace(1);  // ids preserved on adoption; floor irrelevant
+  std::vector<int> order;
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    if (Alive(static_cast<int>(i))) order.push_back(static_cast<int>(i));
+  }
+  if (mode_ == ReduceMode::kCanonical) {
+    std::sort(order.begin(), order.end(),
+              [&](int a, int b) { return OpKey(a) < OpKey(b); });
+  }
+  for (int i : order) {
+    XUPDATE_RETURN_IF_ERROR(out.AdoptOp(input_.forest(), Op(i)));
+  }
+  return out;
+}
+
+Result<Pul> Reducer::Run(ReduceStats* stats) {
+  XUPDATE_RETURN_IF_ERROR(input_.CheckCompatible());
+  ops_ = input_.ops();
+  alive_.assign(ops_.size(), 1);
+  queued_.assign(ops_.size(), 0);
+  rank_.resize(ops_.size());
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    rank_[i] = i;
+    by_target_[ops_[i].target].push_back(static_cast<int>(i));
+  }
+
+  auto run_all_stages = [&]() {
+    bool any = false;
+    for (int stage = 1; stage <= 9; ++stage) {
+      if (mode_ == ReduceMode::kCanonical) {
+        key_cache_.clear();
+        while (CanonicalStageStep(stage)) {
+          any = true;
+          key_cache_.clear();
+        }
+      } else {
+        any |= StageFixpoint(stage);
+      }
+    }
+    return any;
+  };
+
+  while (run_all_stages()) {
+  }
+  if (mode_ != ReduceMode::kPlain) {
+    // Stage 10: determinize the surviving insInto operations.
+    for (size_t i = 0; i < ops_.size(); ++i) {
+      if (Alive(static_cast<int>(i)) && ops_[i].kind == OpKind::kInsInto) {
+        ops_[i].kind = OpKind::kInsFirst;
+        ++applications_;
+      }
+    }
+    while (run_all_stages()) {
+    }
+  }
+  if (stats != nullptr) {
+    stats->input_ops = input_.size();
+    stats->rule_applications = applications_;
+    stats->output_ops = 0;
+    for (size_t i = 0; i < ops_.size(); ++i) {
+      if (Alive(static_cast<int>(i))) ++stats->output_ops;
+    }
+  }
+  return Assemble();
+}
+
+}  // namespace
+
+Result<pul::Pul> Reduce(const pul::Pul& input, ReduceMode mode) {
+  Reducer reducer(input, mode);
+  return reducer.Run(nullptr);
+}
+
+Result<pul::Pul> ReduceWithStats(const pul::Pul& input, ReduceMode mode,
+                                 ReduceStats* stats) {
+  Reducer reducer(input, mode);
+  return reducer.Run(stats);
+}
+
+}  // namespace xupdate::core

@@ -1,0 +1,50 @@
+#ifndef XUPDATE_CORE_REDUCE_H_
+#define XUPDATE_CORE_REDUCE_H_
+
+#include "common/result.h"
+#include "pul/pul.h"
+
+namespace xupdate::core {
+
+// Which reduction of §3.1 to compute.
+enum class ReduceMode {
+  // Definition 7: rule stages 1-9 to fixpoint. May keep a
+  // non-deterministic PUL (insInto survivors).
+  kPlain,
+  // Definition 8: stages 1-10 — remaining insInto operations are
+  // rewritten to insFirst, making the PUL's semantics deterministic
+  // (|O(reduced, D)| = 1).
+  kDeterministic,
+  // Definition 9: deterministic reduction with every rule applied to the
+  // <p-minimal applicable pair (document order of targets, then
+  // lexicographic order of serialized parameters), yielding the unique
+  // canonical form.
+  kCanonical,
+};
+
+// Reduces `input` by the rules of Figure 2 (three families):
+//   O  — drop operations overridden by a same-target or ancestor-target
+//        repN / del / repC;
+//   I  — collapse insertions on the same node or on sibling /
+//        parent-child nodes;
+//   IR — fold insertions around a node into a repN of that node.
+// The reduced PUL is substitutable to `input` (Proposition 1) and the
+// operator is idempotent. Requires `input` to contain no incompatible
+// pair (an applicable PUL); structural side conditions are evaluated on
+// the labels carried by the operations — the document is never touched.
+Result<pul::Pul> Reduce(const pul::Pul& input,
+                        ReduceMode mode = ReduceMode::kPlain);
+
+// Statistics of the last phase of interest to the evaluation benches.
+struct ReduceStats {
+  size_t input_ops = 0;
+  size_t output_ops = 0;
+  size_t rule_applications = 0;
+};
+
+Result<pul::Pul> ReduceWithStats(const pul::Pul& input, ReduceMode mode,
+                                 ReduceStats* stats);
+
+}  // namespace xupdate::core
+
+#endif  // XUPDATE_CORE_REDUCE_H_

@@ -1,0 +1,92 @@
+#ifndef XUPDATE_EXEC_EXECUTOR_H_
+#define XUPDATE_EXEC_EXECUTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "core/aggregate.h"
+#include "core/reconcile.h"
+#include "label/labeling.h"
+#include "pul/pul.h"
+#include "xml/document.h"
+
+namespace xupdate::exec {
+
+// The PUL handler system of the paper's §4: one executor per document
+// holds the master (authoritative) copy, hands out replicas to
+// producers — each with its own identifier space (§4.1) — and makes
+// collected PULs effective, reasoning on them first:
+//
+//   * CommitParallel: update requests against the *same* version are
+//     integrated, conflicts reconciled under the producers' policies
+//     (Algorithm 1 + Algorithm 3), and the result applied;
+//   * CommitSequence: a producer's sequential PULs are aggregated into
+//     one (Algorithm 2) and applied in a single pass;
+//   * Commit: a single PUL is applied directly.
+//
+// The executor maintains the label table incrementally across commits
+// (existing labels never change) and bumps a version number on every
+// successful commit. PULs arrive either as in-memory objects or in the
+// serialized exchange format.
+class PulExecutor {
+ public:
+  // Opens an executor over a parsed or serialized document.
+  static Result<PulExecutor> Open(xml::Document document);
+  static Result<PulExecutor> Open(std::string_view annotated_xml);
+
+  PulExecutor(PulExecutor&&) noexcept = default;
+  PulExecutor& operator=(PulExecutor&&) noexcept = default;
+
+  // What a producer receives at check-out: the annotated serialization
+  // of the current version plus a private id space for the nodes it
+  // will create.
+  struct Checkout {
+    std::string document;
+    uint64_t version = 0;
+    xml::NodeId id_base = 0;
+    // Exclusive upper bound of the producer's id space.
+    xml::NodeId id_limit = 0;
+  };
+  Result<Checkout> CheckOut();
+
+  // Applies one PUL produced against the current version.
+  Status Commit(const pul::Pul& pul);
+
+  // Integrates + reconciles parallel PULs (same base version) and
+  // applies the result. `stats` is optional.
+  Status CommitParallel(const std::vector<const pul::Pul*>& puls,
+                        core::ReconcileStats* stats = nullptr);
+
+  // Aggregates a producer's sequential PULs and applies the single
+  // cumulated PUL. `stats` is optional.
+  Status CommitSequence(const std::vector<const pul::Pul*>& puls,
+                        core::AggregateStats* stats = nullptr);
+
+  // Parses serialized PULs and dispatches to CommitParallel.
+  Status CommitParallelSerialized(const std::vector<std::string>& puls,
+                                  core::ReconcileStats* stats = nullptr);
+
+  const xml::Document& document() const { return document_; }
+  const label::Labeling& labeling() const { return labeling_; }
+  uint64_t version() const { return version_; }
+
+  // The current version in the annotated exchange format.
+  Result<std::string> Serialize() const;
+
+ private:
+  PulExecutor(xml::Document document, label::Labeling labeling);
+
+  xml::Document document_;
+  label::Labeling labeling_;
+  uint64_t version_ = 0;
+  // Producer id spaces are carved in fixed blocks above every id ever
+  // seen; a new block is handed out per checkout.
+  xml::NodeId next_id_base_ = 0;
+};
+
+}  // namespace xupdate::exec
+
+#endif  // XUPDATE_EXEC_EXECUTOR_H_

@@ -1,0 +1,26 @@
+#include "exec/in_memory.h"
+
+#include "label/labeling.h"
+#include "pul/apply.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace xupdate::exec {
+
+Result<std::string> InMemoryEvaluator::Evaluate(
+    std::string_view document_xml, const pul::Pul& pul) const {
+  XUPDATE_ASSIGN_OR_RETURN(xml::Document doc,
+                           xml::ParseDocument(document_xml));
+  pul::ApplyOptions apply_options;
+  label::Labeling labeling;
+  if (options_.maintain_labels) {
+    labeling = label::Labeling::Build(doc);
+    apply_options.labeling = &labeling;
+  }
+  XUPDATE_RETURN_IF_ERROR(pul::ApplyPul(&doc, pul, apply_options));
+  xml::SerializeOptions serialize_options;
+  serialize_options.with_ids = true;
+  return xml::SerializeDocument(doc, serialize_options);
+}
+
+}  // namespace xupdate::exec

@@ -1,0 +1,37 @@
+#ifndef XUPDATE_EXEC_IN_MEMORY_H_
+#define XUPDATE_EXEC_IN_MEMORY_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "pul/pul.h"
+
+namespace xupdate::exec {
+
+// The baseline PUL evaluation strategy of §4.3 (the "adapted Qizx"):
+// load the entire document in memory, apply the PUL, serialize the
+// document back. Memory usage is proportional to the document size.
+class InMemoryEvaluator {
+ public:
+  struct Options {
+    // Maintain the executor's label table incrementally while applying
+    // (the executor owns the authoritative copy, §4.1).
+    bool maintain_labels = true;
+  };
+
+  InMemoryEvaluator() = default;
+  explicit InMemoryEvaluator(const Options& options) : options_(options) {}
+
+  // Applies `pul` to the id-annotated document text and returns the
+  // updated id-annotated serialization.
+  Result<std::string> Evaluate(std::string_view document_xml,
+                               const pul::Pul& pul) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace xupdate::exec
+
+#endif  // XUPDATE_EXEC_IN_MEMORY_H_

@@ -1,0 +1,33 @@
+#ifndef XUPDATE_EXEC_STREAMING_H_
+#define XUPDATE_EXEC_STREAMING_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "pul/pul.h"
+
+namespace xupdate::exec {
+
+// The streaming PUL evaluation strategy of §4.3: the document is parsed
+// into a stream of SAX events that are rewritten on the fly according to
+// the PUL and serialized immediately. No in-memory representation of the
+// document is built — state is bounded by the PUL size plus the tree
+// depth, decoupling memory from document size.
+//
+// The produced document is equal (including node ids) to what the
+// in-memory evaluator produces with its default options; the two
+// engines are the subject of the paper's Figure 6a comparison.
+class StreamingEvaluator {
+ public:
+  // Applies `pul` to the id-annotated document text and returns the
+  // updated id-annotated serialization. Inputs without id annotations
+  // are accepted: ids are then assigned in document order exactly as the
+  // DOM parser would.
+  Result<std::string> Evaluate(std::string_view document_xml,
+                               const pul::Pul& pul) const;
+};
+
+}  // namespace xupdate::exec
+
+#endif  // XUPDATE_EXEC_STREAMING_H_

@@ -1,0 +1,144 @@
+#include "label/bitstring.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace xupdate::label {
+
+BitString BitString::FromBits(std::string_view zeros_and_ones) {
+  BitString out;
+  for (char c : zeros_and_ones) {
+    assert(c == '0' || c == '1');
+    out.AppendBit(c == '1');
+  }
+  return out;
+}
+
+void BitString::AppendBit(bool b) {
+  if ((nbits_ & 7) == 0) bytes_.push_back(0);
+  if (b) bytes_[nbits_ >> 3] |= static_cast<uint8_t>(1u << (7 - (nbits_ & 7)));
+  ++nbits_;
+}
+
+void BitString::PopBit() {
+  assert(nbits_ > 0);
+  --nbits_;
+  bytes_[nbits_ >> 3] &= static_cast<uint8_t>(~(1u << (7 - (nbits_ & 7))));
+  if ((nbits_ & 7) == 0) bytes_.pop_back();
+}
+
+int BitString::Compare(const BitString& other) const {
+  const size_t common_bytes = std::min(bytes_.size(), other.bytes_.size());
+  for (size_t i = 0; i < common_bytes; ++i) {
+    // Trailing bits beyond nbits_ are kept zero, so byte comparison is
+    // only decisive within the common bit range; handle the tail below.
+    if (bytes_[i] != other.bytes_[i]) {
+      size_t bit_base = i * 8;
+      size_t limit = std::min(nbits_, other.nbits_) - bit_base;
+      for (size_t b = 0; b < std::min<size_t>(8, limit); ++b) {
+        bool ba = (bytes_[i] >> (7 - b)) & 1;
+        bool bb = (other.bytes_[i] >> (7 - b)) & 1;
+        if (ba != bb) return ba ? 1 : -1;
+      }
+      break;  // bytes differ only in bits past the common length
+    }
+  }
+  // One is a prefix of the other (or equal): shorter sorts first.
+  if (nbits_ == other.nbits_) return 0;
+  // The common prefix is equal; the longer one's next bit decides only in
+  // true lexicographic order if strings could contain a virtual
+  // terminator. For plain lexicographic order a proper prefix is smaller.
+  size_t common_bits = std::min(nbits_, other.nbits_);
+  const BitString& longer = nbits_ > other.nbits_ ? *this : other;
+  // Verify the shorter really is a prefix (the byte loop above may have
+  // broken out early when differing bits were past the common length).
+  for (size_t b = (common_bits / 8) * 8; b < common_bits; ++b) {
+    bool ba = bit(b);
+    bool bb = other.bit(b);
+    if (ba != bb) return ba ? 1 : -1;
+  }
+  (void)longer;
+  return nbits_ < other.nbits_ ? -1 : 1;
+}
+
+std::string BitString::ToString() const {
+  std::string out;
+  out.reserve(nbits_);
+  for (size_t i = 0; i < nbits_; ++i) out += bit(i) ? '1' : '0';
+  return out;
+}
+
+namespace cdbs {
+
+bool IsCode(const BitString& s) {
+  return !s.empty() && s.bit(s.size() - 1);
+}
+
+Result<BitString> Between(const BitString& left, const BitString& right) {
+  if (!left.empty() && !IsCode(left)) {
+    return Status::InvalidArgument("left bound is not a CDBS code");
+  }
+  if (!right.empty() && !IsCode(right)) {
+    return Status::InvalidArgument("right bound is not a CDBS code");
+  }
+  if (left.empty() && right.empty()) {
+    return BitString::FromBits("1");
+  }
+  if (right.empty()) {
+    // Insert after the last code: extend left with a '1'.
+    BitString out = left;
+    out.AppendBit(true);
+    return out;
+  }
+  if (left.empty()) {
+    // Insert before the first code: (right minus last bit) + "01".
+    BitString out = right;
+    out.PopBit();
+    out.AppendBit(false);
+    out.AppendBit(true);
+    return out;
+  }
+  if (!(left < right)) {
+    return Status::InvalidArgument("CDBS bounds not ordered: " +
+                                   left.ToString() + " !< " +
+                                   right.ToString());
+  }
+  if (left.size() >= right.size()) {
+    BitString out = left;
+    out.AppendBit(true);
+    return out;
+  }
+  BitString out = right;
+  out.PopBit();
+  out.AppendBit(false);
+  out.AppendBit(true);
+  return out;
+}
+
+std::vector<BitString> InitialCodes(size_t n) {
+  std::vector<BitString> codes;
+  codes.reserve(n);
+  if (n == 0) return codes;
+  size_t width = 1;
+  while ((1ull << width) < n + 1) ++width;
+  for (size_t i = 1; i <= n; ++i) {
+    // Binary of i in `width` bits, trailing zeros stripped.
+    size_t last_one = 0;
+    for (size_t b = 0; b < width; ++b) {
+      if ((i >> b) & 1) {
+        last_one = width - b;  // 1-based position of last set bit (MSB-first)
+        break;
+      }
+    }
+    BitString code;
+    for (size_t b = 0; b < last_one; ++b) {
+      code.AppendBit((i >> (width - 1 - b)) & 1);
+    }
+    codes.push_back(std::move(code));
+  }
+  return codes;
+}
+
+}  // namespace cdbs
+
+}  // namespace xupdate::label

@@ -1,0 +1,76 @@
+#ifndef XUPDATE_LABEL_BITSTRING_H_
+#define XUPDATE_LABEL_BITSTRING_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace xupdate::label {
+
+// Variable-length binary string with standard lexicographic order
+// (a proper prefix sorts before its extensions). This is the code space
+// of the CDBS dynamic labeling scheme (Li, Ling, Hu — "Efficient
+// Processing of Updates in Dynamic XML Data", ICDE 2006), which the
+// paper adopts (§4.1): CDBS codes are binary strings ending in '1', and
+// between any two adjacent codes a new code can always be created
+// without touching existing ones — the property that makes the labeling
+// update-tolerant.
+class BitString {
+ public:
+  BitString() = default;
+
+  static BitString FromBits(std::string_view zeros_and_ones);
+
+  size_t size() const { return nbits_; }
+  bool empty() const { return nbits_ == 0; }
+  bool bit(size_t i) const {
+    return (bytes_[i >> 3] >> (7 - (i & 7))) & 1;
+  }
+
+  void AppendBit(bool b);
+  // Drops the last bit; requires non-empty.
+  void PopBit();
+
+  // Lexicographic three-way comparison.
+  int Compare(const BitString& other) const;
+  bool operator==(const BitString& other) const {
+    return Compare(other) == 0;
+  }
+  bool operator<(const BitString& other) const { return Compare(other) < 0; }
+  bool operator<=(const BitString& other) const {
+    return Compare(other) <= 0;
+  }
+
+  // "0"/"1" textual form (round-trips through FromBits).
+  std::string ToString() const;
+
+ private:
+  std::vector<uint8_t> bytes_;
+  size_t nbits_ = 0;
+};
+
+// CDBS code operations. A *code* is a non-empty BitString whose last bit
+// is 1. The empty BitString stands for the open boundary (-inf as a left
+// neighbor, +inf as a right neighbor).
+namespace cdbs {
+
+// True if `s` is a syntactically valid code.
+bool IsCode(const BitString& s);
+
+// Returns a code strictly between `left` and `right` (either or both may
+// be empty = open boundary). Requires left < right when both are codes.
+Result<BitString> Between(const BitString& left, const BitString& right);
+
+// Generates `n` evenly distributed codes in increasing order (the
+// "binary of i in ceil(log2(n+1)) bits, trailing zeros stripped" initial
+// assignment of the CDBS paper). Used for initial document labeling.
+std::vector<BitString> InitialCodes(size_t n);
+
+}  // namespace cdbs
+
+}  // namespace xupdate::label
+
+#endif  // XUPDATE_LABEL_BITSTRING_H_

@@ -1,0 +1,346 @@
+#include "label/labeling.h"
+
+#include <cassert>
+#include <vector>
+
+namespace xupdate::label {
+
+using xml::Document;
+using xml::kInvalidNode;
+using xml::NodeId;
+using xml::NodeType;
+
+Labeling Labeling::Build(const Document& doc) {
+  Labeling out;
+  if (doc.root() == kInvalidNode) return out;
+  std::vector<NodeId> order = doc.AllNodesInOrder();
+  // One start and one end code per node, evenly distributed.
+  std::vector<BitString> codes = cdbs::InitialCodes(order.size() * 2);
+  size_t next_code = 0;
+
+  // Recursive DFS matching AllNodesInOrder's visit order, consuming a
+  // start code on entry and an end code on exit. Sibling bookkeeping is
+  // threaded down (scanning the parent's child list per node would be
+  // quadratic on wide elements).
+  struct Builder {
+    const Document& doc;
+    Labeling& labeling;
+    const std::vector<BitString>& codes;
+    size_t& next_code;
+
+    void Assign(NodeId id, uint32_t level, NodeId left_sibling,
+                bool is_last_child) {
+      NodeLabel lab;
+      lab.self = id;
+      lab.type = doc.type(id);
+      lab.level = level;
+      lab.parent = doc.parent(id);
+      lab.start = codes[next_code++];
+      if (lab.type != NodeType::kAttribute &&
+          lab.parent != kInvalidNode) {
+        lab.left_sibling = left_sibling;
+        lab.is_last_child = is_last_child;
+      }
+      for (NodeId a : doc.attributes(id)) {
+        Assign(a, level + 1, kInvalidNode, false);
+      }
+      const auto& kids = doc.children(id);
+      NodeId prev = kInvalidNode;
+      for (size_t i = 0; i < kids.size(); ++i) {
+        Assign(kids[i], level + 1, prev, i + 1 == kids.size());
+        prev = kids[i];
+      }
+      lab.end = codes[next_code++];
+      labeling.Set(lab);
+    }
+  };
+  Builder builder{doc, out, codes, next_code};
+  builder.Assign(doc.root(), 0, kInvalidNode, false);
+  assert(next_code == codes.size());
+  return out;
+}
+
+const NodeLabel* Labeling::Find(NodeId id) const {
+  auto it = labels_.find(id);
+  return it == labels_.end() ? nullptr : &it->second;
+}
+
+Result<NodeLabel> Labeling::Get(NodeId id) const {
+  const NodeLabel* lab = Find(id);
+  if (lab == nullptr) {
+    return Status::NotFound("no label for node " + std::to_string(id));
+  }
+  return *lab;
+}
+
+Status Labeling::BoundaryFor(const Document& doc, NodeId node,
+                             BitString* left, BitString* right) const {
+  NodeId parent = doc.parent(node);
+  if (parent == kInvalidNode) {
+    return Status::InvalidArgument(
+        "cannot compute label boundary for a detached node");
+  }
+  const NodeLabel* plab = Find(parent);
+  if (plab == nullptr) {
+    return Status::NotFound("parent of inserted node is unlabeled");
+  }
+  const auto& attrs = doc.attributes(parent);
+  const auto& kids = doc.children(parent);
+  if (doc.type(node) == NodeType::kAttribute) {
+    // Attributes live between the parent's start and the first child's
+    // start. A new attribute is slotted after the last *other* labeled
+    // attribute.
+    *left = plab->start;
+    for (NodeId a : attrs) {
+      if (a == node) continue;
+      if (const NodeLabel* alab = Find(a)) {
+        if (*left < alab->end) *left = alab->end;
+      }
+    }
+    *right = plab->end;
+    for (NodeId c : kids) {
+      if (const NodeLabel* clab = Find(c)) {
+        *right = clab->start;
+        break;
+      }
+    }
+    return Status::OK();
+  }
+  int idx = doc.ChildIndex(node);
+  if (idx < 0) return Status::Internal("node not found in parent");
+  // Left boundary: previous sibling's end, else the last attribute's
+  // end, else the parent's start.
+  *left = plab->start;
+  if (idx > 0) {
+    const NodeLabel* prev = Find(kids[static_cast<size_t>(idx) - 1]);
+    if (prev == nullptr) {
+      return Status::NotFound("left sibling of inserted node unlabeled");
+    }
+    *left = prev->end;
+  } else {
+    for (NodeId a : attrs) {
+      if (const NodeLabel* alab = Find(a)) {
+        if (*left < alab->end) *left = alab->end;
+      }
+    }
+  }
+  // Right boundary: next sibling's start, else the parent's end.
+  if (static_cast<size_t>(idx) + 1 < kids.size()) {
+    const NodeLabel* next = Find(kids[static_cast<size_t>(idx) + 1]);
+    if (next == nullptr) {
+      return Status::NotFound("right sibling of inserted node unlabeled");
+    }
+    *right = next->start;
+  } else {
+    *right = plab->end;
+  }
+  return Status::OK();
+}
+
+Status Labeling::AssignRange(const Document& doc, NodeId node,
+                             const BitString& left, const BitString& right,
+                             uint32_t level) {
+  // Sequentially squeeze 2*subtree_size codes into (left, right): the
+  // cursor only moves rightwards, so nesting follows from DFS order.
+  BitString cursor = left;
+  struct Assigner {
+    const Document& doc;
+    Labeling& labeling;
+    const BitString& right;
+    BitString& cursor;
+    Status error;
+
+    void Assign(NodeId id, uint32_t level, NodeId left_sibling,
+                bool is_last_child) {
+      if (!error.ok()) return;
+      NodeLabel lab;
+      lab.self = id;
+      lab.type = doc.type(id);
+      lab.level = level;
+      lab.parent = doc.parent(id);
+      if (lab.type != NodeType::kAttribute &&
+          lab.parent != kInvalidNode) {
+        lab.left_sibling = left_sibling;
+        lab.is_last_child = is_last_child;
+      }
+      auto start = cdbs::Between(cursor, right);
+      if (!start.ok()) {
+        error = start.status();
+        return;
+      }
+      lab.start = *start;
+      cursor = *start;
+      for (NodeId a : doc.attributes(id)) {
+        Assign(a, level + 1, kInvalidNode, false);
+      }
+      const auto& kids = doc.children(id);
+      NodeId prev = kInvalidNode;
+      for (size_t i = 0; i < kids.size(); ++i) {
+        Assign(kids[i], level + 1, prev, i + 1 == kids.size());
+        prev = kids[i];
+      }
+      auto end = cdbs::Between(cursor, right);
+      if (!end.ok()) {
+        error = end.status();
+        return;
+      }
+      lab.end = *end;
+      cursor = *end;
+      labeling.Set(lab);
+    }
+  };
+  Assigner assigner{doc, *this, right, cursor, Status::OK()};
+  // The subtree root's own sibling bookkeeping comes from its position.
+  {
+    NodeId parent = doc.parent(node);
+    NodeId left = kInvalidNode;
+    bool last = false;
+    if (parent != kInvalidNode && doc.type(node) != NodeType::kAttribute) {
+      int idx = doc.ChildIndex(node);
+      const auto& sibs = doc.children(parent);
+      left = idx > 0 ? sibs[static_cast<size_t>(idx) - 1] : kInvalidNode;
+      last = static_cast<size_t>(idx) + 1 == sibs.size();
+    }
+    assigner.Assign(node, level, left, last);
+  }
+  return assigner.error;
+}
+
+Status Labeling::AssignForInsertedSubtree(const Document& doc,
+                                          NodeId root) {
+  if (!doc.Exists(root)) return Status::NotFound("subtree root not found");
+  NodeId parent = doc.parent(root);
+  if (parent == kInvalidNode) {
+    return Status::InvalidArgument("inserted subtree must be attached");
+  }
+  const NodeLabel* plab = Find(parent);
+  if (plab == nullptr) {
+    return Status::NotFound("parent of inserted subtree is unlabeled");
+  }
+  BitString left;
+  BitString right;
+  XUPDATE_RETURN_IF_ERROR(BoundaryFor(doc, root, &left, &right));
+  XUPDATE_RETURN_IF_ERROR(
+      AssignRange(doc, root, left, right, plab->level + 1));
+  // Patch the immediate neighbors' sibling bookkeeping.
+  if (doc.type(root) != NodeType::kAttribute) {
+    const auto& kids = doc.children(parent);
+    int idx = doc.ChildIndex(root);
+    if (idx > 0) {
+      NodeId prev = kids[static_cast<size_t>(idx) - 1];
+      if (auto it = labels_.find(prev); it != labels_.end()) {
+        it->second.is_last_child = false;
+      }
+    }
+    if (static_cast<size_t>(idx) + 1 < kids.size()) {
+      NodeId next = kids[static_cast<size_t>(idx) + 1];
+      if (auto it = labels_.find(next); it != labels_.end()) {
+        it->second.left_sibling = root;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status Labeling::OnWillDeleteSubtree(const Document& doc, NodeId root) {
+  if (!doc.Exists(root)) return Status::NotFound("subtree root not found");
+  NodeId parent = doc.parent(root);
+  if (parent != kInvalidNode &&
+      doc.type(root) != NodeType::kAttribute) {
+    const auto& kids = doc.children(parent);
+    int idx = doc.ChildIndex(root);
+    NodeId prev = idx > 0 ? kids[static_cast<size_t>(idx) - 1]
+                          : kInvalidNode;
+    if (static_cast<size_t>(idx) + 1 < kids.size()) {
+      NodeId next = kids[static_cast<size_t>(idx) + 1];
+      if (auto it = labels_.find(next); it != labels_.end()) {
+        it->second.left_sibling = prev;
+      }
+    } else if (prev != kInvalidNode) {
+      if (auto it = labels_.find(prev); it != labels_.end()) {
+        it->second.is_last_child = true;
+      }
+    }
+  }
+  doc.Visit(root, [&](NodeId v) {
+    labels_.erase(v);
+    return true;
+  });
+  return Status::OK();
+}
+
+Status Labeling::Validate(const Document& doc) const {
+  if (doc.root() == kInvalidNode) return Status::OK();
+  std::vector<NodeId> order = doc.AllNodesInOrder();
+  // Every tree node labeled, every label belongs to a tree node.
+  for (NodeId id : order) {
+    if (Find(id) == nullptr) {
+      return Status::Internal("unlabeled tree node " + std::to_string(id));
+    }
+  }
+  // DFS nesting check: start codes strictly increase in document order,
+  // every interval closes after all nested intervals.
+  struct Checker {
+    const Document& doc;
+    const Labeling& labeling;
+    BitString cursor;
+    Status error;
+
+    void Check(NodeId id, uint32_t level, NodeId expect_left,
+               bool expect_last) {
+      if (!error.ok()) return;
+      const NodeLabel* lab = labeling.Find(id);
+      if (lab->level != level) {
+        error = Status::Internal("wrong level at node " +
+                                 std::to_string(id));
+        return;
+      }
+      if (lab->parent != doc.parent(id)) {
+        error = Status::Internal("wrong parent at node " +
+                                 std::to_string(id));
+        return;
+      }
+      if (lab->type != doc.type(id)) {
+        error = Status::Internal("wrong type at node " +
+                                 std::to_string(id));
+        return;
+      }
+      if (lab->type != NodeType::kAttribute &&
+          lab->parent != kInvalidNode) {
+        if (lab->left_sibling != expect_left ||
+            lab->is_last_child != expect_last) {
+          error = Status::Internal("wrong sibling info at node " +
+                                   std::to_string(id));
+          return;
+        }
+      }
+      if (!(cursor < lab->start)) {
+        error = Status::Internal("start code out of order at node " +
+                                 std::to_string(id));
+        return;
+      }
+      cursor = lab->start;
+      for (NodeId a : doc.attributes(id)) {
+        Check(a, level + 1, kInvalidNode, false);
+      }
+      const auto& kids = doc.children(id);
+      NodeId prev = kInvalidNode;
+      for (size_t i = 0; i < kids.size(); ++i) {
+        Check(kids[i], level + 1, prev, i + 1 == kids.size());
+        prev = kids[i];
+      }
+      if (!error.ok()) return;
+      if (!(cursor < lab->end)) {
+        error = Status::Internal("end code out of order at node " +
+                                 std::to_string(id));
+        return;
+      }
+      cursor = lab->end;
+    }
+  };
+  Checker checker{doc, *this, BitString(), Status::OK()};
+  checker.Check(doc.root(), 0, kInvalidNode, false);
+  return checker.error;
+}
+
+}  // namespace xupdate::label

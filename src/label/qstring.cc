@@ -1,0 +1,134 @@
+#include "label/qstring.h"
+
+#include <cassert>
+
+namespace xupdate::label {
+
+QString QString::FromDigits(std::string_view digits) {
+  QString out;
+  for (char c : digits) {
+    assert(c >= '1' && c <= '3');
+    out.AppendDigit(static_cast<uint8_t>(c - '0'));
+  }
+  return out;
+}
+
+void QString::AppendDigit(uint8_t d) {
+  assert(d >= 1 && d <= 3);
+  if ((ndigits_ & 3) == 0) bytes_.push_back(0);
+  bytes_[ndigits_ >> 2] |=
+      static_cast<uint8_t>(d << (6 - 2 * (ndigits_ & 3)));
+  ++ndigits_;
+}
+
+void QString::PopDigit() {
+  assert(ndigits_ > 0);
+  --ndigits_;
+  bytes_[ndigits_ >> 2] &=
+      static_cast<uint8_t>(~(3u << (6 - 2 * (ndigits_ & 3))));
+  if ((ndigits_ & 3) == 0) bytes_.pop_back();
+}
+
+int QString::Compare(const QString& other) const {
+  size_t common = std::min(ndigits_, other.ndigits_);
+  for (size_t i = 0; i < common; ++i) {
+    uint8_t a = digit(i);
+    uint8_t b = other.digit(i);
+    if (a != b) return a < b ? -1 : 1;
+  }
+  if (ndigits_ == other.ndigits_) return 0;
+  return ndigits_ < other.ndigits_ ? -1 : 1;  // proper prefix sorts first
+}
+
+std::string QString::ToString() const {
+  std::string out;
+  out.reserve(ndigits_);
+  for (size_t i = 0; i < ndigits_; ++i) {
+    out += static_cast<char>('0' + digit(i));
+  }
+  return out;
+}
+
+namespace cdqs {
+
+bool IsCode(const QString& s) {
+  return !s.empty() && s.digit(s.size() - 1) >= 2;
+}
+
+Result<QString> Between(const QString& left, const QString& right) {
+  if (!left.empty() && !IsCode(left)) {
+    return Status::InvalidArgument("left bound is not a CDQS code");
+  }
+  if (!right.empty() && !IsCode(right)) {
+    return Status::InvalidArgument("right bound is not a CDQS code");
+  }
+  if (left.empty() && right.empty()) {
+    return QString::FromDigits("2");
+  }
+  if (right.empty()) {
+    // After the last code: appending any digit beats `left`.
+    QString out = left;
+    out.AppendDigit(2);
+    return out;
+  }
+  if (left.empty() || left.size() < right.size()) {
+    if (!left.empty() && !(left < right)) {
+      return Status::InvalidArgument("CDQS bounds not ordered: " +
+                                     left.ToString() + " !< " +
+                                     right.ToString());
+    }
+    // Shrink `right`: P+3 -> P+2; P+2 -> P+12. Both sort after every
+    // strict prefix-or-smaller `left` and before `right`.
+    QString out = right;
+    uint8_t last = out.digit(out.size() - 1);
+    out.PopDigit();
+    if (last == 3) {
+      out.AppendDigit(2);
+    } else {
+      out.AppendDigit(1);
+      out.AppendDigit(2);
+    }
+    return out;
+  }
+  if (!(left < right)) {
+    return Status::InvalidArgument("CDQS bounds not ordered: " +
+                                   left.ToString() + " !< " +
+                                   right.ToString());
+  }
+  // len(left) >= len(right): extend `left`.
+  QString out = left;
+  out.AppendDigit(2);
+  return out;
+}
+
+std::vector<QString> InitialCodes(size_t n) {
+  std::vector<QString> codes;
+  codes.reserve(n);
+  if (n == 0) return codes;
+  size_t width = 1;
+  size_t capacity = 3;  // 3^width combinations; highest value reserved
+  while (capacity - 1 < n) {
+    ++width;
+    capacity *= 3;
+  }
+  for (size_t i = 1; i <= n; ++i) {
+    // i in base 3 over digit symbols {1,2,3} (1 = zero digit), MSB
+    // first, trailing "zero" (1) digits stripped so codes end in 2/3.
+    std::vector<uint8_t> digits(width, 1);
+    size_t v = i;
+    for (size_t k = width; k-- > 0 && v > 0;) {
+      digits[k] = static_cast<uint8_t>(1 + (v % 3));
+      v /= 3;
+    }
+    size_t last = width;
+    while (last > 0 && digits[last - 1] == 1) --last;
+    QString code;
+    for (size_t k = 0; k < last; ++k) code.AppendDigit(digits[k]);
+    codes.push_back(std::move(code));
+  }
+  return codes;
+}
+
+}  // namespace cdqs
+
+}  // namespace xupdate::label

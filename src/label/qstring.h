@@ -1,0 +1,76 @@
+#ifndef XUPDATE_LABEL_QSTRING_H_
+#define XUPDATE_LABEL_QSTRING_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace xupdate::label {
+
+// Quaternary dynamic string — the CDQS code space of Li, Ling, Hu
+// ("Efficient Updates in Dynamic XML Data: from Binary String to
+// Quaternary String", VLDB Journal 17(3), 2008), the paper's primary
+// encoder (§4.1: "encoded by means of the CDQS, or alternatively the
+// CDBS, encoder"). Digits range over {1,2,3} (0 is reserved by the
+// original scheme as a component separator), two bits each; order is
+// lexicographic; a *code* ends with 2 or 3, which guarantees a new code
+// fits between any two neighbors without touching existing codes.
+//
+// Compared to CDBS, codes hold fewer symbols (log3 vs log2) at two bits
+// per symbol; the ablation bench `abl_encoding_bench` quantifies the
+// trade-off under the workloads of this library.
+class QString {
+ public:
+  QString() = default;
+
+  // Builds from a digit string over '1'..'3', e.g. "2132".
+  static QString FromDigits(std::string_view digits);
+
+  size_t size() const { return ndigits_; }
+  bool empty() const { return ndigits_ == 0; }
+  // Digit value in {1,2,3}.
+  uint8_t digit(size_t i) const {
+    return static_cast<uint8_t>((bytes_[i >> 2] >> (6 - 2 * (i & 3))) & 3);
+  }
+
+  void AppendDigit(uint8_t d);
+  void PopDigit();
+
+  // Lexicographic three-way comparison.
+  int Compare(const QString& other) const;
+  bool operator==(const QString& other) const {
+    return Compare(other) == 0;
+  }
+  bool operator<(const QString& other) const { return Compare(other) < 0; }
+
+  std::string ToString() const;
+
+  // Storage footprint in bits (for the encoding ablation).
+  size_t bit_size() const { return ndigits_ * 2; }
+
+ private:
+  std::vector<uint8_t> bytes_;
+  size_t ndigits_ = 0;
+};
+
+namespace cdqs {
+
+// True if `s` is a valid CDQS code (non-empty, last digit 2 or 3).
+bool IsCode(const QString& s);
+
+// Returns a code strictly between `left` and `right` (empty = open
+// boundary). Requires left < right when both are codes.
+Result<QString> Between(const QString& left, const QString& right);
+
+// `n` evenly distributed codes in increasing order (base-3 positional
+// assignment with trailing low digits stripped).
+std::vector<QString> InitialCodes(size_t n);
+
+}  // namespace cdqs
+
+}  // namespace xupdate::label
+
+#endif  // XUPDATE_LABEL_QSTRING_H_

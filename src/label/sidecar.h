@@ -1,0 +1,49 @@
+#ifndef XUPDATE_LABEL_SIDECAR_H_
+#define XUPDATE_LABEL_SIDECAR_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "label/labeling.h"
+#include "xml/document.h"
+
+namespace xupdate::label {
+
+// External id/label storage — the second future-work item of the
+// paper's §6: storing node identifiers and labels *within* documents
+// roughly triples their size, so "we plan to consider the possibility
+// to use external data structures to store this information".
+//
+// A sidecar is a compact text artifact holding, for every node of the
+// rooted tree in document order, its identifier and its structural
+// label. The document itself stays pristine (no xu:ids attributes, no
+// <?xuid?> markers), and — unlike the derive-at-parse scheme — the
+// executor's *incrementally maintained* labels survive persistence
+// verbatim.
+//
+// Format (line-oriented):
+//   xupdate-sidecar 1
+//   <node-count> <next-id>
+//   <id> <label>        (one line per node, document order)
+//
+// Association with the document is positional: re-parsing the plain
+// serialization visits nodes in the same document order.
+
+// Serializes the id/label table of `doc`'s rooted tree.
+Result<std::string> SaveSidecar(const xml::Document& doc,
+                                const Labeling& labeling);
+
+struct SidecarDocument {
+  xml::Document doc;
+  Labeling labeling;
+};
+
+// Rebuilds a document (with its original ids) and its label table from
+// a *plain* serialization plus the sidecar written by SaveSidecar.
+Result<SidecarDocument> LoadWithSidecar(std::string_view plain_xml,
+                                        std::string_view sidecar);
+
+}  // namespace xupdate::label
+
+#endif  // XUPDATE_LABEL_SIDECAR_H_

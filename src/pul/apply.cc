@@ -1,0 +1,391 @@
+#include "pul/apply.h"
+
+#include <algorithm>
+#include <array>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace xupdate::pul {
+
+using xml::Document;
+using xml::kInvalidNode;
+using xml::NodeId;
+using xml::NodeType;
+
+namespace {
+
+// Applies one PUL to one document; bundles the recurring (doc, pul,
+// labeling, oracle) state.
+class Applier {
+ public:
+  Applier(Document* doc, const Pul& pul, const ApplyOptions& options,
+          ChoiceOracle* oracle)
+      : doc_(*doc), pul_(pul), options_(options), oracle_(oracle) {}
+
+  Status Run();
+
+ private:
+  // Materializes a parameter tree into the document, assigning labels.
+  Result<NodeId> Materialize(NodeId forest_root) {
+    return doc_.AdoptSubtree(pul_.forest(), forest_root,
+                             /*preserve_ids=*/true, nullptr);
+  }
+  Status LabelNew(NodeId root) {
+    if (options_.labeling == nullptr) return Status::OK();
+    return options_.labeling->AssignForInsertedSubtree(doc_, root);
+  }
+  Status UnlabelDoomed(NodeId root) {
+    if (options_.labeling == nullptr) return Status::OK();
+    return options_.labeling->OnWillDeleteSubtree(doc_, root);
+  }
+
+  size_t Choose(size_t num_options, size_t fallback) {
+    if (num_options <= 1) return 0;
+    return oracle_ != nullptr ? oracle_->Choose(num_options) : fallback;
+  }
+
+  Status ApplyInsInto(const UpdateOp& op);
+  Status ApplyInsAttributes(const UpdateOp& op);
+  Status ApplySiblingInsert(const UpdateOp& op);
+  Status ApplyEdgeInsert(const UpdateOp& op);  // insFirst / insLast
+  Status ApplyReplaceNode(const UpdateOp& op);
+  Status ApplyReplaceChildren(const UpdateOp& op);
+  Status ApplyDelete(const UpdateOp& op);
+  Status CheckAttributeNamesUnique();
+
+  // Groups `ops` by key, preserving first-appearance order of groups and
+  // list order within each group.
+  template <typename KeyFn>
+  static std::vector<std::vector<const UpdateOp*>> GroupBy(
+      const std::vector<const UpdateOp*>& ops, KeyFn key);
+
+  Document& doc_;
+  const Pul& pul_;
+  const ApplyOptions& options_;
+  ChoiceOracle* oracle_;
+  // Elements whose attribute sets changed (duplicate-name check).
+  std::unordered_set<NodeId> attr_touched_;
+};
+
+template <typename KeyFn>
+std::vector<std::vector<const UpdateOp*>> Applier::GroupBy(
+    const std::vector<const UpdateOp*>& ops, KeyFn key) {
+  std::vector<std::vector<const UpdateOp*>> groups;
+  std::unordered_map<uint64_t, size_t> index;
+  for (const UpdateOp* op : ops) {
+    uint64_t k = key(*op);
+    auto [it, inserted] = index.emplace(k, groups.size());
+    if (inserted) groups.emplace_back();
+    groups[it->second].push_back(op);
+  }
+  return groups;
+}
+
+Status Applier::ApplyInsInto(const UpdateOp& op) {
+  const auto& kids = doc_.children(op.target);
+  size_t fallback =
+      options_.ins_into == InsIntoPosition::kAsFirst ? 0 : kids.size();
+  size_t pos = Choose(kids.size() + 1, fallback);
+  // Anchor before adoption: materialization appends nothing to the child
+  // list, so `pos` stays valid.
+  for (NodeId forest_root : op.param_trees) {
+    XUPDATE_ASSIGN_OR_RETURN(NodeId node, Materialize(forest_root));
+    const auto& current = doc_.children(op.target);
+    if (pos >= current.size()) {
+      XUPDATE_RETURN_IF_ERROR(doc_.AppendChild(op.target, node));
+    } else {
+      XUPDATE_RETURN_IF_ERROR(doc_.InsertBefore(current[pos], node));
+    }
+    XUPDATE_RETURN_IF_ERROR(LabelNew(node));
+    ++pos;
+  }
+  return Status::OK();
+}
+
+Status Applier::ApplyInsAttributes(const UpdateOp& op) {
+  for (NodeId forest_root : op.param_trees) {
+    XUPDATE_ASSIGN_OR_RETURN(NodeId node, Materialize(forest_root));
+    XUPDATE_RETURN_IF_ERROR(doc_.AddAttribute(op.target, node));
+    XUPDATE_RETURN_IF_ERROR(LabelNew(node));
+  }
+  attr_touched_.insert(op.target);
+  return Status::OK();
+}
+
+Status Applier::ApplySiblingInsert(const UpdateOp& op) {
+  if (op.kind == OpKind::kInsBefore) {
+    for (NodeId forest_root : op.param_trees) {
+      XUPDATE_ASSIGN_OR_RETURN(NodeId node, Materialize(forest_root));
+      XUPDATE_RETURN_IF_ERROR(doc_.InsertBefore(op.target, node));
+      XUPDATE_RETURN_IF_ERROR(LabelNew(node));
+    }
+  } else {
+    // insAfter: insert in reverse so the parameter order is preserved
+    // immediately after the target.
+    for (auto it = op.param_trees.rbegin(); it != op.param_trees.rend();
+         ++it) {
+      XUPDATE_ASSIGN_OR_RETURN(NodeId node, Materialize(*it));
+      XUPDATE_RETURN_IF_ERROR(doc_.InsertAfter(op.target, node));
+      XUPDATE_RETURN_IF_ERROR(LabelNew(node));
+    }
+  }
+  return Status::OK();
+}
+
+Status Applier::ApplyEdgeInsert(const UpdateOp& op) {
+  if (op.kind == OpKind::kInsFirst) {
+    for (auto it = op.param_trees.rbegin(); it != op.param_trees.rend();
+         ++it) {
+      XUPDATE_ASSIGN_OR_RETURN(NodeId node, Materialize(*it));
+      XUPDATE_RETURN_IF_ERROR(doc_.PrependChild(op.target, node));
+      XUPDATE_RETURN_IF_ERROR(LabelNew(node));
+    }
+  } else {
+    for (NodeId forest_root : op.param_trees) {
+      XUPDATE_ASSIGN_OR_RETURN(NodeId node, Materialize(forest_root));
+      XUPDATE_RETURN_IF_ERROR(doc_.AppendChild(op.target, node));
+      XUPDATE_RETURN_IF_ERROR(LabelNew(node));
+    }
+  }
+  return Status::OK();
+}
+
+Status Applier::ApplyReplaceNode(const UpdateOp& op) {
+  if (!doc_.Exists(op.target)) return Status::OK();  // overridden upstream
+  std::vector<NodeId> replacements;
+  replacements.reserve(op.param_trees.size());
+  for (NodeId forest_root : op.param_trees) {
+    XUPDATE_ASSIGN_OR_RETURN(NodeId node, Materialize(forest_root));
+    replacements.push_back(node);
+  }
+  if (doc_.type(op.target) == NodeType::kAttribute) {
+    attr_touched_.insert(doc_.parent(op.target));
+  }
+  XUPDATE_RETURN_IF_ERROR(UnlabelDoomed(op.target));
+  XUPDATE_RETURN_IF_ERROR(doc_.ReplaceNode(op.target, replacements));
+  for (NodeId r : replacements) XUPDATE_RETURN_IF_ERROR(LabelNew(r));
+  return Status::OK();
+}
+
+Status Applier::ApplyReplaceChildren(const UpdateOp& op) {
+  if (!doc_.Exists(op.target)) return Status::OK();
+  std::vector<NodeId> replacements;
+  replacements.reserve(op.param_trees.size());
+  for (NodeId forest_root : op.param_trees) {
+    XUPDATE_ASSIGN_OR_RETURN(NodeId node, Materialize(forest_root));
+    replacements.push_back(node);
+  }
+  for (NodeId c : doc_.children(op.target)) {
+    XUPDATE_RETURN_IF_ERROR(UnlabelDoomed(c));
+  }
+  XUPDATE_RETURN_IF_ERROR(doc_.ReplaceChildren(op.target, replacements));
+  for (NodeId r : replacements) XUPDATE_RETURN_IF_ERROR(LabelNew(r));
+  return Status::OK();
+}
+
+Status Applier::ApplyDelete(const UpdateOp& op) {
+  if (!doc_.Exists(op.target)) return Status::OK();
+  if (doc_.type(op.target) == NodeType::kAttribute) {
+    attr_touched_.insert(doc_.parent(op.target));
+  }
+  XUPDATE_RETURN_IF_ERROR(UnlabelDoomed(op.target));
+  return doc_.DeleteSubtree(op.target);
+}
+
+Status Applier::CheckAttributeNamesUnique() {
+  for (NodeId element : attr_touched_) {
+    if (!doc_.Exists(element)) continue;
+    std::unordered_set<std::string_view> names;
+    for (NodeId a : doc_.attributes(element)) {
+      if (!names.insert(doc_.name(a)).second) {
+        return Status::NotApplicable(
+            "duplicate attribute \"" + std::string(doc_.name(a)) +
+            "\" on element " + std::to_string(element));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status Applier::Run() {
+  std::array<std::vector<const UpdateOp*>, 6> stages;
+  for (const UpdateOp& op : pul_.ops()) {
+    stages[static_cast<size_t>(StageOf(op.kind))].push_back(&op);
+  }
+
+  // Stage 1: insInto / insAttr / repV / ren. Only insInto is
+  // order-sensitive (among ops with the same target).
+  std::vector<const UpdateOp*> ins_into;
+  for (const UpdateOp* op : stages[1]) {
+    switch (op->kind) {
+      case OpKind::kInsInto:
+        ins_into.push_back(op);
+        break;
+      case OpKind::kInsAttributes:
+        XUPDATE_RETURN_IF_ERROR(ApplyInsAttributes(*op));
+        break;
+      case OpKind::kReplaceValue:
+        XUPDATE_RETURN_IF_ERROR(doc_.SetValue(op->target, op->param_string));
+        if (doc_.type(op->target) == NodeType::kAttribute) {
+          attr_touched_.insert(doc_.parent(op->target));
+        }
+        break;
+      case OpKind::kRename:
+        XUPDATE_RETURN_IF_ERROR(doc_.Rename(op->target, op->param_string));
+        if (doc_.type(op->target) == NodeType::kAttribute) {
+          attr_touched_.insert(doc_.parent(op->target));
+        }
+        break;
+      default:
+        return Status::Internal("unexpected op in stage 1");
+    }
+  }
+  for (auto& group : GroupBy(ins_into, [](const UpdateOp& op) {
+         return static_cast<uint64_t>(op.target);
+       })) {
+    while (!group.empty()) {
+      size_t pick = Choose(group.size(), 0);
+      const UpdateOp* op = group[pick];
+      group.erase(group.begin() + static_cast<ptrdiff_t>(pick));
+      XUPDATE_RETURN_IF_ERROR(ApplyInsInto(*op));
+    }
+  }
+
+  // Stage 2: sibling/edge insertions; relative order of same-kind
+  // same-target blocks is the remaining non-determinism.
+  for (auto& group : GroupBy(stages[2], [](const UpdateOp& op) {
+         return static_cast<uint64_t>(op.target) * 16 +
+                static_cast<uint64_t>(op.kind);
+       })) {
+    while (!group.empty()) {
+      size_t pick = Choose(group.size(), 0);
+      const UpdateOp* op = group[pick];
+      group.erase(group.begin() + static_cast<ptrdiff_t>(pick));
+      if (op->kind == OpKind::kInsBefore || op->kind == OpKind::kInsAfter) {
+        XUPDATE_RETURN_IF_ERROR(ApplySiblingInsert(*op));
+      } else {
+        XUPDATE_RETURN_IF_ERROR(ApplyEdgeInsert(*op));
+      }
+    }
+  }
+
+  // Stages 3-5: replacements and deletions; ops whose target has already
+  // been removed by an overriding operation are silently complete.
+  for (const UpdateOp* op : stages[3]) {
+    XUPDATE_RETURN_IF_ERROR(ApplyReplaceNode(*op));
+  }
+  for (const UpdateOp* op : stages[4]) {
+    XUPDATE_RETURN_IF_ERROR(ApplyReplaceChildren(*op));
+  }
+  for (const UpdateOp* op : stages[5]) {
+    XUPDATE_RETURN_IF_ERROR(ApplyDelete(*op));
+  }
+  return CheckAttributeNamesUnique();
+}
+
+}  // namespace
+
+Status CheckOpApplicable(const xml::Document& doc, const Pul& pul,
+                         const UpdateOp& op) {
+  if (!doc.Exists(op.target)) {
+    return Status::NotApplicable("target node " + std::to_string(op.target) +
+                                 " not in document");
+  }
+  NodeType target_type = doc.type(op.target);
+  auto roots_are = [&](bool want_attr) -> bool {
+    for (NodeId r : op.param_trees) {
+      if ((pul.forest().type(r) == NodeType::kAttribute) != want_attr) {
+        return false;
+      }
+    }
+    return true;
+  };
+  switch (op.kind) {
+    case OpKind::kInsBefore:
+    case OpKind::kInsAfter:
+      if (target_type == NodeType::kAttribute) {
+        return Status::NotApplicable("sibling insertion on an attribute");
+      }
+      if (doc.parent(op.target) == kInvalidNode) {
+        return Status::NotApplicable(
+            "sibling insertion target has no parent");
+      }
+      if (!roots_are(false)) {
+        return Status::NotApplicable("attribute tree in sibling insertion");
+      }
+      return Status::OK();
+    case OpKind::kInsFirst:
+    case OpKind::kInsLast:
+    case OpKind::kInsInto:
+      if (target_type != NodeType::kElement) {
+        return Status::NotApplicable("child insertion on a non-element");
+      }
+      if (!roots_are(false)) {
+        return Status::NotApplicable("attribute tree in child insertion");
+      }
+      return Status::OK();
+    case OpKind::kInsAttributes:
+      if (target_type != NodeType::kElement) {
+        return Status::NotApplicable("insA on a non-element");
+      }
+      if (!roots_are(true)) {
+        return Status::NotApplicable("insA parameter is not an attribute");
+      }
+      return Status::OK();
+    case OpKind::kDelete:
+      return Status::OK();
+    case OpKind::kReplaceNode:
+      if (doc.parent(op.target) == kInvalidNode) {
+        return Status::NotApplicable("repN target has no parent");
+      }
+      if (!roots_are(target_type == NodeType::kAttribute)) {
+        return Status::NotApplicable(
+            "repN replacement kind must match the target kind");
+      }
+      return Status::OK();
+    case OpKind::kReplaceValue:
+      if (target_type == NodeType::kElement) {
+        return Status::NotApplicable("repV on an element");
+      }
+      return Status::OK();
+    case OpKind::kReplaceChildren:
+      if (target_type != NodeType::kElement) {
+        return Status::NotApplicable("repC on a non-element");
+      }
+      // Generalized repC (DESIGN.md): any non-attribute parameter forest.
+      for (NodeId r : op.param_trees) {
+        if (pul.forest().type(r) == NodeType::kAttribute) {
+          return Status::NotApplicable("repC parameter must not be attributes");
+        }
+      }
+      return Status::OK();
+    case OpKind::kRename:
+      if (target_type == NodeType::kText) {
+        return Status::NotApplicable("ren on a text node");
+      }
+      if (!IsValidXmlName(op.param_string)) {
+        return Status::NotApplicable("ren to an invalid name");
+      }
+      return Status::OK();
+  }
+  return Status::Internal("unknown operation kind");
+}
+
+Status CheckPulApplicable(const xml::Document& doc, const Pul& pul) {
+  for (const UpdateOp& op : pul.ops()) {
+    XUPDATE_RETURN_IF_ERROR(CheckOpApplicable(doc, pul, op));
+  }
+  return pul.CheckCompatible();
+}
+
+Status ApplyPul(xml::Document* doc, const Pul& pul,
+                const ApplyOptions& options, ChoiceOracle* oracle) {
+  XUPDATE_RETURN_IF_ERROR(CheckPulApplicable(*doc, pul));
+  Applier applier(doc, pul, options, oracle);
+  return applier.Run();
+}
+
+}  // namespace xupdate::pul

@@ -1,0 +1,23 @@
+#ifndef XUPDATE_PUL_DESCRIBE_H_
+#define XUPDATE_PUL_DESCRIBE_H_
+
+#include <string>
+
+#include "pul/pul.h"
+
+namespace xupdate::pul {
+
+// One-line human-readable rendering of an operation, in the paper's
+// notation: `ins->(19, <author>M.Mesiti</author>)`, `del(14)`,
+// `repV(15, 'Report on ...')`. Parameter trees longer than `max_param`
+// characters are elided.
+std::string DescribeOp(const Pul& pul, const UpdateOp& op,
+                       size_t max_param = 60);
+
+// Multi-line rendering of a whole PUL (one operation per line, with the
+// producer policies when set).
+std::string DescribePul(const Pul& pul, size_t max_param = 60);
+
+}  // namespace xupdate::pul
+
+#endif  // XUPDATE_PUL_DESCRIBE_H_

@@ -1,0 +1,188 @@
+#include "pul/obtainable.h"
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+namespace xupdate::pul {
+
+using xml::Document;
+using xml::NodeId;
+using xml::NodeType;
+
+namespace {
+
+void AppendQuoted(std::string* out, std::string_view s) {
+  *out += std::to_string(s.size());
+  *out += ':';
+  *out += s;
+}
+
+void CanonicalWalk(const Document& doc, NodeId node, NodeId max_original,
+                   std::string* out) {
+  switch (doc.type(node)) {
+    case NodeType::kText:
+      *out += "T(";
+      if (node <= max_original) {
+        *out += '#';
+        *out += std::to_string(node);
+        *out += '|';
+      }
+      AppendQuoted(out, doc.value(node));
+      *out += ')';
+      return;
+    case NodeType::kAttribute:
+      *out += "A(";
+      if (node <= max_original) {
+        *out += '#';
+        *out += std::to_string(node);
+        *out += '|';
+      }
+      AppendQuoted(out, doc.name(node));
+      *out += '=';
+      AppendQuoted(out, doc.value(node));
+      *out += ')';
+      return;
+    case NodeType::kElement:
+      break;
+  }
+  *out += "E(";
+  if (node <= max_original) {
+    *out += '#';
+    *out += std::to_string(node);
+    *out += '|';
+  }
+  AppendQuoted(out, doc.name(node));
+  // Attributes in a canonical (name, value, id) order.
+  std::vector<NodeId> attrs(doc.attributes(node).begin(),
+                            doc.attributes(node).end());
+  std::sort(attrs.begin(), attrs.end(), [&](NodeId a, NodeId b) {
+    if (doc.name(a) != doc.name(b)) return doc.name(a) < doc.name(b);
+    if (doc.value(a) != doc.value(b)) return doc.value(a) < doc.value(b);
+    return a < b;
+  });
+  *out += '{';
+  for (NodeId a : attrs) CanonicalWalk(doc, a, max_original, out);
+  *out += "}[";
+  for (NodeId c : doc.children(node)) {
+    CanonicalWalk(doc, c, max_original, out);
+  }
+  *out += "])";
+}
+
+// Oracle that replays a recorded choice path, defaulting to option 0 for
+// choices beyond the path, while recording every option count.
+class ReplayOracle : public ChoiceOracle {
+ public:
+  explicit ReplayOracle(std::vector<size_t> path)
+      : path_(std::move(path)) {}
+
+  size_t Choose(size_t num_options) override {
+    if (next_ >= path_.size()) path_.push_back(0);
+    ranges_.push_back(num_options);
+    size_t pick = path_[next_++];
+    return pick < num_options ? pick : 0;
+  }
+
+  const std::vector<size_t>& path() const { return path_; }
+  const std::vector<size_t>& ranges() const { return ranges_; }
+
+ private:
+  std::vector<size_t> path_;
+  std::vector<size_t> ranges_;
+  size_t next_ = 0;
+};
+
+}  // namespace
+
+std::string CanonicalForm(const Document& doc, NodeId max_original_id) {
+  std::string out;
+  if (doc.root() == xml::kInvalidNode) return out;
+  CanonicalWalk(doc, doc.root(), max_original_id, &out);
+  return out;
+}
+
+namespace {
+
+// Runs `visit(canonical, document)` for every obtainable document;
+// `visit` returns the number of distinct results so far (for the limit).
+Status EnumerateObtainable(
+    const Document& doc, const Pul& pul, size_t limit, NodeId max_original,
+    const std::function<size_t(std::string, Document&)>& visit) {
+  std::vector<size_t> path;
+  for (;;) {
+    Document copy = doc;
+    ReplayOracle oracle(path);
+    ApplyOptions options;
+    XUPDATE_RETURN_IF_ERROR(ApplyPul(&copy, pul, options, &oracle));
+    size_t distinct = visit(CanonicalForm(copy, max_original), copy);
+    if (distinct > limit) {
+      return Status::InvalidArgument(
+          "obtainable set exceeds enumeration limit");
+    }
+    // Advance the odometer over the (dynamic-range) choice sequence.
+    path = oracle.path();
+    const std::vector<size_t>& ranges = oracle.ranges();
+    // Unused trailing path entries (possible when an earlier digit change
+    // shortened the choice sequence) are dropped.
+    if (path.size() > ranges.size()) path.resize(ranges.size());
+    while (!path.empty() && path.back() + 1 >= ranges[path.size() - 1]) {
+      path.pop_back();
+    }
+    if (path.empty()) break;
+    ++path.back();
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::set<std::string>> ObtainableSet(const Document& doc,
+                                            const Pul& pul, size_t limit,
+                                            NodeId max_original_id) {
+  std::set<std::string> results;
+  XUPDATE_RETURN_IF_ERROR(EnumerateObtainable(
+      doc, pul, limit, max_original_id,
+      [&](std::string canonical, Document&) {
+        results.insert(std::move(canonical));
+        return results.size();
+      }));
+  return results;
+}
+
+Result<std::vector<Document>> ObtainableDocuments(const Document& doc,
+                                                  const Pul& pul,
+                                                  size_t limit,
+                                                  NodeId max_original_id) {
+  std::vector<Document> docs;
+  std::set<std::string> seen;
+  XUPDATE_RETURN_IF_ERROR(EnumerateObtainable(
+      doc, pul, limit, max_original_id,
+      [&](std::string canonical, Document& candidate) {
+        if (seen.insert(std::move(canonical)).second) {
+          docs.push_back(std::move(candidate));
+        }
+        return seen.size();
+      }));
+  return docs;
+}
+
+Result<bool> AreEquivalent(const Document& doc, const Pul& pul1,
+                           const Pul& pul2) {
+  XUPDATE_ASSIGN_OR_RETURN(std::set<std::string> o1,
+                           ObtainableSet(doc, pul1));
+  XUPDATE_ASSIGN_OR_RETURN(std::set<std::string> o2,
+                           ObtainableSet(doc, pul2));
+  return o1 == o2;
+}
+
+Result<bool> IsSubstitutable(const Document& doc, const Pul& pul1,
+                             const Pul& pul2) {
+  XUPDATE_ASSIGN_OR_RETURN(std::set<std::string> o1,
+                           ObtainableSet(doc, pul1));
+  XUPDATE_ASSIGN_OR_RETURN(std::set<std::string> o2,
+                           ObtainableSet(doc, pul2));
+  return std::includes(o2.begin(), o2.end(), o1.begin(), o1.end());
+}
+
+}  // namespace xupdate::pul

@@ -1,0 +1,54 @@
+#ifndef XUPDATE_PUL_OBTAINABLE_H_
+#define XUPDATE_PUL_OBTAINABLE_H_
+
+#include <limits>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "pul/apply.h"
+#include "pul/pul.h"
+#include "xml/document.h"
+
+namespace xupdate::pul {
+
+// Canonical fingerprint of a document: structure, names, values and
+// attribute sets (order-insensitive). By default node ids are ignored —
+// the paper's Definition 6 compares the *trees* PULs produce (its
+// Example 4 equates a repV on a text node with a repC that creates a
+// fresh one). Passing a nonzero `max_original_id` additionally embeds
+// the identities of nodes with id <= max_original_id, giving an
+// identity-sensitive comparison for original-document nodes while still
+// ignoring executor-assigned fresh ids.
+std::string CanonicalForm(const xml::Document& doc,
+                          xml::NodeId max_original_id = 0);
+
+// O(pul, D) of Definition 2 extended to PULs (§2.2): the canonical forms
+// of every document obtainable by applying `pul` to `doc`, enumerating
+// all insInto positions and all orders of same-kind same-target
+// insertions. Fails if more than `limit` variants are generated.
+// `max_original_id` is forwarded to CanonicalForm (0 = structural
+// comparison); pass the *initial* document's horizon when chaining over
+// intermediate states (O(Delta1; Delta2, D)) with identity sensitivity.
+Result<std::set<std::string>> ObtainableSet(const xml::Document& doc,
+                                            const Pul& pul,
+                                            size_t limit = 20000,
+                                            xml::NodeId max_original_id = 0);
+
+// The obtainable documents themselves (for chaining sequential PULs in
+// tests). Deduplicated by canonical form under `max_original_id`.
+Result<std::vector<xml::Document>> ObtainableDocuments(
+    const xml::Document& doc, const Pul& pul, size_t limit = 2000,
+    xml::NodeId max_original_id = 0);
+
+// Definition 6: equivalence (equal obtainable sets) and substitutability
+// (O(pul1, doc) subset of O(pul2, doc)).
+Result<bool> AreEquivalent(const xml::Document& doc, const Pul& pul1,
+                           const Pul& pul2);
+Result<bool> IsSubstitutable(const xml::Document& doc, const Pul& pul1,
+                             const Pul& pul2);
+
+}  // namespace xupdate::pul
+
+#endif  // XUPDATE_PUL_OBTAINABLE_H_

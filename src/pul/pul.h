@@ -1,0 +1,110 @@
+#ifndef XUPDATE_PUL_PUL_H_
+#define XUPDATE_PUL_PUL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "label/labeling.h"
+#include "pul/update_op.h"
+#include "xml/document.h"
+
+namespace xupdate::pul {
+
+// Producer desiderata attached to a PUL (§4.2), consulted by the
+// executor's conflict-resolution algorithm during reconciliation.
+struct Policies {
+  // The specified order for inserted nodes must not be altered by
+  // operations of other PULs.
+  bool preserve_insertion_order = false;
+  // Data inserted through repN, repC, repV or ins must occur in the
+  // final document.
+  bool preserve_inserted_data = false;
+  // Data removed through repN, repC, repV or del must not occur in the
+  // final document.
+  bool preserve_removed_data = false;
+};
+
+// A Pending Update List: an unordered collection of update primitives
+// (§2.2) plus the forest of detached parameter trees they reference.
+// Parameter-tree node ids live in the producer's id space; call
+// BindIdSpace before adding parameters so fresh ids do not clash with
+// document ids (§4.1 "each producer has an assigned identification
+// space").
+class Pul {
+ public:
+  Pul() = default;
+
+  Pul(const Pul&) = default;
+  Pul& operator=(const Pul&) = default;
+  Pul(Pul&&) noexcept = default;
+  Pul& operator=(Pul&&) noexcept = default;
+
+  const xml::Document& forest() const { return forest_; }
+  xml::Document& forest() { return forest_; }
+
+  const std::vector<UpdateOp>& ops() const { return ops_; }
+  std::vector<UpdateOp>& mutable_ops() { return ops_; }
+  size_t size() const { return ops_.size(); }
+  bool empty() const { return ops_.empty(); }
+
+  const Policies& policies() const { return policies_; }
+  void set_policies(const Policies& p) { policies_ = p; }
+
+  // Makes forest ids start at or above `floor`.
+  void BindIdSpace(xml::NodeId floor) { forest_.ReserveIdsBelow(floor); }
+
+  // --- Parameter construction ---------------------------------------------
+
+  // Parses an XML fragment into the forest (fresh ids); returns its root.
+  Result<xml::NodeId> AddFragment(std::string_view xml_text);
+  // Creates a detached attribute / text parameter node.
+  xml::NodeId NewAttributeParam(std::string_view name,
+                                std::string_view value) {
+    return forest_.NewAttribute(name, value);
+  }
+  xml::NodeId NewTextParam(std::string_view value) {
+    return forest_.NewText(value);
+  }
+
+  // --- Operation construction -----------------------------------------------
+
+  // Validates the op's shape (tree params exist, are detached and of the
+  // right kind for `kind`) and appends it.
+  Status AddOp(UpdateOp op);
+
+  // Convenience builders: target label is looked up in `labeling`.
+  Status AddTreeOp(OpKind kind, xml::NodeId target,
+                   const label::Labeling& labeling,
+                   std::vector<xml::NodeId> trees);
+  Status AddStringOp(OpKind kind, xml::NodeId target,
+                     const label::Labeling& labeling,
+                     std::string_view value);
+  Status AddDelete(xml::NodeId target, const label::Labeling& labeling);
+
+  // --- Definition 3 / Definition 5 ------------------------------------------
+
+  // OK iff no two operations are incompatible.
+  Status CheckCompatible() const;
+
+  // Definition 5: union of the two PULs, provided the result contains no
+  // incompatible pair. Parameter-tree ids of `b` are preserved; clashing
+  // id spaces are an error.
+  static Result<Pul> Merge(const Pul& a, const Pul& b);
+
+  // Copies `op` (with its parameter trees, ids preserved) from `src`
+  // into this PUL.
+  Status AdoptOp(const xml::Document& src_forest, const UpdateOp& op);
+
+ private:
+  Status ValidateTreeParams(const UpdateOp& op) const;
+
+  xml::Document forest_;
+  std::vector<UpdateOp> ops_;
+  Policies policies_;
+};
+
+}  // namespace xupdate::pul
+
+#endif  // XUPDATE_PUL_PUL_H_

@@ -1,0 +1,210 @@
+#include "pul/pul_io.h"
+
+#include <string>
+
+#include "common/string_util.h"
+#include "pul/update_op.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace xupdate::pul {
+
+using xml::Document;
+using xml::NodeId;
+using xml::NodeType;
+
+namespace {
+
+void AppendAttr(std::string* out, std::string_view name,
+                std::string_view value) {
+  *out += ' ';
+  *out += name;
+  *out += "=\"";
+  *out += XmlEscape(value, /*in_attribute=*/true);
+  *out += '"';
+}
+
+Status SerializeParam(const Document& forest, NodeId root,
+                      std::string* out) {
+  switch (forest.type(root)) {
+    case NodeType::kElement: {
+      xml::SerializeOptions options;
+      options.with_ids = true;
+      XUPDATE_ASSIGN_OR_RETURN(std::string tree,
+                               xml::SerializeSubtree(forest, root, options));
+      *out += "<elem>";
+      *out += tree;
+      *out += "</elem>";
+      return Status::OK();
+    }
+    case NodeType::kText: {
+      *out += "<text";
+      AppendAttr(out, "id", std::to_string(root));
+      AppendAttr(out, "value", forest.value(root));
+      *out += "/>";
+      return Status::OK();
+    }
+    case NodeType::kAttribute: {
+      *out += "<attr";
+      AppendAttr(out, "id", std::to_string(root));
+      AppendAttr(out, "name", forest.name(root));
+      AppendAttr(out, "value", forest.value(root));
+      *out += "/>";
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unknown parameter node type");
+}
+
+// Finds the value of attribute `name` on element `node`, or empty view.
+Result<std::string> AttrValue(const Document& doc, NodeId node,
+                              std::string_view name, bool required) {
+  for (NodeId a : doc.attributes(node)) {
+    if (doc.name(a) == name) return doc.value(a);
+  }
+  if (required) {
+    return Status::ParseError("missing attribute \"" + std::string(name) +
+                              "\" on <" + std::string(doc.name(node)) + ">");
+  }
+  return std::string();
+}
+
+Status ParseOpElement(const Document& temp, NodeId op_node, Pul* out) {
+  UpdateOp op;
+  XUPDATE_ASSIGN_OR_RETURN(std::string kind_name,
+                           AttrValue(temp, op_node, "kind", true));
+  if (!OpKindFromName(kind_name, &op.kind)) {
+    return Status::ParseError("unknown op kind \"" + kind_name + "\"");
+  }
+  XUPDATE_ASSIGN_OR_RETURN(std::string target_text,
+                           AttrValue(temp, op_node, "target", true));
+  int64_t target = ParseNonNegativeInt(target_text);
+  if (target <= 0) return Status::ParseError("bad op target id");
+  op.target = static_cast<NodeId>(target);
+  XUPDATE_ASSIGN_OR_RETURN(std::string label_text,
+                           AttrValue(temp, op_node, "label", false));
+  if (!label_text.empty()) {
+    XUPDATE_ASSIGN_OR_RETURN(op.target_label,
+                             label::NodeLabel::Parse(label_text, op.target));
+  }
+  XUPDATE_ASSIGN_OR_RETURN(op.param_string,
+                           AttrValue(temp, op_node, "arg", false));
+
+  for (NodeId param : temp.children(op_node)) {
+    if (temp.type(param) != NodeType::kElement) {
+      return Status::ParseError("unexpected content inside <op>");
+    }
+    std::string_view wrapper = temp.name(param);
+    if (wrapper == "elem") {
+      const auto& kids = temp.children(param);
+      if (kids.size() != 1 || temp.type(kids[0]) != NodeType::kElement) {
+        return Status::ParseError("<elem> must wrap exactly one element");
+      }
+      XUPDATE_ASSIGN_OR_RETURN(
+          NodeId adopted,
+          out->forest().AdoptSubtree(temp, kids[0], /*preserve_ids=*/true,
+                                     nullptr));
+      op.param_trees.push_back(adopted);
+    } else if (wrapper == "text" || wrapper == "attr") {
+      XUPDATE_ASSIGN_OR_RETURN(std::string id_text,
+                               AttrValue(temp, param, "id", true));
+      int64_t id = ParseNonNegativeInt(id_text);
+      if (id <= 0) return Status::ParseError("bad parameter node id");
+      XUPDATE_ASSIGN_OR_RETURN(std::string value,
+                               AttrValue(temp, param, "value", true));
+      if (wrapper == "text") {
+        XUPDATE_RETURN_IF_ERROR(out->forest().CreateWithId(
+            static_cast<NodeId>(id), NodeType::kText, "", value));
+      } else {
+        XUPDATE_ASSIGN_OR_RETURN(std::string name,
+                                 AttrValue(temp, param, "name", true));
+        XUPDATE_RETURN_IF_ERROR(out->forest().CreateWithId(
+            static_cast<NodeId>(id), NodeType::kAttribute, name, value));
+      }
+      op.param_trees.push_back(static_cast<NodeId>(id));
+    } else {
+      return Status::ParseError("unknown parameter wrapper <" +
+                                std::string(wrapper) + ">");
+    }
+  }
+  return out->AddOp(std::move(op));
+}
+
+}  // namespace
+
+Result<std::string> SerializePul(const Pul& pul) {
+  std::string out = "<pul>";
+  const Policies& p = pul.policies();
+  if (p.preserve_insertion_order || p.preserve_inserted_data ||
+      p.preserve_removed_data) {
+    out += "<policies";
+    AppendAttr(&out, "insertionOrder", p.preserve_insertion_order ? "1" : "0");
+    AppendAttr(&out, "insertedData", p.preserve_inserted_data ? "1" : "0");
+    AppendAttr(&out, "removedData", p.preserve_removed_data ? "1" : "0");
+    out += "/>";
+  }
+  for (const UpdateOp& op : pul.ops()) {
+    out += "<op";
+    AppendAttr(&out, "kind", OpKindName(op.kind));
+    AppendAttr(&out, "target", std::to_string(op.target));
+    if (op.target_label.valid()) {
+      AppendAttr(&out, "label", op.target_label.Serialize());
+    }
+    if (op.kind == OpKind::kReplaceValue || op.kind == OpKind::kRename) {
+      AppendAttr(&out, "arg", op.param_string);
+    }
+    if (op.param_trees.empty()) {
+      out += "/>";
+      continue;
+    }
+    out += '>';
+    for (NodeId root : op.param_trees) {
+      XUPDATE_RETURN_IF_ERROR(SerializeParam(pul.forest(), root, &out));
+    }
+    out += "</op>";
+  }
+  out += "</pul>";
+  return out;
+}
+
+Result<Pul> ParsePul(std::string_view xml_text) {
+  Document temp;
+  // Auto-assigned wrapper-element ids must not collide with the
+  // producer's explicit parameter ids; park them in a far id range.
+  temp.ReserveIdsBelow(NodeId{1} << 62);
+  xml::ParseOptions options;
+  options.sax.keep_whitespace_text = true;
+  XUPDATE_ASSIGN_OR_RETURN(NodeId root,
+                           xml::ParseFragment(&temp, xml_text, options));
+  if (temp.name(root) != "pul") {
+    return Status::ParseError("root element must be <pul>");
+  }
+  Pul out;
+  for (NodeId child : temp.children(root)) {
+    if (temp.type(child) != NodeType::kElement) {
+      return Status::ParseError("unexpected content inside <pul>");
+    }
+    if (temp.name(child) == "policies") {
+      Policies p;
+      XUPDATE_ASSIGN_OR_RETURN(std::string order,
+                               AttrValue(temp, child, "insertionOrder", false));
+      XUPDATE_ASSIGN_OR_RETURN(std::string inserted,
+                               AttrValue(temp, child, "insertedData", false));
+      XUPDATE_ASSIGN_OR_RETURN(std::string removed,
+                               AttrValue(temp, child, "removedData", false));
+      p.preserve_insertion_order = order == "1";
+      p.preserve_inserted_data = inserted == "1";
+      p.preserve_removed_data = removed == "1";
+      out.set_policies(p);
+    } else if (temp.name(child) == "op") {
+      XUPDATE_RETURN_IF_ERROR(ParseOpElement(temp, child, &out));
+    } else {
+      return Status::ParseError("unknown element <" +
+                                std::string(temp.name(child)) +
+                                "> inside <pul>");
+    }
+  }
+  return out;
+}
+
+}  // namespace xupdate::pul

@@ -1,0 +1,40 @@
+#ifndef XUPDATE_PUL_PUL_IO_H_
+#define XUPDATE_PUL_PUL_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "pul/pul.h"
+
+namespace xupdate::pul {
+
+// PULs travel between producers and the executor as XML documents
+// (paper §4: "PULs are represented as XML documents containing the
+// serialization of each PUL operation along with the identifiers and
+// labels of the target nodes"). Wire shape:
+//
+//   <pul>
+//     <policies insertionOrder="0" insertedData="1" removedData="0"/>
+//     <op kind="insAfter" target="19" label="e3:0101:0111:16:18:0">
+//       <elem><author xu:ids="101;;0:102">M. Mesiti</author></elem>
+//     </op>
+//     <op kind="repV" target="15" label="t3:..." arg="Report on ..."/>
+//     <op kind="insAttr" target="4" label="e2:...">
+//       <attr id="103" name="initPage" value="132"/>
+//     </op>
+//     <op kind="repN" target="7" label="e3:...">
+//       <text id="104" value="now a text node"/>
+//     </op>
+//   </pul>
+//
+// Parameter-tree node ids are embedded (xu:ids / id attributes) so the
+// producer's id space survives the round-trip — aggregation depends on
+// later PULs addressing nodes inserted by earlier ones.
+Result<std::string> SerializePul(const Pul& pul);
+
+Result<Pul> ParsePul(std::string_view xml_text);
+
+}  // namespace xupdate::pul
+
+#endif  // XUPDATE_PUL_PUL_IO_H_

@@ -1,0 +1,91 @@
+#include "pul/update_op.h"
+
+namespace xupdate::pul {
+
+OpClass ClassOf(OpKind kind) {
+  switch (kind) {
+    case OpKind::kInsBefore:
+    case OpKind::kInsAfter:
+    case OpKind::kInsFirst:
+    case OpKind::kInsLast:
+    case OpKind::kInsInto:
+    case OpKind::kInsAttributes:
+      return OpClass::kInsertion;
+    case OpKind::kDelete:
+      return OpClass::kDeletion;
+    case OpKind::kReplaceNode:
+    case OpKind::kReplaceValue:
+    case OpKind::kReplaceChildren:
+    case OpKind::kRename:
+      return OpClass::kReplacement;
+  }
+  return OpClass::kDeletion;
+}
+
+int StageOf(OpKind kind) {
+  switch (kind) {
+    case OpKind::kInsInto:
+    case OpKind::kInsAttributes:
+    case OpKind::kReplaceValue:
+    case OpKind::kRename:
+      return 1;
+    case OpKind::kInsBefore:
+    case OpKind::kInsAfter:
+    case OpKind::kInsFirst:
+    case OpKind::kInsLast:
+      return 2;
+    case OpKind::kReplaceNode:
+      return 3;
+    case OpKind::kReplaceChildren:
+      return 4;
+    case OpKind::kDelete:
+      return 5;
+  }
+  return 5;
+}
+
+std::string_view OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kInsBefore:
+      return "insBefore";
+    case OpKind::kInsAfter:
+      return "insAfter";
+    case OpKind::kInsFirst:
+      return "insFirst";
+    case OpKind::kInsLast:
+      return "insLast";
+    case OpKind::kInsInto:
+      return "insInto";
+    case OpKind::kInsAttributes:
+      return "insAttr";
+    case OpKind::kDelete:
+      return "del";
+    case OpKind::kReplaceNode:
+      return "repN";
+    case OpKind::kReplaceValue:
+      return "repV";
+    case OpKind::kReplaceChildren:
+      return "repC";
+    case OpKind::kRename:
+      return "ren";
+  }
+  return "?";
+}
+
+bool OpKindFromName(std::string_view name, OpKind* out) {
+  for (int k = 0; k < kNumOpKinds; ++k) {
+    OpKind kind = static_cast<OpKind>(k);
+    if (OpKindName(kind) == name) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool AreCompatible(const UpdateOp& op1, const UpdateOp& op2) {
+  return !(op1.target == op2.target && op1.kind == op2.kind &&
+           ClassOf(op1.kind) == OpClass::kReplacement);
+}
+
+}  // namespace xupdate::pul

@@ -1,0 +1,99 @@
+#ifndef XUPDATE_WORKLOAD_PUL_GENERATOR_H_
+#define XUPDATE_WORKLOAD_PUL_GENERATOR_H_
+
+#include <cstdint>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "label/labeling.h"
+#include "pul/pul.h"
+#include "xml/document.h"
+
+namespace xupdate::workload {
+
+// Synthetic-PUL generator reproducing the workloads of the paper's
+// evaluation (§4.3): operations "equally distributed among the operation
+// types" over random document nodes, with knobs for reducible-pair
+// density (Fig. 6b), conflict injection (Fig. 6e) and operations on
+// nodes inserted by earlier PULs of a sequence (Fig. 6c/d).
+class PulGenerator {
+ public:
+  // `doc` and `labeling` must outlive the generator.
+  PulGenerator(const xml::Document& doc, const label::Labeling& labeling,
+               uint64_t seed);
+
+  struct PulOptions {
+    size_t num_ops = 1000;
+    // Fraction of operations emitted as designed-to-reduce pairs: 0.2
+    // yields roughly one successful rule application per 10 operations
+    // (one application per pair), the paper's Fig. 6b setting.
+    double reducible_fraction = 0.0;
+    // First id assigned to parameter-tree nodes (0: after doc ids).
+    xml::NodeId id_base = 0;
+  };
+
+  // One PUL applicable on the base document.
+  Result<pul::Pul> Generate(const PulOptions& options);
+
+  struct SequenceOptions {
+    size_t num_puls = 5;
+    size_t ops_per_pul = 1000;
+    // Fraction of operations (in PULs after the first) whose target is a
+    // node inserted by an earlier PUL of the sequence.
+    double new_node_fraction = 0.5;
+  };
+
+  // A sequence Delta_1..Delta_n where Delta_k applies to the document
+  // updated by Delta_1..Delta_{k-1} (the Fig. 6c/6d workload).
+  Result<std::vector<pul::Pul>> GenerateSequence(
+      const SequenceOptions& options);
+
+  struct ConflictOptions {
+    size_t num_puls = 10;
+    size_t ops_per_pul = 1000;
+    // Fraction of all operations that belong to some conflict.
+    double conflicting_fraction = 0.5;
+    // Operations per conflict (spread over distinct PULs).
+    size_t ops_per_conflict = 5;
+    // Fraction of conflicts designed to dissolve when another conflict's
+    // resolution excludes their operations (the paper ensures 1/5).
+    double chained_fraction = 0.2;
+  };
+
+  // Parallel PULs over the same document state with injected conflicts
+  // of all five types in equal proportion (the Fig. 6e workload).
+  Result<std::vector<pul::Pul>> GenerateConflicting(
+      const ConflictOptions& options);
+
+ private:
+  struct NodePools {
+    std::vector<xml::NodeId> elements;      // non-root, parented
+    std::vector<xml::NodeId> texts;
+    std::vector<xml::NodeId> attributes;
+  };
+
+  // Emits one random applicable operation on `pul`; returns false if no
+  // suitable target was found in a few attempts.
+  bool EmitRandomOp(pul::Pul* pul, const NodePools& pools,
+                    const label::Labeling& labeling,
+                    std::set<std::pair<xml::NodeId, int>>* used_rep,
+                    int* fresh);
+  // Emits a pair of operations guaranteed to trigger one reduction rule.
+  bool EmitReduciblePair(pul::Pul* pul, const NodePools& pools,
+                         const label::Labeling& labeling,
+                         std::set<std::pair<xml::NodeId, int>>* used_rep,
+                         int* fresh);
+
+  static NodePools CollectPools(const xml::Document& doc);
+
+  const xml::Document& doc_;
+  const label::Labeling& labeling_;
+  Rng rng_;
+};
+
+}  // namespace xupdate::workload
+
+#endif  // XUPDATE_WORKLOAD_PUL_GENERATOR_H_

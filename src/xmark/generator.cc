@@ -1,0 +1,245 @@
+#include "xmark/generator.h"
+
+#include <array>
+#include <string>
+
+#include "common/random.h"
+#include "xml/serializer.h"
+
+namespace xupdate::xmark {
+
+namespace {
+
+using xml::Document;
+using xml::NodeId;
+
+constexpr std::array<const char*, 48> kWords = {
+    "auction",  "bid",     "price",    "seller",   "buyer",    "reserve",
+    "gold",     "silver",  "antique",  "painting", "rare",     "vintage",
+    "shipping", "catalog", "estimate", "lot",      "gallery",  "market",
+    "offer",    "trade",   "value",    "dealer",   "original", "signed",
+    "limited",  "edition", "mint",     "condition", "restored", "century",
+    "oak",      "walnut",  "bronze",   "ceramic",  "textile",  "print",
+    "sketch",   "folio",   "volume",   "archive",  "estate",   "heirloom",
+    "pristine", "appraised", "certified", "provenance", "curated", "museum"};
+
+constexpr std::array<const char*, 6> kRegions = {
+    "africa", "asia", "australia", "europe", "namerica", "samerica"};
+
+constexpr std::array<const char*, 10> kFirstNames = {
+    "Ada", "Ben", "Cleo", "Dora", "Egon", "Fela", "Gus", "Hana", "Ivo",
+    "Jun"};
+
+constexpr std::array<const char*, 10> kLastNames = {
+    "Abel", "Bern", "Cova", "Dietz", "Ewald", "Fabri", "Gatti", "Hoff",
+    "Ilic", "Jacek"};
+
+// Builds document content and tracks an estimate of the serialized size.
+class Builder {
+ public:
+  Builder(Document* doc, Rng* rng) : doc_(*doc), rng_(*rng) {}
+
+  size_t bytes() const { return bytes_; }
+
+  NodeId Element(NodeId parent, std::string_view name) {
+    NodeId e = doc_.NewElement(name);
+    (void)doc_.AppendChild(parent, e);
+    bytes_ += name.size() * 2 + 5;
+    return e;
+  }
+
+  void Text(NodeId parent, std::string text) {
+    bytes_ += text.size();
+    NodeId t = doc_.NewText(std::move(text));
+    (void)doc_.AppendChild(parent, t);
+  }
+
+  void Attribute(NodeId element, std::string_view name, std::string value) {
+    bytes_ += name.size() + value.size() + 4;
+    NodeId a = doc_.NewAttribute(name, value);
+    (void)doc_.AddAttribute(element, a);
+  }
+
+  std::string Words(size_t count) {
+    std::string out;
+    for (size_t i = 0; i < count; ++i) {
+      if (i > 0) out += ' ';
+      out += kWords[rng_.Below(kWords.size())];
+    }
+    return out;
+  }
+
+  std::string PersonName() {
+    return std::string(kFirstNames[rng_.Below(kFirstNames.size())]) + " " +
+           kLastNames[rng_.Below(kLastNames.size())];
+  }
+
+  std::string Money() {
+    return std::to_string(rng_.Range(1, 4999)) + "." +
+           std::to_string(rng_.Below(10)) + std::to_string(rng_.Below(10));
+  }
+
+  std::string Date() {
+    return std::to_string(rng_.Range(1, 12)) + "/" +
+           std::to_string(rng_.Range(1, 28)) + "/" +
+           std::to_string(rng_.Range(1999, 2010));
+  }
+
+  void Item(NodeId region, int id) {
+    NodeId item = Element(region, "item");
+    Attribute(item, "id", "item" + std::to_string(id));
+    NodeId location = Element(item, "location");
+    Text(location, Words(2));
+    NodeId name = Element(item, "name");
+    Text(name, Words(3));
+    NodeId payment = Element(item, "payment");
+    Text(payment, "Creditcard");
+    NodeId description = Element(item, "description");
+    NodeId text = Element(description, "text");
+    Text(text, Words(10 + rng_.Below(25)));
+    NodeId quantity = Element(item, "quantity");
+    Text(quantity, std::to_string(rng_.Range(1, 5)));
+  }
+
+  void Person(NodeId people, int id) {
+    NodeId person = Element(people, "person");
+    Attribute(person, "id", "person" + std::to_string(id));
+    NodeId name = Element(person, "name");
+    Text(name, PersonName());
+    NodeId email = Element(person, "emailaddress");
+    Text(email, "mailto:p" + std::to_string(id) + "@example.com");
+    if (rng_.Chance(0.6)) {
+      NodeId phone = Element(person, "phone");
+      Text(phone, "+39 " + std::to_string(rng_.Range(100000, 999999)));
+    }
+    if (rng_.Chance(0.5)) {
+      NodeId address = Element(person, "address");
+      NodeId street = Element(address, "street");
+      Text(street, std::to_string(rng_.Range(1, 99)) + " " + Words(1) +
+                       " St");
+      NodeId city = Element(address, "city");
+      Text(city, Words(1));
+      NodeId country = Element(address, "country");
+      Text(country, "Italy");
+    }
+  }
+
+  void Category(NodeId categories, int id) {
+    NodeId category = Element(categories, "category");
+    Attribute(category, "id", "category" + std::to_string(id));
+    NodeId name = Element(category, "name");
+    Text(name, Words(2));
+    NodeId description = Element(category, "description");
+    NodeId text = Element(description, "text");
+    Text(text, Words(8 + rng_.Below(12)));
+  }
+
+  void OpenAuction(NodeId auctions, int id, int num_people, int num_items) {
+    NodeId auction = Element(auctions, "open_auction");
+    Attribute(auction, "id", "open_auction" + std::to_string(id));
+    NodeId initial = Element(auction, "initial");
+    Text(initial, Money());
+    size_t bids = rng_.Below(5);
+    for (size_t b = 0; b < bids; ++b) {
+      NodeId bidder = Element(auction, "bidder");
+      NodeId time = Element(bidder, "time");
+      Text(time, Date());
+      NodeId ref = Element(bidder, "personref");
+      Attribute(ref, "person",
+                "person" + std::to_string(rng_.Below(
+                               static_cast<uint64_t>(num_people) + 1)));
+      NodeId increase = Element(bidder, "increase");
+      Text(increase, Money());
+    }
+    NodeId current = Element(auction, "current");
+    Text(current, Money());
+    NodeId itemref = Element(auction, "itemref");
+    Attribute(itemref, "item",
+              "item" + std::to_string(
+                           rng_.Below(static_cast<uint64_t>(num_items) + 1)));
+  }
+
+  void ClosedAuction(NodeId auctions, int id, int num_people,
+                     int num_items) {
+    NodeId auction = Element(auctions, "closed_auction");
+    Attribute(auction, "id", "closed_auction" + std::to_string(id));
+    NodeId seller = Element(auction, "seller");
+    Attribute(seller, "person",
+              "person" + std::to_string(rng_.Below(
+                             static_cast<uint64_t>(num_people) + 1)));
+    NodeId buyer = Element(auction, "buyer");
+    Attribute(buyer, "person",
+              "person" + std::to_string(rng_.Below(
+                             static_cast<uint64_t>(num_people) + 1)));
+    NodeId itemref = Element(auction, "itemref");
+    Attribute(itemref, "item",
+              "item" + std::to_string(
+                           rng_.Below(static_cast<uint64_t>(num_items) + 1)));
+    NodeId price = Element(auction, "price");
+    Text(price, Money());
+    NodeId date = Element(auction, "date");
+    Text(date, Date());
+    NodeId annotation = Element(auction, "annotation");
+    NodeId text = Element(annotation, "text");
+    Text(text, Words(6 + rng_.Below(14)));
+  }
+
+ private:
+  Document& doc_;
+  Rng& rng_;
+  size_t bytes_ = 0;
+};
+
+}  // namespace
+
+Result<Document> GenerateDocument(const Config& config) {
+  if (config.target_bytes < 1024) {
+    return Status::InvalidArgument("target size below 1 KiB");
+  }
+  Document doc;
+  Rng rng(config.seed);
+  Builder builder(&doc, &rng);
+
+  NodeId site = doc.NewElement("site");
+  XUPDATE_RETURN_IF_ERROR(doc.SetRoot(site));
+  NodeId regions = builder.Element(site, "regions");
+  std::array<NodeId, kRegions.size()> region_nodes;
+  for (size_t i = 0; i < kRegions.size(); ++i) {
+    region_nodes[i] = builder.Element(regions, kRegions[i]);
+  }
+  NodeId categories = builder.Element(site, "categories");
+  NodeId people = builder.Element(site, "people");
+  NodeId open_auctions = builder.Element(site, "open_auctions");
+  NodeId closed_auctions = builder.Element(site, "closed_auctions");
+
+  int items = 0;
+  int persons = 0;
+  int cats = 0;
+  int opens = 0;
+  int closeds = 0;
+  // Entity mix loosely follows XMark's proportions.
+  while (builder.bytes() < config.target_bytes) {
+    double roll = rng.NextDouble();
+    if (roll < 0.30) {
+      builder.Item(region_nodes[rng.Below(kRegions.size())], items++);
+    } else if (roll < 0.55) {
+      builder.Person(people, persons++);
+    } else if (roll < 0.62) {
+      builder.Category(categories, cats++);
+    } else if (roll < 0.85) {
+      builder.OpenAuction(open_auctions, opens++, persons, items);
+    } else {
+      builder.ClosedAuction(closed_auctions, closeds++, persons, items);
+    }
+  }
+  return doc;
+}
+
+Result<std::string> GenerateDocumentText(const Config& config) {
+  XUPDATE_ASSIGN_OR_RETURN(Document doc, GenerateDocument(config));
+  xml::SerializeOptions options;
+  options.with_ids = true;
+  return xml::SerializeDocument(doc, options);
+}
+
+}  // namespace xupdate::xmark

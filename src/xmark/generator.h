@@ -1,0 +1,33 @@
+#ifndef XUPDATE_XMARK_GENERATOR_H_
+#define XUPDATE_XMARK_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "xml/document.h"
+
+namespace xupdate::xmark {
+
+// Deterministic generator of XMark-style auction-site documents (the
+// paper's evaluation uses the XMark data generator; this reproduces the
+// same document family: regions with items, categories, people with
+// profiles, open and closed auctions with bids and free text).
+struct Config {
+  uint64_t seed = 42;
+  // Approximate size of the *plain* serialization in bytes. The
+  // id-annotated form the executor exchanges is larger (the paper makes
+  // the same observation about embedded ids/labels).
+  size_t target_bytes = 1 << 20;
+};
+
+// Generates the in-memory document.
+Result<xml::Document> GenerateDocument(const Config& config);
+
+// Generates and serializes with id annotations (the executor's exchange
+// format).
+Result<std::string> GenerateDocumentText(const Config& config);
+
+}  // namespace xupdate::xmark
+
+#endif  // XUPDATE_XMARK_GENERATOR_H_

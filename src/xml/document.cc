@@ -1,0 +1,544 @@
+#include "xml/document.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace xupdate::xml {
+
+char NodeTypeToChar(NodeType type) {
+  switch (type) {
+    case NodeType::kElement:
+      return 'e';
+    case NodeType::kAttribute:
+      return 'a';
+    case NodeType::kText:
+      return 't';
+  }
+  return '?';
+}
+
+bool NodeTypeFromChar(char c, NodeType* out) {
+  switch (c) {
+    case 'e':
+      *out = NodeType::kElement;
+      return true;
+    case 'a':
+      *out = NodeType::kAttribute;
+      return true;
+    case 't':
+      *out = NodeType::kText;
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string_view NodeTypeToString(NodeType type) {
+  switch (type) {
+    case NodeType::kElement:
+      return "element";
+    case NodeType::kAttribute:
+      return "attribute";
+    case NodeType::kText:
+      return "text";
+  }
+  return "unknown";
+}
+
+NodeId Document::Allocate(NodeType type, std::string_view name,
+                          std::string_view value) {
+  NodeId id = next_id_++;
+  NodeRecord rec;
+  rec.type = type;
+  rec.alive = true;
+  rec.name = name.empty() ? 0 : names_.Intern(name);
+  rec.value = std::string(value);
+  nodes_.emplace(id, std::move(rec));
+  return id;
+}
+
+NodeId Document::NewElement(std::string_view name) {
+  return Allocate(NodeType::kElement, name, "");
+}
+
+NodeId Document::NewText(std::string_view value) {
+  return Allocate(NodeType::kText, "", value);
+}
+
+NodeId Document::NewAttribute(std::string_view name,
+                              std::string_view value) {
+  return Allocate(NodeType::kAttribute, name, value);
+}
+
+Status Document::CreateWithId(NodeId id, NodeType type,
+                              std::string_view name,
+                              std::string_view value) {
+  if (id == kInvalidNode) {
+    return Status::InvalidArgument("node id 0 is reserved");
+  }
+  if (Exists(id)) {
+    return Status::InvalidArgument("node id already in use: " +
+                                   std::to_string(id));
+  }
+  NodeRecord rec;
+  rec.type = type;
+  rec.alive = true;
+  rec.name = name.empty() ? 0 : names_.Intern(name);
+  rec.value = std::string(value);
+  nodes_.emplace(id, std::move(rec));
+  if (id >= next_id_) next_id_ = id + 1;
+  return Status::OK();
+}
+
+Status Document::SetRoot(NodeId id) {
+  if (!Exists(id)) return Status::NotFound("root id does not exist");
+  if (Get(id).parent != kInvalidNode) {
+    return Status::InvalidArgument("root must be detached");
+  }
+  root_ = id;
+  return Status::OK();
+}
+
+Status Document::CheckInsertable(NodeId node) const {
+  if (!Exists(node)) return Status::NotFound("inserted node not found");
+  if (Get(node).parent != kInvalidNode) {
+    return Status::InvalidArgument("inserted node must be detached");
+  }
+  return Status::OK();
+}
+
+Status Document::AppendChild(NodeId parent, NodeId child) {
+  if (!Exists(parent)) return Status::NotFound("parent not found");
+  if (Get(parent).type != NodeType::kElement) {
+    return Status::NotApplicable("children can only attach to elements");
+  }
+  XUPDATE_RETURN_IF_ERROR(CheckInsertable(child));
+  if (Get(child).type == NodeType::kAttribute) {
+    return Status::NotApplicable("attribute cannot be a child");
+  }
+  Get(parent).children.push_back(child);
+  Get(child).parent = parent;
+  return Status::OK();
+}
+
+Status Document::PrependChild(NodeId parent, NodeId child) {
+  if (!Exists(parent)) return Status::NotFound("parent not found");
+  if (Get(parent).type != NodeType::kElement) {
+    return Status::NotApplicable("children can only attach to elements");
+  }
+  XUPDATE_RETURN_IF_ERROR(CheckInsertable(child));
+  if (Get(child).type == NodeType::kAttribute) {
+    return Status::NotApplicable("attribute cannot be a child");
+  }
+  auto& kids = Get(parent).children;
+  kids.insert(kids.begin(), child);
+  Get(child).parent = parent;
+  return Status::OK();
+}
+
+Status Document::InsertBefore(NodeId ref, NodeId node) {
+  if (!Exists(ref)) return Status::NotFound("reference node not found");
+  NodeId parent = Get(ref).parent;
+  if (parent == kInvalidNode) {
+    return Status::NotApplicable("reference node has no parent");
+  }
+  if (Get(ref).type == NodeType::kAttribute) {
+    return Status::NotApplicable("cannot insert siblings of an attribute");
+  }
+  XUPDATE_RETURN_IF_ERROR(CheckInsertable(node));
+  if (Get(node).type == NodeType::kAttribute) {
+    return Status::NotApplicable("attribute cannot be a sibling");
+  }
+  auto& kids = Get(parent).children;
+  auto it = std::find(kids.begin(), kids.end(), ref);
+  assert(it != kids.end());
+  kids.insert(it, node);
+  Get(node).parent = parent;
+  return Status::OK();
+}
+
+Status Document::InsertAfter(NodeId ref, NodeId node) {
+  if (!Exists(ref)) return Status::NotFound("reference node not found");
+  NodeId parent = Get(ref).parent;
+  if (parent == kInvalidNode) {
+    return Status::NotApplicable("reference node has no parent");
+  }
+  if (Get(ref).type == NodeType::kAttribute) {
+    return Status::NotApplicable("cannot insert siblings of an attribute");
+  }
+  XUPDATE_RETURN_IF_ERROR(CheckInsertable(node));
+  if (Get(node).type == NodeType::kAttribute) {
+    return Status::NotApplicable("attribute cannot be a sibling");
+  }
+  auto& kids = Get(parent).children;
+  auto it = std::find(kids.begin(), kids.end(), ref);
+  assert(it != kids.end());
+  kids.insert(it + 1, node);
+  Get(node).parent = parent;
+  return Status::OK();
+}
+
+Status Document::AddAttribute(NodeId element, NodeId attribute) {
+  if (!Exists(element)) return Status::NotFound("element not found");
+  if (Get(element).type != NodeType::kElement) {
+    return Status::NotApplicable("attributes can only attach to elements");
+  }
+  XUPDATE_RETURN_IF_ERROR(CheckInsertable(attribute));
+  if (Get(attribute).type != NodeType::kAttribute) {
+    return Status::NotApplicable("node is not an attribute");
+  }
+  Get(element).attributes.push_back(attribute);
+  Get(attribute).parent = element;
+  return Status::OK();
+}
+
+Status Document::Detach(NodeId id) {
+  if (!Exists(id)) return Status::NotFound("node not found");
+  NodeId parent = Get(id).parent;
+  if (parent == kInvalidNode) {
+    if (root_ == id) root_ = kInvalidNode;
+    return Status::OK();
+  }
+  auto& rec = Get(parent);
+  auto& list = Get(id).type == NodeType::kAttribute ? rec.attributes
+                                                    : rec.children;
+  auto it = std::find(list.begin(), list.end(), id);
+  assert(it != list.end());
+  list.erase(it);
+  Get(id).parent = kInvalidNode;
+  return Status::OK();
+}
+
+Status Document::DeleteSubtree(NodeId id) {
+  XUPDATE_RETURN_IF_ERROR(Detach(id));
+  // Erase records bottom-up; ids are never reused because next_id_ only
+  // grows.
+  std::vector<NodeId> stack = {id};
+  std::vector<NodeId> order;
+  while (!stack.empty()) {
+    NodeId v = stack.back();
+    stack.pop_back();
+    order.push_back(v);
+    const auto& rec = Get(v);
+    for (NodeId a : rec.attributes) stack.push_back(a);
+    for (NodeId c : rec.children) stack.push_back(c);
+  }
+  for (NodeId v : order) nodes_.erase(v);
+  return Status::OK();
+}
+
+Status Document::Rename(NodeId id, std::string_view name) {
+  if (!Exists(id)) return Status::NotFound("node not found");
+  if (Get(id).type == NodeType::kText) {
+    return Status::NotApplicable("text nodes have no name");
+  }
+  Get(id).name = names_.Intern(name);
+  return Status::OK();
+}
+
+Status Document::SetValue(NodeId id, std::string_view value) {
+  if (!Exists(id)) return Status::NotFound("node not found");
+  if (Get(id).type == NodeType::kElement) {
+    return Status::NotApplicable("element nodes have no direct value");
+  }
+  Get(id).value = std::string(value);
+  return Status::OK();
+}
+
+Status Document::ReplaceNode(NodeId target,
+                             std::span<const NodeId> replacements) {
+  if (!Exists(target)) return Status::NotFound("target not found");
+  NodeId parent = Get(target).parent;
+  bool is_attr = Get(target).type == NodeType::kAttribute;
+  for (NodeId r : replacements) {
+    XUPDATE_RETURN_IF_ERROR(CheckInsertable(r));
+    bool r_attr = Get(r).type == NodeType::kAttribute;
+    if (r_attr != is_attr) {
+      return Status::NotApplicable(
+          "replacement kind must match target kind (attribute vs not)");
+    }
+  }
+  if (parent == kInvalidNode) {
+    // Replacing a detached tree root (aggregation rule D6 on a parameter
+    // tree): only meaningful through ReplaceDetachedRoot handling at the
+    // caller; here we just delete the target.
+    if (!replacements.empty()) {
+      return Status::NotApplicable(
+          "cannot replace a parentless node with new content");
+    }
+    return DeleteSubtree(target);
+  }
+  auto& rec = Get(parent);
+  auto& list = is_attr ? rec.attributes : rec.children;
+  auto it = std::find(list.begin(), list.end(), target);
+  assert(it != list.end());
+  size_t pos = static_cast<size_t>(it - list.begin());
+  XUPDATE_RETURN_IF_ERROR(DeleteSubtree(target));
+  auto& list2 = is_attr ? Get(parent).attributes : Get(parent).children;
+  list2.insert(list2.begin() + static_cast<ptrdiff_t>(pos),
+               replacements.begin(), replacements.end());
+  for (NodeId r : replacements) Get(r).parent = parent;
+  return Status::OK();
+}
+
+Status Document::ReplaceChildren(NodeId element,
+                                 std::span<const NodeId> replacements) {
+  if (!Exists(element)) return Status::NotFound("element not found");
+  if (Get(element).type != NodeType::kElement) {
+    return Status::NotApplicable("repC target must be an element");
+  }
+  for (NodeId r : replacements) {
+    XUPDATE_RETURN_IF_ERROR(CheckInsertable(r));
+    if (Get(r).type == NodeType::kAttribute) {
+      return Status::NotApplicable("attribute cannot be a child");
+    }
+  }
+  std::vector<NodeId> old_children = Get(element).children;
+  for (NodeId c : old_children) XUPDATE_RETURN_IF_ERROR(DeleteSubtree(c));
+  for (NodeId r : replacements) {
+    XUPDATE_RETURN_IF_ERROR(AppendChild(element, r));
+  }
+  return Status::OK();
+}
+
+Result<NodeId> Document::AdoptSubtree(
+    const Document& src, NodeId src_root, bool preserve_ids,
+    std::unordered_map<NodeId, NodeId>* id_map) {
+  if (!src.Exists(src_root)) {
+    return Status::NotFound("source subtree root not found");
+  }
+  // Iterative copy preserving child/attribute order.
+  struct Frame {
+    NodeId src;
+    NodeId dst_parent;
+    bool as_attribute;
+  };
+  NodeId new_root = kInvalidNode;
+  std::vector<Frame> stack = {{src_root, kInvalidNode, false}};
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    const NodeRecord& rec = src.Get(f.src);
+    std::string_view nm = src.names_.Get(rec.name);
+    NodeId dst;
+    if (preserve_ids) {
+      XUPDATE_RETURN_IF_ERROR(CreateWithId(f.src, rec.type, nm, rec.value));
+      dst = f.src;
+    } else {
+      dst = Allocate(rec.type, nm, rec.value);
+    }
+    if (id_map != nullptr) (*id_map)[f.src] = dst;
+    if (f.dst_parent != kInvalidNode) {
+      if (f.as_attribute) {
+        XUPDATE_RETURN_IF_ERROR(AddAttribute(f.dst_parent, dst));
+      } else {
+        XUPDATE_RETURN_IF_ERROR(AppendChild(f.dst_parent, dst));
+      }
+    } else {
+      new_root = dst;
+    }
+    // Push children in reverse so they pop in order; attributes likewise.
+    for (auto it = rec.children.rbegin(); it != rec.children.rend(); ++it) {
+      stack.push_back({*it, dst, false});
+    }
+    for (auto it = rec.attributes.rbegin(); it != rec.attributes.rend();
+         ++it) {
+      stack.push_back({*it, dst, true});
+    }
+  }
+  return new_root;
+}
+
+int Document::Level(NodeId id) const {
+  int level = 0;
+  NodeId cur = Get(id).parent;
+  while (cur != kInvalidNode) {
+    ++level;
+    cur = Get(cur).parent;
+  }
+  return level;
+}
+
+bool Document::IsAncestor(NodeId anc, NodeId desc) const {
+  if (!Exists(anc) || !Exists(desc)) return false;
+  NodeId cur = Get(desc).parent;
+  while (cur != kInvalidNode) {
+    if (cur == anc) return true;
+    cur = Get(cur).parent;
+  }
+  return false;
+}
+
+std::vector<NodeId> Document::PathToRoot(NodeId id) const {
+  std::vector<NodeId> path;
+  NodeId cur = id;
+  while (cur != kInvalidNode) {
+    path.push_back(cur);
+    cur = Get(cur).parent;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+int Document::Compare(NodeId a, NodeId b) const {
+  if (a == b) return 0;
+  std::vector<NodeId> pa = PathToRoot(a);
+  std::vector<NodeId> pb = PathToRoot(b);
+  if (pa.front() != pb.front()) {
+    // Different detached trees: order by root id (arbitrary but total).
+    return pa.front() < pb.front() ? -1 : 1;
+  }
+  size_t i = 0;
+  while (i < pa.size() && i < pb.size() && pa[i] == pb[i]) ++i;
+  if (i == pa.size()) return -1;  // a is an ancestor of b
+  if (i == pb.size()) return 1;   // b is an ancestor of a
+  // Divergence below the common ancestor pa[i-1].
+  NodeId anc = pa[i - 1];
+  NodeId ca = pa[i];
+  NodeId cb = pb[i];
+  const NodeRecord& rec = Get(anc);
+  bool ca_attr = Get(ca).type == NodeType::kAttribute;
+  bool cb_attr = Get(cb).type == NodeType::kAttribute;
+  // An element's attributes precede its children in our total order.
+  if (ca_attr != cb_attr) return ca_attr ? -1 : 1;
+  const auto& list = ca_attr ? rec.attributes : rec.children;
+  for (NodeId c : list) {
+    if (c == ca) return -1;
+    if (c == cb) return 1;
+  }
+  assert(false && "siblings not found under common ancestor");
+  return 0;
+}
+
+int Document::ChildIndex(NodeId id) const {
+  NodeId parent = Get(id).parent;
+  if (parent == kInvalidNode) return -1;
+  if (Get(id).type == NodeType::kAttribute) return -1;
+  const auto& kids = Get(parent).children;
+  for (size_t i = 0; i < kids.size(); ++i) {
+    if (kids[i] == id) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void Document::Visit(NodeId start,
+                     const std::function<bool(NodeId)>& visitor) const {
+  std::vector<NodeId> stack = {start};
+  while (!stack.empty()) {
+    NodeId v = stack.back();
+    stack.pop_back();
+    if (!visitor(v)) return;
+    const NodeRecord& rec = Get(v);
+    for (auto it = rec.children.rbegin(); it != rec.children.rend(); ++it) {
+      stack.push_back(*it);
+    }
+    for (auto it = rec.attributes.rbegin(); it != rec.attributes.rend();
+         ++it) {
+      stack.push_back(*it);
+    }
+  }
+}
+
+std::vector<NodeId> Document::AllNodesInOrder() const {
+  std::vector<NodeId> out;
+  if (root_ == kInvalidNode) return out;
+  out.reserve(nodes_.size());
+  Visit(root_, [&](NodeId v) {
+    out.push_back(v);
+    return true;
+  });
+  return out;
+}
+
+Status Document::Validate() const {
+  for (const auto& [id, rec] : nodes_) {
+    if (!rec.alive) {
+      return Status::Internal("dead record retained for node " +
+                              std::to_string(id));
+    }
+    if (rec.parent != kInvalidNode) {
+      auto it = nodes_.find(rec.parent);
+      if (it == nodes_.end()) {
+        return Status::Internal("dangling parent for node " +
+                                std::to_string(id));
+      }
+      const auto& plist = rec.type == NodeType::kAttribute
+                              ? it->second.attributes
+                              : it->second.children;
+      if (std::find(plist.begin(), plist.end(), id) == plist.end()) {
+        return Status::Internal("parent does not list node " +
+                                std::to_string(id));
+      }
+    }
+    for (NodeId c : rec.children) {
+      auto it = nodes_.find(c);
+      if (it == nodes_.end() || it->second.parent != id) {
+        return Status::Internal("child link broken at node " +
+                                std::to_string(id));
+      }
+      if (it->second.type == NodeType::kAttribute) {
+        return Status::Internal("attribute stored as child of node " +
+                                std::to_string(id));
+      }
+    }
+    for (NodeId a : rec.attributes) {
+      auto it = nodes_.find(a);
+      if (it == nodes_.end() || it->second.parent != id ||
+          it->second.type != NodeType::kAttribute) {
+        return Status::Internal("attribute link broken at node " +
+                                std::to_string(id));
+      }
+    }
+    if (rec.type != NodeType::kElement &&
+        (!rec.children.empty() || !rec.attributes.empty())) {
+      return Status::Internal("non-element node with children");
+    }
+  }
+  if (root_ != kInvalidNode) {
+    auto it = nodes_.find(root_);
+    if (it == nodes_.end() || it->second.parent != kInvalidNode) {
+      return Status::Internal("invalid document root");
+    }
+  }
+  return Status::OK();
+}
+
+bool Document::SubtreeEquals(const Document& a, NodeId ra,
+                             const Document& b, NodeId rb,
+                             bool compare_ids) {
+  if (!a.Exists(ra) || !b.Exists(rb)) return false;
+  if (compare_ids && ra != rb) return false;
+  const NodeRecord& na = a.Get(ra);
+  const NodeRecord& nb = b.Get(rb);
+  if (na.type != nb.type) return false;
+  if (a.names_.Get(na.name) != b.names_.Get(nb.name)) return false;
+  if (na.value != nb.value) return false;
+  if (na.children.size() != nb.children.size()) return false;
+  if (na.attributes.size() != nb.attributes.size()) return false;
+  for (size_t i = 0; i < na.children.size(); ++i) {
+    if (!SubtreeEquals(a, na.children[i], b, nb.children[i], compare_ids)) {
+      return false;
+    }
+  }
+  // Attribute order is irrelevant: match by name.
+  for (NodeId aa : na.attributes) {
+    bool matched = false;
+    for (NodeId ba : nb.attributes) {
+      if (a.names_.Get(a.Get(aa).name) != b.names_.Get(b.Get(ba).name)) {
+        continue;
+      }
+      if (SubtreeEquals(a, aa, b, ba, compare_ids)) {
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) return false;
+  }
+  return true;
+}
+
+void Document::ReserveIdsBelow(NodeId floor) {
+  if (next_id_ < floor) next_id_ = floor;
+}
+
+}  // namespace xupdate::xml

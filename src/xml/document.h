@@ -1,0 +1,177 @@
+#ifndef XUPDATE_XML_DOCUMENT_H_
+#define XUPDATE_XML_DOCUMENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "xml/name_pool.h"
+#include "xml/node.h"
+
+namespace xupdate::xml {
+
+// Mutable XML document / forest following the paper's tree model
+// D = (V, γ, λ, ν) (§2.1):
+//  * V       — the set of live nodes (elements, attributes, texts);
+//  * γ       — children(), attributes();
+//  * λ, ν    — name(), value().
+//
+// Identity rules (paper §4.1): every node has a unique id, ids are never
+// reused, and deleting a node does not free its id. A Document may hold
+// several detached trees at once (update-operation parameters are forests
+// living in the producer's id space), but at most one node is designated
+// as *the* root.
+//
+// The class is copyable: obtainable-set enumeration (Definition 2) and
+// the aggregation rule D6 both need independent snapshots.
+class Document {
+ public:
+  Document() = default;
+
+  Document(const Document&) = default;
+  Document& operator=(const Document&) = default;
+  Document(Document&&) noexcept = default;
+  Document& operator=(Document&&) noexcept = default;
+
+  // --- Node creation -----------------------------------------------------
+
+  // Creates a detached node with a fresh id.
+  NodeId NewElement(std::string_view name);
+  NodeId NewText(std::string_view value);
+  NodeId NewAttribute(std::string_view name, std::string_view value);
+
+  // Creates a detached node with a caller-chosen id (used when
+  // materializing PUL parameter trees whose ids were assigned by a
+  // producer). Fails if the id is 0 or already present.
+  Status CreateWithId(NodeId id, NodeType type, std::string_view name,
+                      std::string_view value);
+
+  // --- Root --------------------------------------------------------------
+
+  Status SetRoot(NodeId id);
+  NodeId root() const { return root_; }
+
+  // --- Accessors ----------------------------------------------------------
+
+  bool Exists(NodeId id) const { return nodes_.count(id) != 0; }
+  NodeType type(NodeId id) const { return Get(id).type; }
+  NodeId parent(NodeId id) const { return Get(id).parent; }
+  std::string_view name(NodeId id) const {
+    return names_.Get(Get(id).name);
+  }
+  const std::string& value(NodeId id) const { return Get(id).value; }
+  const std::vector<NodeId>& children(NodeId id) const {
+    return Get(id).children;
+  }
+  const std::vector<NodeId>& attributes(NodeId id) const {
+    return Get(id).attributes;
+  }
+  size_t node_count() const { return nodes_.size(); }
+
+  // --- Structural edits ---------------------------------------------------
+  // All edits require `child`/`node` to exist; insertion requires the
+  // inserted node to be detached (no parent).
+
+  Status AppendChild(NodeId parent, NodeId child);
+  Status PrependChild(NodeId parent, NodeId child);
+  // Inserts `node` as sibling immediately before/after `ref`.
+  Status InsertBefore(NodeId ref, NodeId node);
+  Status InsertAfter(NodeId ref, NodeId node);
+  Status AddAttribute(NodeId element, NodeId attribute);
+
+  // Unlinks `id` from its parent; the subtree stays alive and detached.
+  Status Detach(NodeId id);
+  // Detaches and erases the whole subtree (ids are never reused).
+  Status DeleteSubtree(NodeId id);
+
+  Status Rename(NodeId id, std::string_view name);
+  Status SetValue(NodeId id, std::string_view value);
+
+  // Replaces `target` with the detached nodes in `replacements`
+  // (possibly none), preserving position; the old subtree is erased.
+  Status ReplaceNode(NodeId target, std::span<const NodeId> replacements);
+
+  // Deletes all children (not attributes) of `element` and appends the
+  // detached `replacements`. The spec's repC takes a single optional text
+  // node; we accept a list (see DESIGN.md on the repC generalization).
+  Status ReplaceChildren(NodeId element,
+                         std::span<const NodeId> replacements);
+
+  // --- Cross-document copies ----------------------------------------------
+
+  // Deep-copies the subtree rooted at `src_root` of `src` into this
+  // document. If `preserve_ids` is true the source ids are kept (fails on
+  // clash); otherwise fresh ids are assigned. `id_map`, when non-null,
+  // receives src-id -> new-id for every copied node. Returns the new root.
+  Result<NodeId> AdoptSubtree(const Document& src, NodeId src_root,
+                              bool preserve_ids,
+                              std::unordered_map<NodeId, NodeId>* id_map);
+
+  // --- Order and structure queries (ground truth for label predicates) ----
+
+  // 0-based depth of `id`; 0 for a tree root.
+  int Level(NodeId id) const;
+  // True if `anc` is a proper ancestor of `desc`.
+  bool IsAncestor(NodeId anc, NodeId desc) const;
+  // Document order: -1 if a < b, 0 if a == b, +1 if a > b. An element
+  // precedes its attributes, which precede its children. Nodes in
+  // different detached trees are ordered by their tree roots' ids.
+  int Compare(NodeId a, NodeId b) const;
+  // Index of `id` within its parent's child list, or -1 if detached /
+  // an attribute.
+  int ChildIndex(NodeId id) const;
+
+  // --- Traversal -----------------------------------------------------------
+
+  // Preorder visit of the subtree at `start` (element, then its
+  // attributes, then children). Visitor returns false to stop early.
+  void Visit(NodeId start,
+             const std::function<bool(NodeId)>& visitor) const;
+
+  // All live node ids of the tree rooted at root() in document order.
+  std::vector<NodeId> AllNodesInOrder() const;
+
+  // --- Validation / equality -----------------------------------------------
+
+  // Checks internal invariants (parent/child symmetry, liveness, root);
+  // used by tests and debug assertions.
+  Status Validate() const;
+
+  // Structural equality of two subtrees, optionally also requiring node
+  // ids to match. Attribute order is irrelevant (paper Fig. 1).
+  static bool SubtreeEquals(const Document& a, NodeId ra,
+                            const Document& b, NodeId rb,
+                            bool compare_ids);
+
+  // Upper bound on ids handed out so far; fresh ids are > this.
+  NodeId max_assigned_id() const { return next_id_ - 1; }
+
+  // Makes this document allocate ids starting at `floor` (if beyond the
+  // current counter). Producers use disjoint id spaces (§4.1).
+  void ReserveIdsBelow(NodeId floor);
+
+ private:
+  const NodeRecord& Get(NodeId id) const { return nodes_.at(id); }
+  NodeRecord& Get(NodeId id) { return nodes_.at(id); }
+
+  NodeId Allocate(NodeType type, std::string_view name,
+                  std::string_view value);
+  Status CheckInsertable(NodeId node) const;
+  // Root-to-node path (inclusive).
+  std::vector<NodeId> PathToRoot(NodeId id) const;
+
+  std::unordered_map<NodeId, NodeRecord> nodes_;
+  NamePool names_;
+  NodeId root_ = kInvalidNode;
+  NodeId next_id_ = 1;
+};
+
+}  // namespace xupdate::xml
+
+#endif  // XUPDATE_XML_DOCUMENT_H_

@@ -1,0 +1,34 @@
+#ifndef XUPDATE_XML_PARSER_H_
+#define XUPDATE_XML_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "xml/document.h"
+#include "xml/sax.h"
+
+namespace xupdate::xml {
+
+struct ParseOptions {
+  SaxOptions sax;
+  // Honor `xu:ids` annotations (see SerializeOptions::with_ids),
+  // reconstructing the exact node-id assignment; the annotation
+  // attribute itself is not materialized as a document node. Documents
+  // must be either fully annotated or not annotated at all — a clash
+  // between an explicit id and an auto-assigned one is a parse error.
+  bool read_ids = true;
+};
+
+// Parses `input` into a Document (the root element becomes the document
+// root).
+Result<Document> ParseDocument(std::string_view input,
+                               const ParseOptions& options = {});
+
+// Parses `input` as a standalone fragment into `doc` without touching
+// doc's root; returns the id of the fragment's (detached) root element.
+Result<NodeId> ParseFragment(Document* doc, std::string_view input,
+                             const ParseOptions& options = {});
+
+}  // namespace xupdate::xml
+
+#endif  // XUPDATE_XML_PARSER_H_

@@ -1,0 +1,86 @@
+#ifndef XUPDATE_XML_SAX_H_
+#define XUPDATE_XML_SAX_H_
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xupdate::xml {
+
+// One attribute as seen by the SAX layer (value already unescaped).
+struct SaxAttribute {
+  std::string name;
+  std::string value;
+};
+
+// Receiver of SAX events. The streaming PUL evaluator (§4.3 of the
+// paper: "a specialized SAX parser and writer") is implemented as a
+// SaxHandler that rewrites the event stream on the fly.
+class SaxHandler {
+ public:
+  virtual ~SaxHandler() = default;
+
+  virtual Status StartElement(std::string_view name,
+                              std::span<const SaxAttribute> attributes) = 0;
+  virtual Status EndElement(std::string_view name) = 0;
+  virtual Status Text(std::string_view text) = 0;
+  // Processing instruction <?target data?>. The id-annotated document
+  // format uses <?xuid N?> to tag the following text node with its node
+  // id; most handlers can ignore PIs (default: skip).
+  virtual Status ProcessingInstruction(std::string_view target,
+                                       std::string_view data) {
+    (void)target;
+    (void)data;
+    return Status::OK();
+  }
+};
+
+struct SaxOptions {
+  // Drop text nodes consisting only of whitespace (data-centric XML).
+  bool keep_whitespace_text = false;
+};
+
+// Non-validating single-pass parser over `input`. Element/attribute
+// syntax, character data, CDATA, comments, processing instructions and a
+// DOCTYPE prolog are recognized; namespaces are treated as plain colons
+// in names. Stops at the first error or the first non-OK handler status.
+Status ParseSax(std::string_view input, SaxHandler* handler,
+                const SaxOptions& options = {});
+
+// Serializes a stream of SAX events back to XML text.
+class SaxWriter : public SaxHandler {
+ public:
+  explicit SaxWriter(bool pretty = false) : pretty_(pretty) {}
+
+  Status StartElement(std::string_view name,
+                      std::span<const SaxAttribute> attributes) override;
+  Status EndElement(std::string_view name) override;
+  Status Text(std::string_view text) override;
+  Status ProcessingInstruction(std::string_view target,
+                               std::string_view data) override;
+
+  // Appends pre-serialized XML verbatim (used by the streaming PUL
+  // evaluator to splice serialized parameter trees into the stream).
+  void Raw(std::string_view xml_text);
+
+  // The document produced so far. Call after the last EndElement.
+  const std::string& str() const { return out_; }
+  std::string TakeString() { return std::move(out_); }
+
+ private:
+  void CloseOpenTag(bool self_close);
+  void Indent();
+
+  std::string out_;
+  bool pretty_;
+  bool tag_open_ = false;      // "<name ..." emitted, '>' pending
+  bool just_text_ = false;     // last event was text (suppress indent)
+  int depth_ = 0;
+};
+
+}  // namespace xupdate::xml
+
+#endif  // XUPDATE_XML_SAX_H_

@@ -1,0 +1,84 @@
+#include "xml/serializer.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "xml/sax.h"
+
+namespace xupdate::xml {
+
+namespace {
+
+// Builds the xu:ids annotation for `element`; `attrs` is the attribute
+// list in the order it is being serialized (the annotation is
+// positional). Text-child ids are emitted separately as <?xuid N?>
+// markers so the format can be produced by a streaming writer.
+std::string BuildIdsAnnotation(NodeId element,
+                               const std::vector<NodeId>& attrs) {
+  std::string out = std::to_string(element);
+  if (!attrs.empty()) {
+    out += ';';
+    for (size_t i = 0; i < attrs.size(); ++i) {
+      if (i > 0) out += ',';
+      out += std::to_string(attrs[i]);
+    }
+  }
+  return out;
+}
+
+Status EmitSubtree(const Document& doc, NodeId node, SaxWriter* writer,
+                   const SerializeOptions& options) {
+  if (doc.type(node) == NodeType::kText) {
+    if (options.with_ids) {
+      XUPDATE_RETURN_IF_ERROR(
+          writer->ProcessingInstruction("xuid", std::to_string(node)));
+    }
+    return writer->Text(doc.value(node));
+  }
+  if (doc.type(node) != NodeType::kElement) {
+    return Status::InvalidArgument(
+        "only element and text nodes serialize inline");
+  }
+  std::vector<SaxAttribute> attrs;
+  std::vector<NodeId> attr_ids(doc.attributes(node).begin(),
+                               doc.attributes(node).end());
+  if (options.canonical_attributes) {
+    std::sort(attr_ids.begin(), attr_ids.end(),
+              [&](NodeId a, NodeId b) { return doc.name(a) < doc.name(b); });
+  }
+  for (NodeId a : attr_ids) {
+    attrs.push_back({std::string(doc.name(a)), doc.value(a)});
+  }
+  if (options.with_ids) {
+    attrs.push_back({kIdsAttributeName, BuildIdsAnnotation(node, attr_ids)});
+  }
+  XUPDATE_RETURN_IF_ERROR(writer->StartElement(doc.name(node), attrs));
+  for (NodeId c : doc.children(node)) {
+    XUPDATE_RETURN_IF_ERROR(EmitSubtree(doc, c, writer, options));
+  }
+  return writer->EndElement(doc.name(node));
+}
+
+}  // namespace
+
+Result<std::string> SerializeSubtree(const Document& doc, NodeId root,
+                                     const SerializeOptions& options) {
+  if (!doc.Exists(root)) return Status::NotFound("subtree root not found");
+  if (doc.type(root) != NodeType::kElement) {
+    return Status::InvalidArgument("subtree root must be an element");
+  }
+  SaxWriter writer(options.pretty);
+  XUPDATE_RETURN_IF_ERROR(EmitSubtree(doc, root, &writer, options));
+  return writer.TakeString();
+}
+
+Result<std::string> SerializeDocument(const Document& doc,
+                                      const SerializeOptions& options) {
+  if (doc.root() == kInvalidNode) {
+    return Status::InvalidArgument("document has no root");
+  }
+  return SerializeSubtree(doc, doc.root(), options);
+}
+
+}  // namespace xupdate::xml

@@ -1,0 +1,84 @@
+#ifndef XUPDATE_XQUERY_AST_H_
+#define XUPDATE_XQUERY_AST_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace xupdate::xquery {
+
+// Node test of one path step.
+struct NameTest {
+  enum class Kind {
+    kElement,       // name
+    kAnyElement,    // *
+    kAttribute,     // @name
+    kAnyAttribute,  // @*
+    kText,          // text()
+  };
+  Kind kind = Kind::kElement;
+  std::string name;
+};
+
+// Step predicate: [3], [last()], [rel/path],
+// [rel/path = "value"] or [rel/path != "value"].
+struct Predicate {
+  enum class Kind { kPosition, kLast, kExists, kEquals, kNotEquals };
+  Kind kind = Kind::kPosition;
+  int64_t position = 0;               // kPosition (1-based)
+  std::vector<NameTest> rel_path;     // kExists / kEquals
+  std::string value;                  // kEquals
+};
+
+// One step: axis (child or descendant-or-self shorthand //), node test,
+// predicates.
+struct Step {
+  bool descendant = false;  // true when reached via "//"
+  NameTest test;
+  std::vector<Predicate> predicates;
+};
+
+// Absolute location path.
+struct PathExpr {
+  std::vector<Step> steps;
+};
+
+// The five XQuery Update Facility updating expressions, with the
+// insertion-position variants spelled out.
+enum class UpdateVerb {
+  kInsertInto,
+  kInsertFirst,
+  kInsertLast,
+  kInsertBefore,
+  kInsertAfter,
+  kInsertAttributes,
+  kDelete,
+  kReplaceNode,
+  kReplaceValue,  // "replace value of node": repV, or repC on elements
+  kRename,
+};
+
+struct UpdateExpr {
+  UpdateVerb verb = UpdateVerb::kDelete;
+  PathExpr path;
+  // Raw XML of the content sequence for the tree-insertion verbs and
+  // replace-node (re-parsed per target so every target gets its own
+  // fresh-id clone, per the XQUF content-cloning semantics).
+  std::string content_xml;
+  // Name/value pairs for "insert attributes".
+  std::vector<std::pair<std::string, std::string>> attributes;
+  // replace-value / rename argument.
+  std::string string_arg;
+};
+
+// A comma-separated sequence of updating expressions, evaluated with
+// snapshot semantics: all paths resolve against the original document
+// and the per-expression PULs merge into one.
+struct UpdateScript {
+  std::vector<UpdateExpr> expressions;
+};
+
+}  // namespace xupdate::xquery
+
+#endif  // XUPDATE_XQUERY_AST_H_

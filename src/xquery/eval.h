@@ -1,0 +1,47 @@
+#ifndef XUPDATE_XQUERY_EVAL_H_
+#define XUPDATE_XQUERY_EVAL_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "label/labeling.h"
+#include "pul/pul.h"
+#include "xml/document.h"
+#include "xquery/ast.h"
+
+namespace xupdate::xquery {
+
+// Evaluates an absolute path over `doc`, returning the matching nodes in
+// document order (deduplicated).
+Result<std::vector<xml::NodeId>> EvaluatePath(const xml::Document& doc,
+                                              const PathExpr& path);
+
+// A producer session: the document replica the producer checked out,
+// its label table and its assigned id space (§4.1).
+struct ProducerContext {
+  const xml::Document* doc = nullptr;
+  const label::Labeling* labeling = nullptr;
+  // First id this producer may assign to nodes it creates; 0 means
+  // "right after the document's ids".
+  xml::NodeId id_base = 0;
+  // Desiderata attached to the produced PULs (§4.2).
+  pul::Policies policies;
+};
+
+// Evaluates an update script with XQUF snapshot semantics: every path is
+// resolved against the unmodified document, one primitive is emitted per
+// target node (content is cloned per target with fresh producer-space
+// ids), and the per-expression lists merge into the returned PUL.
+// Fails if the merge would contain incompatible operations, mirroring
+// upd:mergeUpdates.
+Result<pul::Pul> EvaluateUpdate(const UpdateScript& script,
+                                const ProducerContext& context);
+
+// Convenience: parse + evaluate.
+Result<pul::Pul> ProducePul(std::string_view update_text,
+                            const ProducerContext& context);
+
+}  // namespace xupdate::xquery
+
+#endif  // XUPDATE_XQUERY_EVAL_H_

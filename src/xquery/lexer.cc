@@ -1,0 +1,239 @@
+#include "xquery/lexer.h"
+
+#include <cctype>
+
+namespace xupdate::xquery {
+
+namespace {
+
+bool IsNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+bool IsNameChar(char c) {
+  return IsNameStart(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+         c == '.' || c == '-';
+}
+
+}  // namespace
+
+void Lexer::SkipWhitespace() {
+  while (pos_ < input_.size() &&
+         (input_[pos_] == ' ' || input_[pos_] == '\t' ||
+          input_[pos_] == '\r' || input_[pos_] == '\n')) {
+    ++pos_;
+  }
+}
+
+Status Lexer::ErrorHere(std::string message) const {
+  size_t at = has_token_ ? token_start_ : pos_;
+  return Status::ParseError(message + " at offset " + std::to_string(at) +
+                            " of update expression");
+}
+
+Status Lexer::Scan() {
+  SkipWhitespace();
+  token_start_ = pos_;
+  current_ = Token();
+  if (pos_ >= input_.size()) {
+    current_.kind = TokenKind::kEnd;
+    has_token_ = true;
+    return Status::OK();
+  }
+  char c = input_[pos_];
+  if (c == '/') {
+    ++pos_;
+    if (pos_ < input_.size() && input_[pos_] == '/') {
+      ++pos_;
+      current_.kind = TokenKind::kDoubleSlash;
+    } else {
+      current_.kind = TokenKind::kSlash;
+    }
+  } else if (c == '@') {
+    ++pos_;
+    current_.kind = TokenKind::kAt;
+  } else if (c == '*') {
+    ++pos_;
+    current_.kind = TokenKind::kStar;
+  } else if (c == '[') {
+    ++pos_;
+    current_.kind = TokenKind::kLBracket;
+  } else if (c == ']') {
+    ++pos_;
+    current_.kind = TokenKind::kRBracket;
+  } else if (c == '=') {
+    ++pos_;
+    current_.kind = TokenKind::kEquals;
+  } else if (c == '!' && pos_ + 1 < input_.size() &&
+             input_[pos_ + 1] == '=') {
+    pos_ += 2;
+    current_.kind = TokenKind::kNotEquals;
+  } else if (c == ',') {
+    ++pos_;
+    current_.kind = TokenKind::kComma;
+  } else if (c == '"' || c == '\'') {
+    char quote = c;
+    ++pos_;
+    std::string text;
+    while (pos_ < input_.size() && input_[pos_] != quote) {
+      text += input_[pos_++];
+    }
+    if (pos_ >= input_.size()) {
+      return Status::ParseError("unterminated string literal at offset " +
+                                std::to_string(token_start_));
+    }
+    ++pos_;  // closing quote
+    current_.kind = TokenKind::kString;
+    current_.text = std::move(text);
+  } else if (std::isdigit(static_cast<unsigned char>(c))) {
+    int64_t value = 0;
+    while (pos_ < input_.size() &&
+           std::isdigit(static_cast<unsigned char>(input_[pos_]))) {
+      value = value * 10 + (input_[pos_++] - '0');
+    }
+    current_.kind = TokenKind::kInteger;
+    current_.number = value;
+  } else if (IsNameStart(c)) {
+    std::string name;
+    while (pos_ < input_.size() && IsNameChar(input_[pos_])) {
+      name += input_[pos_++];
+    }
+    // Recognize the node-test function forms.
+    if ((name == "text" || name == "last") && pos_ + 1 < input_.size() &&
+        input_[pos_] == '(' && input_[pos_ + 1] == ')') {
+      pos_ += 2;
+      current_.kind =
+          name == "text" ? TokenKind::kTextTest : TokenKind::kLastTest;
+    } else {
+      current_.kind = TokenKind::kName;
+      current_.text = std::move(name);
+    }
+  } else {
+    return Status::ParseError(std::string("unexpected character '") + c +
+                              "' at offset " + std::to_string(pos_));
+  }
+  has_token_ = true;
+  return Status::OK();
+}
+
+Result<Token> Lexer::Peek() {
+  if (!has_token_) {
+    XUPDATE_RETURN_IF_ERROR(Scan());
+  }
+  return current_;
+}
+
+Result<Token> Lexer::Next() {
+  XUPDATE_ASSIGN_OR_RETURN(Token token, Peek());
+  has_token_ = false;
+  return token;
+}
+
+bool Lexer::ConsumeKeyword(std::string_view keyword) {
+  auto token = Peek();
+  if (!token.ok()) return false;
+  if (token->kind == TokenKind::kName && token->text == keyword) {
+    has_token_ = false;
+    return true;
+  }
+  return false;
+}
+
+bool Lexer::ConsumeKind(TokenKind kind) {
+  auto token = Peek();
+  if (!token.ok()) return false;
+  if (token->kind == kind) {
+    has_token_ = false;
+    return true;
+  }
+  return false;
+}
+
+bool Lexer::AtXmlContent() {
+  if (has_token_) return false;  // a token was already scanned past '<'
+  size_t save = pos_;
+  SkipWhitespace();
+  bool at = pos_ < input_.size() && input_[pos_] == '<';
+  pos_ = save;
+  return at;
+}
+
+Result<std::string> Lexer::ScanXmlContent() {
+  if (has_token_) {
+    return Status::ParseError("internal: token lookahead before content");
+  }
+  SkipWhitespace();
+  if (pos_ >= input_.size() || input_[pos_] != '<') {
+    return ErrorHere("expected XML content");
+  }
+  size_t begin = pos_;
+  int depth = 0;
+  bool any_element = false;
+  while (pos_ < input_.size()) {
+    char c = input_[pos_];
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      ++pos_;
+      while (pos_ < input_.size() && input_[pos_] != quote) ++pos_;
+      if (pos_ >= input_.size()) {
+        return Status::ParseError("unterminated quote in XML content");
+      }
+      ++pos_;
+      continue;
+    }
+    if (c == '<') {
+      if (pos_ + 1 < input_.size() && input_[pos_ + 1] == '/') {
+        --depth;
+        while (pos_ < input_.size() && input_[pos_] != '>') ++pos_;
+        if (pos_ >= input_.size()) {
+          return Status::ParseError("unterminated end tag in XML content");
+        }
+        ++pos_;
+      } else {
+        any_element = true;
+        // Start tag: scan to '>' honoring quotes; detect self-closing.
+        ++pos_;
+        bool self_close = false;
+        while (pos_ < input_.size() && input_[pos_] != '>') {
+          char d = input_[pos_];
+          if (d == '"' || d == '\'') {
+            ++pos_;
+            while (pos_ < input_.size() && input_[pos_] != d) ++pos_;
+            if (pos_ >= input_.size()) {
+              return Status::ParseError(
+                  "unterminated attribute in XML content");
+            }
+          }
+          self_close = input_[pos_] == '/';
+          ++pos_;
+        }
+        if (pos_ >= input_.size()) {
+          return Status::ParseError("unterminated start tag in XML content");
+        }
+        ++pos_;  // '>'
+        if (!self_close) ++depth;
+      }
+      if (depth == 0) {
+        // A complete element just closed; continue only if another
+        // sibling constructor follows immediately.
+        size_t save = pos_;
+        SkipWhitespace();
+        if (pos_ < input_.size() && input_[pos_] == '<' &&
+            pos_ + 1 < input_.size() && input_[pos_ + 1] != '/') {
+          continue;
+        }
+        pos_ = save;
+        break;
+      }
+      continue;
+    }
+    if (depth == 0) break;
+    ++pos_;
+  }
+  if (depth != 0 || !any_element) {
+    return Status::ParseError("unbalanced XML content in update expression");
+  }
+  return std::string(input_.substr(begin, pos_ - begin));
+}
+
+}  // namespace xupdate::xquery

@@ -1,0 +1,75 @@
+#ifndef XUPDATE_XQUERY_LEXER_H_
+#define XUPDATE_XQUERY_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace xupdate::xquery {
+
+enum class TokenKind {
+  kName,        // identifier / keyword (case-sensitive keywords)
+  kString,      // 'sq' or "dq" quoted
+  kInteger,
+  kSlash,       // /
+  kDoubleSlash, // //
+  kAt,          // @
+  kStar,        // *
+  kLBracket,    // [
+  kRBracket,    // ]
+  kEquals,      // =
+  kNotEquals,   // !=
+  kComma,       // ,
+  kTextTest,    // text()
+  kLastTest,    // last()
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;   // name / string contents
+  int64_t number = 0; // integer value
+};
+
+// Hand-rolled tokenizer for the update-expression language. XML content
+// literals are not tokenized here: the parser calls ScanXmlContent()
+// when the grammar expects content and the next character is '<'.
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input) : input_(input) {}
+
+  // Current token (scans lazily).
+  Result<Token> Peek();
+  // Consumes and returns the current token.
+  Result<Token> Next();
+  // True and consumes if the current token is a name equal to `keyword`.
+  bool ConsumeKeyword(std::string_view keyword);
+  // True and consumes if the current token has `kind`.
+  bool ConsumeKind(TokenKind kind);
+
+  // Scans a balanced run of XML element constructors (one or more
+  // sibling elements) starting at the next non-space character, which
+  // must be '<'. Returns the raw XML text.
+  Result<std::string> ScanXmlContent();
+
+  // True if the next non-space character begins an XML constructor.
+  bool AtXmlContent();
+
+  Status ErrorHere(std::string message) const;
+
+ private:
+  Status Scan();
+  void SkipWhitespace();
+
+  std::string_view input_;
+  size_t pos_ = 0;
+  bool has_token_ = false;
+  Token current_;
+  size_t token_start_ = 0;
+};
+
+}  // namespace xupdate::xquery
+
+#endif  // XUPDATE_XQUERY_LEXER_H_

@@ -1,0 +1,343 @@
+#include "xquery/parser.h"
+
+#include "xquery/lexer.h"
+
+namespace xupdate::xquery {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : lexer_(input) {}
+
+  Result<UpdateScript> ParseScript();
+  Result<PathExpr> ParseWholePath();
+
+ private:
+  Result<UpdateExpr> ParseExpr();
+  Result<UpdateExpr> ParseInsert();
+  Result<UpdateExpr> ParseDelete();
+  Result<UpdateExpr> ParseReplace();
+  Result<UpdateExpr> ParseRename();
+  Result<PathExpr> ParsePathExpr();
+  Result<Step> ParseStep(bool descendant);
+  Result<Predicate> ParsePredicate();
+  Result<std::vector<NameTest>> ParseRelPath();
+  // Content: XML constructors or a quoted string (one text node).
+  Result<std::string> ParseContent(bool* is_text, std::string* text_value);
+  Status Expect(std::string_view keyword);
+
+  Lexer lexer_;
+};
+
+Status Parser::Expect(std::string_view keyword) {
+  if (!lexer_.ConsumeKeyword(keyword)) {
+    return lexer_.ErrorHere("expected '" + std::string(keyword) + "'");
+  }
+  return Status::OK();
+}
+
+Result<std::string> Parser::ParseContent(bool* is_text,
+                                         std::string* text_value) {
+  if (lexer_.AtXmlContent()) {
+    *is_text = false;
+    return lexer_.ScanXmlContent();
+  }
+  XUPDATE_ASSIGN_OR_RETURN(Token token, lexer_.Peek());
+  if (token.kind == TokenKind::kString) {
+    (void)lexer_.Next();
+    *is_text = true;
+    *text_value = token.text;
+    return std::string();
+  }
+  return lexer_.ErrorHere("expected XML content or string literal");
+}
+
+Result<UpdateExpr> Parser::ParseInsert() {
+  UpdateExpr expr;
+  if (lexer_.ConsumeKeyword("attribute") ||
+      lexer_.ConsumeKeyword("attributes")) {
+    expr.verb = UpdateVerb::kInsertAttributes;
+    for (;;) {
+      XUPDATE_ASSIGN_OR_RETURN(Token token, lexer_.Peek());
+      if (token.kind != TokenKind::kName || token.text == "into") break;
+      (void)lexer_.Next();
+      if (!lexer_.ConsumeKind(TokenKind::kEquals)) {
+        return lexer_.ErrorHere("expected '=' after attribute name");
+      }
+      XUPDATE_ASSIGN_OR_RETURN(Token value, lexer_.Next());
+      if (value.kind != TokenKind::kString) {
+        return lexer_.ErrorHere("expected quoted attribute value");
+      }
+      expr.attributes.emplace_back(token.text, value.text);
+    }
+    if (expr.attributes.empty()) {
+      return lexer_.ErrorHere("expected at least one attribute");
+    }
+    XUPDATE_RETURN_IF_ERROR(Expect("into"));
+    XUPDATE_ASSIGN_OR_RETURN(expr.path, ParsePathExpr());
+    return expr;
+  }
+  if (!lexer_.ConsumeKeyword("node") && !lexer_.ConsumeKeyword("nodes")) {
+    return lexer_.ErrorHere("expected 'node', 'nodes' or 'attributes'");
+  }
+  bool is_text = false;
+  std::string text_value;
+  XUPDATE_ASSIGN_OR_RETURN(expr.content_xml,
+                           ParseContent(&is_text, &text_value));
+  if (is_text) {
+    // Represent a text content sequence through string_arg.
+    expr.string_arg = text_value;
+  }
+  if (lexer_.ConsumeKeyword("into")) {
+    expr.verb = UpdateVerb::kInsertInto;
+  } else if (lexer_.ConsumeKeyword("as")) {
+    if (lexer_.ConsumeKeyword("first")) {
+      expr.verb = UpdateVerb::kInsertFirst;
+    } else if (lexer_.ConsumeKeyword("last")) {
+      expr.verb = UpdateVerb::kInsertLast;
+    } else {
+      return lexer_.ErrorHere("expected 'first' or 'last'");
+    }
+    XUPDATE_RETURN_IF_ERROR(Expect("into"));
+  } else if (lexer_.ConsumeKeyword("before")) {
+    expr.verb = UpdateVerb::kInsertBefore;
+  } else if (lexer_.ConsumeKeyword("after")) {
+    expr.verb = UpdateVerb::kInsertAfter;
+  } else {
+    return lexer_.ErrorHere(
+        "expected 'into', 'as first into', 'as last into', 'before' or "
+        "'after'");
+  }
+  XUPDATE_ASSIGN_OR_RETURN(expr.path, ParsePathExpr());
+  return expr;
+}
+
+Result<UpdateExpr> Parser::ParseDelete() {
+  UpdateExpr expr;
+  expr.verb = UpdateVerb::kDelete;
+  if (!lexer_.ConsumeKeyword("node") && !lexer_.ConsumeKeyword("nodes")) {
+    return lexer_.ErrorHere("expected 'node' or 'nodes'");
+  }
+  XUPDATE_ASSIGN_OR_RETURN(expr.path, ParsePathExpr());
+  return expr;
+}
+
+Result<UpdateExpr> Parser::ParseReplace() {
+  UpdateExpr expr;
+  if (lexer_.ConsumeKeyword("value")) {
+    XUPDATE_RETURN_IF_ERROR(Expect("of"));
+    XUPDATE_RETURN_IF_ERROR(Expect("node"));
+    expr.verb = UpdateVerb::kReplaceValue;
+    XUPDATE_ASSIGN_OR_RETURN(expr.path, ParsePathExpr());
+    XUPDATE_RETURN_IF_ERROR(Expect("with"));
+    XUPDATE_ASSIGN_OR_RETURN(Token value, lexer_.Next());
+    if (value.kind != TokenKind::kString) {
+      return lexer_.ErrorHere("expected string value");
+    }
+    expr.string_arg = value.text;
+    return expr;
+  }
+  XUPDATE_RETURN_IF_ERROR(Expect("node"));
+  expr.verb = UpdateVerb::kReplaceNode;
+  XUPDATE_ASSIGN_OR_RETURN(expr.path, ParsePathExpr());
+  XUPDATE_RETURN_IF_ERROR(Expect("with"));
+  bool is_text = false;
+  std::string text_value;
+  XUPDATE_ASSIGN_OR_RETURN(expr.content_xml,
+                           ParseContent(&is_text, &text_value));
+  if (is_text) expr.string_arg = text_value;
+  return expr;
+}
+
+Result<UpdateExpr> Parser::ParseRename() {
+  UpdateExpr expr;
+  expr.verb = UpdateVerb::kRename;
+  XUPDATE_RETURN_IF_ERROR(Expect("node"));
+  XUPDATE_ASSIGN_OR_RETURN(expr.path, ParsePathExpr());
+  XUPDATE_RETURN_IF_ERROR(Expect("as"));
+  XUPDATE_ASSIGN_OR_RETURN(Token name, lexer_.Next());
+  if (name.kind != TokenKind::kString && name.kind != TokenKind::kName) {
+    return lexer_.ErrorHere("expected new name");
+  }
+  expr.string_arg = name.text;
+  return expr;
+}
+
+Result<UpdateExpr> Parser::ParseExpr() {
+  if (lexer_.ConsumeKeyword("insert")) return ParseInsert();
+  if (lexer_.ConsumeKeyword("delete")) return ParseDelete();
+  if (lexer_.ConsumeKeyword("replace")) return ParseReplace();
+  if (lexer_.ConsumeKeyword("rename")) return ParseRename();
+  return lexer_.ErrorHere(
+      "expected 'insert', 'delete', 'replace' or 'rename'");
+}
+
+Result<std::vector<NameTest>> Parser::ParseRelPath() {
+  std::vector<NameTest> out;
+  for (;;) {
+    NameTest test;
+    XUPDATE_ASSIGN_OR_RETURN(Token token, lexer_.Peek());
+    if (token.kind == TokenKind::kAt) {
+      (void)lexer_.Next();
+      XUPDATE_ASSIGN_OR_RETURN(Token name, lexer_.Next());
+      if (name.kind == TokenKind::kStar) {
+        test.kind = NameTest::Kind::kAnyAttribute;
+      } else if (name.kind == TokenKind::kName) {
+        test.kind = NameTest::Kind::kAttribute;
+        test.name = name.text;
+      } else {
+        return lexer_.ErrorHere("expected attribute name after '@'");
+      }
+    } else if (token.kind == TokenKind::kTextTest) {
+      (void)lexer_.Next();
+      test.kind = NameTest::Kind::kText;
+    } else if (token.kind == TokenKind::kStar) {
+      (void)lexer_.Next();
+      test.kind = NameTest::Kind::kAnyElement;
+    } else if (token.kind == TokenKind::kName) {
+      (void)lexer_.Next();
+      test.kind = NameTest::Kind::kElement;
+      test.name = token.text;
+    } else {
+      return lexer_.ErrorHere("expected a step in predicate path");
+    }
+    out.push_back(std::move(test));
+    if (!lexer_.ConsumeKind(TokenKind::kSlash)) break;
+  }
+  return out;
+}
+
+Result<Predicate> Parser::ParsePredicate() {
+  Predicate pred;
+  XUPDATE_ASSIGN_OR_RETURN(Token token, lexer_.Peek());
+  if (token.kind == TokenKind::kInteger) {
+    (void)lexer_.Next();
+    pred.kind = Predicate::Kind::kPosition;
+    pred.position = token.number;
+    if (pred.position < 1) {
+      return lexer_.ErrorHere("positions are 1-based");
+    }
+  } else if (token.kind == TokenKind::kLastTest) {
+    (void)lexer_.Next();
+    pred.kind = Predicate::Kind::kLast;
+  } else {
+    XUPDATE_ASSIGN_OR_RETURN(pred.rel_path, ParseRelPath());
+    bool equals = lexer_.ConsumeKind(TokenKind::kEquals);
+    bool not_equals = !equals && lexer_.ConsumeKind(TokenKind::kNotEquals);
+    if (equals || not_equals) {
+      XUPDATE_ASSIGN_OR_RETURN(Token value, lexer_.Next());
+      if (value.kind != TokenKind::kString) {
+        return lexer_.ErrorHere(
+            "expected string after comparison in predicate");
+      }
+      pred.kind = equals ? Predicate::Kind::kEquals
+                         : Predicate::Kind::kNotEquals;
+      pred.value = value.text;
+    } else {
+      pred.kind = Predicate::Kind::kExists;
+    }
+  }
+  if (!lexer_.ConsumeKind(TokenKind::kRBracket)) {
+    return lexer_.ErrorHere("expected ']'");
+  }
+  return pred;
+}
+
+Result<Step> Parser::ParseStep(bool descendant) {
+  Step step;
+  step.descendant = descendant;
+  XUPDATE_ASSIGN_OR_RETURN(Token token, lexer_.Next());
+  switch (token.kind) {
+    case TokenKind::kName:
+      step.test.kind = NameTest::Kind::kElement;
+      step.test.name = token.text;
+      break;
+    case TokenKind::kStar:
+      step.test.kind = NameTest::Kind::kAnyElement;
+      break;
+    case TokenKind::kTextTest:
+      step.test.kind = NameTest::Kind::kText;
+      break;
+    case TokenKind::kAt: {
+      XUPDATE_ASSIGN_OR_RETURN(Token name, lexer_.Next());
+      if (name.kind == TokenKind::kStar) {
+        step.test.kind = NameTest::Kind::kAnyAttribute;
+      } else if (name.kind == TokenKind::kName) {
+        step.test.kind = NameTest::Kind::kAttribute;
+        step.test.name = name.text;
+      } else {
+        return lexer_.ErrorHere("expected attribute name after '@'");
+      }
+      break;
+    }
+    default:
+      return lexer_.ErrorHere("expected a path step");
+  }
+  while (lexer_.ConsumeKind(TokenKind::kLBracket)) {
+    XUPDATE_ASSIGN_OR_RETURN(Predicate pred, ParsePredicate());
+    step.predicates.push_back(std::move(pred));
+  }
+  return step;
+}
+
+Result<PathExpr> Parser::ParsePathExpr() {
+  PathExpr path;
+  bool descendant;
+  if (lexer_.ConsumeKind(TokenKind::kDoubleSlash)) {
+    descendant = true;
+  } else if (lexer_.ConsumeKind(TokenKind::kSlash)) {
+    descendant = false;
+  } else {
+    return lexer_.ErrorHere("paths must start with '/' or '//'");
+  }
+  for (;;) {
+    XUPDATE_ASSIGN_OR_RETURN(Step step, ParseStep(descendant));
+    path.steps.push_back(std::move(step));
+    if (lexer_.ConsumeKind(TokenKind::kDoubleSlash)) {
+      descendant = true;
+    } else if (lexer_.ConsumeKind(TokenKind::kSlash)) {
+      descendant = false;
+    } else {
+      break;
+    }
+  }
+  return path;
+}
+
+Result<UpdateScript> Parser::ParseScript() {
+  UpdateScript script;
+  for (;;) {
+    XUPDATE_ASSIGN_OR_RETURN(UpdateExpr expr, ParseExpr());
+    script.expressions.push_back(std::move(expr));
+    if (!lexer_.ConsumeKind(TokenKind::kComma)) break;
+  }
+  XUPDATE_ASSIGN_OR_RETURN(Token token, lexer_.Peek());
+  if (token.kind != TokenKind::kEnd) {
+    return lexer_.ErrorHere("trailing input after update script");
+  }
+  return script;
+}
+
+Result<PathExpr> Parser::ParseWholePath() {
+  XUPDATE_ASSIGN_OR_RETURN(PathExpr path, ParsePathExpr());
+  XUPDATE_ASSIGN_OR_RETURN(Token token, lexer_.Peek());
+  if (token.kind != TokenKind::kEnd) {
+    return lexer_.ErrorHere("trailing input after path");
+  }
+  return path;
+}
+
+}  // namespace
+
+Result<UpdateScript> ParseUpdate(std::string_view input) {
+  Parser parser(input);
+  return parser.ParseScript();
+}
+
+Result<PathExpr> ParsePath(std::string_view input) {
+  Parser parser(input);
+  return parser.ParseWholePath();
+}
+
+}  // namespace xupdate::xquery

@@ -1,0 +1,41 @@
+#ifndef XUPDATE_XQUERY_PARSER_H_
+#define XUPDATE_XQUERY_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "xquery/ast.h"
+
+namespace xupdate::xquery {
+
+// Parses an update script — the XQuery Update Facility subset this
+// library's PUL producer evaluates. Grammar (keywords are lowercase):
+//
+//   script   := expr (',' expr)*
+//   expr     := 'insert' ('node'|'nodes') content position path
+//             | 'insert' ('attribute'|'attributes') (name '=' string)+
+//                        'into' path
+//             | 'delete' ('node'|'nodes') path
+//             | 'replace' 'node' path 'with' content
+//             | 'replace' 'value' 'of' 'node' path 'with' string
+//             | 'rename' 'node' path 'as' (string|name)
+//   position := 'into' | 'as' 'first' 'into' | 'as' 'last' 'into'
+//             | 'before' | 'after'
+//   content  := one or more XML element constructors | string (text node)
+//   path     := ('/'|'//') step (('/'|'//') step)*
+//   step     := (name | '*' | '@' name | '@' '*' | 'text()') pred*
+//   pred     := '[' integer ']' | '[' 'last()' ']'
+//             | '[' relpath ']' | '[' relpath ('='|'!=') string ']'
+//   relpath  := pathpiece ('/' pathpiece)*   (child steps, @/text() last)
+//
+// "replace value of node" maps to repV on text/attribute targets and to
+// repC (replace element content) on element targets, mirroring XQUF.
+Result<UpdateScript> ParseUpdate(std::string_view input);
+
+// Parses a standalone absolute path (for read-only queries in examples
+// and tests).
+Result<PathExpr> ParsePath(std::string_view input);
+
+}  // namespace xupdate::xquery
+
+#endif  // XUPDATE_XQUERY_PARSER_H_

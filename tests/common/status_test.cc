@@ -1,0 +1,70 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+
+namespace xupdate {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotApplicable("bad target");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotApplicable);
+  EXPECT_EQ(s.message(), "bad target");
+  EXPECT_EQ(s.ToString(), "NotApplicable: bad target");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= 8; ++c) {
+    EXPECT_NE(StatusCodeToString(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto inner = []() { return Status::ParseError("boom"); };
+  auto outer = [&]() -> Status {
+    XUPDATE_RETURN_IF_ERROR(inner());
+    return Status::OK();
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kParseError);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 41;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 41);
+  *r += 1;
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nothing");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, AssignOrReturnUnwraps) {
+  auto make = [](bool fail) -> Result<std::string> {
+    if (fail) return Status::Internal("no");
+    return std::string("yes");
+  };
+  auto use = [&](bool fail) -> Result<size_t> {
+    XUPDATE_ASSIGN_OR_RETURN(std::string v, make(fail));
+    return v.size();
+  };
+  Result<size_t> ok = use(false);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 3u);
+  EXPECT_EQ(use(true).status().code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace xupdate

@@ -1,0 +1,75 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace xupdate {
+namespace {
+
+TEST(XmlEscapeTest, EscapesMarkup) {
+  EXPECT_EQ(XmlEscape("a<b>&c"), "a&lt;b&gt;&amp;c");
+}
+
+TEST(XmlEscapeTest, QuotesOnlyInAttributes) {
+  EXPECT_EQ(XmlEscape("say \"hi\""), "say \"hi\"");
+  EXPECT_EQ(XmlEscape("say \"hi\"", /*in_attribute=*/true),
+            "say &quot;hi&quot;");
+}
+
+TEST(XmlUnescapeTest, NamedEntities) {
+  EXPECT_EQ(XmlUnescape("&lt;a&gt; &amp; &quot;x&quot; &apos;y&apos;"),
+            "<a> & \"x\" 'y'");
+}
+
+TEST(XmlUnescapeTest, NumericEntities) {
+  EXPECT_EQ(XmlUnescape("&#65;&#x42;"), "AB");
+  EXPECT_EQ(XmlUnescape("&#xE9;"), "\xC3\xA9");  // e-acute in UTF-8
+}
+
+TEST(XmlUnescapeTest, UnknownEntityKeptVerbatim) {
+  EXPECT_EQ(XmlUnescape("&nope;"), "&nope;");
+  EXPECT_EQ(XmlUnescape("a & b"), "a & b");
+}
+
+TEST(XmlEscapeTest, RoundTrip) {
+  std::string original = "x < y && z > \"q\" 'w'";
+  EXPECT_EQ(XmlUnescape(XmlEscape(original, true)), original);
+}
+
+TEST(IsValidXmlNameTest, AcceptsTypicalNames) {
+  EXPECT_TRUE(IsValidXmlName("author"));
+  EXPECT_TRUE(IsValidXmlName("_private"));
+  EXPECT_TRUE(IsValidXmlName("ns:tag"));
+  EXPECT_TRUE(IsValidXmlName("a-b.c_d"));
+}
+
+TEST(IsValidXmlNameTest, RejectsBadNames) {
+  EXPECT_FALSE(IsValidXmlName(""));
+  EXPECT_FALSE(IsValidXmlName("1abc"));
+  EXPECT_FALSE(IsValidXmlName("-x"));
+  EXPECT_FALSE(IsValidXmlName("a b"));
+  EXPECT_FALSE(IsValidXmlName("a<b"));
+}
+
+TEST(JoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"only"}, ","), "only");
+}
+
+TEST(TrimTest, TrimsWhitespace) {
+  EXPECT_EQ(Trim("  x y \t\n"), "x y");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim(" \r\n\t "), "");
+}
+
+TEST(ParseNonNegativeIntTest, ParsesAndRejects) {
+  EXPECT_EQ(ParseNonNegativeInt("0"), 0);
+  EXPECT_EQ(ParseNonNegativeInt("12345"), 12345);
+  EXPECT_EQ(ParseNonNegativeInt(""), -1);
+  EXPECT_EQ(ParseNonNegativeInt("-3"), -1);
+  EXPECT_EQ(ParseNonNegativeInt("12x"), -1);
+  EXPECT_EQ(ParseNonNegativeInt("99999999999999999999999"), -1);
+}
+
+}  // namespace
+}  // namespace xupdate

@@ -1,0 +1,226 @@
+#include "core/diff.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "pul/apply.h"
+#include "pul/obtainable.h"
+#include "testing/test_docs.h"
+#include "xml/parser.h"
+
+namespace xupdate::core {
+namespace {
+
+using pul::OpKind;
+using pul::Pul;
+using xml::Document;
+using xml::NodeId;
+
+class DiffTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto doc = xml::ParseDocument(
+        "<r a=\"1\"><x>one</x><y><z/></y><w>two</w></r>");
+    ASSERT_TRUE(doc.ok());
+    from_ = std::move(*doc);
+    from_max_ = from_.max_assigned_id();
+    labeling_ = label::Labeling::Build(from_);
+    to_ = from_;
+  }
+
+  // Applies the computed delta to `from_` and checks the result equals
+  // `to_` structurally, with surviving ids intact.
+  void CheckDelta(size_t expected_ops = SIZE_MAX,
+                  bool ids_survive = true) {
+    auto delta = ComputeDelta(from_, labeling_, to_);
+    ASSERT_TRUE(delta.ok()) << delta.status();
+    if (expected_ops != SIZE_MAX) {
+      EXPECT_EQ(delta->size(), expected_ops);
+    }
+    Document patched = from_;
+    auto applied = pul::ApplyPul(&patched, *delta);
+    ASSERT_TRUE(applied.ok()) << applied;
+    // Structural equality; surviving original ids must agree. The
+    // horizon is the original document's id watermark: nodes created by
+    // the edit get fresh ids from the delta, so they compare by
+    // structure only.
+    // Moved nodes are re-created (no move primitive in Table 2), so
+    // callers exercising moves compare structure only.
+    NodeId horizon = ids_survive ? from_max_ : 0;
+    EXPECT_EQ(pul::CanonicalForm(patched, horizon),
+              pul::CanonicalForm(to_, horizon));
+  }
+
+  Document from_;
+  NodeId from_max_ = 0;
+  label::Labeling labeling_;
+  Document to_;
+};
+
+TEST_F(DiffTest, IdenticalDocumentsGiveEmptyDelta) { CheckDelta(0); }
+
+TEST_F(DiffTest, ValueChange) {
+  NodeId text = to_.children(to_.children(to_.root())[0])[0];
+  ASSERT_TRUE(to_.SetValue(text, "uno").ok());
+  CheckDelta(1);
+}
+
+TEST_F(DiffTest, RenameAndAttributeValue) {
+  ASSERT_TRUE(to_.Rename(to_.children(to_.root())[1], "why").ok());
+  ASSERT_TRUE(to_.SetValue(to_.attributes(to_.root())[0], "2").ok());
+  CheckDelta(2);
+}
+
+TEST_F(DiffTest, AttributeAddRemoveRename) {
+  NodeId root = to_.root();
+  ASSERT_TRUE(to_.AddAttribute(root, to_.NewAttribute("b", "9")).ok());
+  ASSERT_TRUE(to_.Rename(to_.attributes(root)[0], "alpha").ok());
+  CheckDelta(2);  // ren(attr) + insA
+  // Now remove the original attribute instead.
+  to_ = from_;
+  ASSERT_TRUE(to_.DeleteSubtree(to_.attributes(root)[0]).ok());
+  CheckDelta(1);
+}
+
+TEST_F(DiffTest, ChildDeleted) {
+  ASSERT_TRUE(to_.DeleteSubtree(to_.children(to_.root())[1]).ok());
+  CheckDelta(1);
+}
+
+TEST_F(DiffTest, ChildAppendedAndPrepended) {
+  NodeId root = to_.root();
+  NodeId front = to_.NewElement("front");
+  ASSERT_TRUE(to_.PrependChild(root, front).ok());
+  NodeId back = to_.NewElement("back");
+  ASSERT_TRUE(to_.AppendChild(root, back).ok());
+  CheckDelta(2);  // one insFirst run, one insAfter run
+}
+
+TEST_F(DiffTest, ConsecutiveInsertionsFormOneRun) {
+  NodeId root = to_.root();
+  NodeId a = to_.NewElement("n1");
+  NodeId b = to_.NewElement("n2");
+  NodeId x = to_.children(root)[0];
+  ASSERT_TRUE(to_.InsertAfter(x, b).ok());
+  ASSERT_TRUE(to_.InsertAfter(x, a).ok());
+  CheckDelta(1);  // single insAfter(x, [n1, n2])
+}
+
+TEST_F(DiffTest, ReorderedChildren) {
+  // Swap x and w: one of them is deleted and re-created.
+  NodeId root = to_.root();
+  NodeId x = to_.children(root)[0];
+  NodeId w = to_.children(root)[2];
+  ASSERT_TRUE(to_.Detach(w).ok());
+  ASSERT_TRUE(to_.InsertBefore(x, w).ok());
+  CheckDelta(SIZE_MAX, /*ids_survive=*/false);
+  auto delta = ComputeDelta(from_, labeling_, to_);
+  ASSERT_TRUE(delta.ok());
+  EXPECT_EQ(delta->size(), 2u);  // del + one insertion run
+}
+
+TEST_F(DiffTest, MoveAcrossParents) {
+  // Move w under y.
+  NodeId root = to_.root();
+  NodeId y = to_.children(root)[1];
+  NodeId w = to_.children(root)[2];
+  ASSERT_TRUE(to_.Detach(w).ok());
+  ASSERT_TRUE(to_.AppendChild(y, w).ok());
+  CheckDelta(SIZE_MAX, /*ids_survive=*/false);
+}
+
+TEST_F(DiffTest, NestedEditsRecurse) {
+  NodeId root = to_.root();
+  NodeId y = to_.children(root)[1];
+  NodeId z = to_.children(y)[0];
+  ASSERT_TRUE(to_.Rename(z, "zeta").ok());
+  ASSERT_TRUE(to_.AppendChild(z, to_.NewText("deep")).ok());
+  CheckDelta(2);
+}
+
+TEST_F(DiffTest, DisjointRootsRejected) {
+  Document other;
+  NodeId r = other.NewElement("other");
+  ASSERT_TRUE(other.SetRoot(r).ok());
+  // Force a different root id.
+  Document shifted;
+  shifted.ReserveIdsBelow(100);
+  NodeId r2 = shifted.NewElement("r");
+  ASSERT_TRUE(shifted.SetRoot(r2).ok());
+  EXPECT_FALSE(ComputeDelta(from_, labeling_, shifted).ok());
+}
+
+// Property sweep: edit a copy through random applied PULs, re-derive the
+// delta by comparison, and verify it patches the original into the edit.
+class DiffPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DiffPropertyTest, DerivedDeltaPatchesOriginal) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 15013 + 3);
+  Document from = xupdate::testing::RandomDocument(rng, 18);
+  label::Labeling labeling = label::Labeling::Build(from);
+
+  // Edit a copy with one or two applied random PULs.
+  Document to = from;
+  label::Labeling to_labeling = labeling;
+  int rounds = 1 + static_cast<int>(rng.Below(2));
+  for (int r = 0; r < rounds; ++r) {
+    xupdate::testing::RandomPulOptions options;
+    options.max_ops = 4;
+    options.deterministic = true;
+    options.id_base = 10000 + static_cast<NodeId>(r) * 1000;
+    Pul pul = xupdate::testing::RandomPul(rng, to, to_labeling, options);
+    pul::ApplyOptions apply_options;
+    apply_options.labeling = &to_labeling;
+    ASSERT_TRUE(pul::ApplyPul(&to, pul, apply_options).ok());
+  }
+
+  auto delta = ComputeDelta(from, labeling, to);
+  ASSERT_TRUE(delta.ok()) << delta.status();
+  Document patched = from;
+  auto applied = pul::ApplyPul(&patched, *delta);
+  ASSERT_TRUE(applied.ok()) << applied;
+  NodeId horizon = from.max_assigned_id();
+  EXPECT_EQ(pul::CanonicalForm(patched, horizon),
+            pul::CanonicalForm(to, horizon));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSweep, DiffPropertyTest,
+                         ::testing::Range(0, 60));
+
+// Reverse-delta property: delta(to -> from) applied to the edited
+// document restores the original's structure — the archive can walk
+// versions in either direction with diffed deltas.
+class ReverseDiffPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReverseDiffPropertyTest, ReverseDeltaRestoresOriginalStructure) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7333 + 11);
+  Document from = xupdate::testing::RandomDocument(rng, 16);
+  label::Labeling from_labeling = label::Labeling::Build(from);
+
+  Document to = from;
+  label::Labeling to_labeling = from_labeling;
+  xupdate::testing::RandomPulOptions options;
+  options.max_ops = 4;
+  options.deterministic = true;
+  options.id_base = 50000;
+  Pul pul = xupdate::testing::RandomPul(rng, to, to_labeling, options);
+  pul::ApplyOptions apply_options;
+  apply_options.labeling = &to_labeling;
+  ASSERT_TRUE(pul::ApplyPul(&to, pul, apply_options).ok());
+
+  auto reverse = ComputeDelta(to, to_labeling, from);
+  ASSERT_TRUE(reverse.ok()) << reverse.status();
+  Document back = to;
+  auto applied = pul::ApplyPul(&back, *reverse);
+  ASSERT_TRUE(applied.ok()) << applied;
+  // Structure restored; original-node identities may not all survive
+  // (content deleted by the edit is re-created by the reverse delta
+  // with fresh ids), so compare structurally.
+  EXPECT_EQ(pul::CanonicalForm(back), pul::CanonicalForm(from));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSweep, ReverseDiffPropertyTest,
+                         ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace xupdate::core

@@ -1,0 +1,184 @@
+#include "exec/executor.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <set>
+
+#include "pul/apply.h"
+#include "pul/pul_io.h"
+#include "xml/parser.h"
+#include "xquery/eval.h"
+
+namespace xupdate::exec {
+namespace {
+
+using pul::Pul;
+using xml::Document;
+using xml::NodeId;
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto executor = PulExecutor::Open(
+        std::string_view("<shop><stock><item>tea</item></stock></shop>"));
+    ASSERT_TRUE(executor.ok()) << executor.status();
+    executor_.emplace(std::move(*executor));
+  }
+
+  // A producer session: checks out, evaluates an update script, returns
+  // the serialized PUL (the wire a real producer would send).
+  std::string Produce(const char* script,
+                      pul::Policies policies = {}) {
+    auto checkout = executor_->CheckOut();
+    EXPECT_TRUE(checkout.ok()) << checkout.status();
+    auto doc = xml::ParseDocument(checkout->document);
+    EXPECT_TRUE(doc.ok());
+    label::Labeling labeling = label::Labeling::Build(*doc);
+    xquery::ProducerContext ctx;
+    ctx.doc = &*doc;
+    ctx.labeling = &labeling;
+    ctx.id_base = checkout->id_base;
+    ctx.policies = policies;
+    auto pul = xquery::ProducePul(script, ctx);
+    EXPECT_TRUE(pul.ok()) << pul.status();
+    auto wire = pul::SerializePul(*pul);
+    EXPECT_TRUE(wire.ok());
+    return *wire;
+  }
+
+  std::optional<PulExecutor> executor_;
+};
+
+TEST_F(ExecutorTest, OpenRejectsRootlessDocument) {
+  EXPECT_FALSE(PulExecutor::Open(Document()).ok());
+  EXPECT_FALSE(PulExecutor::Open(std::string_view("not xml")).ok());
+}
+
+TEST_F(ExecutorTest, VersionBumpsPerCommit) {
+  EXPECT_EQ(executor_->version(), 0u);
+  std::string wire =
+      Produce("insert nodes <item>coffee</item> as last into //stock");
+  ASSERT_TRUE(executor_->CommitParallelSerialized({wire}).ok());
+  EXPECT_EQ(executor_->version(), 1u);
+}
+
+TEST_F(ExecutorTest, CheckoutsGetDisjointIdSpaces) {
+  auto c1 = executor_->CheckOut();
+  auto c2 = executor_->CheckOut();
+  ASSERT_TRUE(c1.ok());
+  ASSERT_TRUE(c2.ok());
+  EXPECT_EQ(c1->version, c2->version);
+  EXPECT_LE(c1->id_limit, c2->id_base);
+  EXPECT_GT(c1->id_base, executor_->document().max_assigned_id());
+}
+
+TEST_F(ExecutorTest, ParallelRoundIntegratesAndApplies) {
+  std::string alice =
+      Produce("insert nodes <item>coffee</item> as last into //stock");
+  pul::Policies keep;
+  keep.preserve_inserted_data = true;
+  std::string bob = Produce(
+      "insert attributes currency=\"EUR\" into /shop, "
+      "replace value of node //item[1]/text() with \"green tea\"",
+      keep);
+  core::ReconcileStats stats;
+  ASSERT_TRUE(
+      executor_->CommitParallelSerialized({alice, bob}, &stats).ok());
+  EXPECT_EQ(stats.conflicts_total, 0u);
+  EXPECT_EQ(executor_->version(), 1u);
+  // Effects of both producers are visible.
+  const Document& doc = executor_->document();
+  auto serialized = executor_->Serialize();
+  ASSERT_TRUE(serialized.ok());
+  EXPECT_NE(serialized->find("coffee"), std::string::npos);
+  EXPECT_NE(serialized->find("green tea"), std::string::npos);
+  EXPECT_NE(serialized->find("currency"), std::string::npos);
+  (void)doc;
+}
+
+TEST_F(ExecutorTest, ConflictingRoundHonorsPolicies) {
+  pul::Policies keep;
+  keep.preserve_inserted_data = true;
+  std::string a = Produce(
+      "replace value of node //item[1]/text() with \"mine\"", keep);
+  std::string b =
+      Produce("replace value of node //item[1]/text() with \"theirs\"");
+  core::ReconcileStats stats;
+  ASSERT_TRUE(executor_->CommitParallelSerialized({a, b}, &stats).ok());
+  EXPECT_EQ(stats.conflicts_total, 1u);
+  auto serialized = executor_->Serialize();
+  ASSERT_TRUE(serialized.ok());
+  EXPECT_NE(serialized->find("mine"), std::string::npos);
+  EXPECT_EQ(serialized->find("theirs"), std::string::npos);
+}
+
+TEST_F(ExecutorTest, SequentialRoundAggregates) {
+  // One disconnected producer: three sessions against its replica.
+  auto checkout = executor_->CheckOut();
+  ASSERT_TRUE(checkout.ok());
+  auto replica = xml::ParseDocument(checkout->document);
+  ASSERT_TRUE(replica.ok());
+  label::Labeling labeling = label::Labeling::Build(*replica);
+  NodeId id_base = checkout->id_base;
+  std::vector<Pul> sessions;
+  for (const char* script :
+       {"insert nodes <item>mate</item> as last into //stock",
+        "insert nodes <origin>AR</origin> as last into //item[2]",
+        "replace value of node //item[1]/text() with \"oolong\""}) {
+    xquery::ProducerContext ctx;
+    ctx.doc = &*replica;
+    ctx.labeling = &labeling;
+    ctx.id_base = id_base;
+    id_base += 1000;
+    auto pul = xquery::ProducePul(script, ctx);
+    ASSERT_TRUE(pul.ok()) << pul.status();
+    pul::ApplyOptions apply;
+    apply.labeling = &labeling;
+    ASSERT_TRUE(pul::ApplyPul(&*replica, *pul, apply).ok());
+    sessions.push_back(std::move(*pul));
+  }
+  std::vector<const Pul*> ptrs;
+  for (const Pul& pul : sessions) ptrs.push_back(&pul);
+  core::AggregateStats stats;
+  ASSERT_TRUE(executor_->CommitSequence(ptrs, &stats).ok());
+  EXPECT_EQ(executor_->version(), 1u);
+  EXPECT_GT(stats.folded_ops, 0u);
+  // The master equals the producer's replica.
+  EXPECT_TRUE(Document::SubtreeEquals(
+      executor_->document(), executor_->document().root(), *replica,
+      replica->root(), /*compare_ids=*/true));
+}
+
+TEST_F(ExecutorTest, MasterRoundTripsThroughSerialize) {
+  std::string wire =
+      Produce("insert nodes <item>chai</item> as last into //stock");
+  ASSERT_TRUE(executor_->CommitParallelSerialized({wire}).ok());
+  auto serialized = executor_->Serialize();
+  ASSERT_TRUE(serialized.ok());
+  auto reopened = PulExecutor::Open(*serialized);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_TRUE(Document::SubtreeEquals(
+      executor_->document(), executor_->document().root(),
+      reopened->document(), reopened->document().root(),
+      /*compare_ids=*/true));
+}
+
+TEST_F(ExecutorTest, EmptyCommitRejected) {
+  EXPECT_FALSE(executor_->CommitParallel({}).ok());
+  EXPECT_FALSE(executor_->CommitSequence({}).ok());
+}
+
+TEST_F(ExecutorTest, LabelsMaintainedAcrossCommits) {
+  for (int round = 0; round < 3; ++round) {
+    std::string wire = Produce(
+        "insert nodes <item>new</item> as first into //stock");
+    ASSERT_TRUE(executor_->CommitParallelSerialized({wire}).ok());
+    ASSERT_TRUE(
+        executor_->labeling().Validate(executor_->document()).ok());
+  }
+  EXPECT_EQ(executor_->version(), 3u);
+}
+
+}  // namespace
+}  // namespace xupdate::exec

@@ -1,0 +1,234 @@
+// Edge interactions of the streaming transform: combinations of
+// operations on one node, removals around insertions, renamed end tags,
+// annotated text runs. Every case cross-checks the in-memory engine.
+
+#include <gtest/gtest.h>
+
+#include "exec/in_memory.h"
+#include "exec/streaming.h"
+#include "label/labeling.h"
+#include "pul/pul.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace xupdate::exec {
+namespace {
+
+using pul::OpKind;
+using pul::Pul;
+using xml::Document;
+using xml::NodeId;
+
+class StreamingEdgeTest : public ::testing::Test {
+ protected:
+  // ids: r=1, head=2, mid=3, t=4(text), tail=5, attr q=6 on mid.
+  void SetUp() override {
+    auto doc =
+        xml::ParseDocument("<r><head/><mid q=\"0\">txt</mid><tail/></r>");
+    ASSERT_TRUE(doc.ok());
+    doc_ = std::move(*doc);
+    labeling_ = label::Labeling::Build(doc_);
+    xml::SerializeOptions opts;
+    opts.with_ids = true;
+    auto text = xml::SerializeDocument(doc_, opts);
+    ASSERT_TRUE(text.ok());
+    text_ = *text;
+  }
+
+  Pul MakePul() {
+    Pul p;
+    p.BindIdSpace(100);
+    return p;
+  }
+
+  std::string EvaluateBoth(const Pul& pul) {
+    InMemoryEvaluator in_memory;
+    StreamingEvaluator streaming;
+    auto mem = in_memory.Evaluate(text_, pul);
+    auto str = streaming.Evaluate(text_, pul);
+    EXPECT_TRUE(mem.ok()) << mem.status();
+    EXPECT_TRUE(str.ok()) << str.status();
+    if (mem.ok() && str.ok()) {
+      EXPECT_EQ(*mem, *str);
+      return *str;
+    }
+    return std::string();
+  }
+
+  Document doc_;
+  label::Labeling labeling_;
+  std::string text_;
+};
+
+NodeId Ids(const xml::Document& doc, const char* name) {
+  for (NodeId id : doc.AllNodesInOrder()) {
+    if (doc.type(id) == xml::NodeType::kElement && doc.name(id) == name) {
+      return id;
+    }
+  }
+  return xml::kInvalidNode;
+}
+
+TEST_F(StreamingEdgeTest, RenamePlusRepCOnOneNode) {
+  Pul p = MakePul();
+  NodeId mid = Ids(doc_, "mid");
+  ASSERT_TRUE(p.AddStringOp(OpKind::kRename, mid, labeling_, "renamed").ok());
+  NodeId t = p.NewTextParam("replaced");
+  ASSERT_TRUE(
+      p.AddTreeOp(OpKind::kReplaceChildren, mid, labeling_, {t}).ok());
+  std::string out = EvaluateBoth(p);
+  EXPECT_NE(out.find("<renamed"), std::string::npos);
+  EXPECT_NE(out.find(">replaced</renamed>"), std::string::npos);
+  EXPECT_EQ(out.find("txt"), std::string::npos);
+}
+
+TEST_F(StreamingEdgeTest, RepCSuppressesChildInsertions) {
+  // insFirst + repC on one node: the five-stage semantics wipes the
+  // inserted children (stage 2 < stage 4).
+  Pul p = MakePul();
+  NodeId mid = Ids(doc_, "mid");
+  auto gone = p.AddFragment("<gone/>");
+  ASSERT_TRUE(p.AddTreeOp(OpKind::kInsFirst, mid, labeling_, {*gone}).ok());
+  NodeId t = p.NewTextParam("only");
+  ASSERT_TRUE(
+      p.AddTreeOp(OpKind::kReplaceChildren, mid, labeling_, {t}).ok());
+  std::string out = EvaluateBoth(p);
+  EXPECT_EQ(out.find("<gone"), std::string::npos);
+  EXPECT_NE(out.find("only"), std::string::npos);
+}
+
+TEST_F(StreamingEdgeTest, RepCKeepsSiblingInsertions) {
+  Pul p = MakePul();
+  NodeId mid = Ids(doc_, "mid");
+  auto kept = p.AddFragment("<kept/>");
+  ASSERT_TRUE(p.AddTreeOp(OpKind::kInsAfter, mid, labeling_, {*kept}).ok());
+  NodeId t = p.NewTextParam("content");
+  ASSERT_TRUE(
+      p.AddTreeOp(OpKind::kReplaceChildren, mid, labeling_, {t}).ok());
+  std::string out = EvaluateBoth(p);
+  EXPECT_NE(out.find("<kept"), std::string::npos);
+}
+
+TEST_F(StreamingEdgeTest, RepVAndDeleteDifferentAttrsOfOneElement) {
+  Pul p = MakePul();
+  // Add a second attribute first so both paths exist in one run.
+  auto setup = MakePul();
+  NodeId mid = Ids(doc_, "mid");
+  NodeId extra = setup.NewAttributeParam("w", "9");
+  ASSERT_TRUE(
+      setup.AddTreeOp(OpKind::kInsAttributes, mid, labeling_, {extra}).ok());
+  InMemoryEvaluator prep;
+  auto prepared = prep.Evaluate(text_, setup);
+  ASSERT_TRUE(prepared.ok());
+  text_ = *prepared;
+  auto reparsed = xml::ParseDocument(text_);
+  ASSERT_TRUE(reparsed.ok());
+  doc_ = std::move(*reparsed);
+  labeling_ = label::Labeling::Build(doc_);
+
+  NodeId q = doc_.attributes(mid)[0];
+  NodeId w = doc_.attributes(mid)[1];
+  ASSERT_TRUE(p.AddStringOp(OpKind::kReplaceValue, q, labeling_, "5").ok());
+  ASSERT_TRUE(p.AddDelete(w, labeling_).ok());
+  std::string out = EvaluateBoth(p);
+  EXPECT_NE(out.find("q=\"5\""), std::string::npos);
+  EXPECT_EQ(out.find("w=\"9\""), std::string::npos);
+}
+
+TEST_F(StreamingEdgeTest, InsAfterOrderingOfMultipleOps) {
+  // Two insAfter ops on one target: the later op's trees sit closer to
+  // the target (literal stage-2 semantics).
+  Pul p = MakePul();
+  NodeId mid = Ids(doc_, "mid");
+  auto a = p.AddFragment("<a1/>");
+  auto b = p.AddFragment("<b1/>");
+  ASSERT_TRUE(p.AddTreeOp(OpKind::kInsAfter, mid, labeling_, {*a}).ok());
+  ASSERT_TRUE(p.AddTreeOp(OpKind::kInsAfter, mid, labeling_, {*b}).ok());
+  std::string out = EvaluateBoth(p);
+  size_t pos_b = out.find("<b1");
+  size_t pos_a = out.find("<a1");
+  ASSERT_NE(pos_a, std::string::npos);
+  ASSERT_NE(pos_b, std::string::npos);
+  EXPECT_LT(pos_b, pos_a);
+}
+
+TEST_F(StreamingEdgeTest, InsBeforeOrderingOfMultipleOps) {
+  Pul p = MakePul();
+  NodeId mid = Ids(doc_, "mid");
+  auto a = p.AddFragment("<a1/>");
+  auto b = p.AddFragment("<b1/>");
+  ASSERT_TRUE(p.AddTreeOp(OpKind::kInsBefore, mid, labeling_, {*a}).ok());
+  ASSERT_TRUE(p.AddTreeOp(OpKind::kInsBefore, mid, labeling_, {*b}).ok());
+  std::string out = EvaluateBoth(p);
+  EXPECT_LT(out.find("<a1"), out.find("<b1"));
+}
+
+TEST_F(StreamingEdgeTest, ReplaceRootChildKeepsRenamedEndTag) {
+  // ren on an element with children: both tags change.
+  Pul p = MakePul();
+  NodeId mid = Ids(doc_, "mid");
+  ASSERT_TRUE(p.AddStringOp(OpKind::kRename, mid, labeling_, "core").ok());
+  std::string out = EvaluateBoth(p);
+  EXPECT_NE(out.find("<core"), std::string::npos);
+  EXPECT_NE(out.find("</core>"), std::string::npos);
+  EXPECT_EQ(out.find("</mid>"), std::string::npos);
+}
+
+TEST_F(StreamingEdgeTest, OperationsInsideReplacedRegionAreVoid) {
+  // repN on mid wipes the repV on its text child — silently.
+  Pul p = MakePul();
+  NodeId mid = Ids(doc_, "mid");
+  NodeId txt = doc_.children(mid)[0];
+  auto r = p.AddFragment("<fresh/>");
+  ASSERT_TRUE(p.AddTreeOp(OpKind::kReplaceNode, mid, labeling_, {*r}).ok());
+  ASSERT_TRUE(
+      p.AddStringOp(OpKind::kReplaceValue, txt, labeling_, "lost").ok());
+  std::string out = EvaluateBoth(p);
+  EXPECT_NE(out.find("<fresh"), std::string::npos);
+  EXPECT_EQ(out.find("lost"), std::string::npos);
+}
+
+TEST_F(StreamingEdgeTest, TextParamsKeepIdsInOutput) {
+  Pul p = MakePul();
+  NodeId mid = Ids(doc_, "mid");
+  NodeId t = p.NewTextParam("appended");
+  ASSERT_TRUE(p.AddTreeOp(OpKind::kInsLast, mid, labeling_, {t}).ok());
+  std::string out = EvaluateBoth(p);
+  EXPECT_NE(out.find("<?xuid " + std::to_string(t) + "?>appended"),
+            std::string::npos);
+}
+
+TEST_F(StreamingEdgeTest, DeepNestingStreamsCorrectly) {
+  // 200-deep chain exercises the frame stack.
+  std::string deep_open;
+  std::string deep_close;
+  for (int i = 0; i < 200; ++i) {
+    deep_open += "<d" + std::to_string(i) + ">";
+    deep_close = "</d" + std::to_string(i) + ">" + deep_close;
+  }
+  std::string deep = deep_open + "x" + deep_close;
+  auto doc = xml::ParseDocument(deep);
+  ASSERT_TRUE(doc.ok());
+  label::Labeling labeling = label::Labeling::Build(*doc);
+  xml::SerializeOptions opts;
+  opts.with_ids = true;
+  auto text = xml::SerializeDocument(*doc, opts);
+  ASSERT_TRUE(text.ok());
+  Pul p;
+  p.BindIdSpace(10000);
+  // Rename the deepest element (id 200), delete a middle one... deleting
+  // the middle erases the deepest; just rename deepest and repV the text.
+  NodeId deepest = 200;
+  ASSERT_TRUE(p.AddStringOp(OpKind::kRename, deepest, labeling, "leaf").ok());
+  InMemoryEvaluator in_memory;
+  StreamingEvaluator streaming;
+  auto mem = in_memory.Evaluate(*text, p);
+  auto str = streaming.Evaluate(*text, p);
+  ASSERT_TRUE(mem.ok()) << mem.status();
+  ASSERT_TRUE(str.ok()) << str.status();
+  EXPECT_EQ(*mem, *str);
+  EXPECT_NE(str->find("<leaf"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xupdate::exec

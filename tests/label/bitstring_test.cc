@@ -1,0 +1,167 @@
+#include "label/bitstring.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.h"
+
+namespace xupdate::label {
+namespace {
+
+TEST(BitStringTest, AppendAndRead) {
+  BitString s;
+  EXPECT_TRUE(s.empty());
+  s.AppendBit(true);
+  s.AppendBit(false);
+  s.AppendBit(true);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_TRUE(s.bit(0));
+  EXPECT_FALSE(s.bit(1));
+  EXPECT_TRUE(s.bit(2));
+  EXPECT_EQ(s.ToString(), "101");
+}
+
+TEST(BitStringTest, PopBit) {
+  BitString s = BitString::FromBits("1011");
+  s.PopBit();
+  EXPECT_EQ(s.ToString(), "101");
+  s.PopBit();
+  s.PopBit();
+  s.PopBit();
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(BitStringTest, FromBitsRoundTrip) {
+  for (const char* bits : {"", "0", "1", "0101101", "111111111",
+                           "000000001", "10101010101010101"}) {
+    EXPECT_EQ(BitString::FromBits(bits).ToString(), bits);
+  }
+}
+
+TEST(BitStringTest, LexicographicCompare) {
+  // Plain lexicographic order: a proper prefix sorts before extensions.
+  auto bs = [](const char* s) { return BitString::FromBits(s); };
+  EXPECT_LT(bs("0").Compare(bs("1")), 0);
+  EXPECT_LT(bs("001").Compare(bs("01")), 0);
+  EXPECT_LT(bs("01").Compare(bs("011")), 0);
+  EXPECT_LT(bs("011").Compare(bs("1")), 0);
+  EXPECT_LT(bs("1").Compare(bs("101")), 0);
+  EXPECT_LT(bs("101").Compare(bs("11")), 0);
+  EXPECT_LT(bs("11").Compare(bs("111")), 0);
+  EXPECT_EQ(bs("101").Compare(bs("101")), 0);
+  EXPECT_GT(bs("1").Compare(bs("011")), 0);
+  EXPECT_LT(bs("").Compare(bs("0")), 0);
+}
+
+TEST(BitStringTest, CompareMatchesStringCompare) {
+  // Cross-check against std::string comparison on the textual form.
+  Rng rng(5);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string a, b;
+    for (uint64_t i = rng.Below(12); i > 0; --i) a += rng.Chance(0.5) ? '1' : '0';
+    for (uint64_t i = rng.Below(12); i > 0; --i) b += rng.Chance(0.5) ? '1' : '0';
+    int expected = a.compare(b);
+    expected = expected < 0 ? -1 : (expected > 0 ? 1 : 0);
+    EXPECT_EQ(BitString::FromBits(a).Compare(BitString::FromBits(b)),
+              expected)
+        << a << " vs " << b;
+  }
+}
+
+TEST(CdbsTest, IsCode) {
+  EXPECT_TRUE(cdbs::IsCode(BitString::FromBits("1")));
+  EXPECT_TRUE(cdbs::IsCode(BitString::FromBits("01")));
+  EXPECT_FALSE(cdbs::IsCode(BitString::FromBits("10")));
+  EXPECT_FALSE(cdbs::IsCode(BitString()));
+}
+
+TEST(CdbsTest, InitialCodesAreOrderedValidCodes) {
+  for (size_t n : {1u, 2u, 3u, 7u, 8u, 100u, 1000u}) {
+    std::vector<BitString> codes = cdbs::InitialCodes(n);
+    ASSERT_EQ(codes.size(), n);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_TRUE(cdbs::IsCode(codes[i])) << codes[i].ToString();
+      if (i > 0) {
+        EXPECT_LT(codes[i - 1].Compare(codes[i]), 0)
+            << codes[i - 1].ToString() << " !< " << codes[i].ToString();
+      }
+    }
+  }
+}
+
+TEST(CdbsTest, InitialCodesAreCompact) {
+  // n codes fit in ceil(log2(n+1)) bits.
+  std::vector<BitString> codes = cdbs::InitialCodes(1000);
+  size_t max_len = 0;
+  for (const auto& c : codes) max_len = std::max(max_len, c.size());
+  EXPECT_EQ(max_len, 10u);
+}
+
+TEST(CdbsTest, BetweenOpenBoundaries) {
+  auto first = cdbs::Between(BitString(), BitString());
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->ToString(), "1");
+}
+
+TEST(CdbsTest, BetweenBeforeFirstAndAfterLast) {
+  BitString one = BitString::FromBits("1");
+  auto before = cdbs::Between(BitString(), one);
+  ASSERT_TRUE(before.ok());
+  EXPECT_LT(before->Compare(one), 0);
+  EXPECT_TRUE(cdbs::IsCode(*before));
+  auto after = cdbs::Between(one, BitString());
+  ASSERT_TRUE(after.ok());
+  EXPECT_GT(after->Compare(one), 0);
+  EXPECT_TRUE(cdbs::IsCode(*after));
+}
+
+TEST(CdbsTest, BetweenRejectsBadBounds) {
+  EXPECT_FALSE(cdbs::Between(BitString::FromBits("1"),
+                             BitString::FromBits("01"))
+                   .ok());
+  EXPECT_FALSE(cdbs::Between(BitString::FromBits("10"),
+                             BitString::FromBits("11"))
+                   .ok());
+}
+
+// The CDBS property: a code can always be created strictly between two
+// neighbors without touching existing codes.
+TEST(CdbsTest, RandomInsertionsPreserveTotalOrder) {
+  Rng rng(31337);
+  std::vector<BitString> codes = cdbs::InitialCodes(16);
+  for (int step = 0; step < 3000; ++step) {
+    size_t gap = static_cast<size_t>(rng.Below(codes.size() + 1));
+    BitString left = gap == 0 ? BitString() : codes[gap - 1];
+    BitString right = gap == codes.size() ? BitString() : codes[gap];
+    auto fresh = cdbs::Between(left, right);
+    ASSERT_TRUE(fresh.ok()) << fresh.status();
+    ASSERT_TRUE(cdbs::IsCode(*fresh));
+    if (!left.empty()) {
+      ASSERT_LT(left.Compare(*fresh), 0);
+    }
+    if (!right.empty()) {
+      ASSERT_LT(fresh->Compare(right), 0);
+    }
+    codes.insert(codes.begin() + static_cast<ptrdiff_t>(gap), *fresh);
+  }
+  for (size_t i = 1; i < codes.size(); ++i) {
+    ASSERT_LT(codes[i - 1].Compare(codes[i]), 0);
+  }
+}
+
+TEST(CdbsTest, SkewedRightInsertionGrowsLinearlySlowly) {
+  // Repeated insert-after-last is the common append pattern; length must
+  // grow by exactly one bit per insertion (CDBS behavior).
+  BitString cursor = BitString::FromBits("1");
+  for (int i = 0; i < 64; ++i) {
+    auto next = cdbs::Between(cursor, BitString());
+    ASSERT_TRUE(next.ok());
+    EXPECT_EQ(next->size(), cursor.size() + 1);
+    cursor = *next;
+  }
+}
+
+}  // namespace
+}  // namespace xupdate::label

@@ -1,0 +1,160 @@
+#include "label/labeling.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "testing/test_docs.h"
+#include "xml/parser.h"
+
+namespace xupdate::label {
+namespace {
+
+using xml::Document;
+using xml::NodeId;
+
+TEST(LabelingTest, BuildLabelsEveryNode) {
+  auto doc = xml::ParseDocument("<r a=\"1\"><b>t</b><c><d/></c></r>");
+  ASSERT_TRUE(doc.ok());
+  Labeling labeling = Labeling::Build(*doc);
+  EXPECT_EQ(labeling.size(), doc->node_count());
+  EXPECT_TRUE(labeling.Validate(*doc).ok());
+}
+
+TEST(LabelingTest, LabelFieldsMatchStructure) {
+  auto doc = xml::ParseDocument("<r><b/><c/></r>");
+  ASSERT_TRUE(doc.ok());
+  Labeling labeling = Labeling::Build(*doc);
+  NodeId root = doc->root();
+  NodeId b = doc->children(root)[0];
+  NodeId c = doc->children(root)[1];
+  auto lb = labeling.Get(b);
+  auto lc = labeling.Get(c);
+  ASSERT_TRUE(lb.ok());
+  ASSERT_TRUE(lc.ok());
+  EXPECT_EQ(lb->parent, root);
+  EXPECT_EQ(lb->level, 1u);
+  EXPECT_EQ(lb->left_sibling, xml::kInvalidNode);
+  EXPECT_FALSE(lb->is_last_child);
+  EXPECT_EQ(lc->left_sibling, b);
+  EXPECT_TRUE(lc->is_last_child);
+}
+
+TEST(LabelingTest, InsertedSubtreeGetsLabelsWithoutTouchingOthers) {
+  auto doc = xml::ParseDocument("<r><b/><c/></r>");
+  ASSERT_TRUE(doc.ok());
+  Labeling labeling = Labeling::Build(*doc);
+  NodeId root = doc->root();
+  NodeId b = doc->children(root)[0];
+  std::string before_b = labeling.Get(b)->start.ToString();
+
+  // Insert <n><m/></n> between b and c.
+  NodeId n = doc->NewElement("n");
+  NodeId m = doc->NewElement("m");
+  ASSERT_TRUE(doc->AppendChild(n, m).ok());
+  ASSERT_TRUE(doc->InsertAfter(b, n).ok());
+  ASSERT_TRUE(labeling.AssignForInsertedSubtree(*doc, n).ok());
+
+  EXPECT_EQ(labeling.Get(b)->start.ToString(), before_b);
+  EXPECT_TRUE(labeling.Validate(*doc).ok()) << labeling.Validate(*doc);
+}
+
+TEST(LabelingTest, DeleteUpdatesNeighborBookkeeping) {
+  auto doc = xml::ParseDocument("<r><a/><b/><c/></r>");
+  ASSERT_TRUE(doc.ok());
+  Labeling labeling = Labeling::Build(*doc);
+  NodeId root = doc->root();
+  NodeId a = doc->children(root)[0];
+  NodeId b = doc->children(root)[1];
+  NodeId c = doc->children(root)[2];
+  ASSERT_TRUE(labeling.OnWillDeleteSubtree(*doc, b).ok());
+  ASSERT_TRUE(doc->DeleteSubtree(b).ok());
+  EXPECT_EQ(labeling.Find(b), nullptr);
+  EXPECT_EQ(labeling.Get(c)->left_sibling, a);
+  EXPECT_TRUE(labeling.Validate(*doc).ok());
+
+  ASSERT_TRUE(labeling.OnWillDeleteSubtree(*doc, c).ok());
+  ASSERT_TRUE(doc->DeleteSubtree(c).ok());
+  EXPECT_TRUE(labeling.Get(a)->is_last_child);
+  EXPECT_TRUE(labeling.Validate(*doc).ok());
+}
+
+TEST(LabelingTest, AttributeInsertion) {
+  auto doc = xml::ParseDocument("<r a=\"1\"><b/></r>");
+  ASSERT_TRUE(doc.ok());
+  Labeling labeling = Labeling::Build(*doc);
+  NodeId root = doc->root();
+  NodeId attr = doc->NewAttribute("z", "9");
+  ASSERT_TRUE(doc->AddAttribute(root, attr).ok());
+  ASSERT_TRUE(labeling.AssignForInsertedSubtree(*doc, attr).ok());
+  EXPECT_TRUE(labeling.Validate(*doc).ok()) << labeling.Validate(*doc);
+}
+
+TEST(LabelingTest, SerializationRoundTrip) {
+  auto doc = xml::ParseDocument("<r a=\"1\"><b>t</b></r>");
+  ASSERT_TRUE(doc.ok());
+  Labeling labeling = Labeling::Build(*doc);
+  for (NodeId id : doc->AllNodesInOrder()) {
+    const NodeLabel* lab = labeling.Find(id);
+    ASSERT_NE(lab, nullptr);
+    auto back = NodeLabel::Parse(lab->Serialize(), id);
+    ASSERT_TRUE(back.ok()) << back.status();
+    EXPECT_EQ(back->type, lab->type);
+    EXPECT_EQ(back->level, lab->level);
+    EXPECT_EQ(back->parent, lab->parent);
+    EXPECT_EQ(back->left_sibling, lab->left_sibling);
+    EXPECT_EQ(back->is_last_child, lab->is_last_child);
+    EXPECT_EQ(back->start.Compare(lab->start), 0);
+    EXPECT_EQ(back->end.Compare(lab->end), 0);
+  }
+}
+
+TEST(LabelingTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(NodeLabel::Parse("", 1).ok());
+  EXPECT_FALSE(NodeLabel::Parse("x1:1:1:0:0:0", 1).ok());
+  EXPECT_FALSE(NodeLabel::Parse("e1:1:1:0:0", 1).ok());
+  EXPECT_FALSE(NodeLabel::Parse("e1:12:1:0:0:0", 1).ok());
+  EXPECT_FALSE(NodeLabel::Parse("e1:1:1:0:0:2", 1).ok());
+}
+
+// Property: after many random structural edits with incremental label
+// maintenance, the labeling still validates and original labels are
+// untouched (update tolerance).
+TEST(LabelingTest, RandomEditsKeepLabelingConsistent) {
+  Rng rng(424242);
+  for (int trial = 0; trial < 12; ++trial) {
+    xml::Document doc = xupdate::testing::RandomDocument(rng, 20);
+    Labeling labeling = Labeling::Build(doc);
+    for (int edit = 0; edit < 30; ++edit) {
+      std::vector<NodeId> nodes = doc.AllNodesInOrder();
+      NodeId pick = nodes[static_cast<size_t>(rng.Below(nodes.size()))];
+      double roll = rng.NextDouble();
+      if (roll < 0.5 && doc.type(pick) == xml::NodeType::kElement) {
+        // Insert a small subtree as child.
+        NodeId n = doc.NewElement("ins");
+        if (rng.Chance(0.5)) {
+          (void)doc.AppendChild(n, doc.NewText("x"));
+        }
+        Status s = rng.Chance(0.5) ? doc.AppendChild(pick, n)
+                                   : doc.PrependChild(pick, n);
+        ASSERT_TRUE(s.ok());
+        ASSERT_TRUE(labeling.AssignForInsertedSubtree(doc, n).ok());
+      } else if (roll < 0.75 && pick != doc.root() &&
+                 doc.type(pick) != xml::NodeType::kAttribute &&
+                 doc.parent(pick) != xml::kInvalidNode) {
+        NodeId n = doc.NewElement("sib");
+        Status s = rng.Chance(0.5) ? doc.InsertBefore(pick, n)
+                                   : doc.InsertAfter(pick, n);
+        ASSERT_TRUE(s.ok());
+        ASSERT_TRUE(labeling.AssignForInsertedSubtree(doc, n).ok());
+      } else if (pick != doc.root()) {
+        ASSERT_TRUE(labeling.OnWillDeleteSubtree(doc, pick).ok());
+        ASSERT_TRUE(doc.DeleteSubtree(pick).ok());
+      }
+      ASSERT_TRUE(labeling.Validate(doc).ok())
+          << labeling.Validate(doc) << " at trial " << trial;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xupdate::label

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "label/labeling.h"
+#include "label/node_label.h"
+#include "testing/test_docs.h"
+#include "xml/parser.h"
+
+namespace xupdate::label {
+namespace {
+
+using xml::Document;
+using xml::NodeId;
+using xml::NodeType;
+
+// Ground truth for each Table 1 predicate, computed by walking the tree.
+struct GroundTruth {
+  const Document& doc;
+
+  bool Precedes(NodeId a, NodeId b) const {
+    return a != b && doc.Compare(a, b) < 0;
+  }
+  bool LeftSibling(NodeId a, NodeId b) const {
+    if (doc.type(a) == NodeType::kAttribute ||
+        doc.type(b) == NodeType::kAttribute) {
+      return false;
+    }
+    NodeId p = doc.parent(b);
+    if (p == xml::kInvalidNode || doc.parent(a) != p) return false;
+    int ia = doc.ChildIndex(a);
+    int ib = doc.ChildIndex(b);
+    return ia >= 0 && ia + 1 == ib;
+  }
+  bool Child(NodeId a, NodeId b) const {
+    return doc.parent(a) == b && doc.type(a) != NodeType::kAttribute;
+  }
+  bool Attribute(NodeId a, NodeId b) const {
+    return doc.parent(a) == b && doc.type(a) == NodeType::kAttribute;
+  }
+  bool FirstChild(NodeId a, NodeId b) const {
+    return Child(a, b) && doc.children(b).front() == a;
+  }
+  bool LastChild(NodeId a, NodeId b) const {
+    return Child(a, b) && doc.children(b).back() == a;
+  }
+  bool Descendant(NodeId a, NodeId b) const { return doc.IsAncestor(b, a); }
+  bool NonAttrDescendant(NodeId a, NodeId b) const {
+    return Descendant(a, b) && !Attribute(a, b);
+  }
+};
+
+void CheckAllPairs(const Document& doc, const Labeling& labeling) {
+  GroundTruth truth{doc};
+  std::vector<NodeId> nodes = doc.AllNodesInOrder();
+  for (NodeId a : nodes) {
+    const NodeLabel& la = *labeling.Find(a);
+    for (NodeId b : nodes) {
+      const NodeLabel& lb = *labeling.Find(b);
+      EXPECT_EQ(Precedes(la, lb), truth.Precedes(a, b))
+          << "precedes " << a << "," << b;
+      EXPECT_EQ(IsLeftSiblingOf(la, lb), truth.LeftSibling(a, b))
+          << "leftsib " << a << "," << b;
+      EXPECT_EQ(IsChildOf(la, lb), truth.Child(a, b))
+          << "child " << a << "," << b;
+      EXPECT_EQ(IsAttributeOf(la, lb), truth.Attribute(a, b))
+          << "attr " << a << "," << b;
+      EXPECT_EQ(IsFirstChildOf(la, lb), truth.FirstChild(a, b))
+          << "firstchild " << a << "," << b;
+      EXPECT_EQ(IsLastChildOf(la, lb), truth.LastChild(a, b))
+          << "lastchild " << a << "," << b;
+      EXPECT_EQ(IsDescendantOf(la, lb), truth.Descendant(a, b))
+          << "desc " << a << "," << b;
+      EXPECT_EQ(IsNonAttributeDescendantOf(la, lb),
+                truth.NonAttrDescendant(a, b))
+          << "nonattrdesc " << a << "," << b;
+    }
+  }
+}
+
+TEST(PredicatesTest, HandBuiltDocument) {
+  auto doc = xml::ParseDocument(
+      "<r a=\"1\" b=\"2\"><x><y>t</y></x><z/><w q=\"3\">u</w></r>");
+  ASSERT_TRUE(doc.ok());
+  Labeling labeling = Labeling::Build(*doc);
+  CheckAllPairs(*doc, labeling);
+}
+
+TEST(PredicatesTest, PaperFigureDocument) {
+  Document doc = xupdate::testing::PaperFigureDocument();
+  Labeling labeling = Labeling::Build(doc);
+  CheckAllPairs(doc, labeling);
+}
+
+TEST(PredicatesTest, RandomDocuments) {
+  Rng rng(909);
+  for (int trial = 0; trial < 15; ++trial) {
+    Document doc = xupdate::testing::RandomDocument(rng, 22);
+    Labeling labeling = Labeling::Build(doc);
+    CheckAllPairs(doc, labeling);
+  }
+}
+
+TEST(PredicatesTest, HoldAfterIncrementalInsertions) {
+  Rng rng(777);
+  Document doc = xupdate::testing::RandomDocument(rng, 12);
+  Labeling labeling = Labeling::Build(doc);
+  // Grow the document via incremental labeling, then re-check all pairs.
+  for (int edit = 0; edit < 15; ++edit) {
+    std::vector<NodeId> nodes = doc.AllNodesInOrder();
+    NodeId pick = nodes[static_cast<size_t>(rng.Below(nodes.size()))];
+    if (doc.type(pick) != NodeType::kElement) continue;
+    NodeId n = doc.NewElement("g");
+    (void)doc.AppendChild(n, doc.NewText("v"));
+    ASSERT_TRUE(doc.AppendChild(pick, n).ok());
+    ASSERT_TRUE(labeling.AssignForInsertedSubtree(doc, n).ok());
+  }
+  CheckAllPairs(doc, labeling);
+}
+
+TEST(PredicatesTest, InvalidLabelsNeverRelate) {
+  NodeLabel invalid;
+  auto doc = xml::ParseDocument("<r/>");
+  ASSERT_TRUE(doc.ok());
+  Labeling labeling = Labeling::Build(*doc);
+  const NodeLabel& root = *labeling.Find(doc->root());
+  EXPECT_FALSE(Precedes(invalid, root));
+  EXPECT_FALSE(Precedes(root, invalid));
+  EXPECT_FALSE(IsDescendantOf(invalid, root));
+  EXPECT_FALSE(IsChildOf(invalid, root));
+}
+
+}  // namespace
+}  // namespace xupdate::label

@@ -1,0 +1,153 @@
+#include "label/qstring.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.h"
+
+namespace xupdate::label {
+namespace {
+
+TEST(QStringTest, AppendAndRead) {
+  QString s;
+  EXPECT_TRUE(s.empty());
+  s.AppendDigit(2);
+  s.AppendDigit(1);
+  s.AppendDigit(3);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.digit(0), 2);
+  EXPECT_EQ(s.digit(1), 1);
+  EXPECT_EQ(s.digit(2), 3);
+  EXPECT_EQ(s.ToString(), "213");
+  EXPECT_EQ(s.bit_size(), 6u);
+}
+
+TEST(QStringTest, PopDigit) {
+  QString s = QString::FromDigits("2132");
+  s.PopDigit();
+  EXPECT_EQ(s.ToString(), "213");
+  s.PopDigit();
+  s.PopDigit();
+  s.PopDigit();
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(QStringTest, FromDigitsRoundTrip) {
+  for (const char* digits :
+       {"", "1", "2", "3", "123", "3333", "12131", "222222222"}) {
+    EXPECT_EQ(QString::FromDigits(digits).ToString(), digits);
+  }
+}
+
+TEST(QStringTest, CompareMatchesStringCompare) {
+  Rng rng(77);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string a, b;
+    for (uint64_t i = rng.Below(10); i > 0; --i) {
+      a += static_cast<char>('1' + rng.Below(3));
+    }
+    for (uint64_t i = rng.Below(10); i > 0; --i) {
+      b += static_cast<char>('1' + rng.Below(3));
+    }
+    int expected = a.compare(b);
+    expected = expected < 0 ? -1 : (expected > 0 ? 1 : 0);
+    EXPECT_EQ(QString::FromDigits(a).Compare(QString::FromDigits(b)),
+              expected)
+        << a << " vs " << b;
+  }
+}
+
+TEST(CdqsTest, IsCode) {
+  EXPECT_TRUE(cdqs::IsCode(QString::FromDigits("2")));
+  EXPECT_TRUE(cdqs::IsCode(QString::FromDigits("13")));
+  EXPECT_FALSE(cdqs::IsCode(QString::FromDigits("21")));
+  EXPECT_FALSE(cdqs::IsCode(QString()));
+}
+
+TEST(CdqsTest, InitialCodesAreOrderedValidCodes) {
+  for (size_t n : {1u, 2u, 3u, 8u, 9u, 26u, 27u, 100u, 1000u}) {
+    std::vector<QString> codes = cdqs::InitialCodes(n);
+    ASSERT_EQ(codes.size(), n);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_TRUE(cdqs::IsCode(codes[i])) << codes[i].ToString();
+      if (i > 0) {
+        EXPECT_LT(codes[i - 1].Compare(codes[i]), 0)
+            << codes[i - 1].ToString() << " !< " << codes[i].ToString();
+      }
+    }
+  }
+}
+
+TEST(CdqsTest, InitialCodesAreShorterThanCdbs) {
+  // log3 symbols instead of log2 bits: 1000 codes fit in 7 quaternary
+  // digits (3^7 = 2187) vs 10 binary bits.
+  std::vector<QString> codes = cdqs::InitialCodes(1000);
+  size_t max_len = 0;
+  for (const auto& c : codes) max_len = std::max(max_len, c.size());
+  EXPECT_EQ(max_len, 7u);
+}
+
+TEST(CdqsTest, BetweenBoundaries) {
+  auto first = cdqs::Between(QString(), QString());
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->ToString(), "2");
+  QString two = QString::FromDigits("2");
+  auto before = cdqs::Between(QString(), two);
+  ASSERT_TRUE(before.ok());
+  EXPECT_LT(before->Compare(two), 0);
+  EXPECT_TRUE(cdqs::IsCode(*before));
+  auto after = cdqs::Between(two, QString());
+  ASSERT_TRUE(after.ok());
+  EXPECT_GT(after->Compare(two), 0);
+  EXPECT_TRUE(cdqs::IsCode(*after));
+}
+
+TEST(CdqsTest, BetweenRejectsBadBounds) {
+  EXPECT_FALSE(cdqs::Between(QString::FromDigits("3"),
+                             QString::FromDigits("2"))
+                   .ok());
+  EXPECT_FALSE(cdqs::Between(QString::FromDigits("21"),
+                             QString::FromDigits("22"))
+                   .ok());
+  EXPECT_FALSE(cdqs::Between(QString::FromDigits("23"),
+                             QString::FromDigits("2213"))
+                   .ok());
+}
+
+TEST(CdqsTest, RandomInsertionsPreserveTotalOrder) {
+  Rng rng(888);
+  std::vector<QString> codes = cdqs::InitialCodes(16);
+  for (int step = 0; step < 3000; ++step) {
+    size_t gap = static_cast<size_t>(rng.Below(codes.size() + 1));
+    QString left = gap == 0 ? QString() : codes[gap - 1];
+    QString right = gap == codes.size() ? QString() : codes[gap];
+    auto fresh = cdqs::Between(left, right);
+    ASSERT_TRUE(fresh.ok()) << fresh.status();
+    ASSERT_TRUE(cdqs::IsCode(*fresh));
+    if (!left.empty()) {
+      ASSERT_LT(left.Compare(*fresh), 0);
+    }
+    if (!right.empty()) {
+      ASSERT_LT(fresh->Compare(right), 0);
+    }
+    codes.insert(codes.begin() + static_cast<ptrdiff_t>(gap), *fresh);
+  }
+  for (size_t i = 1; i < codes.size(); ++i) {
+    ASSERT_LT(codes[i - 1].Compare(codes[i]), 0);
+  }
+}
+
+TEST(CdqsTest, AppendPatternGrowsOneDigitPerInsert) {
+  QString cursor = QString::FromDigits("2");
+  for (int i = 0; i < 64; ++i) {
+    auto next = cdqs::Between(cursor, QString());
+    ASSERT_TRUE(next.ok());
+    EXPECT_EQ(next->size(), cursor.size() + 1);
+    cursor = *next;
+  }
+}
+
+}  // namespace
+}  // namespace xupdate::label

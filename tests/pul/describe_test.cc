@@ -1,0 +1,72 @@
+#include "pul/describe.h"
+
+#include <gtest/gtest.h>
+
+#include "label/labeling.h"
+#include "testing/test_docs.h"
+
+namespace xupdate::pul {
+namespace {
+
+class DescribeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    doc_ = xupdate::testing::PaperFigureDocument();
+    labeling_ = label::Labeling::Build(doc_);
+    pul_.BindIdSpace(100);
+  }
+
+  xml::Document doc_;
+  label::Labeling labeling_;
+  Pul pul_;
+};
+
+TEST_F(DescribeTest, RendersPaperNotation) {
+  auto t = pul_.AddFragment("<author>M.Mesiti</author>");
+  ASSERT_TRUE(pul_.AddTreeOp(OpKind::kInsAfter, 19, labeling_, {*t}).ok());
+  ASSERT_TRUE(pul_.AddDelete(14, labeling_).ok());
+  ASSERT_TRUE(
+      pul_.AddStringOp(OpKind::kReplaceValue, 15, labeling_, "Report").ok());
+  ASSERT_TRUE(pul_.AddStringOp(OpKind::kRename, 5, labeling_, "title").ok());
+  EXPECT_EQ(DescribeOp(pul_, pul_.ops()[0]),
+            "ins->(19, <author>M.Mesiti</author>)");
+  EXPECT_EQ(DescribeOp(pul_, pul_.ops()[1]), "del(14)");
+  EXPECT_EQ(DescribeOp(pul_, pul_.ops()[2]), "repV(15, 'Report')");
+  EXPECT_EQ(DescribeOp(pul_, pul_.ops()[3]), "ren(5, 'title')");
+}
+
+TEST_F(DescribeTest, RendersAttributeAndTextParams) {
+  xml::NodeId attr = pul_.NewAttributeParam("initPage", "132");
+  ASSERT_TRUE(
+      pul_.AddTreeOp(OpKind::kInsAttributes, 4, labeling_, {attr}).ok());
+  xml::NodeId text = pul_.NewTextParam("just text");
+  ASSERT_TRUE(
+      pul_.AddTreeOp(OpKind::kReplaceChildren, 4, labeling_, {text}).ok());
+  EXPECT_EQ(DescribeOp(pul_, pul_.ops()[0]),
+            "insA(4, initPage=\"132\")");
+  EXPECT_EQ(DescribeOp(pul_, pul_.ops()[1]), "repC(4, 'just text')");
+}
+
+TEST_F(DescribeTest, ElidesLongParameters) {
+  std::string big = "<x>" + std::string(200, 'a') + "</x>";
+  auto t = pul_.AddFragment(big);
+  ASSERT_TRUE(pul_.AddTreeOp(OpKind::kInsLast, 4, labeling_, {*t}).ok());
+  std::string line = DescribeOp(pul_, pul_.ops()[0], 20);
+  EXPECT_LT(line.size(), 50u);
+  EXPECT_NE(line.find("..."), std::string::npos);
+}
+
+TEST_F(DescribeTest, DescribePulListsOpsAndPolicies) {
+  ASSERT_TRUE(pul_.AddDelete(14, labeling_).ok());
+  ASSERT_TRUE(pul_.AddDelete(16, labeling_).ok());
+  Policies policies;
+  policies.preserve_removed_data = true;
+  pul_.set_policies(policies);
+  std::string text = DescribePul(pul_);
+  EXPECT_NE(text.find("policies: removed-data"), std::string::npos);
+  EXPECT_NE(text.find("del(14)\n"), std::string::npos);
+  EXPECT_NE(text.find("del(16)\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xupdate::pul

@@ -1,0 +1,171 @@
+#include "pul/obtainable.h"
+
+#include <gtest/gtest.h>
+
+#include "label/labeling.h"
+#include "testing/test_docs.h"
+
+namespace xupdate::pul {
+namespace {
+
+using xml::Document;
+using xml::NodeId;
+
+class ObtainableTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    doc_ = xupdate::testing::PaperFigureDocument();
+    labeling_ = label::Labeling::Build(doc_);
+  }
+
+  Pul MakePul(NodeId base_offset = 0) {
+    Pul p;
+    p.BindIdSpace(doc_.max_assigned_id() + 1 + base_offset);
+    return p;
+  }
+
+  Document doc_;
+  label::Labeling labeling_;
+};
+
+TEST_F(ObtainableTest, Example1DeleteIsDeterministic) {
+  // op1 = del(14) involves no non-determinism: |O(op1, D)| = 1.
+  Pul p = MakePul();
+  ASSERT_TRUE(p.AddDelete(14, labeling_).ok());
+  auto set = ObtainableSet(doc_, p);
+  ASSERT_TRUE(set.ok()) << set.status();
+  EXPECT_EQ(set->size(), 1u);
+}
+
+TEST_F(ObtainableTest, Example1InsIntoHasOnePositionPerGap) {
+  // ins|(16, <author>G.Guerrini</author>): element 16 has two children,
+  // so the new author can land first, second or last: |O| = 3.
+  Pul p = MakePul();
+  auto t = p.AddFragment("<author>G.Guerrini</author>");
+  ASSERT_TRUE(p.AddTreeOp(OpKind::kInsInto, 16, labeling_, {*t}).ok());
+  auto set = ObtainableSet(doc_, p);
+  ASSERT_TRUE(set.ok()) << set.status();
+  EXPECT_EQ(set->size(), 3u);
+}
+
+TEST_F(ObtainableTest, Example3CardinalitySix) {
+  // ins|(16, ...) (3 positions) x two insLast(4, ...) (2 orders) = 6.
+  Pul p = MakePul();
+  auto a = p.AddFragment("<author>G.Guerrini</author>");
+  auto b = p.AddFragment("<initP>132</initP>");
+  auto c = p.AddFragment("<lastP>134</lastP>");
+  ASSERT_TRUE(p.AddTreeOp(OpKind::kInsInto, 16, labeling_, {*a}).ok());
+  ASSERT_TRUE(p.AddTreeOp(OpKind::kInsLast, 4, labeling_, {*b}).ok());
+  ASSERT_TRUE(p.AddTreeOp(OpKind::kInsLast, 4, labeling_, {*c}).ok());
+  auto set = ObtainableSet(doc_, p);
+  ASSERT_TRUE(set.ok()) << set.status();
+  EXPECT_EQ(set->size(), 6u);
+}
+
+TEST_F(ObtainableTest, Example4Equivalence) {
+  // ∆1 = {ins->(19, <author>M</author>), repV(15, 'Report on ...')}
+  // ∆2 = {insLast(16, <author>M</author>), repC(14, 'Report on ...')}
+  // 19 is the last child of 16 and 15 the only (text) child of 14,
+  // so the two PULs are equivalent.
+  Pul p1 = MakePul();
+  auto t1 = p1.AddFragment("<author>M.Mesiti</author>");
+  ASSERT_TRUE(p1.AddTreeOp(OpKind::kInsAfter, 19, labeling_, {*t1}).ok());
+  ASSERT_TRUE(p1.AddStringOp(OpKind::kReplaceValue, 15, labeling_,
+                             "Report on ...")
+                  .ok());
+
+  Pul p2 = MakePul(1000);
+  auto t2 = p2.AddFragment("<author>M.Mesiti</author>");
+  ASSERT_TRUE(p2.AddTreeOp(OpKind::kInsLast, 16, labeling_, {*t2}).ok());
+  NodeId txt = p2.NewTextParam("Report on ...");
+  ASSERT_TRUE(
+      p2.AddTreeOp(OpKind::kReplaceChildren, 14, labeling_, {txt}).ok());
+
+  auto eq = AreEquivalent(doc_, p1, p2);
+  ASSERT_TRUE(eq.ok()) << eq.status();
+  EXPECT_TRUE(*eq);
+}
+
+TEST_F(ObtainableTest, Example4EquivalenceBreaksOnDifferentContent) {
+  Pul p1 = MakePul();
+  auto t1 = p1.AddFragment("<author>M.Mesiti</author>");
+  ASSERT_TRUE(p1.AddTreeOp(OpKind::kInsAfter, 19, labeling_, {*t1}).ok());
+  Pul p2 = MakePul(1000);
+  auto t2 = p2.AddFragment("<author>Someone Else</author>");
+  ASSERT_TRUE(p2.AddTreeOp(OpKind::kInsLast, 16, labeling_, {*t2}).ok());
+  auto eq = AreEquivalent(doc_, p1, p2);
+  ASSERT_TRUE(eq.ok());
+  EXPECT_FALSE(*eq);
+}
+
+TEST_F(ObtainableTest, Example4Substitutability) {
+  // ∆2 = {insLast(4, <initP/>, <lastP/>)} fixes one of the two orders of
+  // ∆1 = {insLast(4, <initP/>), insLast(4, <lastP/>)}: ∆2 sub-of ∆1.
+  Pul p1 = MakePul();
+  auto b1 = p1.AddFragment("<initP>132</initP>");
+  auto c1 = p1.AddFragment("<lastP>134</lastP>");
+  ASSERT_TRUE(p1.AddTreeOp(OpKind::kInsLast, 4, labeling_, {*b1}).ok());
+  ASSERT_TRUE(p1.AddTreeOp(OpKind::kInsLast, 4, labeling_, {*c1}).ok());
+
+  Pul p2 = MakePul(1000);
+  auto b2 = p2.AddFragment("<initP>132</initP>");
+  auto c2 = p2.AddFragment("<lastP>134</lastP>");
+  ASSERT_TRUE(p2.AddTreeOp(OpKind::kInsLast, 4, labeling_, {*b2, *c2}).ok());
+
+  auto sub = IsSubstitutable(doc_, p2, p1);
+  ASSERT_TRUE(sub.ok()) << sub.status();
+  EXPECT_TRUE(*sub);
+  auto rev = IsSubstitutable(doc_, p1, p2);
+  ASSERT_TRUE(rev.ok());
+  EXPECT_FALSE(*rev);
+}
+
+TEST_F(ObtainableTest, CanonicalFormIgnoresFreshIdsOnly) {
+  Document d1 = doc_;
+  Document d2 = doc_;
+  NodeId n1 = d1.NewElement("x");
+  ASSERT_TRUE(d1.AppendChild(4, n1).ok());
+  // Different fresh id, same content and position.
+  NodeId waste = d2.NewElement("waste");
+  ASSERT_TRUE(d2.DeleteSubtree(waste).ok());
+  NodeId n2 = d2.NewElement("x");
+  ASSERT_TRUE(d2.AppendChild(4, n2).ok());
+  EXPECT_NE(n1, n2);
+  NodeId max_orig = doc_.max_assigned_id();
+  EXPECT_EQ(CanonicalForm(d1, max_orig), CanonicalForm(d2, max_orig));
+  // Structural comparison (the default) also matches.
+  EXPECT_EQ(CanonicalForm(d1), CanonicalForm(d2));
+  // With full id sensitivity they differ (n1 != n2).
+  NodeId all = std::numeric_limits<NodeId>::max();
+  EXPECT_NE(CanonicalForm(d1, all), CanonicalForm(d2, all));
+}
+
+TEST_F(ObtainableTest, TwoInsIntoOpsOnSameTarget) {
+  // Two insInto ops on element 3 (one existing child): each lands before
+  // or after the other and the text child — 2 ops produce orders
+  // {xy, yx} x positions; all obtainable docs enumerated without error.
+  Pul p = MakePul();
+  auto x = p.AddFragment("<x/>");
+  auto y = p.AddFragment("<y/>");
+  ASSERT_TRUE(p.AddTreeOp(OpKind::kInsInto, 3, labeling_, {*x}).ok());
+  ASSERT_TRUE(p.AddTreeOp(OpKind::kInsInto, 3, labeling_, {*y}).ok());
+  auto set = ObtainableSet(doc_, p);
+  ASSERT_TRUE(set.ok()) << set.status();
+  // Positions of x among (t): 2; then y among three nodes: 3; both
+  // orders of op application, minus duplicates = 6 distinct docs.
+  EXPECT_EQ(set->size(), 6u);
+}
+
+TEST_F(ObtainableTest, EnumerationLimitEnforced) {
+  Pul p = MakePul();
+  // 5 insInto ops on node 16 explode combinatorially.
+  for (int i = 0; i < 5; ++i) {
+    auto t = p.AddFragment("<z/>");
+    ASSERT_TRUE(p.AddTreeOp(OpKind::kInsInto, 16, labeling_, {*t}).ok());
+  }
+  auto set = ObtainableSet(doc_, p, /*limit=*/10);
+  EXPECT_FALSE(set.ok());
+}
+
+}  // namespace
+}  // namespace xupdate::pul

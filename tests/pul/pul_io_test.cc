@@ -1,0 +1,155 @@
+#include "pul/pul_io.h"
+
+#include <gtest/gtest.h>
+
+#include "label/labeling.h"
+#include "pul/apply.h"
+#include "pul/obtainable.h"
+#include "testing/test_docs.h"
+
+namespace xupdate::pul {
+namespace {
+
+using xml::Document;
+using xml::NodeId;
+
+class PulIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    doc_ = xupdate::testing::PaperFigureDocument();
+    labeling_ = label::Labeling::Build(doc_);
+  }
+
+  Pul MakeRichPul() {
+    Pul p;
+    p.BindIdSpace(doc_.max_assigned_id() + 1);
+    auto elem = p.AddFragment("<author lang=\"en\">M. Mesiti &amp; co</author>");
+    EXPECT_TRUE(elem.ok());
+    NodeId attr = p.NewAttributeParam("initPage", "132");
+    NodeId text = p.NewTextParam("plain \"text\" <value>");
+    EXPECT_TRUE(p.AddTreeOp(OpKind::kInsAfter, 19, labeling_, {*elem}).ok());
+    EXPECT_TRUE(
+        p.AddTreeOp(OpKind::kInsAttributes, 4, labeling_, {attr}).ok());
+    EXPECT_TRUE(
+        p.AddTreeOp(OpKind::kReplaceChildren, 3, labeling_, {text}).ok());
+    EXPECT_TRUE(
+        p.AddStringOp(OpKind::kReplaceValue, 15, labeling_, "new & value")
+            .ok());
+    EXPECT_TRUE(p.AddStringOp(OpKind::kRename, 5, labeling_, "title2").ok());
+    EXPECT_TRUE(p.AddDelete(14, labeling_).ok());
+    Policies pol;
+    pol.preserve_inserted_data = true;
+    p.set_policies(pol);
+    return p;
+  }
+
+  Document doc_;
+  label::Labeling labeling_;
+};
+
+TEST_F(PulIoTest, RoundTripPreservesEverything) {
+  Pul p = MakeRichPul();
+  auto text = SerializePul(p);
+  ASSERT_TRUE(text.ok()) << text.status();
+  auto back = ParsePul(*text);
+  ASSERT_TRUE(back.ok()) << back.status() << "\n" << *text;
+
+  ASSERT_EQ(back->size(), p.size());
+  for (size_t i = 0; i < p.size(); ++i) {
+    const UpdateOp& a = p.ops()[i];
+    const UpdateOp& b = back->ops()[i];
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.target, b.target);
+    EXPECT_EQ(a.param_string, b.param_string);
+    EXPECT_EQ(a.target_label.valid(), b.target_label.valid());
+    if (a.target_label.valid()) {
+      EXPECT_EQ(a.target_label.Serialize(), b.target_label.Serialize());
+    }
+    ASSERT_EQ(a.param_trees.size(), b.param_trees.size());
+    for (size_t t = 0; t < a.param_trees.size(); ++t) {
+      EXPECT_EQ(a.param_trees[t], b.param_trees[t]);  // ids preserved
+      EXPECT_TRUE(Document::SubtreeEquals(p.forest(), a.param_trees[t],
+                                          back->forest(), b.param_trees[t],
+                                          /*compare_ids=*/true));
+    }
+  }
+  EXPECT_TRUE(back->policies().preserve_inserted_data);
+  EXPECT_FALSE(back->policies().preserve_insertion_order);
+}
+
+TEST_F(PulIoTest, RoundTrippedPulAppliesIdentically) {
+  Pul p = MakeRichPul();
+  auto text = SerializePul(p);
+  ASSERT_TRUE(text.ok());
+  auto back = ParsePul(*text);
+  ASSERT_TRUE(back.ok());
+
+  Document d1 = doc_;
+  Document d2 = doc_;
+  ASSERT_TRUE(ApplyPul(&d1, p).ok());
+  ASSERT_TRUE(ApplyPul(&d2, *back).ok());
+  EXPECT_EQ(CanonicalForm(d1), CanonicalForm(d2));
+}
+
+TEST_F(PulIoTest, SerializedFormIsStable) {
+  Pul p;
+  p.BindIdSpace(100);
+  ASSERT_TRUE(p.AddDelete(14, labeling_).ok());
+  auto text = SerializePul(p);
+  ASSERT_TRUE(text.ok());
+  auto second = SerializePul(p);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*text, *second);
+  EXPECT_NE(text->find("<op kind=\"del\" target=\"14\""),
+            std::string::npos);
+}
+
+TEST_F(PulIoTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(ParsePul("<notpul/>").ok());
+  EXPECT_FALSE(ParsePul("<pul><op/></pul>").ok());
+  EXPECT_FALSE(ParsePul("<pul><op kind=\"zap\" target=\"1\"/></pul>").ok());
+  EXPECT_FALSE(ParsePul("<pul><op kind=\"del\" target=\"x\"/></pul>").ok());
+  EXPECT_FALSE(ParsePul("<pul><op kind=\"del\" target=\"1\" "
+                        "label=\"broken\"/></pul>")
+                   .ok());
+  EXPECT_FALSE(
+      ParsePul("<pul><op kind=\"insLast\" target=\"1\">"
+               "<weird/></op></pul>")
+          .ok());
+  EXPECT_FALSE(
+      ParsePul("<pul><op kind=\"insLast\" target=\"1\">"
+               "<elem><a/><b/></elem></op></pul>")
+          .ok());
+  EXPECT_FALSE(ParsePul("not xml at all").ok());
+}
+
+TEST_F(PulIoTest, EmptyPulRoundTrips) {
+  Pul p;
+  auto text = SerializePul(p);
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(*text, "<pul></pul>");
+  auto back = ParsePul(*text);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST_F(PulIoTest, LabelTravelsWithOps) {
+  Pul p;
+  p.BindIdSpace(100);
+  ASSERT_TRUE(p.AddDelete(14, labeling_).ok());
+  auto text = SerializePul(p);
+  ASSERT_TRUE(text.ok());
+  auto back = ParsePul(*text);
+  ASSERT_TRUE(back.ok());
+  const label::NodeLabel& lab = back->ops()[0].target_label;
+  ASSERT_TRUE(lab.valid());
+  EXPECT_EQ(lab.parent, 2u);
+  EXPECT_EQ(lab.type, xml::NodeType::kElement);
+  // Label predicates work straight off the wire (document independence).
+  const label::NodeLabel* anc = labeling_.Find(2);
+  ASSERT_NE(anc, nullptr);
+  EXPECT_TRUE(label::IsDescendantOf(lab, *anc));
+}
+
+}  // namespace
+}  // namespace xupdate::pul

@@ -1,0 +1,175 @@
+#include "pul/pul.h"
+
+#include <gtest/gtest.h>
+
+#include "label/labeling.h"
+#include "pul/update_op.h"
+#include "testing/test_docs.h"
+
+namespace xupdate::pul {
+namespace {
+
+using xml::NodeId;
+
+class PulTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    doc_ = xupdate::testing::PaperFigureDocument();
+    labeling_ = label::Labeling::Build(doc_);
+  }
+
+  Pul MakePul() {
+    Pul p;
+    p.BindIdSpace(doc_.max_assigned_id() + 1);
+    return p;
+  }
+
+  xml::Document doc_;
+  label::Labeling labeling_;
+};
+
+TEST_F(PulTest, OpKindNamesRoundTrip) {
+  for (int k = 0; k < kNumOpKinds; ++k) {
+    OpKind kind = static_cast<OpKind>(k);
+    OpKind back;
+    ASSERT_TRUE(OpKindFromName(OpKindName(kind), &back));
+    EXPECT_EQ(back, kind);
+  }
+  OpKind dummy;
+  EXPECT_FALSE(OpKindFromName("bogus", &dummy));
+}
+
+TEST_F(PulTest, StagesMatchPaper) {
+  EXPECT_EQ(StageOf(OpKind::kInsInto), 1);
+  EXPECT_EQ(StageOf(OpKind::kInsAttributes), 1);
+  EXPECT_EQ(StageOf(OpKind::kReplaceValue), 1);
+  EXPECT_EQ(StageOf(OpKind::kRename), 1);
+  EXPECT_EQ(StageOf(OpKind::kInsBefore), 2);
+  EXPECT_EQ(StageOf(OpKind::kInsAfter), 2);
+  EXPECT_EQ(StageOf(OpKind::kInsFirst), 2);
+  EXPECT_EQ(StageOf(OpKind::kInsLast), 2);
+  EXPECT_EQ(StageOf(OpKind::kReplaceNode), 3);
+  EXPECT_EQ(StageOf(OpKind::kReplaceChildren), 4);
+  EXPECT_EQ(StageOf(OpKind::kDelete), 5);
+}
+
+TEST_F(PulTest, CompatibilityExample2) {
+  // Example 2: ren(1,dblp) and ren(1,myDblp) incompatible; each is
+  // compatible with repC(1, 'nopapers').
+  UpdateOp ren1{OpKind::kRename, 1, {}, {}, "dblp"};
+  UpdateOp ren2{OpKind::kRename, 1, {}, {}, "myDblp"};
+  UpdateOp repc{OpKind::kReplaceChildren, 1, {}, {}, ""};
+  EXPECT_FALSE(AreCompatible(ren1, ren2));
+  EXPECT_TRUE(AreCompatible(ren1, repc));
+  EXPECT_TRUE(AreCompatible(ren2, repc));
+}
+
+TEST_F(PulTest, CheckCompatibleDetectsDuplicates) {
+  Pul p = MakePul();
+  ASSERT_TRUE(p.AddStringOp(OpKind::kRename, 5, labeling_, "a").ok());
+  EXPECT_TRUE(p.CheckCompatible().ok());
+  ASSERT_TRUE(p.AddStringOp(OpKind::kRename, 5, labeling_, "b").ok());
+  EXPECT_EQ(p.CheckCompatible().code(), StatusCode::kIncompatible);
+}
+
+TEST_F(PulTest, TwoInsertionsOnSameTargetAreCompatible) {
+  Pul p = MakePul();
+  auto t1 = p.AddFragment("<x/>");
+  auto t2 = p.AddFragment("<y/>");
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(t2.ok());
+  ASSERT_TRUE(p.AddTreeOp(OpKind::kInsLast, 4, labeling_, {*t1}).ok());
+  ASSERT_TRUE(p.AddTreeOp(OpKind::kInsLast, 4, labeling_, {*t2}).ok());
+  EXPECT_TRUE(p.CheckCompatible().ok());
+}
+
+TEST_F(PulTest, AddOpValidatesParameterShapes) {
+  Pul p = MakePul();
+  NodeId attr = p.NewAttributeParam("k", "v");
+  // Attribute tree cannot be a sibling insertion parameter.
+  EXPECT_FALSE(p.AddTreeOp(OpKind::kInsBefore, 5, labeling_, {attr}).ok());
+  // Non-attribute tree cannot be an insA parameter.
+  auto elem = p.AddFragment("<x/>");
+  ASSERT_TRUE(elem.ok());
+  EXPECT_FALSE(
+      p.AddTreeOp(OpKind::kInsAttributes, 4, labeling_, {*elem}).ok());
+  // Unknown forest node rejected.
+  EXPECT_FALSE(p.AddTreeOp(OpKind::kInsLast, 4, labeling_, {99999}).ok());
+  // del takes no trees.
+  UpdateOp bad;
+  bad.kind = OpKind::kDelete;
+  bad.target = 5;
+  bad.param_trees = {*elem};
+  EXPECT_FALSE(p.AddOp(bad).ok());
+}
+
+TEST_F(PulTest, AddOpRejectsAttachedParameter) {
+  Pul p = MakePul();
+  auto root = p.AddFragment("<x><y/></x>");
+  ASSERT_TRUE(root.ok());
+  NodeId y = p.forest().children(*root)[0];
+  EXPECT_FALSE(p.AddTreeOp(OpKind::kInsLast, 4, labeling_, {y}).ok());
+}
+
+TEST_F(PulTest, MergeCombinesOps) {
+  Pul a = MakePul();
+  auto ta = a.AddFragment("<x/>");
+  ASSERT_TRUE(ta.ok());
+  ASSERT_TRUE(a.AddTreeOp(OpKind::kInsLast, 4, labeling_, {*ta}).ok());
+
+  Pul b;
+  b.BindIdSpace(doc_.max_assigned_id() + 1000);
+  auto tb = b.AddFragment("<y/>");
+  ASSERT_TRUE(tb.ok());
+  ASSERT_TRUE(b.AddTreeOp(OpKind::kInsFirst, 16, labeling_, {*tb}).ok());
+
+  auto merged = Pul::Merge(a, b);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->size(), 2u);
+  EXPECT_TRUE(merged->forest().Exists(*ta));
+  EXPECT_TRUE(merged->forest().Exists(*tb));
+}
+
+TEST_F(PulTest, MergeFailsOnIncompatibility) {
+  Pul a = MakePul();
+  ASSERT_TRUE(a.AddStringOp(OpKind::kRename, 5, labeling_, "x").ok());
+  Pul b;
+  b.BindIdSpace(doc_.max_assigned_id() + 1000);
+  ASSERT_TRUE(b.AddStringOp(OpKind::kRename, 5, labeling_, "y").ok());
+  auto merged = Pul::Merge(a, b);
+  ASSERT_FALSE(merged.ok());
+  EXPECT_EQ(merged.status().code(), StatusCode::kIncompatible);
+}
+
+TEST_F(PulTest, MergeFailsOnIdSpaceClash) {
+  Pul a;  // both PULs allocate param ids from 1
+  auto ta = a.AddFragment("<x/>");
+  ASSERT_TRUE(ta.ok());
+  ASSERT_TRUE(a.AddTreeOp(OpKind::kInsLast, 4, labeling_, {*ta}).ok());
+  Pul b;
+  auto tb = b.AddFragment("<y/>");
+  ASSERT_TRUE(tb.ok());
+  ASSERT_TRUE(b.AddTreeOp(OpKind::kInsFirst, 16, labeling_, {*tb}).ok());
+  EXPECT_FALSE(Pul::Merge(a, b).ok());
+}
+
+TEST_F(PulTest, BindIdSpaceSeparatesProducers) {
+  Pul p = MakePul();
+  auto t = p.AddFragment("<x/>");
+  ASSERT_TRUE(t.ok());
+  EXPECT_GT(*t, doc_.max_assigned_id());
+}
+
+TEST_F(PulTest, PoliciesRoundTrip) {
+  Pul p = MakePul();
+  Policies pol;
+  pol.preserve_insertion_order = true;
+  pol.preserve_removed_data = true;
+  p.set_policies(pol);
+  EXPECT_TRUE(p.policies().preserve_insertion_order);
+  EXPECT_FALSE(p.policies().preserve_inserted_data);
+  EXPECT_TRUE(p.policies().preserve_removed_data);
+}
+
+}  // namespace
+}  // namespace xupdate::pul

@@ -1,0 +1,246 @@
+#include "tools/cli.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "xml/parser.h"
+
+namespace xupdate::tools {
+namespace {
+
+namespace fs = std::filesystem;
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("xupdate_cli_test_" +
+            std::to_string(
+                ::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    fs::create_directories(dir_);
+  }
+
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  // Runs the CLI, expecting success; returns captured output.
+  std::string Run(const std::vector<std::string>& args) {
+    std::ostringstream out;
+    Status status = RunCli(args, out);
+    EXPECT_TRUE(status.ok()) << status << "\n" << out.str();
+    return out.str();
+  }
+
+  void WriteDoc(const std::string& name, const std::string& xml) {
+    std::ofstream f(Path(name));
+    f << xml;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(CliTest, UnknownCommandFails) {
+  std::ostringstream out;
+  EXPECT_FALSE(RunCli({"frobnicate"}, out).ok());
+  EXPECT_FALSE(RunCli({}, out).ok());
+}
+
+TEST_F(CliTest, MissingFlagsFail) {
+  std::ostringstream out;
+  EXPECT_FALSE(RunCli({"generate"}, out).ok());
+  EXPECT_FALSE(RunCli({"apply", "--doc", "x"}, out).ok());
+  EXPECT_FALSE(RunCli({"produce", "--doc", "x", "--update"}, out).ok());
+}
+
+TEST_F(CliTest, GenerateStatsAndQuery) {
+  Run({"generate", "--bytes", "20000", "--out", Path("doc.xml")});
+  std::string stats = Run({"stats", "--doc", Path("doc.xml")});
+  EXPECT_NE(stats.find("elements:"), std::string::npos);
+  std::string query =
+      Run({"query", "--doc", Path("doc.xml"), "--path", "//item/name"});
+  EXPECT_NE(query.find("nodes"), std::string::npos);
+}
+
+TEST_F(CliTest, ProduceApplyRoundTrip) {
+  WriteDoc("doc.xml", "<r><a>old</a></r>");
+  Run({"produce", "--doc", Path("doc.xml"), "--update",
+       "replace value of node /r/a/text() with \"new\"", "--out",
+       Path("pul.xml")});
+  Run({"apply", "--doc", Path("doc.xml"), "--pul", Path("pul.xml"),
+       "--out", Path("out.xml")});
+  std::ifstream f(Path("out.xml"));
+  std::stringstream content;
+  content << f.rdbuf();
+  EXPECT_NE(content.str().find("new"), std::string::npos);
+
+  // The in-memory engine agrees.
+  Run({"apply", "--doc", Path("doc.xml"), "--pul", Path("pul.xml"),
+       "--engine", "inmemory", "--out", Path("out2.xml")});
+  std::ifstream f2(Path("out2.xml"));
+  std::stringstream content2;
+  content2 << f2.rdbuf();
+  EXPECT_EQ(content.str(), content2.str());
+}
+
+TEST_F(CliTest, ReduceReportsRuleApplications) {
+  WriteDoc("doc.xml", "<r><a/></r>");
+  Run({"produce", "--doc", Path("doc.xml"), "--update",
+       "insert nodes <x/> as last into /r/a, "
+       "insert nodes <y/> as last into /r/a",
+       "--out", Path("pul.xml")});
+  std::string out = Run({"reduce", "--pul", Path("pul.xml"), "--out",
+                         Path("reduced.xml")});
+  EXPECT_NE(out.find("reduced 2 -> 1"), std::string::npos);
+}
+
+TEST_F(CliTest, AggregatePipeline) {
+  WriteDoc("doc.xml", "<r><a>one</a></r>");
+  Run({"produce", "--doc", Path("doc.xml"), "--update",
+       "insert nodes <b>two</b> as last into /r", "--id-base", "100",
+       "--out", Path("p1.xml")});
+  Run({"produce", "--doc", Path("doc.xml"), "--update",
+       "rename node /r/a as \"z\"", "--id-base", "200", "--out",
+       Path("p2.xml")});
+  std::string out = Run({"aggregate", "--out", Path("agg.xml"),
+                         Path("p1.xml"), Path("p2.xml")});
+  EXPECT_NE(out.find("aggregated"), std::string::npos);
+  Run({"apply", "--doc", Path("doc.xml"), "--pul", Path("agg.xml"),
+       "--out", Path("out.xml")});
+}
+
+TEST_F(CliTest, IntegrateReportsConflicts) {
+  WriteDoc("doc.xml", "<r><a>one</a></r>");
+  Run({"produce", "--doc", Path("doc.xml"), "--update",
+       "rename node /r/a as \"x\"", "--id-base", "100", "--out",
+       Path("p1.xml")});
+  Run({"produce", "--doc", Path("doc.xml"), "--update",
+       "rename node /r/a as \"y\"", "--id-base", "200", "--out",
+       Path("p2.xml")});
+  std::string out =
+      Run({"integrate", Path("p1.xml"), Path("p2.xml")});
+  EXPECT_NE(out.find("1 conflicts"), std::string::npos);
+  EXPECT_NE(out.find("repeated-modification"), std::string::npos);
+}
+
+TEST_F(CliTest, ReconcileWithPolicies) {
+  WriteDoc("doc.xml", "<r><a>one</a></r>");
+  Run({"produce", "--doc", Path("doc.xml"), "--update",
+       "replace value of node /r/a/text() with \"mine\"", "--id-base",
+       "100", "--policies", "inserted", "--out", Path("p1.xml")});
+  Run({"produce", "--doc", Path("doc.xml"), "--update",
+       "replace value of node /r/a/text() with \"theirs\"", "--id-base",
+       "200", "--out", Path("p2.xml")});
+  std::string out = Run({"reconcile", "--out", Path("merged.xml"),
+                         Path("p1.xml"), Path("p2.xml")});
+  EXPECT_NE(out.find("reconciled 1 conflicts"), std::string::npos);
+  Run({"apply", "--doc", Path("doc.xml"), "--pul", Path("merged.xml"),
+       "--out", Path("out.xml")});
+  std::ifstream f(Path("out.xml"));
+  std::stringstream content;
+  content << f.rdbuf();
+  EXPECT_NE(content.str().find("mine"), std::string::npos);
+}
+
+TEST_F(CliTest, ShowRendersOps) {
+  WriteDoc("doc.xml", "<r><a>x</a></r>");
+  Run({"produce", "--doc", Path("doc.xml"), "--update",
+       "delete nodes /r/a", "--out", Path("pul.xml")});
+  std::string out = Run({"show", "--pul", Path("pul.xml")});
+  EXPECT_NE(out.find("del(2)"), std::string::npos);
+}
+
+TEST_F(CliTest, DiffDerivesApplicableDelta) {
+  WriteDoc("from.xml", "<r><a>x</a><b/></r>");
+  // Edit: produce + apply, then diff original vs updated.
+  Run({"produce", "--doc", Path("from.xml"), "--update",
+       "replace value of node /r/a/text() with \"y\", delete nodes /r/b",
+       "--out", Path("edit.xml")});
+  Run({"apply", "--doc", Path("from.xml"), "--pul", Path("edit.xml"),
+       "--out", Path("to.xml")});
+  std::string out = Run({"diff", "--from", Path("from.xml"), "--to",
+                         Path("to.xml"), "--out", Path("delta.xml")});
+  EXPECT_NE(out.find("2 operations"), std::string::npos);
+  Run({"apply", "--doc", Path("from.xml"), "--pul", Path("delta.xml"),
+       "--out", Path("patched.xml")});
+  std::ifstream a(Path("to.xml")), b(Path("patched.xml"));
+  std::stringstream sa, sb;
+  sa << a.rdbuf();
+  sb << b.rdbuf();
+  EXPECT_EQ(sa.str(), sb.str());
+}
+
+TEST_F(CliTest, EquivalentCommand) {
+  WriteDoc("doc.xml", "<r><a>x</a></r>");
+  Run({"produce", "--doc", Path("doc.xml"), "--update",
+       "delete nodes /r/a", "--id-base", "100", "--out", Path("p1.xml")});
+  Run({"produce", "--doc", Path("doc.xml"), "--update",
+       "replace node /r/a with \"\", delete nodes /r/a/text()",
+       "--id-base", "200", "--out", Path("p2.xml")});
+  // del(a) vs repN(a, empty-text)+del(text): not equivalent (the second
+  // leaves an empty text node).
+  std::string out = Run(
+      {"equivalent", "--doc", Path("doc.xml"), Path("p1.xml"),
+       Path("p2.xml")});
+  EXPECT_FALSE(out.empty());
+}
+
+TEST_F(CliTest, SidecarRoundTrip) {
+  WriteDoc("doc.xml", "<r a=\"1\"><x>t</x></r>");
+  std::string save = Run({"sidecar-save", "--doc", Path("doc.xml"),
+                          "--out-doc", Path("plain.xml"), "--out-sidecar",
+                          Path("doc.sidecar")});
+  EXPECT_NE(save.find("pristine"), std::string::npos);
+  // The plain form carries no annotations.
+  std::ifstream plain_file(Path("plain.xml"));
+  std::stringstream plain;
+  plain << plain_file.rdbuf();
+  EXPECT_EQ(plain.str().find("xu:ids"), std::string::npos);
+  // Loading re-annotates with the original ids.
+  Run({"sidecar-load", "--doc", Path("plain.xml"), "--sidecar",
+       Path("doc.sidecar"), "--out", Path("back.xml")});
+  std::ifstream back_file(Path("back.xml"));
+  std::stringstream back;
+  back << back_file.rdbuf();
+  auto original = xml::ParseDocument("<r a=\"1\"><x>t</x></r>");
+  auto restored = xml::ParseDocument(back.str());
+  ASSERT_TRUE(original.ok());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(xml::Document::SubtreeEquals(
+      *original, original->root(), *restored, restored->root(),
+      /*compare_ids=*/true));
+}
+
+TEST_F(CliTest, InvertUndoes) {
+  WriteDoc("doc.xml", "<r><a>one</a><b/></r>");
+  Run({"produce", "--doc", Path("doc.xml"), "--update",
+       "delete nodes /r/b", "--out", Path("pul.xml")});
+  Run({"apply", "--doc", Path("doc.xml"), "--pul", Path("pul.xml"),
+       "--out", Path("after.xml")});
+  Run({"invert", "--doc", Path("doc.xml"), "--pul", Path("pul.xml"),
+       "--out", Path("undo.xml")});
+  Run({"apply", "--doc", Path("after.xml"), "--pul", Path("undo.xml"),
+       "--out", Path("restored.xml")});
+  std::ifstream original(Path("doc.xml"));
+  std::stringstream original_content;
+  original_content << original.rdbuf();
+  std::ifstream restored(Path("restored.xml"));
+  std::stringstream restored_content;
+  restored_content << restored.rdbuf();
+  auto a = xml::ParseDocument(original_content.str());
+  auto b = xml::ParseDocument(restored_content.str());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(xml::Document::SubtreeEquals(*a, a->root(), *b, b->root(),
+                                           /*compare_ids=*/true));
+}
+
+}  // namespace
+}  // namespace xupdate::tools

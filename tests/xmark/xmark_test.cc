@@ -1,0 +1,100 @@
+#include "xmark/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "label/labeling.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+#include "xquery/eval.h"
+#include "xquery/parser.h"
+
+namespace xupdate::xmark {
+namespace {
+
+TEST(XmarkTest, GeneratesValidDocument) {
+  Config config;
+  config.target_bytes = 64 << 10;
+  auto doc = GenerateDocument(config);
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_TRUE(doc->Validate().ok());
+  EXPECT_EQ(doc->name(doc->root()), "site");
+}
+
+TEST(XmarkTest, DeterministicForSeed) {
+  Config config;
+  config.target_bytes = 32 << 10;
+  auto a = GenerateDocumentText(config);
+  auto b = GenerateDocumentText(config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+  config.seed = 43;
+  auto c = GenerateDocumentText(config);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(*a, *c);
+}
+
+TEST(XmarkTest, SizeScalesWithTarget) {
+  Config small;
+  small.target_bytes = 16 << 10;
+  Config large;
+  large.target_bytes = 128 << 10;
+  auto s = GenerateDocumentText(small);
+  auto l = GenerateDocumentText(large);
+  ASSERT_TRUE(s.ok());
+  ASSERT_TRUE(l.ok());
+  // Sizes are approximate but should scale roughly linearly (the
+  // annotated form is larger than the plain target).
+  EXPECT_GT(l->size(), s->size() * 4);
+  EXPECT_GT(s->size(), small.target_bytes / 2);
+  EXPECT_LT(l->size(), large.target_bytes * 4);
+}
+
+TEST(XmarkTest, HasExpectedEntityStructure) {
+  Config config;
+  config.target_bytes = 64 << 10;
+  auto doc = GenerateDocument(config);
+  ASSERT_TRUE(doc.ok());
+  label::Labeling labeling = label::Labeling::Build(*doc);
+  xquery::ProducerContext ctx;
+  ctx.doc = &*doc;
+  ctx.labeling = &labeling;
+  auto count = [&](const char* path_text) -> size_t {
+    auto path = xquery::ParsePath(path_text);
+    EXPECT_TRUE(path.ok());
+    auto nodes = xquery::EvaluatePath(*doc, *path);
+    EXPECT_TRUE(nodes.ok());
+    return nodes.ok() ? nodes->size() : 0;
+  };
+  EXPECT_GT(count("/site/regions/*"), 0u);
+  EXPECT_GT(count("//item"), 0u);
+  EXPECT_GT(count("//person/name"), 0u);
+  EXPECT_GT(count("//open_auction/current"), 0u);
+  EXPECT_GT(count("//closed_auction/price"), 0u);
+  EXPECT_GT(count("//item/@id"), 0u);
+  // Every item has exactly one description.
+  EXPECT_EQ(count("//item"), count("//item/description"));
+}
+
+TEST(XmarkTest, AnnotatedTextRoundTrips) {
+  Config config;
+  config.target_bytes = 16 << 10;
+  auto text = GenerateDocumentText(config);
+  ASSERT_TRUE(text.ok());
+  auto parsed = xml::ParseDocument(*text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  xml::SerializeOptions opts;
+  opts.with_ids = true;
+  auto again = xml::SerializeDocument(*parsed, opts);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*text, *again);
+}
+
+TEST(XmarkTest, RejectsTinyTargets) {
+  Config config;
+  config.target_bytes = 10;
+  EXPECT_FALSE(GenerateDocument(config).ok());
+}
+
+}  // namespace
+}  // namespace xupdate::xmark

@@ -1,0 +1,113 @@
+// Escaping and odd-content property tests for the XML layer.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/random.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace xupdate::xml {
+namespace {
+
+// Random strings over a hostile alphabet.
+std::string HostileString(Rng& rng, size_t max_len) {
+  static const char kAlphabet[] =
+      "<>&\"' ab\tc;=/?!-[]()\n#x1;&amp";
+  std::string out;
+  size_t len = rng.Below(max_len + 1);
+  for (size_t i = 0; i < len; ++i) {
+    out += kAlphabet[rng.Below(sizeof(kAlphabet) - 1)];
+  }
+  return out;
+}
+
+TEST(EscapingTest, HostileTextAndAttributesRoundTrip) {
+  Rng rng(606);
+  for (int trial = 0; trial < 200; ++trial) {
+    Document doc;
+    NodeId root = doc.NewElement("r");
+    ASSERT_TRUE(doc.SetRoot(root).ok());
+    std::string text = HostileString(rng, 24);
+    std::string attr_value = HostileString(rng, 24);
+    if (!text.empty()) {
+      // Whitespace-only text is dropped by default parse options; make
+      // sure the value is visible.
+      text += "x";
+      (void)doc.AppendChild(root, doc.NewText(text));
+    }
+    (void)doc.AddAttribute(root, doc.NewAttribute("a", attr_value));
+    auto serialized = SerializeDocument(doc);
+    ASSERT_TRUE(serialized.ok());
+    auto back = ParseDocument(*serialized);
+    ASSERT_TRUE(back.ok()) << back.status() << "\n" << *serialized;
+    NodeId new_root = back->root();
+    ASSERT_EQ(back->attributes(new_root).size(), 1u);
+    EXPECT_EQ(back->value(back->attributes(new_root)[0]), attr_value);
+    if (!text.empty()) {
+      ASSERT_EQ(back->children(new_root).size(), 1u);
+      EXPECT_EQ(back->value(back->children(new_root)[0]), text);
+    }
+  }
+}
+
+TEST(EscapingTest, MarkupInValuesDoesNotBreakStructure) {
+  Document doc;
+  NodeId root = doc.NewElement("r");
+  ASSERT_TRUE(doc.SetRoot(root).ok());
+  (void)doc.AppendChild(root, doc.NewText("</r><fake>"));
+  (void)doc.AddAttribute(root, doc.NewAttribute("a", "\"/><fake b=\""));
+  auto serialized = SerializeDocument(doc);
+  ASSERT_TRUE(serialized.ok());
+  auto back = ParseDocument(*serialized);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->name(back->root()), "r");
+  EXPECT_EQ(back->children(back->root()).size(), 1u);
+  EXPECT_EQ(back->value(back->children(back->root())[0]), "</r><fake>");
+}
+
+TEST(EscapingTest, AnnotatedFormSurvivesHostileContent) {
+  Rng rng(707);
+  for (int trial = 0; trial < 100; ++trial) {
+    Document doc;
+    NodeId root = doc.NewElement("r");
+    ASSERT_TRUE(doc.SetRoot(root).ok());
+    NodeId child = doc.NewElement("c");
+    ASSERT_TRUE(doc.AppendChild(root, child).ok());
+    (void)doc.AppendChild(child, doc.NewText(HostileString(rng, 16) + "!"));
+    (void)doc.AddAttribute(child,
+                           doc.NewAttribute("k", HostileString(rng, 16)));
+    SerializeOptions opts;
+    opts.with_ids = true;
+    auto serialized = SerializeDocument(doc, opts);
+    ASSERT_TRUE(serialized.ok());
+    auto back = ParseDocument(*serialized);
+    ASSERT_TRUE(back.ok()) << back.status() << "\n" << *serialized;
+    EXPECT_TRUE(Document::SubtreeEquals(doc, root, *back, back->root(),
+                                        /*compare_ids=*/true));
+  }
+}
+
+TEST(EscapingTest, Utf8ContentPassesThrough) {
+  const std::string text = "café — \xE6\x97\xA5\xE6\x9C\xAC ✓";
+  Document doc;
+  NodeId root = doc.NewElement("r");
+  ASSERT_TRUE(doc.SetRoot(root).ok());
+  (void)doc.AppendChild(root, doc.NewText(text));
+  auto serialized = SerializeDocument(doc);
+  ASSERT_TRUE(serialized.ok());
+  auto back = ParseDocument(*serialized);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->value(back->children(back->root())[0]), text);
+}
+
+TEST(EscapingTest, NumericReferencesDecodeToUtf8) {
+  auto doc = ParseDocument("<r>caf&#xE9; &#26085;</r>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->value(doc->children(doc->root())[0]),
+            "caf\xC3\xA9 \xE6\x97\xA5");
+}
+
+}  // namespace
+}  // namespace xupdate::xml

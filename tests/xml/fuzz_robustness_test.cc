@@ -1,0 +1,99 @@
+// Deterministic fuzz-style robustness sweeps: mutated inputs must never
+// crash the parsers — every malformed input yields a Status, and every
+// accepted input yields a structurally valid document.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/random.h"
+#include "label/sidecar.h"
+#include "pul/pul_io.h"
+#include "testing/test_docs.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace xupdate {
+namespace {
+
+std::string Mutate(Rng& rng, std::string input, int edits) {
+  static const char kBytes[] = "<>&\"'/=; abcxu:?!0189\n\t";
+  for (int e = 0; e < edits && !input.empty(); ++e) {
+    size_t pos = static_cast<size_t>(rng.Below(input.size()));
+    switch (rng.Below(3)) {
+      case 0:  // overwrite
+        input[pos] = kBytes[rng.Below(sizeof(kBytes) - 1)];
+        break;
+      case 1:  // insert
+        input.insert(input.begin() + static_cast<ptrdiff_t>(pos),
+                     kBytes[rng.Below(sizeof(kBytes) - 1)]);
+        break;
+      default:  // delete
+        input.erase(input.begin() + static_cast<ptrdiff_t>(pos));
+        break;
+    }
+  }
+  return input;
+}
+
+class FuzzRobustnessTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzRobustnessTest, DocumentParserNeverCrashes) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 1009 + 77);
+  xml::Document doc = testing::RandomDocument(rng, 20);
+  xml::SerializeOptions opts;
+  opts.with_ids = rng.Chance(0.5);
+  auto serialized = xml::SerializeDocument(doc, opts);
+  ASSERT_TRUE(serialized.ok());
+  for (int round = 0; round < 40; ++round) {
+    std::string mutated =
+        Mutate(rng, *serialized, 1 + static_cast<int>(rng.Below(6)));
+    auto result = xml::ParseDocument(mutated);
+    if (result.ok()) {
+      EXPECT_TRUE(result->Validate().ok()) << mutated;
+    }
+  }
+}
+
+TEST_P(FuzzRobustnessTest, PulParserNeverCrashes) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 2003 + 5);
+  xml::Document doc = testing::RandomDocument(rng, 16);
+  label::Labeling labeling = label::Labeling::Build(doc);
+  testing::RandomPulOptions options;
+  options.max_ops = 4;
+  pul::Pul pul = testing::RandomPul(rng, doc, labeling, options);
+  auto serialized = pul::SerializePul(pul);
+  ASSERT_TRUE(serialized.ok());
+  for (int round = 0; round < 40; ++round) {
+    std::string mutated =
+        Mutate(rng, *serialized, 1 + static_cast<int>(rng.Below(6)));
+    auto result = pul::ParsePul(mutated);
+    if (result.ok()) {
+      // Whatever parsed must at least re-serialize.
+      EXPECT_TRUE(pul::SerializePul(*result).ok());
+    }
+  }
+}
+
+TEST_P(FuzzRobustnessTest, SidecarLoaderNeverCrashes) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 3001 + 9);
+  xml::Document doc = testing::RandomDocument(rng, 16);
+  label::Labeling labeling = label::Labeling::Build(doc);
+  auto plain = xml::SerializeDocument(doc);
+  auto sidecar = label::SaveSidecar(doc, labeling);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(sidecar.ok());
+  for (int round = 0; round < 30; ++round) {
+    std::string mutated =
+        Mutate(rng, *sidecar, 1 + static_cast<int>(rng.Below(5)));
+    auto result = label::LoadWithSidecar(*plain, mutated);
+    if (result.ok()) {
+      EXPECT_TRUE(result->doc.Validate().ok());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FuzzRobustnessTest, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace xupdate

@@ -1,0 +1,98 @@
+#include "xml/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "xml/serializer.h"
+
+namespace xupdate::xml {
+namespace {
+
+TEST(ParserTest, BuildsDom) {
+  auto doc = ParseDocument("<r a=\"1\"><b>text</b><c/></r>");
+  ASSERT_TRUE(doc.ok());
+  NodeId root = doc->root();
+  EXPECT_EQ(doc->name(root), "r");
+  ASSERT_EQ(doc->attributes(root).size(), 1u);
+  EXPECT_EQ(doc->value(doc->attributes(root)[0]), "1");
+  ASSERT_EQ(doc->children(root).size(), 2u);
+  NodeId b = doc->children(root)[0];
+  EXPECT_EQ(doc->name(b), "b");
+  ASSERT_EQ(doc->children(b).size(), 1u);
+  EXPECT_EQ(doc->value(doc->children(b)[0]), "text");
+  EXPECT_TRUE(doc->Validate().ok());
+}
+
+TEST(ParserTest, AssignsPreorderishIds) {
+  auto doc = ParseDocument("<r><a/><b/></r>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root(), 1u);
+  EXPECT_EQ(doc->children(doc->root())[0], 2u);
+  EXPECT_EQ(doc->children(doc->root())[1], 3u);
+}
+
+TEST(ParserTest, HonorsIdAnnotations) {
+  auto doc = ParseDocument(
+      "<r xu:ids=\"10;20\" a=\"x\"><b xu:ids=\"40\"/><?xuid 30?>mid</r>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root(), 10u);
+  EXPECT_EQ(doc->attributes(10)[0], 20u);
+  EXPECT_EQ(doc->children(10)[0], 40u);
+  EXPECT_EQ(doc->children(10)[1], 30u);
+  EXPECT_EQ(doc->value(30), "mid");
+}
+
+TEST(ParserTest, XuidMarkersSeparateTextRuns) {
+  auto doc = ParseDocument("<r><?xuid 5?>ab<?xuid 6?>cd</r>");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->children(doc->root()).size(), 2u);
+  EXPECT_EQ(doc->value(5), "ab");
+  EXPECT_EQ(doc->value(6), "cd");
+}
+
+TEST(ParserTest, BadXuidRejected) {
+  EXPECT_FALSE(ParseDocument("<r><?xuid nope?>t</r>").ok());
+}
+
+TEST(ParserTest, IdAnnotationIsNotANode) {
+  auto doc = ParseDocument("<r xu:ids=\"10\"/>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->attributes(doc->root()).size(), 0u);
+}
+
+TEST(ParserTest, IdAnnotationIgnoredWhenDisabled) {
+  ParseOptions opts;
+  opts.read_ids = false;
+  auto doc = ParseDocument("<r xu:ids=\"10\"/>", opts);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root(), 1u);
+  ASSERT_EQ(doc->attributes(doc->root()).size(), 1u);
+  EXPECT_EQ(doc->name(doc->attributes(doc->root())[0]), "xu:ids");
+}
+
+TEST(ParserTest, MalformedAnnotationFails) {
+  EXPECT_FALSE(ParseDocument("<r xu:ids=\"abc\"/>").ok());
+  EXPECT_FALSE(ParseDocument("<r xu:ids=\"0\"/>").ok());
+}
+
+TEST(ParserTest, ClashingIdsFail) {
+  EXPECT_FALSE(ParseDocument("<r xu:ids=\"7\"><b xu:ids=\"7\"/></r>").ok());
+}
+
+TEST(ParserTest, ParseFragmentLeavesRootAlone) {
+  Document doc;
+  NodeId root = doc.NewElement("existing");
+  ASSERT_TRUE(doc.SetRoot(root).ok());
+  auto frag = ParseFragment(&doc, "<extra><x/></extra>");
+  ASSERT_TRUE(frag.ok());
+  EXPECT_EQ(doc.root(), root);
+  EXPECT_EQ(doc.name(*frag), "extra");
+  EXPECT_EQ(doc.parent(*frag), kInvalidNode);
+}
+
+TEST(ParserTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(ParseDocument("<a><b></a></b>").ok());
+  EXPECT_FALSE(ParseDocument("no xml").ok());
+}
+
+}  // namespace
+}  // namespace xupdate::xml

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "testing/test_docs.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace xupdate::xml {
+namespace {
+
+TEST(SerializerTest, BasicShape) {
+  auto doc = ParseDocument("<r a=\"1\"><b>text</b><c/></r>");
+  ASSERT_TRUE(doc.ok());
+  auto out = SerializeDocument(*doc);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, "<r a=\"1\"><b>text</b><c/></r>");
+}
+
+TEST(SerializerTest, EscapesContent) {
+  Document doc;
+  NodeId r = doc.NewElement("r");
+  (void)doc.SetRoot(r);
+  (void)doc.AppendChild(r, doc.NewText("a<b&c"));
+  (void)doc.AddAttribute(r, doc.NewAttribute("q", "say \"hi\""));
+  auto out = SerializeDocument(doc);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, "<r q=\"say &quot;hi&quot;\">a&lt;b&amp;c</r>");
+}
+
+TEST(SerializerTest, PrettyPrinting) {
+  auto doc = ParseDocument("<r><b><c/></b></r>");
+  ASSERT_TRUE(doc.ok());
+  SerializeOptions opts;
+  opts.pretty = true;
+  auto out = SerializeDocument(*doc, opts);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, "<r>\n  <b>\n    <c/>\n  </b>\n</r>");
+}
+
+TEST(SerializerTest, WithIdsAnnotatesEveryNodeKind) {
+  auto doc = ParseDocument("<r a=\"1\">t<b/></r>");
+  ASSERT_TRUE(doc.ok());
+  SerializeOptions opts;
+  opts.with_ids = true;
+  auto out = SerializeDocument(*doc, opts);
+  ASSERT_TRUE(out.ok());
+  // r=1, a=2, t=3, b=4 in parse order.
+  EXPECT_NE(out->find("xu:ids=\"1;2\""), std::string::npos);
+  EXPECT_NE(out->find("<?xuid 3?>t"), std::string::npos);
+  EXPECT_NE(out->find("xu:ids=\"4\""), std::string::npos);
+}
+
+TEST(SerializerTest, CanonicalAttributesSorted) {
+  auto doc = ParseDocument("<r b=\"2\" a=\"1\"/>");
+  ASSERT_TRUE(doc.ok());
+  SerializeOptions opts;
+  opts.canonical_attributes = true;
+  auto out = SerializeDocument(*doc, opts);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, "<r a=\"1\" b=\"2\"/>");
+}
+
+TEST(RoundTripTest, IdAnnotatedRoundTripPreservesIdentity) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 30; ++trial) {
+    Document doc = xupdate::testing::RandomDocument(rng, 40);
+    SerializeOptions opts;
+    opts.with_ids = true;
+    auto text = SerializeDocument(doc, opts);
+    ASSERT_TRUE(text.ok());
+    auto back = ParseDocument(*text);
+    ASSERT_TRUE(back.ok()) << back.status() << "\n" << *text;
+    EXPECT_TRUE(Document::SubtreeEquals(doc, doc.root(), *back,
+                                        back->root(), /*compare_ids=*/true))
+        << *text;
+  }
+}
+
+TEST(RoundTripTest, PlainRoundTripPreservesStructure) {
+  Rng rng(77);
+  for (int trial = 0; trial < 30; ++trial) {
+    Document doc = xupdate::testing::RandomDocument(rng, 32);
+    auto text = SerializeDocument(doc);
+    ASSERT_TRUE(text.ok());
+    auto back = ParseDocument(*text);
+    ASSERT_TRUE(back.ok()) << back.status() << "\n" << *text;
+    auto again = SerializeDocument(*back);
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(*text, *again);
+  }
+}
+
+TEST(RoundTripTest, PaperFigureDocument) {
+  Document doc = xupdate::testing::PaperFigureDocument();
+  SerializeOptions opts;
+  opts.with_ids = true;
+  auto text = SerializeDocument(doc, opts);
+  ASSERT_TRUE(text.ok());
+  auto back = ParseDocument(*text);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(Document::SubtreeEquals(doc, 1, *back, 1, true));
+}
+
+}  // namespace
+}  // namespace xupdate::xml

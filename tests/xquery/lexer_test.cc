@@ -1,0 +1,134 @@
+#include "xquery/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace xupdate::xquery {
+namespace {
+
+std::vector<TokenKind> KindsOf(std::string_view input) {
+  Lexer lexer(input);
+  std::vector<TokenKind> out;
+  for (;;) {
+    auto token = lexer.Next();
+    if (!token.ok()) {
+      ADD_FAILURE() << token.status();
+      return out;
+    }
+    if (token->kind == TokenKind::kEnd) break;
+    out.push_back(token->kind);
+  }
+  return out;
+}
+
+TEST(LexerTest, BasicTokens) {
+  EXPECT_EQ(KindsOf("/ // @ * [ ] = ,"),
+            (std::vector<TokenKind>{
+                TokenKind::kSlash, TokenKind::kDoubleSlash, TokenKind::kAt,
+                TokenKind::kStar, TokenKind::kLBracket,
+                TokenKind::kRBracket, TokenKind::kEquals,
+                TokenKind::kComma}));
+}
+
+TEST(LexerTest, NamesAndKeywordsAndNumbers) {
+  Lexer lexer("insert 42 node-name text() last()");
+  auto t1 = lexer.Next();
+  ASSERT_TRUE(t1.ok());
+  EXPECT_EQ(t1->kind, TokenKind::kName);
+  EXPECT_EQ(t1->text, "insert");
+  auto t2 = lexer.Next();
+  ASSERT_TRUE(t2.ok());
+  EXPECT_EQ(t2->kind, TokenKind::kInteger);
+  EXPECT_EQ(t2->number, 42);
+  auto t3 = lexer.Next();
+  ASSERT_TRUE(t3.ok());
+  EXPECT_EQ(t3->text, "node-name");
+  auto t4 = lexer.Next();
+  ASSERT_TRUE(t4.ok());
+  EXPECT_EQ(t4->kind, TokenKind::kTextTest);
+  auto t5 = lexer.Next();
+  ASSERT_TRUE(t5.ok());
+  EXPECT_EQ(t5->kind, TokenKind::kLastTest);
+}
+
+TEST(LexerTest, Strings) {
+  Lexer lexer("\"double ' quoted\" 'single \" quoted'");
+  auto t1 = lexer.Next();
+  ASSERT_TRUE(t1.ok());
+  EXPECT_EQ(t1->kind, TokenKind::kString);
+  EXPECT_EQ(t1->text, "double ' quoted");
+  auto t2 = lexer.Next();
+  ASSERT_TRUE(t2.ok());
+  EXPECT_EQ(t2->text, "single \" quoted");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  Lexer lexer("\"oops");
+  EXPECT_FALSE(lexer.Next().ok());
+}
+
+TEST(LexerTest, UnexpectedCharacterFails) {
+  Lexer lexer("%");
+  EXPECT_FALSE(lexer.Next().ok());
+}
+
+TEST(LexerTest, ConsumeKeywordMatchesExactly) {
+  Lexer lexer("inserts");
+  EXPECT_FALSE(lexer.ConsumeKeyword("insert"));
+  EXPECT_TRUE(lexer.ConsumeKeyword("inserts"));
+}
+
+TEST(LexerTest, XmlContentSingleElement) {
+  Lexer lexer("  <a x=\"1\"><b>t</b></a> into");
+  ASSERT_TRUE(lexer.AtXmlContent());
+  auto content = lexer.ScanXmlContent();
+  ASSERT_TRUE(content.ok()) << content.status();
+  EXPECT_EQ(*content, "<a x=\"1\"><b>t</b></a>");
+  EXPECT_TRUE(lexer.ConsumeKeyword("into"));
+}
+
+TEST(LexerTest, XmlContentSiblingSequence) {
+  Lexer lexer("<a/><b>x</b> after");
+  auto content = lexer.ScanXmlContent();
+  ASSERT_TRUE(content.ok()) << content.status();
+  EXPECT_EQ(*content, "<a/><b>x</b>");
+  EXPECT_TRUE(lexer.ConsumeKeyword("after"));
+}
+
+TEST(LexerTest, XmlContentRespectsQuotedAngles) {
+  Lexer lexer("<a x=\"</fake>\"/> before");
+  auto content = lexer.ScanXmlContent();
+  ASSERT_TRUE(content.ok()) << content.status();
+  EXPECT_EQ(*content, "<a x=\"</fake>\"/>");
+}
+
+TEST(LexerTest, XmlContentUnbalancedFails) {
+  Lexer lexer("<a><b></a>");
+  // Mismatched tags still *balance* by depth; truly unterminated input
+  // must fail.
+  Lexer lexer2("<a><b>");
+  EXPECT_FALSE(lexer2.ScanXmlContent().ok());
+  Lexer lexer3("<a x=\"unterminated/>");
+  EXPECT_FALSE(lexer3.ScanXmlContent().ok());
+}
+
+TEST(LexerTest, AtXmlContentFalseForNonMarkup) {
+  Lexer lexer("delete");
+  EXPECT_FALSE(lexer.AtXmlContent());
+}
+
+TEST(LexerTest, PeekIsIdempotent) {
+  Lexer lexer("abc");
+  auto p1 = lexer.Peek();
+  auto p2 = lexer.Peek();
+  ASSERT_TRUE(p1.ok());
+  ASSERT_TRUE(p2.ok());
+  EXPECT_EQ(p1->text, p2->text);
+  auto n = lexer.Next();
+  ASSERT_TRUE(n.ok());
+  auto end = lexer.Peek();
+  ASSERT_TRUE(end.ok());
+  EXPECT_EQ(end->kind, TokenKind::kEnd);
+}
+
+}  // namespace
+}  // namespace xupdate::xquery

@@ -1,0 +1,473 @@
+#include "tools/cli.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "common/result.h"
+#include "common/string_util.h"
+#include "core/aggregate.h"
+#include "core/diff.h"
+#include "core/integrate.h"
+#include "core/invert.h"
+#include "core/reconcile.h"
+#include "core/reduce.h"
+#include "exec/in_memory.h"
+#include "label/sidecar.h"
+#include "pul/obtainable.h"
+#include "exec/streaming.h"
+#include "label/labeling.h"
+#include "pul/describe.h"
+#include "pul/pul_io.h"
+#include "xmark/generator.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+#include "xquery/eval.h"
+#include "xquery/parser.h"
+
+namespace xupdate::tools {
+
+namespace {
+
+// Parsed command line: flags (--name value) and positional operands.
+struct Args {
+  std::map<std::string, std::string> flags;
+  std::vector<std::string> positional;
+
+  bool Has(const std::string& name) const { return flags.count(name) != 0; }
+  std::string Get(const std::string& name,
+                  const std::string& fallback = "") const {
+    auto it = flags.find(name);
+    return it == flags.end() ? fallback : it->second;
+  }
+};
+
+Result<Args> ParseArgs(const std::vector<std::string>& argv, size_t begin) {
+  Args args;
+  for (size_t i = begin; i < argv.size(); ++i) {
+    const std::string& arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      if (i + 1 >= argv.size()) {
+        return Status::InvalidArgument("flag " + arg + " needs a value");
+      }
+      args.flags[arg.substr(2)] = argv[++i];
+    } else {
+      args.positional.push_back(arg);
+    }
+  }
+  return args;
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in.good() && !in.eof()) {
+    return Status::IoError("cannot read " + path);
+  }
+  return buffer.str();
+}
+
+Status WriteFile(const std::string& path, std::string_view content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << content;
+  if (!out.good()) return Status::IoError("cannot write " + path);
+  return Status::OK();
+}
+
+Status RequireFlags(const Args& args,
+                    std::initializer_list<const char*> names) {
+  for (const char* name : names) {
+    if (!args.Has(name)) {
+      return Status::InvalidArgument(std::string("missing --") + name);
+    }
+  }
+  return Status::OK();
+}
+
+Result<xml::Document> LoadDocument(const Args& args) {
+  XUPDATE_ASSIGN_OR_RETURN(std::string text, ReadFile(args.Get("doc")));
+  return xml::ParseDocument(text);
+}
+
+Result<std::vector<pul::Pul>> LoadPuls(const std::vector<std::string>& paths) {
+  std::vector<pul::Pul> puls;
+  for (const std::string& path : paths) {
+    XUPDATE_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+    XUPDATE_ASSIGN_OR_RETURN(pul::Pul pul, pul::ParsePul(text));
+    puls.push_back(std::move(pul));
+  }
+  return puls;
+}
+
+Status WritePul(const pul::Pul& pul, const std::string& path,
+                std::ostream& out) {
+  XUPDATE_ASSIGN_OR_RETURN(std::string text, pul::SerializePul(pul));
+  XUPDATE_RETURN_IF_ERROR(WriteFile(path, text));
+  out << "wrote " << path << " (" << pul.size() << " operations, "
+      << text.size() << " bytes)\n";
+  return Status::OK();
+}
+
+Status CmdGenerate(const Args& args, std::ostream& out) {
+  XUPDATE_RETURN_IF_ERROR(RequireFlags(args, {"bytes", "out"}));
+  xmark::Config config;
+  int64_t bytes = ParseNonNegativeInt(args.Get("bytes"));
+  if (bytes <= 0) return Status::InvalidArgument("bad --bytes");
+  config.target_bytes = static_cast<size_t>(bytes);
+  int64_t seed = ParseNonNegativeInt(args.Get("seed", "42"));
+  if (seed < 0) return Status::InvalidArgument("bad --seed");
+  config.seed = static_cast<uint64_t>(seed);
+  XUPDATE_ASSIGN_OR_RETURN(std::string text,
+                           xmark::GenerateDocumentText(config));
+  XUPDATE_RETURN_IF_ERROR(WriteFile(args.Get("out"), text));
+  out << "wrote " << args.Get("out") << " (" << text.size() << " bytes)\n";
+  return Status::OK();
+}
+
+Status CmdProduce(const Args& args, std::ostream& out) {
+  XUPDATE_RETURN_IF_ERROR(RequireFlags(args, {"doc", "update", "out"}));
+  XUPDATE_ASSIGN_OR_RETURN(xml::Document doc, LoadDocument(args));
+  label::Labeling labeling = label::Labeling::Build(doc);
+  xquery::ProducerContext ctx;
+  ctx.doc = &doc;
+  ctx.labeling = &labeling;
+  if (args.Has("id-base")) {
+    int64_t base = ParseNonNegativeInt(args.Get("id-base"));
+    if (base <= 0) return Status::InvalidArgument("bad --id-base");
+    ctx.id_base = static_cast<xml::NodeId>(base);
+  }
+  std::string policies = args.Get("policies");
+  ctx.policies.preserve_insertion_order =
+      policies.find("order") != std::string::npos;
+  ctx.policies.preserve_inserted_data =
+      policies.find("inserted") != std::string::npos;
+  ctx.policies.preserve_removed_data =
+      policies.find("removed") != std::string::npos;
+  XUPDATE_ASSIGN_OR_RETURN(pul::Pul pul,
+                           xquery::ProducePul(args.Get("update"), ctx));
+  return WritePul(pul, args.Get("out"), out);
+}
+
+Status CmdApply(const Args& args, std::ostream& out) {
+  XUPDATE_RETURN_IF_ERROR(RequireFlags(args, {"doc", "pul", "out"}));
+  XUPDATE_ASSIGN_OR_RETURN(std::string doc_text, ReadFile(args.Get("doc")));
+  XUPDATE_ASSIGN_OR_RETURN(std::string pul_text, ReadFile(args.Get("pul")));
+  XUPDATE_ASSIGN_OR_RETURN(pul::Pul pul, pul::ParsePul(pul_text));
+  std::string engine = args.Get("engine", "streaming");
+  std::string updated;
+  if (engine == "streaming") {
+    exec::StreamingEvaluator evaluator;
+    XUPDATE_ASSIGN_OR_RETURN(updated, evaluator.Evaluate(doc_text, pul));
+  } else if (engine == "inmemory") {
+    exec::InMemoryEvaluator evaluator;
+    XUPDATE_ASSIGN_OR_RETURN(updated, evaluator.Evaluate(doc_text, pul));
+  } else {
+    return Status::InvalidArgument("--engine must be streaming|inmemory");
+  }
+  XUPDATE_RETURN_IF_ERROR(WriteFile(args.Get("out"), updated));
+  out << "applied " << pul.size() << " operations with the " << engine
+      << " engine; wrote " << args.Get("out") << " (" << updated.size()
+      << " bytes)\n";
+  return Status::OK();
+}
+
+Status CmdReduce(const Args& args, std::ostream& out) {
+  XUPDATE_RETURN_IF_ERROR(RequireFlags(args, {"pul", "out"}));
+  XUPDATE_ASSIGN_OR_RETURN(std::string text, ReadFile(args.Get("pul")));
+  XUPDATE_ASSIGN_OR_RETURN(pul::Pul pul, pul::ParsePul(text));
+  std::string mode_name = args.Get("mode", "deterministic");
+  core::ReduceMode mode;
+  if (mode_name == "plain") {
+    mode = core::ReduceMode::kPlain;
+  } else if (mode_name == "deterministic") {
+    mode = core::ReduceMode::kDeterministic;
+  } else if (mode_name == "canonical") {
+    mode = core::ReduceMode::kCanonical;
+  } else {
+    return Status::InvalidArgument(
+        "--mode must be plain|deterministic|canonical");
+  }
+  core::ReduceStats stats;
+  XUPDATE_ASSIGN_OR_RETURN(pul::Pul reduced,
+                           core::ReduceWithStats(pul, mode, &stats));
+  out << "reduced " << stats.input_ops << " -> " << stats.output_ops
+      << " operations (" << stats.rule_applications
+      << " rule applications)\n";
+  return WritePul(reduced, args.Get("out"), out);
+}
+
+Status CmdAggregate(const Args& args, std::ostream& out) {
+  XUPDATE_RETURN_IF_ERROR(RequireFlags(args, {"out"}));
+  if (args.positional.size() < 2) {
+    return Status::InvalidArgument("aggregate needs at least two PULs");
+  }
+  XUPDATE_ASSIGN_OR_RETURN(std::vector<pul::Pul> puls,
+                           LoadPuls(args.positional));
+  std::vector<const pul::Pul*> ptrs;
+  for (const pul::Pul& pul : puls) ptrs.push_back(&pul);
+  core::AggregateStats stats;
+  XUPDATE_ASSIGN_OR_RETURN(pul::Pul aggregate,
+                           core::Aggregate(ptrs, &stats));
+  out << "aggregated " << stats.input_ops << " operations from "
+      << puls.size() << " PULs into " << stats.output_ops << " ("
+      << stats.folded_ops << " folded into parameter trees)\n";
+  return WritePul(aggregate, args.Get("out"), out);
+}
+
+const char* ConflictName(core::ConflictType type) {
+  switch (type) {
+    case core::ConflictType::kRepeatedModification:
+      return "repeated-modification";
+    case core::ConflictType::kRepeatedAttributeInsertion:
+      return "repeated-attribute-insertion";
+    case core::ConflictType::kInsertionOrder:
+      return "insertion-order";
+    case core::ConflictType::kLocalOverride:
+      return "local-override";
+    case core::ConflictType::kNonLocalOverride:
+      return "non-local-override";
+  }
+  return "?";
+}
+
+Status CmdIntegrate(const Args& args, std::ostream& out) {
+  if (args.positional.size() < 2) {
+    return Status::InvalidArgument("integrate needs at least two PULs");
+  }
+  XUPDATE_ASSIGN_OR_RETURN(std::vector<pul::Pul> puls,
+                           LoadPuls(args.positional));
+  std::vector<const pul::Pul*> ptrs;
+  for (const pul::Pul& pul : puls) ptrs.push_back(&pul);
+  XUPDATE_ASSIGN_OR_RETURN(core::IntegrationResult result,
+                           core::Integrate(ptrs));
+  out << "integration: " << result.merged.size()
+      << " non-conflicting operations, " << result.conflicts.size()
+      << " conflicts\n";
+  std::map<std::string, int> histogram;
+  for (const core::Conflict& conflict : result.conflicts) {
+    ++histogram[ConflictName(conflict.type)];
+  }
+  for (const auto& [name, count] : histogram) {
+    out << "  " << name << ": " << count << "\n";
+  }
+  if (args.Has("out")) {
+    return WritePul(result.merged, args.Get("out"), out);
+  }
+  return Status::OK();
+}
+
+Status CmdReconcile(const Args& args, std::ostream& out) {
+  XUPDATE_RETURN_IF_ERROR(RequireFlags(args, {"out"}));
+  if (args.positional.size() < 2) {
+    return Status::InvalidArgument("reconcile needs at least two PULs");
+  }
+  XUPDATE_ASSIGN_OR_RETURN(std::vector<pul::Pul> puls,
+                           LoadPuls(args.positional));
+  std::vector<const pul::Pul*> ptrs;
+  for (const pul::Pul& pul : puls) ptrs.push_back(&pul);
+  core::ReconcileStats stats;
+  XUPDATE_ASSIGN_OR_RETURN(pul::Pul merged, core::Reconcile(ptrs, &stats));
+  out << "reconciled " << stats.conflicts_total << " conflicts ("
+      << stats.conflicts_auto_solved << " auto-solved, "
+      << stats.operations_excluded << " operations excluded, "
+      << stats.operations_generated << " generated)\n";
+  return WritePul(merged, args.Get("out"), out);
+}
+
+Status CmdInvert(const Args& args, std::ostream& out) {
+  XUPDATE_RETURN_IF_ERROR(RequireFlags(args, {"doc", "pul", "out"}));
+  XUPDATE_ASSIGN_OR_RETURN(xml::Document doc, LoadDocument(args));
+  label::Labeling labeling = label::Labeling::Build(doc);
+  XUPDATE_ASSIGN_OR_RETURN(std::string text, ReadFile(args.Get("pul")));
+  XUPDATE_ASSIGN_OR_RETURN(pul::Pul pul, pul::ParsePul(text));
+  XUPDATE_ASSIGN_OR_RETURN(pul::Pul inverse,
+                           core::Invert(doc, labeling, pul));
+  return WritePul(inverse, args.Get("out"), out);
+}
+
+Status CmdQuery(const Args& args, std::ostream& out) {
+  XUPDATE_RETURN_IF_ERROR(RequireFlags(args, {"doc", "path"}));
+  XUPDATE_ASSIGN_OR_RETURN(xml::Document doc, LoadDocument(args));
+  XUPDATE_ASSIGN_OR_RETURN(xquery::PathExpr path,
+                           xquery::ParsePath(args.Get("path")));
+  XUPDATE_ASSIGN_OR_RETURN(std::vector<xml::NodeId> nodes,
+                           xquery::EvaluatePath(doc, path));
+  out << nodes.size() << " nodes\n";
+  for (xml::NodeId id : nodes) {
+    switch (doc.type(id)) {
+      case xml::NodeType::kElement: {
+        XUPDATE_ASSIGN_OR_RETURN(std::string text,
+                                 xml::SerializeSubtree(doc, id, {}));
+        if (text.size() > 120) text = text.substr(0, 117) + "...";
+        out << "  #" << id << " " << text << "\n";
+        break;
+      }
+      case xml::NodeType::kAttribute:
+        out << "  #" << id << " @" << doc.name(id) << "=\"" << doc.value(id)
+            << "\"\n";
+        break;
+      case xml::NodeType::kText:
+        out << "  #" << id << " \"" << doc.value(id) << "\"\n";
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+Status CmdSidecarSave(const Args& args, std::ostream& out) {
+  XUPDATE_RETURN_IF_ERROR(
+      RequireFlags(args, {"doc", "out-doc", "out-sidecar"}));
+  XUPDATE_ASSIGN_OR_RETURN(xml::Document doc, LoadDocument(args));
+  label::Labeling labeling = label::Labeling::Build(doc);
+  XUPDATE_ASSIGN_OR_RETURN(std::string plain, xml::SerializeDocument(doc));
+  XUPDATE_ASSIGN_OR_RETURN(std::string sidecar,
+                           label::SaveSidecar(doc, labeling));
+  XUPDATE_RETURN_IF_ERROR(WriteFile(args.Get("out-doc"), plain));
+  XUPDATE_RETURN_IF_ERROR(WriteFile(args.Get("out-sidecar"), sidecar));
+  out << "wrote " << args.Get("out-doc") << " (" << plain.size()
+      << " bytes, pristine) and " << args.Get("out-sidecar") << " ("
+      << sidecar.size() << " bytes)\n";
+  return Status::OK();
+}
+
+Status CmdSidecarLoad(const Args& args, std::ostream& out) {
+  XUPDATE_RETURN_IF_ERROR(RequireFlags(args, {"doc", "sidecar", "out"}));
+  XUPDATE_ASSIGN_OR_RETURN(std::string plain, ReadFile(args.Get("doc")));
+  XUPDATE_ASSIGN_OR_RETURN(std::string sidecar,
+                           ReadFile(args.Get("sidecar")));
+  XUPDATE_ASSIGN_OR_RETURN(label::SidecarDocument loaded,
+                           label::LoadWithSidecar(plain, sidecar));
+  xml::SerializeOptions options;
+  options.with_ids = true;
+  XUPDATE_ASSIGN_OR_RETURN(std::string annotated,
+                           xml::SerializeDocument(loaded.doc, options));
+  XUPDATE_RETURN_IF_ERROR(WriteFile(args.Get("out"), annotated));
+  out << "wrote " << args.Get("out") << " (" << annotated.size()
+      << " bytes, annotated)\n";
+  return Status::OK();
+}
+
+Status CmdDiff(const Args& args, std::ostream& out) {
+  XUPDATE_RETURN_IF_ERROR(RequireFlags(args, {"from", "to", "out"}));
+  XUPDATE_ASSIGN_OR_RETURN(std::string from_text,
+                           ReadFile(args.Get("from")));
+  XUPDATE_ASSIGN_OR_RETURN(std::string to_text, ReadFile(args.Get("to")));
+  XUPDATE_ASSIGN_OR_RETURN(xml::Document from,
+                           xml::ParseDocument(from_text));
+  XUPDATE_ASSIGN_OR_RETURN(xml::Document to, xml::ParseDocument(to_text));
+  label::Labeling labeling = label::Labeling::Build(from);
+  XUPDATE_ASSIGN_OR_RETURN(pul::Pul delta,
+                           core::ComputeDelta(from, labeling, to));
+  return WritePul(delta, args.Get("out"), out);
+}
+
+Status CmdEquivalent(const Args& args, std::ostream& out) {
+  XUPDATE_RETURN_IF_ERROR(RequireFlags(args, {"doc"}));
+  if (args.positional.size() != 2) {
+    return Status::InvalidArgument("equivalent takes exactly two PULs");
+  }
+  XUPDATE_ASSIGN_OR_RETURN(xml::Document doc, LoadDocument(args));
+  XUPDATE_ASSIGN_OR_RETURN(std::vector<pul::Pul> puls,
+                           LoadPuls(args.positional));
+  // Obtainable-set enumeration is exponential in the non-determinism of
+  // the PULs; this command targets reasoning on small PULs.
+  XUPDATE_ASSIGN_OR_RETURN(bool equivalent,
+                           pul::AreEquivalent(doc, puls[0], puls[1]));
+  if (equivalent) {
+    out << "equivalent\n";
+    return Status::OK();
+  }
+  XUPDATE_ASSIGN_OR_RETURN(bool sub12,
+                           pul::IsSubstitutable(doc, puls[0], puls[1]));
+  XUPDATE_ASSIGN_OR_RETURN(bool sub21,
+                           pul::IsSubstitutable(doc, puls[1], puls[0]));
+  if (sub12) {
+    out << "first substitutable to second\n";
+  } else if (sub21) {
+    out << "second substitutable to first\n";
+  } else {
+    out << "not equivalent\n";
+  }
+  return Status::OK();
+}
+
+Status CmdShow(const Args& args, std::ostream& out) {
+  XUPDATE_RETURN_IF_ERROR(RequireFlags(args, {"pul"}));
+  XUPDATE_ASSIGN_OR_RETURN(std::string text, ReadFile(args.Get("pul")));
+  XUPDATE_ASSIGN_OR_RETURN(pul::Pul pul, pul::ParsePul(text));
+  out << pul.size() << " operations\n" << pul::DescribePul(pul);
+  return Status::OK();
+}
+
+Status CmdStats(const Args& args, std::ostream& out) {
+  XUPDATE_RETURN_IF_ERROR(RequireFlags(args, {"doc"}));
+  XUPDATE_ASSIGN_OR_RETURN(xml::Document doc, LoadDocument(args));
+  size_t elements = 0;
+  size_t attributes = 0;
+  size_t texts = 0;
+  size_t text_bytes = 0;
+  int max_depth = 0;
+  for (xml::NodeId id : doc.AllNodesInOrder()) {
+    switch (doc.type(id)) {
+      case xml::NodeType::kElement:
+        ++elements;
+        break;
+      case xml::NodeType::kAttribute:
+        ++attributes;
+        break;
+      case xml::NodeType::kText:
+        ++texts;
+        text_bytes += doc.value(id).size();
+        break;
+    }
+    max_depth = std::max(max_depth, doc.Level(id));
+  }
+  out << "elements:   " << elements << "\n"
+      << "attributes: " << attributes << "\n"
+      << "texts:      " << texts << " (" << text_bytes << " bytes)\n"
+      << "max depth:  " << max_depth << "\n"
+      << "max id:     " << doc.max_assigned_id() << "\n";
+  return Status::OK();
+}
+
+constexpr char kUsage[] =
+    "usage: xupdate <command> [flags] [operands]\n"
+    "commands: generate produce apply reduce aggregate integrate\n"
+    "          reconcile invert diff query show stats equivalent\n"
+    "          sidecar-save sidecar-load\n"
+    "see tools/cli.h for per-command flags\n";
+
+}  // namespace
+
+Status RunCli(const std::vector<std::string>& argv, std::ostream& out) {
+  if (argv.empty()) {
+    out << kUsage;
+    return Status::InvalidArgument("missing command");
+  }
+  XUPDATE_ASSIGN_OR_RETURN(Args args, ParseArgs(argv, 1));
+  const std::string& command = argv[0];
+  if (command == "generate") return CmdGenerate(args, out);
+  if (command == "produce") return CmdProduce(args, out);
+  if (command == "apply") return CmdApply(args, out);
+  if (command == "reduce") return CmdReduce(args, out);
+  if (command == "aggregate") return CmdAggregate(args, out);
+  if (command == "integrate") return CmdIntegrate(args, out);
+  if (command == "reconcile") return CmdReconcile(args, out);
+  if (command == "invert") return CmdInvert(args, out);
+  if (command == "query") return CmdQuery(args, out);
+  if (command == "diff") return CmdDiff(args, out);
+  if (command == "sidecar-save") return CmdSidecarSave(args, out);
+  if (command == "sidecar-load") return CmdSidecarLoad(args, out);
+  if (command == "equivalent") return CmdEquivalent(args, out);
+  if (command == "show") return CmdShow(args, out);
+  if (command == "stats") return CmdStats(args, out);
+  out << kUsage;
+  return Status::InvalidArgument("unknown command \"" + command + "\"");
+}
+
+}  // namespace xupdate::tools

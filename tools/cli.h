@@ -1,0 +1,35 @@
+#ifndef XUPDATE_TOOLS_CLI_H_
+#define XUPDATE_TOOLS_CLI_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xupdate::tools {
+
+// Entry point of the `xupdate` command-line tool, factored out of main()
+// so tests can drive it. Commands:
+//
+//   xupdate generate  --bytes N [--seed S] --out doc.xml
+//   xupdate produce   --doc doc.xml --update "script" [--id-base N]
+//                     [--policies order,inserted,removed] --out pul.xml
+//   xupdate apply     --doc doc.xml --pul pul.xml
+//                     [--engine streaming|inmemory] --out out.xml
+//   xupdate reduce    --pul pul.xml [--mode plain|deterministic|canonical]
+//                     --out out.xml
+//   xupdate aggregate --out out.xml PUL...
+//   xupdate integrate [--out merged.xml] PUL...
+//   xupdate reconcile --out out.xml PUL...
+//   xupdate invert    --doc doc.xml --pul pul.xml --out inverse.xml
+//   xupdate query     --doc doc.xml --path "//item/name"
+//   xupdate stats     --doc doc.xml
+//
+// Documents and PULs are exchanged in the id-annotated XML formats of
+// the library. Returns a Status; diagnostics and results go to `out`.
+Status RunCli(const std::vector<std::string>& args, std::ostream& out);
+
+}  // namespace xupdate::tools
+
+#endif  // XUPDATE_TOOLS_CLI_H_

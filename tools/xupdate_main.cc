@@ -1,0 +1,15 @@
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tools/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  xupdate::Status status = xupdate::tools::RunCli(args, std::cout);
+  if (!status.ok()) {
+    std::cerr << "xupdate: " << status << "\n";
+    return 1;
+  }
+  return 0;
+}
