@@ -1,0 +1,74 @@
+#include "common/metrics.h"
+
+#include <cstdio>
+
+namespace xupdate {
+
+void Metrics::AddCounter(std::string_view name, uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+void Metrics::RecordDuration(std::string_view name, double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = timers_.find(name);
+  if (it == timers_.end()) {
+    it = timers_.emplace(std::string(name), Timer{}).first;
+  }
+  it->second.seconds += seconds;
+  it->second.count += 1;
+}
+
+uint64_t Metrics::counter(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double Metrics::total_seconds(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = timers_.find(name);
+  return it == timers_.end() ? 0.0 : it->second.seconds;
+}
+
+std::string Metrics::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += name;
+    out += "\":";
+    out += std::to_string(value);
+  }
+  out += "},\"timers\":{";
+  first = true;
+  for (const auto& [name, timer] : timers_) {
+    if (!first) out += ',';
+    first = false;
+    char buf[64];
+    snprintf(buf, sizeof(buf), "{\"seconds\":%.9f,\"count\":%llu}",
+             timer.seconds, static_cast<unsigned long long>(timer.count));
+    out += '"';
+    out += name;
+    out += "\":";
+    out += buf;
+  }
+  out += "}}";
+  return out;
+}
+
+void Metrics::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  timers_.clear();
+}
+
+}  // namespace xupdate

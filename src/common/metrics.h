@@ -1,0 +1,80 @@
+#ifndef XUPDATE_COMMON_METRICS_H_
+#define XUPDATE_COMMON_METRICS_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace xupdate {
+
+// Lightweight counters/timers registry shared by the reasoning engines,
+// the benches and the CLI. Thread-safe; names are sorted (std::map) so
+// ToJson() output is byte-deterministic. Cheap enough for hot paths that
+// record a handful of values per phase — not a per-operation profiler.
+class Metrics {
+ public:
+  Metrics() = default;
+
+  Metrics(const Metrics&) = delete;
+  Metrics& operator=(const Metrics&) = delete;
+
+  // Adds `delta` to the counter `name` (created at zero on first use).
+  void AddCounter(std::string_view name, uint64_t delta = 1);
+
+  // Accumulates one timing sample (seconds) under `name`; the JSON dump
+  // reports the sum and the sample count.
+  void RecordDuration(std::string_view name, double seconds);
+
+  uint64_t counter(std::string_view name) const;
+  double total_seconds(std::string_view name) const;
+
+  // {"counters":{"a":1,...},"timers":{"b":{"seconds":0.5,"count":2},...}}
+  // with keys in sorted order; seconds use a fixed 9-digit format.
+  std::string ToJson() const;
+
+  void Clear();
+
+ private:
+  struct Timer {
+    double seconds = 0.0;
+    uint64_t count = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, uint64_t, std::less<>> counters_;
+  std::map<std::string, Timer, std::less<>> timers_;
+};
+
+// Records the wall time between construction and destruction under
+// `name`. A null registry makes the timer a no-op.
+class ScopedTimer {
+ public:
+  ScopedTimer(Metrics* metrics, std::string_view name)
+      : metrics_(metrics), name_(name) {
+    if (metrics_ != nullptr) {
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+  ~ScopedTimer() {
+    if (metrics_ != nullptr) {
+      std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - start_;
+      metrics_->RecordDuration(name_, elapsed.count());
+    }
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Metrics* metrics_;
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace xupdate
+
+#endif  // XUPDATE_COMMON_METRICS_H_

@@ -1,0 +1,108 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace xupdate {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  size_t n = std::max<size_t>(1, num_threads);
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_ready_.wait(lock,
+                       [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and fully drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+bool ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return false;
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  task_ready_.notify_one();
+  return true;
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ && workers_.empty()) return;
+    stopping_ = true;
+  }
+  task_ready_.notify_all();
+  // Workers exit only once the queue is empty, so pending work drains.
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+}
+
+Status ParallelFor(ThreadPool* pool, size_t n,
+                   const std::function<Status(size_t)>& fn) {
+  if (n == 0) return Status::OK();
+  if (pool == nullptr || pool->size() <= 1 || n == 1) {
+    Status first;
+    for (size_t i = 0; i < n; ++i) {
+      Status s = fn(i);
+      if (!s.ok() && first.ok()) first = std::move(s);
+    }
+    return first;
+  }
+  // Contiguous index blocks, a few per worker: one queue entry per
+  // block keeps the submission cost bounded when n is in the tens of
+  // thousands (one PUL shard per index) while leaving enough slack for
+  // uneven block runtimes to balance out.
+  size_t blocks = std::min(n, pool->size() * 4);
+  size_t per_block = (n + blocks - 1) / blocks;
+  std::vector<Status> results(blocks);
+  for (size_t b = 0; b < blocks; ++b) {
+    size_t begin = b * per_block;
+    size_t end = std::min(n, begin + per_block);
+    if (begin >= end) break;
+    auto run_block = [&fn, &results, b, begin, end] {
+      Status first;
+      for (size_t i = begin; i < end; ++i) {
+        Status s = fn(i);
+        if (!s.ok() && first.ok()) first = std::move(s);
+      }
+      results[b] = std::move(first);
+    };
+    if (!pool->Submit(run_block)) {
+      run_block();  // pool shutting down: run inline
+    }
+  }
+  pool->Wait();
+  for (Status& s : results) {
+    if (!s.ok()) return std::move(s);
+  }
+  return Status::OK();
+}
+
+}  // namespace xupdate

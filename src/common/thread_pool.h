@@ -1,0 +1,67 @@
+#ifndef XUPDATE_COMMON_THREAD_POOL_H_
+#define XUPDATE_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xupdate {
+
+// Reusable fixed-size worker pool. Tasks are plain std::function<void()>
+// closures; the library convention is exception-free, so a task reports
+// failure by writing a Status into caller-owned state (see ParallelFor).
+//
+// Shutdown semantics: the destructor (and Shutdown()) first drains every
+// task already submitted — work handed to the pool is never dropped —
+// then joins the workers. Submit after shutdown is a no-op returning
+// false so racing producers fail soft instead of deadlocking.
+class ThreadPool {
+ public:
+  // Spawns max(1, num_threads) workers.
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t size() const { return workers_.size(); }
+
+  // Enqueues `task`; returns false (without running it) if the pool is
+  // shutting down.
+  bool Submit(std::function<void()> task);
+
+  // Blocks until every task submitted so far has finished executing.
+  void Wait();
+
+  // Drains pending tasks and joins the workers. Idempotent.
+  void Shutdown();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;  // queued + currently running tasks
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+// Runs fn(0..n-1) across `pool`, blocking until all calls return, and
+// returns the Status of the lowest failing index (OK if none fail).
+// Every index runs even when an earlier one fails — shards must not be
+// silently skipped. A null pool (or a pool of one worker) degrades to a
+// plain sequential loop on the calling thread.
+Status ParallelFor(ThreadPool* pool, size_t n,
+                   const std::function<Status(size_t)>& fn);
+
+}  // namespace xupdate
+
+#endif  // XUPDATE_COMMON_THREAD_POOL_H_

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <functional>
+#include <map>
+#include <memory>
+#include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
@@ -81,21 +84,30 @@ std::vector<std::string_view> InsertedAttributeNames(const TaggedOp& op) {
 
 class Integrator {
  public:
-  explicit Integrator(const std::vector<const Pul*>& puls) : puls_(puls) {}
+  Integrator(const std::vector<const Pul*>& puls,
+             const IntegrateOptions& options)
+      : puls_(puls), options_(options) {}
 
   Result<IntegrationResult> Run();
 
  private:
-  void DetectLocalConflicts(Group& group);
-  void DetectNonLocalConflicts();
+  // Appends the type 1-4 conflicts of one target group to `out`.
+  void DetectLocalConflicts(Group& group, std::vector<Conflict>* out);
+  // Appends the type-5 conflicts of the self-contained group forest
+  // groups_[begin, end) to `out`, innermost targets first (reverse
+  // document order of the overriding group).
+  void DetectNonLocalConflicts(size_t begin, size_t end,
+                               std::vector<Conflict>* out);
 
   const std::vector<const Pul*>& puls_;
+  const IntegrateOptions& options_;
   std::vector<TaggedOp> tagged_;
   std::vector<Group> groups_;
   std::vector<Conflict> conflicts_;
 };
 
-void Integrator::DetectLocalConflicts(Group& group) {
+void Integrator::DetectLocalConflicts(Group& group,
+                                      std::vector<Conflict>* out) {
   // Spans of operations from at least two distinct PULs are required for
   // any conflict.
   auto distinct_puls = [](const std::vector<TaggedOp*>& ops) {
@@ -126,7 +138,7 @@ void Integrator::DetectLocalConflicts(Group& group) {
       c.ops.push_back(t->ref);
       t->conflicted = true;
     }
-    conflicts_.push_back(std::move(c));
+    out->push_back(std::move(c));
   }
 
   // Type 2: insA operations from different PULs inserting at least one
@@ -172,7 +184,9 @@ void Integrator::DetectLocalConflicts(Group& group) {
       }
     }
     if (any_edge) {
-      std::unordered_map<int, Conflict> by_component;
+      // Keyed on the component's first member so conflicts come out in
+      // the order the operations were listed, not in hash order.
+      std::map<int, Conflict> by_component;
       for (size_t i = 0; i < ins_attr.size(); ++i) {
         by_component[find(static_cast<int>(i))].ops.push_back(
             ins_attr[i]->ref);
@@ -188,7 +202,7 @@ void Integrator::DetectLocalConflicts(Group& group) {
             }
           }
         }
-        conflicts_.push_back(std::move(c));
+        out->push_back(std::move(c));
       }
     }
   }
@@ -222,23 +236,24 @@ void Integrator::DetectLocalConflicts(Group& group) {
     }
     if (!c.ops.empty()) {
       overrider->conflicted = true;
-      conflicts_.push_back(std::move(c));
+      out->push_back(std::move(c));
     }
   }
 }
 
-void Integrator::DetectNonLocalConflicts() {
+void Integrator::DetectNonLocalConflicts(size_t begin, size_t end,
+                                         std::vector<Conflict>* out) {
   // Postorder over the target tree built in Run(); every node passes the
   // list of operations in its subtree up to its parent, where the
   // ancestor's repN/del/repC operations are matched against them.
-  std::vector<std::vector<TaggedOp*>> subtree(groups_.size());
+  std::vector<std::vector<TaggedOp*>> subtree(end - begin);
   // groups_ is in document order, so children always follow parents;
   // iterate in reverse for a valid postorder.
-  for (size_t gi = groups_.size(); gi-- > 0;) {
+  for (size_t gi = end; gi-- > begin;) {
     Group& g = groups_[gi];
     std::vector<TaggedOp*> below;
     for (int child : g.children) {
-      auto& sub = subtree[static_cast<size_t>(child)];
+      auto& sub = subtree[static_cast<size_t>(child) - begin];
       below.insert(below.end(), sub.begin(), sub.end());
       sub.clear();
       sub.shrink_to_fit();
@@ -264,15 +279,18 @@ void Integrator::DetectNonLocalConflicts() {
       }
       if (!c.ops.empty()) {
         overrider->conflicted = true;
-        conflicts_.push_back(std::move(c));
+        out->push_back(std::move(c));
       }
     }
     below.insert(below.end(), g.ops.begin(), g.ops.end());
-    subtree[gi] = std::move(below);
+    subtree[gi - begin] = std::move(below);
   }
 }
 
 Result<IntegrationResult> Integrator::Run() {
+  Metrics* metrics = options_.metrics;
+  if (metrics) metrics->AddCounter("integrate.calls");
+
   // Tag and validate.
   for (size_t p = 0; p < puls_.size(); ++p) {
     XUPDATE_RETURN_IF_ERROR(puls_[p]->CheckCompatible());
@@ -290,52 +308,111 @@ Result<IntegrationResult> Integrator::Run() {
       tagged_.push_back(t);
     }
   }
+  if (metrics) metrics->AddCounter("integrate.input_ops", tagged_.size());
 
-  // Partition by target in document order of the targets.
-  std::unordered_map<NodeId, size_t> group_of;
-  for (TaggedOp& t : tagged_) {
-    auto [it, inserted] = group_of.emplace(t.op->target, groups_.size());
-    if (inserted) {
-      Group g;
-      g.target = t.op->target;
-      g.label = &t.op->target_label;
-      groups_.push_back(std::move(g));
+  // Roots of the containment forest; each root starts a contiguous run
+  // of groups (a shard) that no conflict rule reaches across.
+  std::vector<size_t> roots;
+  {
+    ScopedTimer timer(metrics, "integrate.group_seconds");
+
+    // Partition by target in document order of the targets.
+    std::unordered_map<NodeId, size_t> group_of;
+    for (TaggedOp& t : tagged_) {
+      auto [it, inserted] = group_of.emplace(t.op->target, groups_.size());
+      if (inserted) {
+        Group g;
+        g.target = t.op->target;
+        g.label = &t.op->target_label;
+        groups_.push_back(std::move(g));
+      }
+      groups_[it->second].ops.push_back(&t);
     }
-    groups_[it->second].ops.push_back(&t);
-  }
-  std::sort(groups_.begin(), groups_.end(),
-            [](const Group& a, const Group& b) {
-              return a.label->start < b.label->start;
-            });
+    std::sort(groups_.begin(), groups_.end(),
+              [](const Group& a, const Group& b) {
+                return a.label->start < b.label->start;
+              });
 
-  // Local conflicts (types 1-4).
-  for (Group& g : groups_) DetectLocalConflicts(g);
-
-  // Containment tree over the sorted targets: the parent of a group is
-  // the closest enclosing target (paper's tree T; a virtual root covers
-  // forests). Stack sweep over document order.
-  std::vector<int> stack;
-  for (size_t gi = 0; gi < groups_.size(); ++gi) {
-    const label::NodeLabel* lab = groups_[gi].label;
-    while (!stack.empty()) {
-      const label::NodeLabel* top =
-          groups_[static_cast<size_t>(stack.back())].label;
-      if (top->end < lab->start) {
-        stack.pop_back();
+    // Containment tree over the sorted targets: the parent of a group is
+    // the closest enclosing target (paper's tree T; a virtual root covers
+    // forests). Stack sweep over document order.
+    std::vector<int> stack;
+    for (size_t gi = 0; gi < groups_.size(); ++gi) {
+      const label::NodeLabel* lab = groups_[gi].label;
+      while (!stack.empty()) {
+        const label::NodeLabel* top =
+            groups_[static_cast<size_t>(stack.back())].label;
+        if (top->end < lab->start) {
+          stack.pop_back();
+        } else {
+          break;
+        }
+      }
+      if (stack.empty()) {
+        roots.push_back(gi);
       } else {
-        break;
+        groups_[static_cast<size_t>(stack.back())].children.push_back(
+            static_cast<int>(gi));
+      }
+      stack.push_back(static_cast<int>(gi));
+    }
+  }
+
+  const size_t num_shards = roots.size();
+  if (metrics) metrics->AddCounter("integrate.shards", num_shards);
+
+  // Conflict detection, one task per root subtree. Shards own disjoint
+  // groups (and therefore disjoint TaggedOps), so they only ever write
+  // disjoint state.
+  std::vector<std::vector<Conflict>> locals(num_shards);
+  std::vector<std::vector<Conflict>> nonlocals(num_shards);
+  auto scan_shard = [&](size_t s) -> Status {
+    size_t begin = roots[s];
+    size_t end = s + 1 < num_shards ? roots[s + 1] : groups_.size();
+    for (size_t gi = begin; gi < end; ++gi) {
+      DetectLocalConflicts(groups_[gi], &locals[s]);
+    }
+    DetectNonLocalConflicts(begin, end, &nonlocals[s]);
+    return Status();
+  };
+  {
+    ScopedTimer timer(metrics, "integrate.detect_seconds");
+    if (options_.parallelism > 1 && num_shards > 1) {
+      ThreadPool* pool = options_.pool;
+      std::unique_ptr<ThreadPool> owned;
+      if (pool == nullptr) {
+        owned = std::make_unique<ThreadPool>(
+            std::min(static_cast<size_t>(options_.parallelism), num_shards));
+        pool = owned.get();
+      }
+      XUPDATE_RETURN_IF_ERROR(ParallelFor(pool, num_shards, scan_shard));
+    } else {
+      for (size_t s = 0; s < num_shards; ++s) {
+        XUPDATE_RETURN_IF_ERROR(scan_shard(s));
       }
     }
-    if (!stack.empty()) {
-      groups_[static_cast<size_t>(stack.back())].children.push_back(
-          static_cast<int>(gi));
-    }
-    stack.push_back(static_cast<int>(gi));
   }
 
-  DetectNonLocalConflicts();
+  // The sequential engine lists every local conflict in document order
+  // of the target, then every non-local conflict in reverse document
+  // order of the overriding target; concatenating the shard lists
+  // forward resp. backward reproduces that exactly.
+  for (size_t s = 0; s < num_shards; ++s) {
+    for (Conflict& c : locals[s]) conflicts_.push_back(std::move(c));
+  }
+  for (size_t s = num_shards; s-- > 0;) {
+    for (Conflict& c : nonlocals[s]) conflicts_.push_back(std::move(c));
+  }
+  if (metrics) {
+    metrics->AddCounter("integrate.conflicts", conflicts_.size());
+    for (const Conflict& c : conflicts_) {
+      metrics->AddCounter("integrate.conflicts.type" +
+                          std::to_string(static_cast<int>(c.type)));
+    }
+  }
 
   // Delta: all unconflicted operations, merged into a single PUL.
+  ScopedTimer timer(metrics, "integrate.merge_seconds");
   IntegrationResult result;
   for (const TaggedOp& t : tagged_) {
     if (t.conflicted) continue;
@@ -350,7 +427,12 @@ Result<IntegrationResult> Integrator::Run() {
 
 Result<IntegrationResult> Integrate(
     const std::vector<const pul::Pul*>& puls) {
-  Integrator integrator(puls);
+  return Integrate(puls, IntegrateOptions());
+}
+
+Result<IntegrationResult> Integrate(const std::vector<const pul::Pul*>& puls,
+                                    const IntegrateOptions& options) {
+  Integrator integrator(puls, options);
   return integrator.Run();
 }
 

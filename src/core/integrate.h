@@ -3,7 +3,9 @@
 
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "pul/pul.h"
 
 namespace xupdate::core {
@@ -58,6 +60,24 @@ struct IntegrationResult {
 // with Definition 5's merge (Proposition 2).
 Result<IntegrationResult> Integrate(
     const std::vector<const pul::Pul*>& puls);
+
+struct IntegrateOptions {
+  // Worker threads for conflict detection. The target-group forest built
+  // by Algorithm 1 splits at its roots into disjoint subtree shards
+  // (contiguous runs of groups in document order); with parallelism > 1
+  // the shards are scanned concurrently. Output — conflict list order
+  // included — is byte-identical to the sequential path for every value.
+  int parallelism = 1;
+  // Reused across calls when provided; otherwise a transient pool is
+  // spawned per call when parallelism > 1.
+  ThreadPool* pool = nullptr;
+  // Optional counters/timers sink (shard counts, conflict tallies,
+  // per-phase wall time).
+  Metrics* metrics = nullptr;
+};
+
+Result<IntegrationResult> Integrate(const std::vector<const pul::Pul*>& puls,
+                                    const IntegrateOptions& options);
 
 }  // namespace xupdate::core
 

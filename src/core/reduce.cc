@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <deque>
+#include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "label/bitstring.h"
@@ -64,12 +66,37 @@ struct PairApp {
 // information carried in the operation labels (same target, parent,
 // left sibling); the A-D rules O3/O4 use one O(k log k) interval sweep
 // per pass — matching the paper's optimized algorithm (§3.1).
+//
+// With a `subset` the engine works on just those operations (indices
+// into input.ops()), reading the shared input forest but never touching
+// it — several Reducers over disjoint subsets may run concurrently.
+// Ranks are then the global listing indices, so shard survivors merge
+// into the same order the whole-PUL run produces.
 class Reducer {
  public:
-  Reducer(const Pul& input, ReduceMode mode)
-      : input_(input), mode_(mode) {}
+  Reducer(const Pul& input, ReduceMode mode,
+          const std::vector<int>* subset = nullptr)
+      : input_(input), mode_(mode), subset_(subset) {}
 
-  Result<Pul> Run(ReduceStats* stats);
+  // Runs the rule fixpoint (the caller has already checked Definition 3
+  // compatibility). Infallible by construction; returns Status to fit
+  // the pool's exception-free task convention.
+  Status RunRules();
+
+  // Survivors of the fixpoint in working-set order. `op` points into
+  // this Reducer and stays valid while it lives; `key` is filled (the <o
+  // sort key) only in canonical mode.
+  struct Survivor {
+    size_t rank;
+    std::string key;
+    const UpdateOp* op;
+  };
+  void CollectSurvivors(std::vector<Survivor>* out);
+
+  size_t rule_applications() const { return applications_; }
+
+  // Sequential assembly of the surviving operations into a fresh PUL.
+  Result<Pul> Assemble();
 
  private:
   bool Alive(int i) const { return alive_[static_cast<size_t>(i)] != 0; }
@@ -163,10 +190,9 @@ class Reducer {
   // <o sort key (document order of targets, then parameter order).
   const std::string& OpKey(int i);
 
-  Result<Pul> Assemble();
-
   const Pul& input_;
   ReduceMode mode_;
+  const std::vector<int>* subset_;
   std::vector<UpdateOp> ops_;
   std::vector<char> alive_;
   std::vector<char> queued_;
@@ -759,6 +785,13 @@ bool Reducer::CanonicalStageStep(int stage) {
   return false;
 }
 
+// Survivors are emitted in the <o order for canonical mode and in rank
+// order (the listing position of the earliest operation folded into each
+// survivor — unique, since merge constituent sets are disjoint) for the
+// other modes. Both orders depend only on the final operation set, never
+// on the rule-application interleaving, which keeps the output
+// byte-deterministic across platforms and makes the parallel shard merge
+// coincide with the sequential path.
 Result<Pul> Reducer::Assemble() {
   Pul out;
   out.set_policies(input_.policies());
@@ -768,8 +801,16 @@ Result<Pul> Reducer::Assemble() {
     if (Alive(static_cast<int>(i))) order.push_back(static_cast<int>(i));
   }
   if (mode_ == ReduceMode::kCanonical) {
-    std::sort(order.begin(), order.end(),
-              [&](int a, int b) { return OpKey(a) < OpKey(b); });
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      const std::string& ka = OpKey(a);
+      const std::string& kb = OpKey(b);
+      if (ka != kb) return ka < kb;
+      return rank_[static_cast<size_t>(a)] < rank_[static_cast<size_t>(b)];
+    });
+  } else {
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      return rank_[static_cast<size_t>(a)] < rank_[static_cast<size_t>(b)];
+    });
   }
   for (int i : order) {
     XUPDATE_RETURN_IF_ERROR(out.AdoptOp(input_.forest(), Op(i)));
@@ -777,14 +818,34 @@ Result<Pul> Reducer::Assemble() {
   return out;
 }
 
-Result<Pul> Reducer::Run(ReduceStats* stats) {
-  XUPDATE_RETURN_IF_ERROR(input_.CheckCompatible());
-  ops_ = input_.ops();
+void Reducer::CollectSurvivors(std::vector<Survivor>* out) {
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    int idx = static_cast<int>(i);
+    if (!Alive(idx)) continue;
+    Survivor s;
+    s.rank = rank_[i];
+    if (mode_ == ReduceMode::kCanonical) s.key = OpKey(idx);
+    s.op = &ops_[i];
+    out->push_back(std::move(s));
+  }
+}
+
+Status Reducer::RunRules() {
+  if (subset_ != nullptr) {
+    ops_.reserve(subset_->size());
+    rank_.reserve(subset_->size());
+    for (int global : *subset_) {
+      rank_.push_back(static_cast<size_t>(global));
+      ops_.push_back(input_.ops()[static_cast<size_t>(global)]);
+    }
+  } else {
+    ops_ = input_.ops();
+    rank_.resize(ops_.size());
+    for (size_t i = 0; i < ops_.size(); ++i) rank_[i] = i;
+  }
   alive_.assign(ops_.size(), 1);
   queued_.assign(ops_.size(), 0);
-  rank_.resize(ops_.size());
   for (size_t i = 0; i < ops_.size(); ++i) {
-    rank_[i] = i;
     by_target_[ops_[i].target].push_back(static_cast<int>(i));
   }
 
@@ -817,28 +878,204 @@ Result<Pul> Reducer::Run(ReduceStats* stats) {
     while (run_all_stages()) {
     }
   }
-  if (stats != nullptr) {
-    stats->input_ops = input_.size();
-    stats->rule_applications = applications_;
-    stats->output_ops = 0;
-    for (size_t i = 0; i < ops_.size(); ++i) {
-      if (Alive(static_cast<int>(i))) ++stats->output_ops;
+  return Status::OK();
+}
+
+// Partitions the operation indices into the connected components of the
+// "some Figure 2 rule or override sweep can relate these operations"
+// relation, decided purely on containment labels:
+//   * same target node;
+//   * target's parent / immediate left sibling is another op's target
+//     (the I10-I20 neighbor rules, in both lookup directions);
+//   * the target interval nests inside another op's target interval
+//     (the O3/O4 ancestor override sweep).
+// The components are closed under rule application: a merged operation
+// keeps the target (and label) of one of its constituents.
+std::vector<std::vector<int>> PartitionByTargetSubtree(const Pul& input) {
+  const std::vector<UpdateOp>& ops = input.ops();
+  int n = static_cast<int>(ops.size());
+  std::vector<int> uf(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) uf[static_cast<size_t>(i)] = i;
+  auto find = [&uf](int x) {
+    while (uf[static_cast<size_t>(x)] != x) {
+      uf[static_cast<size_t>(x)] =
+          uf[static_cast<size_t>(uf[static_cast<size_t>(x)])];
+      x = uf[static_cast<size_t>(x)];
+    }
+    return x;
+  };
+  auto unite = [&](int a, int b) { uf[static_cast<size_t>(find(a))] = find(b); };
+
+  std::unordered_map<NodeId, int> first_on_target;
+  for (int i = 0; i < n; ++i) {
+    auto [it, inserted] = first_on_target.emplace(ops[static_cast<size_t>(i)].target, i);
+    if (!inserted) unite(i, it->second);
+  }
+  for (int i = 0; i < n; ++i) {
+    const NodeLabel& lab = ops[static_cast<size_t>(i)].target_label;
+    if (!lab.valid()) continue;
+    if (lab.parent != kInvalidNode) {
+      auto it = first_on_target.find(lab.parent);
+      if (it != first_on_target.end()) unite(i, it->second);
+    }
+    if (lab.left_sibling != kInvalidNode) {
+      auto it = first_on_target.find(lab.left_sibling);
+      if (it != first_on_target.end()) unite(i, it->second);
     }
   }
-  return Assemble();
+
+  // Ancestor containment: sweep the labeled intervals in document order
+  // and union every operation with the closest enclosing target, which
+  // transitively covers the whole nesting chain.
+  struct Interval {
+    const BitString* start;
+    const BitString* end;
+    int op;
+  };
+  std::vector<Interval> intervals;
+  intervals.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const NodeLabel& lab = ops[static_cast<size_t>(i)].target_label;
+    if (!lab.valid()) continue;
+    intervals.push_back({&lab.start, &lab.end, i});
+  }
+  std::sort(intervals.begin(), intervals.end(),
+            [](const Interval& a, const Interval& b) {
+              int c = a.start->Compare(*b.start);
+              if (c != 0) return c < 0;
+              return a.op < b.op;
+            });
+  std::vector<const Interval*> open;
+  for (const Interval& iv : intervals) {
+    while (!open.empty() && *open.back()->end < *iv.start) open.pop_back();
+    if (!open.empty()) unite(iv.op, open.back()->op);
+    open.push_back(&iv);
+  }
+
+  // Components in order of their first operation (ranks stay sorted).
+  std::vector<std::vector<int>> shards;
+  std::unordered_map<int, size_t> shard_of_root;
+  for (int i = 0; i < n; ++i) {
+    int root = find(i);
+    auto [it, inserted] = shard_of_root.emplace(root, shards.size());
+    if (inserted) shards.emplace_back();
+    shards[it->second].push_back(i);
+  }
+  return shards;
 }
 
 }  // namespace
 
+Result<pul::Pul> Reduce(const pul::Pul& input, const ReduceOptions& options,
+                        ReduceStats* stats) {
+  XUPDATE_RETURN_IF_ERROR(input.CheckCompatible());
+  if (stats != nullptr) *stats = ReduceStats{};
+
+  std::vector<std::vector<int>> shards;
+  bool want_parallel = options.parallelism > 1 && input.size() > 1;
+  if (want_parallel) {
+    ScopedTimer timer(options.metrics, "reduce.partition_seconds");
+    shards = PartitionByTargetSubtree(input);
+  }
+  if (options.metrics != nullptr) {
+    options.metrics->AddCounter("reduce.calls");
+    options.metrics->AddCounter("reduce.input_ops", input.size());
+  }
+
+  if (!want_parallel || shards.size() <= 1) {
+    Reducer reducer(input, options.mode);
+    {
+      ScopedTimer timer(options.metrics, "reduce.rules_seconds");
+      XUPDATE_RETURN_IF_ERROR(reducer.RunRules());
+    }
+    ScopedTimer timer(options.metrics, "reduce.merge_seconds");
+    XUPDATE_ASSIGN_OR_RETURN(pul::Pul out, reducer.Assemble());
+    if (stats != nullptr) {
+      stats->input_ops = input.size();
+      stats->output_ops = out.size();
+      stats->rule_applications = reducer.rule_applications();
+      stats->shards = 1;
+    }
+    if (options.metrics != nullptr) {
+      options.metrics->AddCounter("reduce.shards");
+      options.metrics->AddCounter("reduce.output_ops", out.size());
+      options.metrics->AddCounter("reduce.rule_applications",
+                                  reducer.rule_applications());
+    }
+    return out;
+  }
+
+  std::vector<std::unique_ptr<Reducer>> reducers;
+  reducers.reserve(shards.size());
+  for (const std::vector<int>& shard : shards) {
+    reducers.push_back(
+        std::make_unique<Reducer>(input, options.mode, &shard));
+  }
+  {
+    ScopedTimer timer(options.metrics, "reduce.rules_seconds");
+    ThreadPool* pool = options.pool;
+    std::unique_ptr<ThreadPool> local_pool;
+    if (pool == nullptr) {
+      size_t workers = std::min<size_t>(
+          static_cast<size_t>(options.parallelism), shards.size());
+      local_pool = std::make_unique<ThreadPool>(workers);
+      pool = local_pool.get();
+    }
+    XUPDATE_RETURN_IF_ERROR(ParallelFor(
+        pool, reducers.size(),
+        [&reducers](size_t s) { return reducers[s]->RunRules(); }));
+  }
+
+  ScopedTimer timer(options.metrics, "reduce.merge_seconds");
+  std::vector<Reducer::Survivor> survivors;
+  size_t applications = 0;
+  for (std::unique_ptr<Reducer>& r : reducers) {
+    r->CollectSurvivors(&survivors);
+    applications += r->rule_applications();
+  }
+  if (options.mode == ReduceMode::kCanonical) {
+    std::sort(survivors.begin(), survivors.end(),
+              [](const Reducer::Survivor& a, const Reducer::Survivor& b) {
+                if (a.key != b.key) return a.key < b.key;
+                return a.rank < b.rank;
+              });
+  } else {
+    std::sort(survivors.begin(), survivors.end(),
+              [](const Reducer::Survivor& a, const Reducer::Survivor& b) {
+                return a.rank < b.rank;
+              });
+  }
+  pul::Pul out;
+  out.set_policies(input.policies());
+  out.BindIdSpace(1);  // ids preserved on adoption; floor irrelevant
+  for (const Reducer::Survivor& s : survivors) {
+    XUPDATE_RETURN_IF_ERROR(out.AdoptOp(input.forest(), *s.op));
+  }
+  if (stats != nullptr) {
+    stats->input_ops = input.size();
+    stats->output_ops = out.size();
+    stats->rule_applications = applications;
+    stats->shards = shards.size();
+  }
+  if (options.metrics != nullptr) {
+    options.metrics->AddCounter("reduce.shards", shards.size());
+    options.metrics->AddCounter("reduce.output_ops", out.size());
+    options.metrics->AddCounter("reduce.rule_applications", applications);
+  }
+  return out;
+}
+
 Result<pul::Pul> Reduce(const pul::Pul& input, ReduceMode mode) {
-  Reducer reducer(input, mode);
-  return reducer.Run(nullptr);
+  ReduceOptions options;
+  options.mode = mode;
+  return Reduce(input, options, nullptr);
 }
 
 Result<pul::Pul> ReduceWithStats(const pul::Pul& input, ReduceMode mode,
                                  ReduceStats* stats) {
-  Reducer reducer(input, mode);
-  return reducer.Run(stats);
+  ReduceOptions options;
+  options.mode = mode;
+  return Reduce(input, options, stats);
 }
 
 }  // namespace xupdate::core

@@ -1,7 +1,9 @@
 #ifndef XUPDATE_CORE_REDUCE_H_
 #define XUPDATE_CORE_REDUCE_H_
 
+#include "common/metrics.h"
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "pul/pul.h"
 
 namespace xupdate::core {
@@ -40,10 +42,38 @@ struct ReduceStats {
   size_t input_ops = 0;
   size_t output_ops = 0;
   size_t rule_applications = 0;
+  // Independent shards the input partitioned into (1 on the sequential
+  // path).
+  size_t shards = 0;
 };
 
 Result<pul::Pul> ReduceWithStats(const pul::Pul& input, ReduceMode mode,
                                  ReduceStats* stats);
+
+struct ReduceOptions {
+  ReduceMode mode = ReduceMode::kPlain;
+  // Number of worker threads for the shard-by-subtree parallel engine.
+  // 1 (the default) takes the sequential path; higher values partition
+  // the PUL into independent shards via containment-label subtree
+  // disjointness and reduce them concurrently. The output is
+  // byte-identical to the sequential path for every value.
+  int parallelism = 1;
+  // Reused across calls when provided; otherwise a transient pool is
+  // spawned per call when parallelism > 1.
+  ThreadPool* pool = nullptr;
+  // Optional counters/timers sink (shard counts, per-phase wall time).
+  Metrics* metrics = nullptr;
+};
+
+// Reduce with engine knobs. Operations are partitioned by the targets'
+// containment labels: two operations land in the same shard iff they are
+// connected through same-target / parent / adjacent-sibling /
+// ancestor-containment links — exactly the relations the Figure 2 rules
+// and override sweeps can act across — so per-shard fixpoints compose to
+// the global one and the deterministic merge (listing-rank order, or the
+// canonical <o order) reproduces the sequential output byte for byte.
+Result<pul::Pul> Reduce(const pul::Pul& input, const ReduceOptions& options,
+                        ReduceStats* stats = nullptr);
 
 }  // namespace xupdate::core
 

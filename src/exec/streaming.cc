@@ -50,8 +50,10 @@ Status ParseIdsAnnotation(std::string_view text, NodeId* self,
   if (id <= 0) return Status::ParseError("bad xu:ids annotation");
   *self = static_cast<NodeId>(id);
   if (semi == std::string_view::npos) return Status::OK();
+  // A ';' promises at least one attribute id, and every ',' promises
+  // another — a dangling separator is malformed, not empty.
   std::string_view rest = text.substr(semi + 1);
-  while (!rest.empty()) {
+  while (true) {
     size_t comma = rest.find(',');
     int64_t a = ParseNonNegativeInt(rest.substr(0, comma));
     if (a <= 0) return Status::ParseError("bad xu:ids attribute id");

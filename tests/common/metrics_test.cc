@@ -1,0 +1,90 @@
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace xupdate {
+namespace {
+
+TEST(MetricsTest, CountersAccumulate) {
+  Metrics m;
+  EXPECT_EQ(m.counter("a"), 0u);
+  m.AddCounter("a");
+  m.AddCounter("a", 4);
+  m.AddCounter("b", 2);
+  EXPECT_EQ(m.counter("a"), 5u);
+  EXPECT_EQ(m.counter("b"), 2u);
+}
+
+TEST(MetricsTest, TimersAccumulate) {
+  Metrics m;
+  m.RecordDuration("t", 0.25);
+  m.RecordDuration("t", 0.5);
+  EXPECT_DOUBLE_EQ(m.total_seconds("t"), 0.75);
+  EXPECT_DOUBLE_EQ(m.total_seconds("missing"), 0.0);
+}
+
+TEST(MetricsTest, JsonIsSortedAndDeterministic) {
+  Metrics m;
+  m.AddCounter("zeta", 3);
+  m.AddCounter("alpha", 1);
+  m.RecordDuration("phase", 0.125);
+  std::string json = m.ToJson();
+  EXPECT_EQ(json,
+            "{\"counters\":{\"alpha\":1,\"zeta\":3},"
+            "\"timers\":{\"phase\":{\"seconds\":0.125000000,\"count\":1}}}");
+  // Insertion order must not matter.
+  Metrics m2;
+  m2.RecordDuration("phase", 0.125);
+  m2.AddCounter("alpha", 1);
+  m2.AddCounter("zeta", 3);
+  EXPECT_EQ(m2.ToJson(), json);
+}
+
+TEST(MetricsTest, EmptyJson) {
+  Metrics m;
+  EXPECT_EQ(m.ToJson(), "{\"counters\":{},\"timers\":{}}");
+}
+
+TEST(MetricsTest, ClearResets) {
+  Metrics m;
+  m.AddCounter("a", 7);
+  m.RecordDuration("t", 1.0);
+  m.Clear();
+  EXPECT_EQ(m.counter("a"), 0u);
+  EXPECT_DOUBLE_EQ(m.total_seconds("t"), 0.0);
+  EXPECT_EQ(m.ToJson(), "{\"counters\":{},\"timers\":{}}");
+}
+
+TEST(MetricsTest, ConcurrentUpdatesAreLossless) {
+  Metrics m;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&m] {
+      for (int i = 0; i < 1000; ++i) {
+        m.AddCounter("hits");
+        m.RecordDuration("work", 0.001);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(m.counter("hits"), 8000u);
+  EXPECT_NEAR(m.total_seconds("work"), 8.0, 1e-9);
+}
+
+TEST(ScopedTimerTest, RecordsOneSample) {
+  Metrics m;
+  { ScopedTimer t(&m, "scope"); }
+  EXPECT_GE(m.total_seconds("scope"), 0.0);
+  EXPECT_NE(m.ToJson().find("\"scope\":{\"seconds\":"), std::string::npos);
+}
+
+TEST(ScopedTimerTest, NullMetricsIsNoOp) {
+  ScopedTimer t(nullptr, "scope");  // must not crash
+}
+
+}  // namespace
+}  // namespace xupdate

@@ -1,0 +1,134 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xupdate {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(pool.Submit([&counter] { ++counter; }));
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, SpawnsAtLeastOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  std::atomic<bool> ran{false};
+  EXPECT_TRUE(pool.Submit([&ran] { ran = true; }));
+  pool.Wait();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, WaitWithNoTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+}
+
+TEST(ThreadPoolTest, WaitCanBeCalledRepeatedly) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE(pool.Submit([&counter] { ++counter; }));
+    }
+    pool.Wait();
+    EXPECT_EQ(counter.load(), 20 * (round + 1));
+  }
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsPendingWork) {
+  // Every task submitted before Shutdown must run, even the ones still
+  // queued behind a slow task when the call arrives.
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      ASSERT_TRUE(pool.Submit([&counter] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ++counter;
+      }));
+    }
+    pool.Shutdown();
+  }
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingWork) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      ASSERT_TRUE(pool.Submit([&counter] { ++counter; }));
+    }
+  }
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownFailsSoft) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  std::atomic<bool> ran{false};
+  EXPECT_FALSE(pool.Submit([&ran] { ran = true; }));
+  EXPECT_FALSE(ran.load());
+  pool.Shutdown();  // idempotent
+}
+
+TEST(ParallelForTest, RunsAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  Status s = ParallelFor(&pool, hits.size(), [&hits](size_t i) {
+    ++hits[i];
+    return Status();
+  });
+  EXPECT_TRUE(s.ok());
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, NullPoolRunsInline) {
+  std::vector<int> hits(10, 0);
+  Status s = ParallelFor(nullptr, hits.size(), [&hits](size_t i) {
+    ++hits[i];
+    return Status();
+  });
+  EXPECT_TRUE(s.ok());
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelForTest, ReportsLowestFailingIndex) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  Status s = ParallelFor(&pool, 100, [&ran](size_t i) {
+    ++ran;
+    if (i == 17 || i == 63) {
+      return Status::Internal("shard " + std::to_string(i));
+    }
+    return Status();
+  });
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("17"), std::string::npos);
+  // A failure must not cancel the remaining shards.
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ParallelForTest, ZeroIterationsIsOk) {
+  ThreadPool pool(2);
+  Status s = ParallelFor(&pool, 0, [](size_t) { return Status(); });
+  EXPECT_TRUE(s.ok());
+}
+
+}  // namespace
+}  // namespace xupdate

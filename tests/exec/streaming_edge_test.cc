@@ -230,5 +230,48 @@ TEST_F(StreamingEdgeTest, DeepNestingStreamsCorrectly) {
   EXPECT_NE(str->find("<leaf"), std::string::npos);
 }
 
+// Malformed xu:ids annotations must be rejected, not silently repaired:
+// a ';' promises an attribute list and a ',' promises another id.
+TEST_F(StreamingEdgeTest, RejectsDanglingSemicolonInIdsAnnotation) {
+  Pul p = MakePul();
+  ASSERT_TRUE(p.AddStringOp(OpKind::kRename, 3, labeling_, "renamed").ok());
+  StreamingEvaluator streaming;
+  auto out = streaming.Evaluate("<r xu:ids=\"1;\"><mid xu:ids=\"3\"/></r>", p);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kParseError);
+}
+
+TEST_F(StreamingEdgeTest, RejectsTrailingCommaInIdsAnnotation) {
+  Pul p = MakePul();
+  ASSERT_TRUE(p.AddStringOp(OpKind::kRename, 3, labeling_, "renamed").ok());
+  StreamingEvaluator streaming;
+  auto out = streaming.Evaluate(
+      "<r><mid xu:ids=\"3;6,\" q=\"0\"/></r>", p);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kParseError);
+}
+
+TEST_F(StreamingEdgeTest, RejectsEmptyAttributeIdBetweenCommas) {
+  Pul p = MakePul();
+  ASSERT_TRUE(p.AddStringOp(OpKind::kRename, 3, labeling_, "renamed").ok());
+  StreamingEvaluator streaming;
+  auto out = streaming.Evaluate(
+      "<r><mid xu:ids=\"3;6,,7\" q=\"0\" s=\"1\" t=\"2\"/></r>", p);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kParseError);
+}
+
+TEST_F(StreamingEdgeTest, AcceptsWellFormedIdsAnnotationWithAttributes) {
+  Pul p = MakePul();
+  ASSERT_TRUE(p.AddStringOp(OpKind::kRename, 3, labeling_, "renamed").ok());
+  StreamingEvaluator streaming;
+  auto out = streaming.Evaluate(
+      "<r xu:ids=\"1\"><head xu:ids=\"2\"/><mid xu:ids=\"3;6\" q=\"0\">"
+      "<?xuid 4?>txt</mid><tail xu:ids=\"5\"/></r>",
+      p);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_NE(out->find("<renamed"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace xupdate::exec

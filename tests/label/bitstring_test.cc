@@ -151,6 +151,91 @@ TEST(CdbsTest, RandomInsertionsPreserveTotalOrder) {
   }
 }
 
+// Every bitstring of length 1..max_len whose last bit is 1, in
+// lexicographic order.
+std::vector<BitString> AllCodesUpTo(size_t max_len) {
+  std::vector<BitString> codes;
+  for (size_t len = 1; len <= max_len; ++len) {
+    for (uint64_t v = 0; v < (uint64_t{1} << len); ++v) {
+      if ((v & 1) == 0) continue;  // codes end in 1
+      std::string bits(len, '0');
+      for (size_t i = 0; i < len; ++i) {
+        if ((v >> (len - 1 - i)) & 1) bits[i] = '1';
+      }
+      codes.push_back(BitString::FromBits(bits));
+    }
+  }
+  std::sort(codes.begin(), codes.end());
+  return codes;
+}
+
+// Exhaustive pairwise check over every code up to nine bits — the
+// nine-bit ones straddle the byte boundary of the backing storage, the
+// regime where a grow-on-boundary bug in AppendBit/PopBit would corrupt
+// the freshly created label. Between must return a valid code strictly
+// inside every ordered pair, never an endpoint and never a collision.
+TEST(CdbsTest, ExhaustivePairwiseInsertBetweenAtByteBoundary) {
+  std::vector<BitString> codes = AllCodesUpTo(9);
+  ASSERT_EQ(codes.size(), 511u);
+  for (size_t i = 0; i + 1 < codes.size(); ++i) {
+    ASSERT_LT(codes[i].Compare(codes[i + 1]), 0) << "enumeration not sorted";
+  }
+  for (size_t i = 0; i < codes.size(); ++i) {
+    for (size_t j = i + 1; j < codes.size(); ++j) {
+      auto mid = cdbs::Between(codes[i], codes[j]);
+      ASSERT_TRUE(mid.ok())
+          << codes[i].ToString() << " / " << codes[j].ToString() << ": "
+          << mid.status();
+      ASSERT_TRUE(cdbs::IsCode(*mid)) << mid->ToString();
+      ASSERT_LT(codes[i].Compare(*mid), 0)
+          << codes[i].ToString() << " !< " << mid->ToString();
+      ASSERT_LT(mid->Compare(codes[j]), 0)
+          << mid->ToString() << " !< " << codes[j].ToString();
+    }
+  }
+}
+
+// Open boundaries against every code at the byte-boundary lengths.
+TEST(CdbsTest, ExhaustiveOpenBoundaryInsertions) {
+  for (const BitString& c : AllCodesUpTo(9)) {
+    auto before = cdbs::Between(BitString(), c);
+    ASSERT_TRUE(before.ok()) << c.ToString();
+    ASSERT_TRUE(cdbs::IsCode(*before));
+    ASSERT_LT(before->Compare(c), 0)
+        << before->ToString() << " !< " << c.ToString();
+    auto after = cdbs::Between(c, BitString());
+    ASSERT_TRUE(after.ok()) << c.ToString();
+    ASSERT_TRUE(cdbs::IsCode(*after));
+    ASSERT_LT(c.Compare(*after), 0)
+        << c.ToString() << " !< " << after->ToString();
+  }
+}
+
+// Drive a single gap down through several byte boundaries: repeatedly
+// insert between an adjacent pair and shrink the gap to the new code,
+// alternating sides. Lengths pass 8, 16, 24... bits, exercising code
+// creation from maximum-length prefixes on every step.
+TEST(CdbsTest, AdjacentInsertionChainAcrossByteBoundaries) {
+  BitString left = BitString::FromBits("01");
+  BitString right = BitString::FromBits("1");
+  for (int step = 0; step < 80; ++step) {
+    auto mid = cdbs::Between(left, right);
+    ASSERT_TRUE(mid.ok()) << "step " << step << ": " << mid.status();
+    ASSERT_TRUE(cdbs::IsCode(*mid)) << mid->ToString();
+    ASSERT_LT(left.Compare(*mid), 0)
+        << "step " << step << ": " << left.ToString() << " !< "
+        << mid->ToString();
+    ASSERT_LT(mid->Compare(right), 0)
+        << "step " << step << ": " << mid->ToString() << " !< "
+        << right.ToString();
+    if (step % 2 == 0) {
+      left = *mid;
+    } else {
+      right = *mid;
+    }
+  }
+}
+
 TEST(CdbsTest, SkewedRightInsertionGrowsLinearlySlowly) {
   // Repeated insert-after-last is the common append pattern; length must
   // grow by exactly one bit per insertion (CDBS behavior).

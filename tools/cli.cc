@@ -6,6 +6,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "common/metrics.h"
 #include "common/result.h"
 #include "common/string_util.h"
 #include "core/aggregate.h"
@@ -176,28 +177,57 @@ Status CmdApply(const Args& args, std::ostream& out) {
   return Status::OK();
 }
 
+// Shared reasoning-engine flags: --parallelism N selects the worker
+// count of the shard-by-subtree engine (1 = sequential), --metrics PATH
+// dumps the engine's counters/timers as JSON ("-" for the output
+// stream).
+Result<int> ParseParallelismFlag(const Args& args) {
+  if (!args.Has("parallelism")) return 1;
+  int64_t n = ParseNonNegativeInt(args.Get("parallelism"));
+  if (n <= 0) return Status::InvalidArgument("bad --parallelism");
+  return static_cast<int>(n);
+}
+
+Status MaybeDumpMetrics(const Args& args, const Metrics& metrics,
+                        std::ostream& out) {
+  if (!args.Has("metrics")) return Status::OK();
+  std::string json = metrics.ToJson() + "\n";
+  std::string path = args.Get("metrics");
+  if (path == "-") {
+    out << json;
+    return Status::OK();
+  }
+  XUPDATE_RETURN_IF_ERROR(WriteFile(path, json));
+  out << "wrote metrics " << path << "\n";
+  return Status::OK();
+}
+
 Status CmdReduce(const Args& args, std::ostream& out) {
   XUPDATE_RETURN_IF_ERROR(RequireFlags(args, {"pul", "out"}));
   XUPDATE_ASSIGN_OR_RETURN(std::string text, ReadFile(args.Get("pul")));
   XUPDATE_ASSIGN_OR_RETURN(pul::Pul pul, pul::ParsePul(text));
   std::string mode_name = args.Get("mode", "deterministic");
-  core::ReduceMode mode;
+  core::ReduceOptions options;
   if (mode_name == "plain") {
-    mode = core::ReduceMode::kPlain;
+    options.mode = core::ReduceMode::kPlain;
   } else if (mode_name == "deterministic") {
-    mode = core::ReduceMode::kDeterministic;
+    options.mode = core::ReduceMode::kDeterministic;
   } else if (mode_name == "canonical") {
-    mode = core::ReduceMode::kCanonical;
+    options.mode = core::ReduceMode::kCanonical;
   } else {
     return Status::InvalidArgument(
         "--mode must be plain|deterministic|canonical");
   }
+  XUPDATE_ASSIGN_OR_RETURN(options.parallelism, ParseParallelismFlag(args));
+  Metrics metrics;
+  options.metrics = &metrics;
   core::ReduceStats stats;
   XUPDATE_ASSIGN_OR_RETURN(pul::Pul reduced,
-                           core::ReduceWithStats(pul, mode, &stats));
+                           core::Reduce(pul, options, &stats));
   out << "reduced " << stats.input_ops << " -> " << stats.output_ops
       << " operations (" << stats.rule_applications
-      << " rule applications)\n";
+      << " rule applications, " << stats.shards << " shards)\n";
+  XUPDATE_RETURN_IF_ERROR(MaybeDumpMetrics(args, metrics, out));
   return WritePul(reduced, args.Get("out"), out);
 }
 
@@ -243,8 +273,12 @@ Status CmdIntegrate(const Args& args, std::ostream& out) {
                            LoadPuls(args.positional));
   std::vector<const pul::Pul*> ptrs;
   for (const pul::Pul& pul : puls) ptrs.push_back(&pul);
+  core::IntegrateOptions options;
+  XUPDATE_ASSIGN_OR_RETURN(options.parallelism, ParseParallelismFlag(args));
+  Metrics metrics;
+  options.metrics = &metrics;
   XUPDATE_ASSIGN_OR_RETURN(core::IntegrationResult result,
-                           core::Integrate(ptrs));
+                           core::Integrate(ptrs, options));
   out << "integration: " << result.merged.size()
       << " non-conflicting operations, " << result.conflicts.size()
       << " conflicts\n";
@@ -255,6 +289,7 @@ Status CmdIntegrate(const Args& args, std::ostream& out) {
   for (const auto& [name, count] : histogram) {
     out << "  " << name << ": " << count << "\n";
   }
+  XUPDATE_RETURN_IF_ERROR(MaybeDumpMetrics(args, metrics, out));
   if (args.Has("out")) {
     return WritePul(result.merged, args.Get("out"), out);
   }
