@@ -1,0 +1,44 @@
+// Fuzz target for the PUL wire format (pul/pul_io.h).
+//
+// Feeds arbitrary bytes to ParsePul and, whenever they happen to parse,
+// checks the serialize -> parse -> serialize round trip is a fixpoint:
+// the wire format is the interchange surface between producers and the
+// executor, so a parse that accepts a document whose re-serialization
+// differs would silently corrupt PULs in transit.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "pul/pul_io.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string_view input(reinterpret_cast<const char*>(data), size);
+
+  xupdate::Result<xupdate::pul::Pul> parsed = xupdate::pul::ParsePul(input);
+  if (!parsed.ok()) return 0;  // rejecting malformed input is fine
+
+  xupdate::Result<std::string> wire = xupdate::pul::SerializePul(*parsed);
+  if (!wire.ok()) {
+    std::fprintf(stderr, "pul_io_fuzz: accepted input failed to serialize: %s\n",
+                 wire.status().ToString().c_str());
+    std::abort();
+  }
+
+  xupdate::Result<xupdate::pul::Pul> reparsed = xupdate::pul::ParsePul(*wire);
+  if (!reparsed.ok()) {
+    std::fprintf(stderr, "pul_io_fuzz: serialized form failed to reparse: %s\n",
+                 reparsed.status().ToString().c_str());
+    std::abort();
+  }
+
+  xupdate::Result<std::string> wire2 = xupdate::pul::SerializePul(*reparsed);
+  if (!wire2.ok() || *wire2 != *wire) {
+    std::fprintf(stderr, "pul_io_fuzz: round trip is not a fixpoint\n");
+    std::abort();
+  }
+  return 0;
+}

@@ -1,0 +1,144 @@
+// Minimal driver for LLVMFuzzerTestOneInput when the toolchain has no
+// libFuzzer (gcc). Replays every corpus file, then runs a deterministic
+// mutation loop seeded from the corpus:
+//
+//   fuzz_target <corpus-dir-or-file>... [-runs=N] [-seed=S] [-max_len=L]
+//
+// The mutator is a small xorshift-driven byte mangler (flip, overwrite,
+// insert, erase, splice) — nowhere near libFuzzer's coverage guidance,
+// but enough to drive parser error paths under ASan/UBSan, and fully
+// reproducible: the same corpus, seed and run count replay the same
+// inputs.
+
+#include <cinttypes>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+struct Rng {
+  uint64_t state;
+  uint64_t Next() {
+    // xorshift64*; fixed algorithm so replays are stable across builds.
+    state ^= state >> 12;
+    state ^= state << 25;
+    state ^= state >> 27;
+    return state * 0x2545F4914F6CDD1DULL;
+  }
+  size_t Below(size_t n) { return n ? static_cast<size_t>(Next() % n) : 0; }
+};
+
+std::vector<uint8_t> ReadFile(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
+                              std::istreambuf_iterator<char>());
+}
+
+void Mutate(std::vector<uint8_t>* data, const std::vector<std::vector<uint8_t>>& corpus,
+            Rng* rng, size_t max_len) {
+  const size_t edits = 1 + rng->Below(8);
+  for (size_t e = 0; e < edits; ++e) {
+    switch (rng->Below(5)) {
+      case 0:  // flip a bit
+        if (!data->empty())
+          (*data)[rng->Below(data->size())] ^= uint8_t(1u << rng->Below(8));
+        break;
+      case 1:  // overwrite with an interesting byte
+        if (!data->empty()) {
+          static const uint8_t kBytes[] = {0x00, 0xFF, '<', '>', '&', '"',
+                                           ';',  '=',  ' ', '/', '?'};
+          (*data)[rng->Below(data->size())] =
+              kBytes[rng->Below(sizeof(kBytes))];
+        }
+        break;
+      case 2:  // insert a byte
+        if (data->size() < max_len)
+          data->insert(data->begin() + rng->Below(data->size() + 1),
+                       uint8_t(rng->Next() & 0xFF));
+        break;
+      case 3:  // erase a run
+        if (!data->empty()) {
+          size_t at = rng->Below(data->size());
+          size_t len = 1 + rng->Below(data->size() - at);
+          data->erase(data->begin() + at, data->begin() + at + len);
+        }
+        break;
+      case 4:  // splice a slice of another corpus entry
+        if (!corpus.empty()) {
+          const std::vector<uint8_t>& other = corpus[rng->Below(corpus.size())];
+          if (!other.empty() && data->size() < max_len) {
+            size_t from = rng->Below(other.size());
+            size_t len = 1 + rng->Below(other.size() - from);
+            if (data->size() + len > max_len) len = max_len - data->size();
+            data->insert(data->begin() + rng->Below(data->size() + 1),
+                         other.begin() + from, other.begin() + from + len);
+          }
+        }
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t runs = 0;
+  uint64_t seed = 0x9E3779B97F4A7C15ULL;
+  size_t max_len = 1 << 16;
+  std::vector<std::vector<uint8_t>> corpus;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "-runs=", 6) == 0) {
+      runs = std::strtoull(arg + 6, nullptr, 10);
+    } else if (std::strncmp(arg, "-seed=", 6) == 0) {
+      seed = std::strtoull(arg + 6, nullptr, 10);
+    } else if (std::strncmp(arg, "-max_len=", 9) == 0) {
+      max_len = std::strtoull(arg + 9, nullptr, 10);
+    } else {
+      std::filesystem::path path(arg);
+      std::error_code ec;
+      if (std::filesystem::is_directory(path, ec)) {
+        for (const auto& entry : std::filesystem::directory_iterator(path)) {
+          if (entry.is_regular_file()) corpus.push_back(ReadFile(entry.path()));
+        }
+      } else {
+        corpus.push_back(ReadFile(path));
+      }
+    }
+  }
+
+  // Replay phase: every corpus entry verbatim (this is what libFuzzer
+  // does when invoked on plain files).
+  for (const std::vector<uint8_t>& entry : corpus) {
+    LLVMFuzzerTestOneInput(entry.data(), entry.size());
+  }
+  std::fprintf(stderr, "standalone_driver: replayed %zu corpus entries\n",
+               corpus.size());
+
+  // Mutation phase.
+  Rng rng{seed ? seed : 1};
+  uint64_t executed = 0;
+  for (; executed < runs; ++executed) {
+    std::vector<uint8_t> input =
+        corpus.empty() ? std::vector<uint8_t>()
+                       : corpus[rng.Below(corpus.size())];
+    Mutate(&input, corpus, &rng, max_len);
+    LLVMFuzzerTestOneInput(input.data(), input.size());
+    if ((executed + 1) % 100000 == 0) {
+      std::fprintf(stderr, "standalone_driver: %" PRIu64 " runs\n",
+                   executed + 1);
+    }
+  }
+  std::fprintf(stderr, "standalone_driver: done (%" PRIu64 " mutated runs)\n",
+               executed);
+  return 0;
+}

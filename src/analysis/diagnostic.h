@@ -1,0 +1,65 @@
+#ifndef XUPDATE_ANALYSIS_DIAGNOSTIC_H_
+#define XUPDATE_ANALYSIS_DIAGNOSTIC_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xupdate::analysis {
+
+// How bad a lint finding is. Errors describe PULs the reasoning engines
+// reject or whose semantics are ill-defined; warnings describe ops the
+// reduction provably erases or whose structural references cannot be
+// resolved; infos are style/normalization notes.
+enum class Severity : int { kInfo = 0, kWarning = 1, kError = 2 };
+
+std::string_view SeverityName(Severity severity);
+
+// Stable diagnostic codes emitted by the lint pass. Codes are part of
+// the public surface (golden tests and downstream tooling match on
+// them); never renumber, only append.
+//
+//   XU001 error    duplicate-replacement     two replacement-class ops of the
+//                                            same kind on one target
+//                                            (Definition 3 incompatibility)
+//   XU002 warning  overridden-by-subtree-op  op targets a node strictly inside
+//                                            a subtree this same PUL deletes
+//                                            or replaces (rule O3 erases it)
+//   XU003 warning  dangling-sibling-ref      sibling insertion (insBefore /
+//                                            insAfter) on an attribute or an
+//                                            unparented node
+//   XU004 info     non-canonical-order       operations not listed in document
+//                                            order of their targets
+//   XU005 warning  duplicate-attribute       the same attribute name inserted
+//                                            twice on one target
+//   XU006 info     missing-target-label      op carries no structural label;
+//                                            Integrate refuses such PULs and
+//                                            the static passes degrade to
+//                                            may-conflict verdicts
+//   XU007 info     empty-replace-node        repN with no replacement trees
+//                                            (behaves exactly like del)
+inline constexpr const char* kCodeDuplicateReplacement = "XU001";
+inline constexpr const char* kCodeOverriddenBySubtreeOp = "XU002";
+inline constexpr const char* kCodeDanglingSiblingRef = "XU003";
+inline constexpr const char* kCodeNonCanonicalOrder = "XU004";
+inline constexpr const char* kCodeDuplicateAttribute = "XU005";
+inline constexpr const char* kCodeMissingTargetLabel = "XU006";
+inline constexpr const char* kCodeEmptyReplaceNode = "XU007";
+
+// One lint finding, anchored on the listing index of the offending
+// operation (`op_index`); `related_op` is the other half of a pairwise
+// finding (the overrider, the earlier duplicate) or -1.
+struct Diagnostic {
+  Severity severity = Severity::kInfo;
+  std::string code;
+  int op_index = -1;
+  int related_op = -1;
+  std::string message;
+};
+
+// Diagnostics sorted by (op_index, code); convenient for golden tests.
+using DiagnosticReport = std::vector<Diagnostic>;
+
+}  // namespace xupdate::analysis
+
+#endif  // XUPDATE_ANALYSIS_DIAGNOSTIC_H_

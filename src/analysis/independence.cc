@@ -1,0 +1,251 @@
+#include "analysis/independence.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "label/bitstring.h"
+#include "label/node_label.h"
+#include "pul/update_op.h"
+
+namespace xupdate::analysis {
+
+namespace {
+
+using label::NodeLabel;
+using pul::OpKind;
+using pul::Pul;
+using pul::UpdateOp;
+using xml::NodeId;
+using xml::NodeType;
+
+// repN with an empty replacement list behaves exactly like del
+// (footnote 3 of the paper); Algorithm 1 treats it as del and so does
+// the static mirror.
+OpKind EffectiveKind(const UpdateOp& op) {
+  if (op.kind == OpKind::kReplaceNode && op.param_trees.empty()) {
+    return OpKind::kDelete;
+  }
+  return op.kind;
+}
+
+bool IsType1Kind(OpKind kind) {
+  return kind == OpKind::kRename || kind == OpKind::kReplaceNode ||
+         kind == OpKind::kReplaceChildren || kind == OpKind::kReplaceValue;
+}
+
+bool IsType3Kind(OpKind kind) {
+  return kind == OpKind::kInsBefore || kind == OpKind::kInsAfter ||
+         kind == OpKind::kInsFirst || kind == OpKind::kInsLast;
+}
+
+// Operations a same-target repN/del overrides (type-4 conflicts), as in
+// integrate.cc.
+bool IsLocallyOverridable(OpKind effective) {
+  switch (effective) {
+    case OpKind::kRename:
+    case OpKind::kReplaceValue:
+    case OpKind::kReplaceChildren:
+    case OpKind::kInsFirst:
+    case OpKind::kInsLast:
+    case OpKind::kInsAttributes:
+    case OpKind::kInsInto:
+    case OpKind::kDelete:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::set<std::string_view> InsertedAttributeNames(const Pul& pul,
+                                                  const UpdateOp& op) {
+  std::set<std::string_view> names;
+  for (NodeId r : op.param_trees) names.insert(pul.forest().name(r));
+  return names;
+}
+
+// The type 1-4 rules on one cross-PUL op pair with a shared target.
+// Returns the stable reason tag of the first rule that fires, nullptr if
+// none can. Exact: with two PULs, Algorithm 1 reports a same-target
+// conflict iff some cross-PUL pair passes one of these tests.
+const char* SameTargetConflict(const Pul& pul_a, const UpdateOp& a,
+                               const Pul& pul_b, const UpdateOp& b) {
+  OpKind ea = EffectiveKind(a);
+  OpKind eb = EffectiveKind(b);
+  if (ea == eb && IsType1Kind(ea)) return "repeated-modification";
+  if (ea == eb && IsType3Kind(ea)) return "insertion-order";
+  if (ea == OpKind::kInsAttributes && eb == OpKind::kInsAttributes) {
+    std::set<std::string_view> names_a = InsertedAttributeNames(pul_a, a);
+    for (std::string_view name : InsertedAttributeNames(pul_b, b)) {
+      if (names_a.count(name) != 0) return "repeated-attribute";
+    }
+  }
+  auto local_override = [](OpKind overrider, OpKind other) {
+    bool full =
+        overrider == OpKind::kReplaceNode || overrider == OpKind::kDelete;
+    if (full) {
+      return IsLocallyOverridable(other) &&
+             !(overrider == OpKind::kDelete && other == OpKind::kDelete);
+    }
+    if (overrider == OpKind::kReplaceChildren) {
+      return other == OpKind::kInsFirst || other == OpKind::kInsInto ||
+             other == OpKind::kInsLast;
+    }
+    return false;
+  };
+  if (local_override(ea, eb) || local_override(eb, ea)) {
+    return "local-override";
+  }
+  return nullptr;
+}
+
+// The type-5 rule: `over` (an effective repN/del/repC) against an op of
+// the other PUL whose target lies strictly inside its subtree.
+bool NonLocalOverride(const UpdateOp& over, const UpdateOp& inner) {
+  OpKind ok = EffectiveKind(over);
+  bool full = ok == OpKind::kReplaceNode || ok == OpKind::kDelete;
+  bool children_only = ok == OpKind::kReplaceChildren;
+  if (!full && !children_only) return false;
+  if (EffectiveKind(inner) == OpKind::kDelete) return false;
+  if (children_only && inner.target_label.parent == over.target &&
+      inner.target_label.type == NodeType::kAttribute) {
+    return false;  // attributes of the repC target survive
+  }
+  return true;
+}
+
+// Labeled ops of one PUL sorted by document order of the targets, for
+// the containment sweep.
+struct ByStart {
+  const UpdateOp* op;
+  int index;
+};
+
+std::vector<ByStart> SortByStart(const Pul& pul) {
+  std::vector<ByStart> out;
+  const auto& ops = pul.ops();
+  out.reserve(ops.size());
+  for (size_t i = 0; i < ops.size(); ++i) {
+    out.push_back({&ops[i], static_cast<int>(i)});
+  }
+  std::sort(out.begin(), out.end(), [](const ByStart& x, const ByStart& y) {
+    int c = x.op->target_label.start.Compare(y.op->target_label.start);
+    if (c != 0) return c < 0;
+    return x.index < y.index;
+  });
+  return out;
+}
+
+}  // namespace
+
+std::string_view IndependenceVerdictName(IndependenceVerdict verdict) {
+  switch (verdict) {
+    case IndependenceVerdict::kIndependent:
+      return "independent";
+    case IndependenceVerdict::kMayConflict:
+      return "may-conflict";
+    case IndependenceVerdict::kMustConflict:
+      return "must-conflict";
+  }
+  return "?";
+}
+
+IndependenceReport AnalyzeIndependence(const Pul& a, const Pul& b) {
+  IndependenceReport report;
+
+  // Without a label an op's structural position is unknown; nothing can
+  // be ruled out (and Integrate would reject the PUL anyway).
+  for (const Pul* pul : {&a, &b}) {
+    const auto& ops = pul->ops();
+    for (size_t i = 0; i < ops.size(); ++i) {
+      if (!ops[i].target_label.valid()) {
+        report.verdict = IndependenceVerdict::kMayConflict;
+        report.reason = "missing-label";
+        (pul == &a ? report.op_a : report.op_b) = static_cast<int>(i);
+        return report;
+      }
+    }
+  }
+
+  // Conflict classes 1-4 need a shared target node.
+  std::unordered_map<NodeId, std::vector<int>> b_by_target;
+  for (size_t j = 0; j < b.ops().size(); ++j) {
+    b_by_target[b.ops()[j].target].push_back(static_cast<int>(j));
+  }
+  for (size_t i = 0; i < a.ops().size(); ++i) {
+    auto it = b_by_target.find(a.ops()[i].target);
+    if (it == b_by_target.end()) continue;
+    for (int j : it->second) {
+      const char* reason = SameTargetConflict(
+          a, a.ops()[i], b, b.ops()[static_cast<size_t>(j)]);
+      if (reason != nullptr) {
+        report.verdict = IndependenceVerdict::kMustConflict;
+        report.op_a = static_cast<int>(i);
+        report.op_b = j;
+        report.reason = reason;
+        return report;
+      }
+    }
+  }
+
+  // Conflict class 5 needs a target of one PUL strictly inside the
+  // subtree of an overriding op of the other. Sweep each PUL's overrider
+  // intervals over the other's targets in document order.
+  std::vector<ByStart> a_sorted = SortByStart(a);
+  std::vector<ByStart> b_sorted = SortByStart(b);
+  auto scan_overriders = [](const std::vector<ByStart>& overs,
+                            const std::vector<ByStart>& inners, int* over_out,
+                            int* inner_out) {
+    for (const ByStart& over : overs) {
+      OpKind ok = EffectiveKind(*over.op);
+      if (ok != OpKind::kReplaceNode && ok != OpKind::kDelete &&
+          ok != OpKind::kReplaceChildren) {
+        continue;
+      }
+      const NodeLabel& lab = over.op->target_label;
+      // First inner whose start lies after the overrider's start; walk
+      // while still inside the [start, end] interval.
+      auto first = std::upper_bound(
+          inners.begin(), inners.end(), lab.start,
+          [](const label::BitString& s, const ByStart& x) {
+            return s < x.op->target_label.start;
+          });
+      for (auto it = first; it != inners.end(); ++it) {
+        if (!(it->op->target_label.start < lab.end)) break;
+        if (!label::IsDescendantOf(it->op->target_label, lab)) continue;
+        if (NonLocalOverride(*over.op, *it->op)) {
+          *over_out = over.index;
+          *inner_out = it->index;
+          return true;
+        }
+      }
+    }
+    return false;
+  };
+  int x = -1;
+  int y = -1;
+  if (scan_overriders(a_sorted, b_sorted, &x, &y)) {
+    report.verdict = IndependenceVerdict::kMustConflict;
+    report.op_a = x;
+    report.op_b = y;
+    report.reason = "non-local-override";
+    return report;
+  }
+  if (scan_overriders(b_sorted, a_sorted, &x, &y)) {
+    report.verdict = IndependenceVerdict::kMustConflict;
+    report.op_a = y;
+    report.op_b = x;
+    report.reason = "non-local-override";
+    return report;
+  }
+
+  // Fully labeled and no rule can fire on any related pair: the label
+  // sets are disjoint per conflict class — provably no conflict.
+  report.verdict = IndependenceVerdict::kIndependent;
+  report.reason = "disjoint";
+  return report;
+}
+
+}  // namespace xupdate::analysis

@@ -1,0 +1,58 @@
+#ifndef XUPDATE_ANALYSIS_INDEPENDENCE_H_
+#define XUPDATE_ANALYSIS_INDEPENDENCE_H_
+
+#include <string>
+#include <string_view>
+
+#include "pul/pul.h"
+
+namespace xupdate::analysis {
+
+// Verdict of the static pairwise conflict analysis (§3.2 conflict
+// classes, decided from labels and operation structure alone).
+enum class IndependenceVerdict : int {
+  // No conflict rule of Algorithm 1 can relate any op of A to any op of
+  // B: the target-id sets per conflict class are disjoint and no
+  // overriding subtree of one PUL contains a target of the other. Sound:
+  // dynamic Integrate({A, B}) is guaranteed to report zero conflicts.
+  kIndependent = 0,
+  // Some structural relation exists (shared target, subtree containment)
+  // or an op lacks its label, but no conflict is provable.
+  kMayConflict = 1,
+  // A concrete conflicting pair was found; dynamic Integrate({A, B}) is
+  // guaranteed to report at least one conflict.
+  kMustConflict = 2,
+};
+
+std::string_view IndependenceVerdictName(IndependenceVerdict verdict);
+
+// Outcome plus one witnessing op pair (listing indices into A resp. B)
+// for non-independent verdicts; `reason` is a stable machine-matchable
+// tag ("shared-target", "subtree-containment", "missing-label",
+// "repeated-modification", "insertion-order", "repeated-attribute",
+// "local-override", "non-local-override").
+struct IndependenceReport {
+  IndependenceVerdict verdict = IndependenceVerdict::kIndependent;
+  int op_a = -1;
+  int op_b = -1;
+  std::string reason;
+};
+
+// Classifies the pair (A, B) by subtree containment of the two label
+// sets per conflict class. The check mirrors Algorithm 1's five rules on
+// each structurally related cross-PUL op pair:
+//   - same target: repeated modification (type 1), insertion order
+//     (type 3), repeated attribute insertion (type 2, parameter names
+//     compared through the PULs' forests), local override (type 4);
+//   - target of one inside a del/repN/repC subtree of the other:
+//     non-local override (type 5).
+// kIndependent is sound (never returned when the dynamic detector would
+// find a conflict) and kMustConflict is exact for fully labeled PULs;
+// any op without a valid target label collapses the verdict to
+// kMayConflict.
+[[nodiscard]] IndependenceReport AnalyzeIndependence(const pul::Pul& a,
+                                                     const pul::Pul& b);
+
+}  // namespace xupdate::analysis
+
+#endif  // XUPDATE_ANALYSIS_INDEPENDENCE_H_

@@ -1,0 +1,23 @@
+#ifndef XUPDATE_ANALYSIS_LINT_H_
+#define XUPDATE_ANALYSIS_LINT_H_
+
+#include "analysis/diagnostic.h"
+#include "pul/pul.h"
+
+namespace xupdate::analysis {
+
+// Static well-formedness pass over one PUL: examines only the operation
+// list, the target labels it carries and the parameter trees — never a
+// document. Returns the findings sorted by (op_index, code). An empty
+// report means the PUL is structurally clean: Definition 3 compatible,
+// free of self-overridden operations, canonically ordered, and fully
+// labeled.
+[[nodiscard]] DiagnosticReport LintPul(const pul::Pul& pul);
+
+// True if the report contains a diagnostic at `severity` or worse.
+[[nodiscard]] bool HasSeverity(const DiagnosticReport& report,
+                               Severity severity);
+
+}  // namespace xupdate::analysis
+
+#endif  // XUPDATE_ANALYSIS_LINT_H_

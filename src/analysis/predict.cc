@@ -1,0 +1,198 @@
+#include "analysis/predict.h"
+
+#include <algorithm>
+#include <array>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "label/bitstring.h"
+#include "label/node_label.h"
+#include "pul/update_op.h"
+
+namespace xupdate::analysis {
+
+namespace {
+
+using label::BitString;
+using label::NodeLabel;
+using pul::OpKind;
+using pul::Pul;
+using pul::UpdateOp;
+using xml::kInvalidNode;
+using xml::NodeId;
+using xml::NodeType;
+
+bool IsKillerKind(OpKind kind) {
+  return kind == OpKind::kReplaceNode || kind == OpKind::kDelete ||
+         kind == OpKind::kReplaceChildren;
+}
+
+// Marks the ops the first override sweep (rules O3/O4) is guaranteed to
+// drop: target strictly inside the subtree interval of another op's
+// repN/del target, or of a repC target (attributes of the repC target
+// itself excepted). Mirrors Reducer::SweepOverrides.
+std::vector<char> SweptOps(const std::vector<UpdateOp>& ops) {
+  std::vector<char> swept(ops.size(), 0);
+  struct Event {
+    const BitString* code;
+    int type;  // 0 = query, 1 = killer-interval open
+    int op_index;
+  };
+  std::vector<Event> events;
+  events.reserve(ops.size() * 2);
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const UpdateOp& op = ops[i];
+    if (!op.target_label.valid()) continue;
+    events.push_back({&op.target_label.start, 0, static_cast<int>(i)});
+    if (IsKillerKind(op.kind)) {
+      events.push_back({&op.target_label.start, 1, static_cast<int>(i)});
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const Event& a, const Event& b) {
+              int c = a.code->Compare(*b.code);
+              if (c != 0) return c < 0;
+              return a.type < b.type;
+            });
+  struct OpenKiller {
+    int op_index;
+    bool children_only;
+  };
+  std::vector<OpenKiller> open;
+  for (const Event& ev : events) {
+    const UpdateOp& op = ops[static_cast<size_t>(ev.op_index)];
+    while (!open.empty()) {
+      const UpdateOp& killer = ops[static_cast<size_t>(open.back().op_index)];
+      if (killer.target_label.end < *ev.code) {
+        open.pop_back();
+      } else {
+        break;
+      }
+    }
+    if (ev.type == 1) {
+      open.push_back({ev.op_index, op.kind == OpKind::kReplaceChildren});
+      continue;
+    }
+    for (const OpenKiller& k : open) {
+      const UpdateOp& killer = ops[static_cast<size_t>(k.op_index)];
+      if (killer.target == op.target) continue;
+      if (k.children_only && op.target_label.parent == killer.target &&
+          op.target_label.type == NodeType::kAttribute) {
+        continue;
+      }
+      swept[static_cast<size_t>(ev.op_index)] = 1;
+      break;
+    }
+  }
+  return swept;
+}
+
+// Most ops the Figure 2 fixpoint can keep on one target, from the kind
+// counts of the ops initially aimed at it. Every merge result inherits
+// the (target, kind) of one constituent, so the fixpoint constraints
+// (no same-target repN/del + overridable pair, no repN + sibling
+// insertion, no two same-kind insertions, no repC + child insertion,
+// no insInto + insFirst/insLast) bound the survivors from the initial
+// counts alone.
+size_t GroupUpperBound(const std::array<size_t, pul::kNumOpKinds>& c) {
+  auto count = [&c](OpKind k) { return c[static_cast<size_t>(k)]; };
+  size_t before = count(OpKind::kInsBefore) > 0 ? 1 : 0;
+  size_t after = count(OpKind::kInsAfter) > 0 ? 1 : 0;
+  if (count(OpKind::kReplaceNode) > 0) return count(OpKind::kReplaceNode);
+  if (count(OpKind::kDelete) > 0) return 1 + before + after;
+  size_t total = count(OpKind::kRename) + count(OpKind::kReplaceValue) +
+                 count(OpKind::kReplaceChildren);
+  if (count(OpKind::kInsAttributes) > 0) total += 1;
+  if (count(OpKind::kReplaceChildren) == 0) {
+    size_t families = (count(OpKind::kInsFirst) > 0 ? 1 : 0) +
+                      (count(OpKind::kInsLast) > 0 ? 1 : 0) +
+                      (count(OpKind::kInsInto) > 0 ? 1 : 0);
+    if (count(OpKind::kInsInto) > 0 &&
+        (count(OpKind::kInsFirst) > 0 || count(OpKind::kInsLast) > 0)) {
+      families -= 1;  // I6/I7 fold the insInto family into first/last
+    }
+    total += families;
+  }
+  return total + before + after;
+}
+
+// True if any pair of ops is related by a rule relation: same target,
+// parent / left-sibling link (the I10-I20 neighbor rules), or interval
+// containment (the O3/O4 sweep). Without such a pair the fixpoint is
+// empty and Reduce cannot change the operation list.
+bool AnyRelatedPair(const std::vector<UpdateOp>& ops) {
+  std::unordered_set<NodeId> targets;
+  for (const UpdateOp& op : ops) {
+    if (!targets.insert(op.target).second) return true;  // shared target
+  }
+  for (const UpdateOp& op : ops) {
+    const NodeLabel& lab = op.target_label;
+    if (!lab.valid()) continue;
+    if (lab.parent != kInvalidNode && targets.count(lab.parent) != 0) {
+      return true;
+    }
+    if (lab.left_sibling != kInvalidNode &&
+        targets.count(lab.left_sibling) != 0) {
+      return true;
+    }
+  }
+  // Containment: sweep the labeled target intervals in document order;
+  // any interval opening inside another means a nested pair.
+  std::vector<const NodeLabel*> labeled;
+  labeled.reserve(ops.size());
+  for (const UpdateOp& op : ops) {
+    if (op.target_label.valid()) labeled.push_back(&op.target_label);
+  }
+  std::sort(labeled.begin(), labeled.end(),
+            [](const NodeLabel* a, const NodeLabel* b) {
+              return a->start < b->start;
+            });
+  const NodeLabel* open = nullptr;
+  for (const NodeLabel* lab : labeled) {
+    if (open != nullptr && lab->start < open->end) return true;
+    if (open == nullptr || open->end < lab->start) open = lab;
+  }
+  return false;
+}
+
+}  // namespace
+
+ReductionPrediction PredictReduction(const Pul& pul) {
+  ReductionPrediction p;
+  const std::vector<UpdateOp>& ops = pul.ops();
+  p.input_ops = ops.size();
+  for (const UpdateOp& op : ops) {
+    if (op.kind == OpKind::kInsInto) {
+      p.has_ins_into = true;
+      break;
+    }
+  }
+  if (ops.empty()) {
+    p.no_rule_can_fire = true;
+    return p;
+  }
+  p.no_rule_can_fire = !AnyRelatedPair(ops);
+  if (p.no_rule_can_fire) {
+    p.surviving_upper_bound = ops.size();
+    return p;
+  }
+
+  std::vector<char> swept = SweptOps(ops);
+  std::unordered_map<NodeId, std::array<size_t, pul::kNumOpKinds>> groups;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (swept[i] != 0) continue;
+    auto [it, inserted] = groups.emplace(
+        ops[i].target, std::array<size_t, pul::kNumOpKinds>{});
+    ++it->second[static_cast<size_t>(ops[i].kind)];
+  }
+  size_t bound = 0;
+  for (const auto& [target, counts] : groups) {
+    bound += GroupUpperBound(counts);
+  }
+  p.surviving_upper_bound = std::min(bound, ops.size());
+  p.guaranteed_kills = p.input_ops - p.surviving_upper_bound;
+  return p;
+}
+
+}  // namespace xupdate::analysis

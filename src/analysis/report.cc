@@ -1,0 +1,101 @@
+#include "analysis/report.h"
+
+#include <cstdio>
+
+namespace xupdate::analysis {
+
+std::string_view SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kInfo:
+      return "info";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string DiagnosticsToJson(const DiagnosticReport& report) {
+  std::string out = "[";
+  for (size_t i = 0; i < report.size(); ++i) {
+    const Diagnostic& d = report[i];
+    if (i > 0) out += ',';
+    out += "{\"code\":\"";
+    out += d.code;
+    out += "\",\"severity\":\"";
+    out += SeverityName(d.severity);
+    out += "\",\"op\":";
+    out += std::to_string(d.op_index);
+    out += ",\"related\":";
+    out += std::to_string(d.related_op);
+    out += ",\"message\":\"";
+    out += JsonEscape(d.message);
+    out += "\"}";
+  }
+  out += ']';
+  return out;
+}
+
+std::string PredictionToJson(const ReductionPrediction& p) {
+  std::string out = "{\"inputOps\":";
+  out += std::to_string(p.input_ops);
+  out += ",\"survivingUpperBound\":";
+  out += std::to_string(p.surviving_upper_bound);
+  out += ",\"guaranteedKills\":";
+  out += std::to_string(p.guaranteed_kills);
+  out += ",\"noRuleCanFire\":";
+  out += p.no_rule_can_fire ? "true" : "false";
+  out += ",\"hasInsInto\":";
+  out += p.has_ins_into ? "true" : "false";
+  out += '}';
+  return out;
+}
+
+std::string IndependenceToJson(const IndependenceReport& r) {
+  std::string out = "{\"verdict\":\"";
+  out += IndependenceVerdictName(r.verdict);
+  out += "\",\"reason\":\"";
+  out += JsonEscape(r.reason);
+  out += "\",\"opA\":";
+  out += std::to_string(r.op_a);
+  out += ",\"opB\":";
+  out += std::to_string(r.op_b);
+  out += '}';
+  return out;
+}
+
+}  // namespace xupdate::analysis

@@ -1,0 +1,35 @@
+#ifndef XUPDATE_ANALYSIS_REPORT_H_
+#define XUPDATE_ANALYSIS_REPORT_H_
+
+#include <string>
+#include <string_view>
+
+#include "analysis/diagnostic.h"
+#include "analysis/independence.h"
+#include "analysis/predict.h"
+
+namespace xupdate::analysis {
+
+// JSON rendering of the analyzer outputs, byte-deterministic (fixed key
+// order, no locale-dependent formatting) so reports can be diffed and
+// golden-tested. Shapes:
+//
+//   DiagnosticsToJson:
+//     [{"code":"XU001","severity":"error","op":3,"related":1,
+//       "message":"..."}, ...]
+//   PredictionToJson:
+//     {"inputOps":10,"survivingUpperBound":6,"guaranteedKills":4,
+//      "noRuleCanFire":false,"hasInsInto":true}
+//   IndependenceToJson:
+//     {"verdict":"must-conflict","reason":"local-override",
+//      "opA":2,"opB":0}
+[[nodiscard]] std::string DiagnosticsToJson(const DiagnosticReport& report);
+[[nodiscard]] std::string PredictionToJson(const ReductionPrediction& p);
+[[nodiscard]] std::string IndependenceToJson(const IndependenceReport& r);
+
+// JSON string escaping (quotes, backslash, control characters).
+[[nodiscard]] std::string JsonEscape(std::string_view text);
+
+}  // namespace xupdate::analysis
+
+#endif  // XUPDATE_ANALYSIS_REPORT_H_

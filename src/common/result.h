@@ -12,7 +12,7 @@ namespace xupdate {
 // A Status or a value of type T, in the style of arrow::Result /
 // absl::StatusOr. `Result<T> r = F(); if (!r.ok()) return r.status();`
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // Implicit construction from a value or from a (non-ok) Status keeps
   // call sites terse: `return value;` / `return Status::NotFound(...)`.

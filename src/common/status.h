@@ -40,7 +40,9 @@ std::string_view StatusCodeToString(StatusCode code);
 
 // Value-semantic error carrier used across the whole library; the public
 // API never throws. An ok status carries no message and no allocation.
-class Status {
+// [[nodiscard]]: an ignored Status is silent data loss — every producer
+// either checks it or explicitly voids it.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)

@@ -31,7 +31,7 @@ struct AggregateStats {
 // The hash table H of Algorithm 2 appears here as the aggregate forest
 // itself (a node is "new" iff it lives in the forest) plus the
 // root-to-operation ownership index.
-Result<pul::Pul> Aggregate(const std::vector<const pul::Pul*>& puls,
+[[nodiscard]] Result<pul::Pul> Aggregate(const std::vector<const pul::Pul*>& puls,
                            AggregateStats* stats = nullptr);
 
 }  // namespace xupdate::core

@@ -31,7 +31,7 @@ namespace xupdate::core {
 //   * anchored children are diffed recursively.
 //
 // Requires the two documents to share the root node id.
-Result<pul::Pul> ComputeDelta(const xml::Document& from,
+[[nodiscard]] Result<pul::Pul> ComputeDelta(const xml::Document& from,
                               const label::Labeling& from_labeling,
                               const xml::Document& to);
 

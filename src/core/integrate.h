@@ -58,7 +58,7 @@ struct IntegrationResult {
 // from *different* PULs conflict. Requires every operation to carry a
 // valid target label. When no conflict arises the merged PUL coincides
 // with Definition 5's merge (Proposition 2).
-Result<IntegrationResult> Integrate(
+[[nodiscard]] Result<IntegrationResult> Integrate(
     const std::vector<const pul::Pul*>& puls);
 
 struct IntegrateOptions {
@@ -74,10 +74,18 @@ struct IntegrateOptions {
   // Optional counters/timers sink (shard counts, conflict tallies,
   // per-phase wall time).
   Metrics* metrics = nullptr;
+  // Consults analysis::AnalyzeIndependence over every PUL pair first and
+  // skips conflict detection entirely when all pairs are statically
+  // independent (sound: the analyzer never claims independence for a
+  // pair the dynamic detector would conflict). The result — merged PUL
+  // bytes and conflict list — is identical to the default path; only
+  // the wall time and the metrics counters differ.
+  bool use_static_analysis = false;
 };
 
-Result<IntegrationResult> Integrate(const std::vector<const pul::Pul*>& puls,
-                                    const IntegrateOptions& options);
+[[nodiscard]] Result<IntegrationResult> Integrate(
+    const std::vector<const pul::Pul*>& puls,
+    const IntegrateOptions& options);
 
 }  // namespace xupdate::core
 

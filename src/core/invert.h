@@ -33,7 +33,7 @@ namespace xupdate::core {
 // O1-O4 of Figure 2 must not apply). Such operations have no effect on
 // the document, so their inverses would wrongly "undo" nothing into
 // something; run Reduce() first. Violations yield kInvalidArgument.
-Result<pul::Pul> Invert(const xml::Document& doc,
+[[nodiscard]] Result<pul::Pul> Invert(const xml::Document& doc,
                         const label::Labeling& labeling,
                         const pul::Pul& pul);
 

@@ -33,7 +33,7 @@ struct ReconcileStats {
 // overridden side when allowed, order conflicts regenerate a single
 // concatenated insertion, other symmetric conflicts keep one operation.
 // Fails with kUnresolvedConflict when no valid reconciliation exists.
-Result<pul::Pul> Reconcile(const std::vector<const pul::Pul*>& puls,
+[[nodiscard]] Result<pul::Pul> Reconcile(const std::vector<const pul::Pul*>& puls,
                            ReconcileStats* stats = nullptr);
 
 }  // namespace xupdate::core

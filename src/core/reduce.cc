@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/predict.h"
 #include "label/bitstring.h"
 #include "label/node_label.h"
 #include "xml/serializer.h"
@@ -970,6 +971,42 @@ Result<pul::Pul> Reduce(const pul::Pul& input, const ReduceOptions& options,
                         ReduceStats* stats) {
   XUPDATE_RETURN_IF_ERROR(input.CheckCompatible());
   if (stats != nullptr) *stats = ReduceStats{};
+
+  // Static fast path: if no rule relation exists between any two ops the
+  // fixpoint is empty and (for the non-reordering modes, absent the
+  // stage-10 insInto rewrite) the reduced PUL is the input verbatim.
+  if (options.use_static_analysis &&
+      options.mode != ReduceMode::kCanonical) {
+    ScopedTimer timer(options.metrics, "reduce.static_analysis_seconds");
+    analysis::ReductionPrediction prediction =
+        analysis::PredictReduction(input);
+    if (prediction.no_rule_can_fire &&
+        (options.mode == ReduceMode::kPlain || !prediction.has_ins_into)) {
+      // Rebuilt the way Assemble does (rank order == listing order here)
+      // so the bytes match the engine path exactly.
+      pul::Pul out;
+      out.set_policies(input.policies());
+      out.BindIdSpace(1);
+      for (const UpdateOp& op : input.ops()) {
+        XUPDATE_RETURN_IF_ERROR(out.AdoptOp(input.forest(), op));
+      }
+      if (stats != nullptr) {
+        stats->input_ops = input.size();
+        stats->output_ops = out.size();
+        stats->rule_applications = 0;
+        stats->shards = 1;
+      }
+      if (options.metrics != nullptr) {
+        options.metrics->AddCounter("reduce.calls");
+        options.metrics->AddCounter("reduce.input_ops", input.size());
+        options.metrics->AddCounter("reduce.static.identity_skips");
+        options.metrics->AddCounter("reduce.shards");
+        options.metrics->AddCounter("reduce.output_ops", out.size());
+        options.metrics->AddCounter("reduce.rule_applications", 0);
+      }
+      return out;
+    }
+  }
 
   std::vector<std::vector<int>> shards;
   bool want_parallel = options.parallelism > 1 && input.size() > 1;

@@ -34,8 +34,8 @@ enum class ReduceMode {
 // operator is idempotent. Requires `input` to contain no incompatible
 // pair (an applicable PUL); structural side conditions are evaluated on
 // the labels carried by the operations — the document is never touched.
-Result<pul::Pul> Reduce(const pul::Pul& input,
-                        ReduceMode mode = ReduceMode::kPlain);
+[[nodiscard]] Result<pul::Pul> Reduce(
+    const pul::Pul& input, ReduceMode mode = ReduceMode::kPlain);
 
 // Statistics of the last phase of interest to the evaluation benches.
 struct ReduceStats {
@@ -47,8 +47,9 @@ struct ReduceStats {
   size_t shards = 0;
 };
 
-Result<pul::Pul> ReduceWithStats(const pul::Pul& input, ReduceMode mode,
-                                 ReduceStats* stats);
+[[nodiscard]] Result<pul::Pul> ReduceWithStats(const pul::Pul& input,
+                                               ReduceMode mode,
+                                               ReduceStats* stats);
 
 struct ReduceOptions {
   ReduceMode mode = ReduceMode::kPlain;
@@ -63,6 +64,12 @@ struct ReduceOptions {
   ThreadPool* pool = nullptr;
   // Optional counters/timers sink (shard counts, per-phase wall time).
   Metrics* metrics = nullptr;
+  // Consults analysis::PredictReduction first and skips the rule engine
+  // when the reduction is provably the identity (no two operations are
+  // related by any Figure 2 rule relation; for kDeterministic mode also
+  // no insInto to rewrite). The output is byte-identical to the engine
+  // path. kCanonical mode never skips (it reorders the listing).
+  bool use_static_analysis = false;
 };
 
 // Reduce with engine knobs. Operations are partitioned by the targets'
@@ -72,8 +79,9 @@ struct ReduceOptions {
 // and override sweeps can act across — so per-shard fixpoints compose to
 // the global one and the deterministic merge (listing-rank order, or the
 // canonical <o order) reproduces the sequential output byte for byte.
-Result<pul::Pul> Reduce(const pul::Pul& input, const ReduceOptions& options,
-                        ReduceStats* stats = nullptr);
+[[nodiscard]] Result<pul::Pul> Reduce(const pul::Pul& input,
+                                      const ReduceOptions& options,
+                                      ReduceStats* stats = nullptr);
 
 }  // namespace xupdate::core
 

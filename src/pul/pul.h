@@ -58,7 +58,7 @@ class Pul {
   // --- Parameter construction ---------------------------------------------
 
   // Parses an XML fragment into the forest (fresh ids); returns its root.
-  Result<xml::NodeId> AddFragment(std::string_view xml_text);
+  [[nodiscard]] Result<xml::NodeId> AddFragment(std::string_view xml_text);
   // Creates a detached attribute / text parameter node.
   xml::NodeId NewAttributeParam(std::string_view name,
                                 std::string_view value) {
@@ -72,30 +72,32 @@ class Pul {
 
   // Validates the op's shape (tree params exist, are detached and of the
   // right kind for `kind`) and appends it.
-  Status AddOp(UpdateOp op);
+  [[nodiscard]] Status AddOp(UpdateOp op);
 
   // Convenience builders: target label is looked up in `labeling`.
-  Status AddTreeOp(OpKind kind, xml::NodeId target,
-                   const label::Labeling& labeling,
-                   std::vector<xml::NodeId> trees);
-  Status AddStringOp(OpKind kind, xml::NodeId target,
-                     const label::Labeling& labeling,
-                     std::string_view value);
-  Status AddDelete(xml::NodeId target, const label::Labeling& labeling);
+  [[nodiscard]] Status AddTreeOp(OpKind kind, xml::NodeId target,
+                                 const label::Labeling& labeling,
+                                 std::vector<xml::NodeId> trees);
+  [[nodiscard]] Status AddStringOp(OpKind kind, xml::NodeId target,
+                                   const label::Labeling& labeling,
+                                   std::string_view value);
+  [[nodiscard]] Status AddDelete(xml::NodeId target,
+                                 const label::Labeling& labeling);
 
   // --- Definition 3 / Definition 5 ------------------------------------------
 
   // OK iff no two operations are incompatible.
-  Status CheckCompatible() const;
+  [[nodiscard]] Status CheckCompatible() const;
 
   // Definition 5: union of the two PULs, provided the result contains no
   // incompatible pair. Parameter-tree ids of `b` are preserved; clashing
   // id spaces are an error.
-  static Result<Pul> Merge(const Pul& a, const Pul& b);
+  [[nodiscard]] static Result<Pul> Merge(const Pul& a, const Pul& b);
 
   // Copies `op` (with its parameter trees, ids preserved) from `src`
   // into this PUL.
-  Status AdoptOp(const xml::Document& src_forest, const UpdateOp& op);
+  [[nodiscard]] Status AdoptOp(const xml::Document& src_forest,
+                               const UpdateOp& op);
 
  private:
   Status ValidateTreeParams(const UpdateOp& op) const;

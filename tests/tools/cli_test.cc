@@ -242,5 +242,45 @@ TEST_F(CliTest, InvertUndoes) {
                                            /*compare_ids=*/true));
 }
 
+TEST_F(CliTest, AnalyzeReportsVerdictAndDiagnostics) {
+  WriteDoc("doc.xml", "<r><a>one</a><b>two</b></r>");
+  Run({"produce", "--doc", Path("doc.xml"), "--update",
+       "rename node /r/a as \"x\"", "--id-base", "100", "--out",
+       Path("p1.xml")});
+  Run({"produce", "--doc", Path("doc.xml"), "--update",
+       "rename node /r/a as \"y\"", "--id-base", "200", "--out",
+       Path("p2.xml")});
+  Run({"produce", "--doc", Path("doc.xml"), "--update",
+       "delete nodes /r/b", "--id-base", "300", "--out", Path("p3.xml")});
+
+  // p1 vs p2 rename the same node: a must-conflict; p1 vs p3 touch
+  // disjoint subtrees: independent.
+  std::string out =
+      Run({"analyze", Path("p1.xml"), Path("p2.xml"), Path("p3.xml")});
+  EXPECT_NE(out.find("\"verdict\":\"must-conflict\""), std::string::npos);
+  EXPECT_NE(out.find("\"reason\":\"repeated-modification\""),
+            std::string::npos);
+  EXPECT_NE(out.find("\"verdict\":\"independent\""), std::string::npos);
+  EXPECT_NE(out.find("\"noRuleCanFire\":true"), std::string::npos);
+
+  // Dead op inside a deleted subtree surfaces as XU002.
+  Run({"produce", "--doc", Path("doc.xml"), "--update",
+       "delete nodes /r/a, replace value of node /r/a/text() with \"z\"",
+       "--id-base", "400", "--out", Path("p4.xml")});
+  std::string lint = Run({"analyze", Path("p4.xml")});
+  EXPECT_NE(lint.find("\"code\":\"XU002\""), std::string::npos);
+
+  // --out writes the report to a file instead.
+  std::string to_file = Run({"analyze", "--out", Path("report.json"),
+                             Path("p1.xml"), Path("p2.xml")});
+  EXPECT_NE(to_file.find("wrote"), std::string::npos);
+  std::ifstream report(Path("report.json"));
+  std::stringstream content;
+  content << report.rdbuf();
+  EXPECT_NE(content.str().find("\"independence\""), std::string::npos);
+  std::ostringstream sink;
+  EXPECT_FALSE(RunCli({"analyze"}, sink).ok());
+}
+
 }  // namespace
 }  // namespace xupdate::tools

@@ -6,6 +6,10 @@
 #include <ostream>
 #include <sstream>
 
+#include "analysis/independence.h"
+#include "analysis/lint.h"
+#include "analysis/predict.h"
+#include "analysis/report.h"
 #include "common/metrics.h"
 #include "common/result.h"
 #include "common/string_util.h"
@@ -470,11 +474,58 @@ Status CmdStats(const Args& args, std::ostream& out) {
   return Status::OK();
 }
 
+// `xupdate analyze PUL... [--out report.json]`: the static analyzer as
+// a batch tool. Emits one JSON object — per-PUL lint diagnostics and
+// reduction-effect prediction, plus the pairwise independence verdict
+// for every pair when two or more PULs are given. The report is
+// byte-deterministic, so it can be golden-tested and diffed.
+Status CmdAnalyze(const Args& args, std::ostream& out) {
+  if (args.positional.empty()) {
+    return Status::InvalidArgument("analyze needs at least one PUL");
+  }
+  XUPDATE_ASSIGN_OR_RETURN(std::vector<pul::Pul> puls,
+                           LoadPuls(args.positional));
+  std::ostringstream json;
+  json << "{\"puls\":[";
+  for (size_t i = 0; i < puls.size(); ++i) {
+    if (i > 0) json << ",";
+    analysis::DiagnosticReport lint = analysis::LintPul(puls[i]);
+    analysis::ReductionPrediction prediction =
+        analysis::PredictReduction(puls[i]);
+    json << "{\"path\":\"" << analysis::JsonEscape(args.positional[i])
+         << "\",\"ops\":" << puls[i].size()
+         << ",\"lint\":" << analysis::DiagnosticsToJson(lint)
+         << ",\"prediction\":" << analysis::PredictionToJson(prediction)
+         << "}";
+  }
+  json << "],\"independence\":[";
+  bool first = true;
+  for (size_t i = 0; i < puls.size(); ++i) {
+    for (size_t j = i + 1; j < puls.size(); ++j) {
+      if (!first) json << ",";
+      first = false;
+      analysis::IndependenceReport verdict =
+          analysis::AnalyzeIndependence(puls[i], puls[j]);
+      json << "{\"a\":" << i << ",\"b\":" << j
+           << ",\"report\":" << analysis::IndependenceToJson(verdict) << "}";
+    }
+  }
+  json << "]}";
+  std::string text = json.str() + "\n";
+  if (args.Has("out") && args.Get("out") != "-") {
+    XUPDATE_RETURN_IF_ERROR(WriteFile(args.Get("out"), text));
+    out << "wrote " << args.Get("out") << "\n";
+  } else {
+    out << text;
+  }
+  return Status::OK();
+}
+
 constexpr char kUsage[] =
     "usage: xupdate <command> [flags] [operands]\n"
     "commands: generate produce apply reduce aggregate integrate\n"
     "          reconcile invert diff query show stats equivalent\n"
-    "          sidecar-save sidecar-load\n"
+    "          sidecar-save sidecar-load analyze\n"
     "see tools/cli.h for per-command flags\n";
 
 }  // namespace
@@ -501,6 +552,7 @@ Status RunCli(const std::vector<std::string>& argv, std::ostream& out) {
   if (command == "equivalent") return CmdEquivalent(args, out);
   if (command == "show") return CmdShow(args, out);
   if (command == "stats") return CmdStats(args, out);
+  if (command == "analyze") return CmdAnalyze(args, out);
   out << kUsage;
   return Status::InvalidArgument("unknown command \"" + command + "\"");
 }

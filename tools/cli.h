@@ -25,6 +25,7 @@ namespace xupdate::tools {
 //   xupdate invert    --doc doc.xml --pul pul.xml --out inverse.xml
 //   xupdate query     --doc doc.xml --path "//item/name"
 //   xupdate stats     --doc doc.xml
+//   xupdate analyze   [--out report.json] PUL...
 //
 // Documents and PULs are exchanged in the id-annotated XML formats of
 // the library. Returns a Status; diagnostics and results go to `out`.
