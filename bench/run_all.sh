@@ -1,0 +1,47 @@
+#!/usr/bin/env sh
+# Runs every figure and ablation benchmark plus the disabled-tracer
+# overhead gate, writing one BENCH_<name>.json per binary at the repo
+# root. The JSON files are Google-Benchmark --benchmark_out artifacts
+# (context + per-run timings), suitable for trajectory plots across
+# commits; BENCH_trace_overhead.json is the overhead gate's verdict.
+#
+# Usage: bench/run_all.sh [build-dir] [repo-root]
+# (defaults: ./build relative to the repo root containing this script)
+set -eu
+
+script_dir=$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)
+root=${2:-$(dirname -- "$script_dir")}
+build=${1:-$root/build}
+
+if [ ! -d "$build/bench" ]; then
+  echo "error: $build/bench not found; build the project first" >&2
+  exit 1
+fi
+
+# Small repetitions keep a full sweep tractable on one core; the
+# artifact format is identical to a long run.
+filter=${XUPDATE_BENCH_FILTER:-}
+
+status=0
+for bench in fig6a_eval fig6b_reduction fig6c_aggregation \
+             fig6d_agg_vs_seq fig6e_integration abl_parallel \
+             abl_reduction_density abl_label abl_canonical \
+             abl_encoding abl_sidecar abl_analysis; do
+  binary="$build/bench/${bench}_bench"
+  if [ ! -x "$binary" ]; then
+    echo "skip: $binary missing" >&2
+    status=1
+    continue
+  fi
+  echo "== $bench =="
+  "$binary" \
+    ${filter:+--benchmark_filter="$filter"} \
+    --benchmark_out="$root/BENCH_${bench}.json" \
+    --benchmark_out_format=json || status=1
+done
+
+echo "== trace_overhead =="
+"$build/bench/trace_overhead_check" "$root/BENCH_trace_overhead.json" \
+  || status=1
+
+exit $status

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "common/string_util.h"
+
 namespace xupdate::analysis {
 
 std::string_view SeverityName(Severity severity) {
@@ -17,36 +19,7 @@ std::string_view SeverityName(Severity severity) {
 }
 
 std::string JsonEscape(std::string_view text) {
-  std::string out;
-  out.reserve(text.size());
-  for (char c : text) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
+  return xupdate::JsonEscape(text);
 }
 
 std::string DiagnosticsToJson(const DiagnosticReport& report) {

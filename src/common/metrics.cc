@@ -1,8 +1,23 @@
 #include "common/metrics.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 
+#include "common/string_util.h"
+
 namespace xupdate {
+
+namespace {
+
+size_t BucketOf(double seconds) {
+  for (size_t b = 0; b < std::size(kLatencyBucketBounds); ++b) {
+    if (seconds <= kLatencyBucketBounds[b]) return b;
+  }
+  return kNumLatencyBuckets - 1;  // overflow
+}
+
+}  // namespace
 
 void Metrics::AddCounter(std::string_view name, uint64_t delta) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -20,8 +35,17 @@ void Metrics::RecordDuration(std::string_view name, double seconds) {
   if (it == timers_.end()) {
     it = timers_.emplace(std::string(name), Timer{}).first;
   }
-  it->second.seconds += seconds;
-  it->second.count += 1;
+  Timer& t = it->second;
+  t.seconds += seconds;
+  if (t.count == 0) {
+    t.min = seconds;
+    t.max = seconds;
+  } else {
+    t.min = std::min(t.min, seconds);
+    t.max = std::max(t.max, seconds);
+  }
+  t.count += 1;
+  t.buckets[BucketOf(seconds)] += 1;
 }
 
 uint64_t Metrics::counter(std::string_view name) const {
@@ -36,6 +60,38 @@ double Metrics::total_seconds(std::string_view name) const {
   return it == timers_.end() ? 0.0 : it->second.seconds;
 }
 
+double Metrics::Percentile(const Timer& timer, double q) {
+  if (timer.count == 0) return 0.0;
+  auto rank = static_cast<uint64_t>(
+      std::ceil(q * static_cast<double>(timer.count)));
+  if (rank < 1) rank = 1;
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < kNumLatencyBuckets; ++b) {
+    cumulative += timer.buckets[b];
+    if (cumulative >= rank) {
+      if (b == kNumLatencyBuckets - 1) return timer.max;
+      return std::min(kLatencyBucketBounds[b], timer.max);
+    }
+  }
+  return timer.max;
+}
+
+Metrics::TimerSnapshot Metrics::timer(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = timers_.find(name);
+  TimerSnapshot snap;
+  if (it == timers_.end()) return snap;
+  const Timer& t = it->second;
+  snap.seconds = t.seconds;
+  snap.count = t.count;
+  snap.min = t.min;
+  snap.max = t.max;
+  snap.p50 = Percentile(t, 0.50);
+  snap.p95 = Percentile(t, 0.95);
+  snap.p99 = Percentile(t, 0.99);
+  return snap;
+}
+
 std::string Metrics::ToJson() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out = "{\"counters\":{";
@@ -44,7 +100,7 @@ std::string Metrics::ToJson() const {
     if (!first) out += ',';
     first = false;
     out += '"';
-    out += name;
+    out += JsonEscape(name);
     out += "\":";
     out += std::to_string(value);
   }
@@ -53,11 +109,15 @@ std::string Metrics::ToJson() const {
   for (const auto& [name, timer] : timers_) {
     if (!first) out += ',';
     first = false;
-    char buf[64];
-    snprintf(buf, sizeof(buf), "{\"seconds\":%.9f,\"count\":%llu}",
-             timer.seconds, static_cast<unsigned long long>(timer.count));
+    char buf[256];
+    snprintf(buf, sizeof(buf),
+             "{\"seconds\":%.9f,\"count\":%llu,\"min\":%.9f,\"max\":%.9f,"
+             "\"p50\":%.9f,\"p95\":%.9f,\"p99\":%.9f}",
+             timer.seconds, static_cast<unsigned long long>(timer.count),
+             timer.min, timer.max, Percentile(timer, 0.50),
+             Percentile(timer, 0.95), Percentile(timer, 0.99));
     out += '"';
-    out += name;
+    out += JsonEscape(name);
     out += "\":";
     out += buf;
   }

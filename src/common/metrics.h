@@ -1,14 +1,28 @@
 #ifndef XUPDATE_COMMON_METRICS_H_
 #define XUPDATE_COMMON_METRICS_H_
 
+#include <array>
 #include <chrono>
 #include <cstdint>
+#include <iterator>
 #include <map>
 #include <mutex>
 #include <string>
 #include <string_view>
 
 namespace xupdate {
+
+// Fixed histogram boundaries for the timer latency distributions
+// (seconds): a 1-2-5 ladder from one microsecond to ten seconds.
+// Samples above the last boundary land in an overflow bucket. The
+// boundaries are compile-time constants so percentile outputs depend
+// only on the recorded sample multiset — never on platform or locale —
+// keeping ToJson() byte-deterministic for deterministic workloads.
+inline constexpr double kLatencyBucketBounds[] = {
+    1e-6, 2e-6, 5e-6, 1e-5, 2e-5, 5e-5, 1e-4, 2e-4, 5e-4, 1e-3, 2e-3,
+    5e-3, 1e-2, 2e-2, 5e-2, 1e-1, 2e-1, 5e-1, 1.0,  2.0,  5.0,  10.0};
+inline constexpr size_t kNumLatencyBuckets =
+    std::size(kLatencyBucketBounds) + 1;  // + overflow
 
 // Lightweight counters/timers registry shared by the reasoning engines,
 // the benches and the CLI. Thread-safe; names are sorted (std::map) so
@@ -25,14 +39,33 @@ class Metrics {
   void AddCounter(std::string_view name, uint64_t delta = 1);
 
   // Accumulates one timing sample (seconds) under `name`; the JSON dump
-  // reports the sum and the sample count.
+  // reports the sum, the sample count, min/max and the p50/p95/p99
+  // latency estimates from the fixed-boundary histogram.
   void RecordDuration(std::string_view name, double seconds);
 
   uint64_t counter(std::string_view name) const;
   double total_seconds(std::string_view name) const;
 
-  // {"counters":{"a":1,...},"timers":{"b":{"seconds":0.5,"count":2},...}}
-  // with keys in sorted order; seconds use a fixed 9-digit format.
+  // One timer's distribution. Percentiles are the upper boundary of the
+  // histogram bucket holding the rank-ceil(q*count) sample, clamped to
+  // the observed maximum (exact for the overflow bucket).
+  struct TimerSnapshot {
+    double seconds = 0.0;
+    uint64_t count = 0;
+    double min = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+  };
+  // Zero snapshot for unknown names.
+  TimerSnapshot timer(std::string_view name) const;
+
+  // {"counters":{"a":1,...},
+  //  "timers":{"b":{"seconds":...,"count":...,"min":...,"max":...,
+  //                 "p50":...,"p95":...,"p99":...},...}}
+  // with keys in sorted order and JSON-escaped; seconds use a fixed
+  // 9-digit format.
   std::string ToJson() const;
 
   void Clear();
@@ -41,7 +74,12 @@ class Metrics {
   struct Timer {
     double seconds = 0.0;
     uint64_t count = 0;
+    double min = 0.0;
+    double max = 0.0;
+    std::array<uint64_t, kNumLatencyBuckets> buckets{};
   };
+
+  static double Percentile(const Timer& timer, double q);
 
   mutable std::mutex mu_;
   std::map<std::string, uint64_t, std::less<>> counters_;

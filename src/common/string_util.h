@@ -19,6 +19,12 @@ std::string XmlUnescape(std::string_view text);
 // for our non-validating subset: [A-Za-z_:][A-Za-z0-9._:-]*.
 bool IsValidXmlName(std::string_view name);
 
+// Escapes a string for embedding inside a JSON string literal: quote,
+// backslash, \n \r \t, and \u00XX for the remaining control characters.
+// Shared by Metrics::ToJson, the analysis reports and the obs sinks so
+// every JSON emitter in the tree escapes identically.
+std::string JsonEscape(std::string_view text);
+
 // Joins `parts` with `sep`.
 std::string Join(const std::vector<std::string>& parts,
                  std::string_view sep);

@@ -1,9 +1,12 @@
 #include "core/aggregate.h"
 
 #include <algorithm>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
+
+#include "pul/update_op.h"
 
 namespace xupdate::core {
 
@@ -18,7 +21,9 @@ using xml::NodeId;
 
 class Aggregator {
  public:
-  explicit Aggregator(const std::vector<const Pul*>& puls) : puls_(puls) {}
+  Aggregator(const std::vector<const Pul*>& puls,
+             const AggregateOptions& options)
+      : puls_(puls), options_(options) {}
 
   Result<Pul> Run(AggregateStats* stats);
 
@@ -88,6 +93,9 @@ class Aggregator {
 
   void Kill(int i) { alive_[static_cast<size_t>(i)] = 0; }
 
+  // Stable trace id of an accumulated aggregate slot.
+  static std::string AggId(int i) { return "agg#" + std::to_string(i); }
+
   // Rule D6 and friends: `op` (from PUL `k`) targets a node inserted by
   // an earlier PUL; fold its effect into the carrying parameter tree.
   Status FoldIntoTree(const Pul& src, const UpdateOp& op);
@@ -98,6 +106,9 @@ class Aggregator {
   Status Accumulate(const Pul& src, const UpdateOp& op, int k);
 
   const std::vector<const Pul*>& puls_;
+  const AggregateOptions& options_;
+  obs::TraceLane lane_;
+  std::string cur_ref_;  // trace id of the op being processed
   Pul acc_;
   std::vector<UpdateOp> ops_;
   std::vector<char> alive_;
@@ -140,6 +151,12 @@ Status Aggregator::FoldIntoTree(const Pul& src, const UpdateOp& op) {
     return Status::Internal("new node's tree has no owning operation");
   }
   int owner_op = owner_it->second;
+  if (lane_.enabled()) {
+    lane_.Emit(obs::EventKind::kRuleFired, "D6", {cur_ref_},
+               AggId(owner_op),
+               std::string(pul::OpKindName(op.kind)) +
+                   " applied inside the carrying parameter tree");
+  }
   bool is_root = root == v;
   XUPDATE_ASSIGN_OR_RETURN(std::vector<NodeId> trees,
                            AdoptAll(src, op.param_trees));
@@ -204,6 +221,11 @@ Status Aggregator::Accumulate(const Pul& src, const UpdateOp& op, int k) {
       op.kind == OpKind::kReplaceChildren) {
     int prev = FindOp(op.target, op.kind);
     if (prev >= 0 && source_[static_cast<size_t>(prev)] != k) {
+      if (lane_.enabled()) {
+        lane_.Emit(obs::EventKind::kRuleFired, "B3",
+                   {cur_ref_, AggId(prev)}, {},
+                   "later modification overrides the earlier one");
+      }
       Kill(prev);
     }
   }
@@ -226,6 +248,11 @@ Status Aggregator::Accumulate(const Pul& src, const UpdateOp& op, int k) {
       }
       for (NodeId t : trees) Own(t, repc);
       ++folded_;
+      if (lane_.enabled()) {
+        lane_.Emit(obs::EventKind::kRuleFired, "C-repC", {cur_ref_},
+                   AggId(repc),
+                   "insertion folded into the repC replacement list");
+      }
       return Status::OK();
     }
   }
@@ -236,8 +263,14 @@ Status Aggregator::Accumulate(const Pul& src, const UpdateOp& op, int k) {
       XUPDATE_ASSIGN_OR_RETURN(std::vector<NodeId> trees,
                                AdoptAll(src, op.param_trees));
       UpdateOp& host = ops_[static_cast<size_t>(prev)];
+      bool same_pul = source_[static_cast<size_t>(prev)] == k;
+      if (lane_.enabled()) {
+        lane_.Emit(obs::EventKind::kRuleFired, same_pul ? "A1/A2" : "C4/C5",
+                   {cur_ref_}, AggId(prev),
+                   std::string(pul::OpKindName(op.kind)) + " cumulated");
+      }
       bool later_first;
-      if (source_[static_cast<size_t>(prev)] == k) {
+      if (same_pul) {
         // A1/A2: within one PUL any relative order is obtainable.
         later_first = false;
       } else {
@@ -261,48 +294,94 @@ Status Aggregator::Accumulate(const Pul& src, const UpdateOp& op, int k) {
   // No interaction: adopt parameters and append.
   UpdateOp copy = op;
   XUPDATE_ASSIGN_OR_RETURN(copy.param_trees, AdoptAll(src, op.param_trees));
-  AppendOp(std::move(copy), k);
+  int index = AppendOp(std::move(copy), k);
+  if (lane_.enabled()) {
+    lane_.Emit(obs::EventKind::kNote, "append", {cur_ref_}, AggId(index));
+  }
   return Status::OK();
 }
 
 Result<Pul> Aggregator::Run(AggregateStats* stats) {
+  Metrics* metrics = options_.metrics;
+  obs::Tracer* tracer = options_.tracer;
+  if (metrics) metrics->AddCounter("aggregate.calls");
+  if (tracer != nullptr) {
+    lane_ = tracer->Lane(tracer->NextPhase(), 0, "aggregate");
+    for (size_t k = 0; k < puls_.size(); ++k) {
+      std::vector<std::string> ids;
+      ids.reserve(puls_[k]->size());
+      for (size_t o = 0; o < puls_[k]->size(); ++o) {
+        ids.push_back("P" + std::to_string(k) + "#" + std::to_string(o));
+      }
+      lane_.Emit(obs::EventKind::kNote, "input", std::move(ids), {},
+                 "P" + std::to_string(k));
+    }
+  }
+
   size_t input_ops = 0;
-  for (size_t k = 0; k < puls_.size(); ++k) {
-    const Pul& src = *puls_[k];
-    XUPDATE_RETURN_IF_ERROR(src.CheckCompatible());
-    input_ops += src.size();
-    // Folding applies effects immediately, so within one PUL the
-    // five-stage precedence must be respected: an insertion next to a
-    // node deleted by the same PUL still happens (stage 2 < stage 5).
-    std::vector<const UpdateOp*> staged;
-    staged.reserve(src.size());
-    for (const UpdateOp& op : src.ops()) staged.push_back(&op);
-    std::stable_sort(staged.begin(), staged.end(),
-                     [](const UpdateOp* a, const UpdateOp* b) {
-                       return pul::StageOf(a->kind) < pul::StageOf(b->kind);
-                     });
-    for (const UpdateOp* op : staged) {
-      if (forest().Exists(op->target)) {
-        // Target inserted by an earlier PUL of the sequence: rule D6.
-        XUPDATE_RETURN_IF_ERROR(FoldIntoTree(src, *op));
-      } else if (ever_new_.count(op->target) != 0) {
-        // The target was inserted by this sequence but an overriding
-        // operation already erased it; the operation is silently
-        // complete (the five-stage semantics would skip it too).
-        ++folded_;
-      } else {
-        XUPDATE_RETURN_IF_ERROR(Accumulate(src, *op, static_cast<int>(k)));
+  {
+    obs::TraceSpan span(&lane_, "accumulate");
+    ScopedTimer timer(metrics, "aggregate.accumulate_seconds");
+    for (size_t k = 0; k < puls_.size(); ++k) {
+      const Pul& src = *puls_[k];
+      XUPDATE_RETURN_IF_ERROR(src.CheckCompatible());
+      input_ops += src.size();
+      // Folding applies effects immediately, so within one PUL the
+      // five-stage precedence must be respected: an insertion next to a
+      // node deleted by the same PUL still happens (stage 2 < stage 5).
+      std::vector<const UpdateOp*> staged;
+      staged.reserve(src.size());
+      for (const UpdateOp& op : src.ops()) staged.push_back(&op);
+      std::stable_sort(staged.begin(), staged.end(),
+                       [](const UpdateOp* a, const UpdateOp* b) {
+                         return pul::StageOf(a->kind) <
+                                pul::StageOf(b->kind);
+                       });
+      for (const UpdateOp* op : staged) {
+        if (lane_.enabled()) {
+          cur_ref_ = "P" + std::to_string(k) + "#" +
+                     std::to_string(op - src.ops().data());
+        }
+        if (forest().Exists(op->target)) {
+          // Target inserted by an earlier PUL of the sequence: rule D6.
+          XUPDATE_RETURN_IF_ERROR(FoldIntoTree(src, *op));
+        } else if (ever_new_.count(op->target) != 0) {
+          // The target was inserted by this sequence but an overriding
+          // operation already erased it; the operation is silently
+          // complete (the five-stage semantics would skip it too).
+          ++folded_;
+          if (lane_.enabled()) {
+            lane_.Emit(obs::EventKind::kNote, "skip-erased", {cur_ref_},
+                       {}, "target erased earlier in the sequence");
+          }
+        } else {
+          XUPDATE_RETURN_IF_ERROR(
+              Accumulate(src, *op, static_cast<int>(k)));
+        }
       }
     }
   }
   // Assemble (drops B3 victims, compacts the forest).
+  obs::TraceSpan span(&lane_, "assemble");
+  ScopedTimer timer(metrics, "aggregate.assemble_seconds");
   Pul out;
   if (!puls_.empty()) out.set_policies(puls_[0]->policies());
   size_t output_ops = 0;
   for (size_t i = 0; i < ops_.size(); ++i) {
     if (!alive_[i]) continue;
     XUPDATE_RETURN_IF_ERROR(out.AdoptOp(acc_.forest(), ops_[i]));
+    if (lane_.enabled()) {
+      lane_.Emit(obs::EventKind::kOpSurvived,
+                 pul::OpKindName(ops_[i].kind),
+                 {AggId(static_cast<int>(i))},
+                 "out#" + std::to_string(output_ops));
+    }
     ++output_ops;
+  }
+  if (metrics) {
+    metrics->AddCounter("aggregate.input_ops", input_ops);
+    metrics->AddCounter("aggregate.output_ops", output_ops);
+    metrics->AddCounter("aggregate.folded_ops", folded_);
   }
   if (stats != nullptr) {
     stats->input_ops = input_ops;
@@ -316,7 +395,13 @@ Result<Pul> Aggregator::Run(AggregateStats* stats) {
 
 Result<pul::Pul> Aggregate(const std::vector<const pul::Pul*>& puls,
                            AggregateStats* stats) {
-  Aggregator aggregator(puls);
+  return Aggregate(puls, AggregateOptions(), stats);
+}
+
+Result<pul::Pul> Aggregate(const std::vector<const pul::Pul*>& puls,
+                           const AggregateOptions& options,
+                           AggregateStats* stats) {
+  Aggregator aggregator(puls, options);
   return aggregator.Run(stats);
 }
 

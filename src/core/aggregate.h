@@ -3,7 +3,9 @@
 
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/result.h"
+#include "obs/trace.h"
 #include "pul/pul.h"
 
 namespace xupdate::core {
@@ -33,6 +35,20 @@ struct AggregateStats {
 // root-to-operation ownership index.
 [[nodiscard]] Result<pul::Pul> Aggregate(const std::vector<const pul::Pul*>& puls,
                            AggregateStats* stats = nullptr);
+
+struct AggregateOptions {
+  // Optional counters/timers sink (per-phase wall time, fold tallies).
+  Metrics* metrics = nullptr;
+  // Decision-provenance sink (obs/trace.h). Aggregation is sequential by
+  // definition (Delta_1 ; ... ; Delta_n), so the journal is trivially
+  // run-deterministic. Inputs are keyed "P<pul>#<op>", accumulated slots
+  // "agg#<idx>", outputs "out#<j>".
+  obs::Tracer* tracer = nullptr;
+};
+
+[[nodiscard]] Result<pul::Pul> Aggregate(
+    const std::vector<const pul::Pul*>& puls,
+    const AggregateOptions& options, AggregateStats* stats = nullptr);
 
 }  // namespace xupdate::core
 

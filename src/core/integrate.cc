@@ -11,6 +11,8 @@
 
 #include "analysis/independence.h"
 #include "label/node_label.h"
+#include "obs/trace.h"
+#include "pul/update_op.h"
 
 namespace xupdate::core {
 
@@ -56,6 +58,11 @@ bool IsLocallyOverridable(OpKind effective) {
     default:
       return false;
   }
+}
+
+// Stable trace id of an input operation: PUL index + listing index.
+std::string RefId(const OpRef& ref) {
+  return "P" + std::to_string(ref.pul) + "#" + std::to_string(ref.op);
 }
 
 struct TaggedOp {
@@ -311,6 +318,24 @@ Result<IntegrationResult> Integrator::Run() {
   }
   if (metrics) metrics->AddCounter("integrate.input_ops", tagged_.size());
 
+  obs::Tracer* tracer = options_.tracer;
+  const bool tracing = tracer != nullptr;
+  obs::TraceLane input_lane;
+  if (tracing) {
+    input_lane = tracer->Lane(tracer->NextPhase(), 0, "integrate");
+    size_t cursor = 0;
+    for (size_t p = 0; p < puls_.size(); ++p) {
+      std::vector<std::string> ids;
+      ids.reserve(puls_[p]->size());
+      for (size_t o = 0; o < puls_[p]->size(); ++o) {
+        ids.push_back(RefId(tagged_[cursor + o].ref));
+      }
+      cursor += puls_[p]->size();
+      input_lane.Emit(obs::EventKind::kNote, "input", std::move(ids), {},
+                      "P" + std::to_string(p));
+    }
+  }
+
   // Static fast path: when every PUL pair is provably independent, no
   // conflict rule can fire and Delta is simply the union of all
   // operations — identical to what the detection path below produces
@@ -335,10 +360,22 @@ Result<IntegrationResult> Integrator::Run() {
         metrics->AddCounter("integrate.static.skips");
         metrics->AddCounter("integrate.conflicts", 0);
       }
+      if (tracing) {
+        input_lane.Emit(obs::EventKind::kFastPathTaken,
+                        "static-independent", {}, {},
+                        "all PUL pairs statically independent");
+      }
       IntegrationResult result;
+      size_t j = 0;
       for (const TaggedOp& t : tagged_) {
         XUPDATE_RETURN_IF_ERROR(
             result.merged.AdoptOp(t.owner->forest(), *t.op));
+        if (tracing) {
+          input_lane.Emit(obs::EventKind::kOpSurvived,
+                          pul::OpKindName(t.op->kind), {RefId(t.ref)},
+                          "merged#" + std::to_string(j));
+        }
+        ++j;
       }
       return result;
     }
@@ -347,7 +384,12 @@ Result<IntegrationResult> Integrator::Run() {
   // Roots of the containment forest; each root starts a contiguous run
   // of groups (a shard) that no conflict rule reaches across.
   std::vector<size_t> roots;
+  obs::TraceLane group_lane;
+  if (tracing) {
+    group_lane = tracer->Lane(tracer->NextPhase(), 0, "integrate");
+  }
   {
+    obs::TraceSpan span(&group_lane, "group");
     ScopedTimer timer(metrics, "integrate.group_seconds");
 
     // Partition by target in document order of the targets.
@@ -395,18 +437,57 @@ Result<IntegrationResult> Integrator::Run() {
   const size_t num_shards = roots.size();
   if (metrics) metrics->AddCounter("integrate.shards", num_shards);
 
+  // One detect-phase lane per shard, created on the coordinating thread
+  // (the pool's task queue supplies the happens-before edge for the seq
+  // counters). The shard structure does not depend on the thread count,
+  // so neither does the journal.
+  std::vector<obs::TraceLane> shard_lanes;
+  if (tracing) {
+    uint32_t detect_phase = tracer->NextPhase();
+    shard_lanes.reserve(num_shards);
+    for (size_t s = 0; s < num_shards; ++s) {
+      shard_lanes.push_back(tracer->Lane(
+          detect_phase, static_cast<uint32_t>(s) + 1, "integrate"));
+      size_t begin = roots[s];
+      size_t end = s + 1 < num_shards ? roots[s + 1] : groups_.size();
+      std::vector<std::string> ids;
+      for (size_t gi = begin; gi < end; ++gi) {
+        for (const TaggedOp* t : groups_[gi].ops) {
+          ids.push_back(RefId(t->ref));
+        }
+      }
+      shard_lanes[s].Emit(obs::EventKind::kShardAssigned, "shard",
+                          std::move(ids));
+    }
+  }
+
   // Conflict detection, one task per root subtree. Shards own disjoint
   // groups (and therefore disjoint TaggedOps), so they only ever write
   // disjoint state.
   std::vector<std::vector<Conflict>> locals(num_shards);
   std::vector<std::vector<Conflict>> nonlocals(num_shards);
   auto scan_shard = [&](size_t s) -> Status {
+    obs::TraceSpan span(tracing ? &shard_lanes[s] : nullptr, "shard-detect");
+    ScopedTimer shard_timer(metrics, "integrate.shard_detect_seconds");
     size_t begin = roots[s];
     size_t end = s + 1 < num_shards ? roots[s + 1] : groups_.size();
     for (size_t gi = begin; gi < end; ++gi) {
       DetectLocalConflicts(groups_[gi], &locals[s]);
     }
     DetectNonLocalConflicts(begin, end, &nonlocals[s]);
+    if (tracing) {
+      auto emit_conflict = [&](const Conflict& c) {
+        std::vector<std::string> ids;
+        ids.reserve(c.ops.size());
+        for (const OpRef& r : c.ops) ids.push_back(RefId(r));
+        shard_lanes[s].Emit(
+            obs::EventKind::kConflictDetected, ConflictTypeName(c.type),
+            std::move(ids),
+            c.symmetric() ? std::string() : RefId(c.overrider));
+      };
+      for (const Conflict& c : locals[s]) emit_conflict(c);
+      for (const Conflict& c : nonlocals[s]) emit_conflict(c);
+    }
     return Status();
   };
   {
@@ -446,18 +527,46 @@ Result<IntegrationResult> Integrator::Run() {
   }
 
   // Delta: all unconflicted operations, merged into a single PUL.
+  obs::TraceLane merge_lane;
+  if (tracing) {
+    merge_lane = tracer->Lane(tracer->NextPhase(), 0, "integrate");
+  }
   ScopedTimer timer(metrics, "integrate.merge_seconds");
+  obs::TraceSpan merge_span(&merge_lane, "merge");
   IntegrationResult result;
+  size_t j = 0;
   for (const TaggedOp& t : tagged_) {
     if (t.conflicted) continue;
     XUPDATE_RETURN_IF_ERROR(
         result.merged.AdoptOp(t.owner->forest(), *t.op));
+    if (tracing) {
+      merge_lane.Emit(obs::EventKind::kOpSurvived,
+                      pul::OpKindName(t.op->kind), {RefId(t.ref)},
+                      "merged#" + std::to_string(j));
+    }
+    ++j;
   }
   result.conflicts = std::move(conflicts_);
   return result;
 }
 
 }  // namespace
+
+std::string_view ConflictTypeName(ConflictType type) {
+  switch (type) {
+    case ConflictType::kRepeatedModification:
+      return "repeated-modification";
+    case ConflictType::kRepeatedAttributeInsertion:
+      return "repeated-attribute-insertion";
+    case ConflictType::kInsertionOrder:
+      return "insertion-order";
+    case ConflictType::kLocalOverride:
+      return "local-override";
+    case ConflictType::kNonLocalOverride:
+      return "non-local-override";
+  }
+  return "unknown";
+}
 
 Result<IntegrationResult> Integrate(
     const std::vector<const pul::Pul*>& puls) {

@@ -1,11 +1,13 @@
 #ifndef XUPDATE_CORE_INTEGRATE_H_
 #define XUPDATE_CORE_INTEGRATE_H_
 
+#include <string_view>
 #include <vector>
 
 #include "common/metrics.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
+#include "obs/trace.h"
 #include "pul/pul.h"
 
 namespace xupdate::core {
@@ -28,6 +30,10 @@ enum class ConflictType : int {
   kLocalOverride = 4,         // overridden by same-target repN/del/repC
   kNonLocalOverride = 5,      // overridden by ancestor-target repN/del/repC
 };
+
+// Stable wire name of a conflict type ("repeated-modification", ...),
+// shared by the CLI output, the trace journal and `explain`.
+std::string_view ConflictTypeName(ConflictType type);
 
 // A conflict triple <op, OS, ct> (Definition 10): symmetric conflicts
 // (types 1-3) have no overrider and OS is the maximal related set;
@@ -81,6 +87,12 @@ struct IntegrateOptions {
   // bytes and conflict list — is identical to the default path; only
   // the wall time and the metrics counters differ.
   bool use_static_analysis = false;
+  // Decision-provenance sink (obs/trace.h). Records per-PUL input
+  // inventories, shard assignments, every detected conflict and every
+  // operation adopted into Delta, keyed on "P<pul>#<op>" refs. The
+  // journal is byte-identical across parallelism levels (shard structure
+  // and per-shard scan order do not depend on the thread count).
+  obs::Tracer* tracer = nullptr;
 };
 
 [[nodiscard]] Result<IntegrationResult> Integrate(

@@ -56,10 +56,22 @@ struct RefLess {
   }
 };
 
+// Stable trace ids, matching the integrate journal.
+std::string RefId(const OpRef& ref) {
+  return "P" + std::to_string(ref.pul) + "#" + std::to_string(ref.op);
+}
+std::vector<std::string> RefIds(const std::vector<OpRef>& refs) {
+  std::vector<std::string> ids;
+  ids.reserve(refs.size());
+  for (const OpRef& r : refs) ids.push_back(RefId(r));
+  return ids;
+}
+
 class Reconciler {
  public:
-  Reconciler(const std::vector<const Pul*>& puls, ReconcileStats* stats)
-      : puls_(puls), stats_(stats) {}
+  Reconciler(const std::vector<const Pul*>& puls,
+             const ReconcileOptions& options, ReconcileStats* stats)
+      : puls_(puls), options_(options), stats_(stats) {}
 
   Result<Pul> Run();
 
@@ -92,7 +104,9 @@ class Reconciler {
   Status SolveOrderConflict(const std::vector<OpRef>& live);
 
   const std::vector<const Pul*>& puls_;
+  const ReconcileOptions& options_;
   ReconcileStats* stats_;
+  obs::TraceLane lane_;
   std::set<OpRef, RefLess> excluded_;
   // Generated order-merged insertions: source ops in parameter order.
   std::vector<std::vector<OpRef>> generated_;
@@ -146,6 +160,13 @@ Status Reconciler::SolveOrderConflict(const std::vector<OpRef>& live) {
                      return RefLess()(a, b);
                    });
   for (const OpRef& r : live) Exclude(r);
+  if (lane_.enabled()) {
+    lane_.Emit(obs::EventKind::kPolicyApplied, "order-merge",
+               RefIds(ordered), "gen#" + std::to_string(generated_.size()),
+               winner >= 0 ? "insertion-order policy of P" +
+                                 std::to_string(winner)
+                           : std::string());
+  }
   generated_.push_back(std::move(ordered));
   if (stats_ != nullptr) ++stats_->operations_generated;
   return Status::OK();
@@ -159,6 +180,12 @@ Status Reconciler::Solve(const Conflict& conflict) {
   if (conflict.symmetric()) {
     if (live.size() <= 1) {
       if (stats_ != nullptr) ++stats_->conflicts_auto_solved;
+      if (lane_.enabled()) {
+        lane_.Emit(obs::EventKind::kPolicyApplied, "auto-solved",
+                   RefIds(conflict.ops),
+                   live.empty() ? std::string() : RefId(live[0]),
+                   "at most one member still live");
+      }
       return Status::OK();
     }
     if (conflict.type == ConflictType::kInsertionOrder) {
@@ -179,11 +206,20 @@ Status Reconciler::Solve(const Conflict& conflict) {
     for (const OpRef& r : live) {
       if (!(r == keep)) Exclude(r);
     }
+    if (lane_.enabled()) {
+      lane_.Emit(obs::EventKind::kPolicyApplied, "keep-one", RefIds(live),
+                 RefId(keep), "all other members excluded");
+    }
     return Status::OK();
   }
   // Asymmetric (types 4-5).
   if (Excluded(conflict.overrider) || live.empty()) {
     if (stats_ != nullptr) ++stats_->conflicts_auto_solved;
+    if (lane_.enabled()) {
+      lane_.Emit(obs::EventKind::kPolicyApplied, "auto-solved",
+                 RefIds(conflict.ops), {},
+                 "overrider already excluded or no member live");
+    }
     return Status::OK();
   }
   bool all_overridden_excludable = true;
@@ -195,10 +231,20 @@ Status Reconciler::Solve(const Conflict& conflict) {
   }
   if (all_overridden_excludable) {
     for (const OpRef& r : live) Exclude(r);
+    if (lane_.enabled()) {
+      lane_.Emit(obs::EventKind::kPolicyApplied, "exclude-overridden",
+                 RefIds(live), RefId(conflict.overrider),
+                 "overrider wins; overridden side excludable");
+    }
     return Status::OK();
   }
   if (CanExclude(conflict.overrider)) {
     Exclude(conflict.overrider);
+    if (lane_.enabled()) {
+      lane_.Emit(obs::EventKind::kPolicyApplied, "exclude-overrider",
+                 {RefId(conflict.overrider)}, {},
+                 "overridden side policy-protected");
+    }
     return Status::OK();
   }
   return Status::UnresolvedConflict(
@@ -207,12 +253,26 @@ Status Reconciler::Solve(const Conflict& conflict) {
 }
 
 Result<Pul> Reconciler::Run() {
-  XUPDATE_ASSIGN_OR_RETURN(IntegrationResult ir, Integrate(puls_));
+  Metrics* metrics = options_.metrics;
+  if (metrics) metrics->AddCounter("reconcile.calls");
+  IntegrateOptions integrate_options;
+  integrate_options.parallelism = options_.parallelism;
+  integrate_options.pool = options_.pool;
+  integrate_options.metrics = metrics;
+  integrate_options.tracer = options_.tracer;
+  XUPDATE_ASSIGN_OR_RETURN(IntegrationResult ir,
+                           Integrate(puls_, integrate_options));
   if (stats_ != nullptr) {
     *stats_ = ReconcileStats{};
     stats_->conflicts_total = ir.conflicts.size();
   }
+  if (metrics) metrics->AddCounter("reconcile.conflicts", ir.conflicts.size());
   if (ir.conflicts.empty()) return std::move(ir.merged);
+
+  if (options_.tracer != nullptr) {
+    lane_ = options_.tracer->Lane(options_.tracer->NextPhase(), 0,
+                                  "reconcile");
+  }
 
   // Order conflicts by focus node in document order, then by the
   // precedence list. Processing a conflict on node v only after every
@@ -232,12 +292,18 @@ Result<Pul> Reconciler::Run() {
                      return Rank(*a) < Rank(*b);
                    });
 
-  for (const Conflict* c : order) {
-    XUPDATE_RETURN_IF_ERROR(Solve(*c));
+  {
+    obs::TraceSpan span(&lane_, "solve");
+    ScopedTimer timer(options_.metrics, "reconcile.solve_seconds");
+    for (const Conflict* c : order) {
+      XUPDATE_RETURN_IF_ERROR(Solve(*c));
+    }
   }
 
   // Final PUL: unconflicted Delta + surviving conflicted ops + generated
   // insertions.
+  obs::TraceSpan span(&lane_, "assemble");
+  ScopedTimer timer(options_.metrics, "reconcile.assemble_seconds");
   Pul out = std::move(ir.merged);
   std::set<OpRef, RefLess> added;
   for (const Conflict& c : ir.conflicts) {
@@ -270,6 +336,10 @@ Result<Pul> Reconciler::Run() {
     XUPDATE_RETURN_IF_ERROR(out.AddOp(std::move(gen)));
   }
   XUPDATE_RETURN_IF_ERROR(out.CheckCompatible());
+  if (options_.metrics != nullptr) {
+    options_.metrics->AddCounter("reconcile.excluded", excluded_.size());
+    options_.metrics->AddCounter("reconcile.generated", generated_.size());
+  }
   return out;
 }
 
@@ -277,7 +347,13 @@ Result<Pul> Reconciler::Run() {
 
 Result<pul::Pul> Reconcile(const std::vector<const pul::Pul*>& puls,
                            ReconcileStats* stats) {
-  Reconciler reconciler(puls, stats);
+  return Reconcile(puls, ReconcileOptions(), stats);
+}
+
+Result<pul::Pul> Reconcile(const std::vector<const pul::Pul*>& puls,
+                           const ReconcileOptions& options,
+                           ReconcileStats* stats) {
+  Reconciler reconciler(puls, options, stats);
   return reconciler.Run();
 }
 

@@ -36,6 +36,25 @@ struct ReconcileStats {
 [[nodiscard]] Result<pul::Pul> Reconcile(const std::vector<const pul::Pul*>& puls,
                            ReconcileStats* stats = nullptr);
 
+struct ReconcileOptions {
+  // Worker threads / shared pool for the embedded integration stage (see
+  // IntegrateOptions).
+  int parallelism = 1;
+  ThreadPool* pool = nullptr;
+  // Optional counters/timers sink (conflict tallies, per-phase wall
+  // time), also handed to the integration stage.
+  Metrics* metrics = nullptr;
+  // Decision-provenance sink (obs/trace.h), also handed to the
+  // integration stage. Every conflict resolution lands as one
+  // policy-applied event ("keep-one", "order-merge", "exclude-overridden",
+  // ...); generated order-merge insertions are keyed "gen#<g>".
+  obs::Tracer* tracer = nullptr;
+};
+
+[[nodiscard]] Result<pul::Pul> Reconcile(
+    const std::vector<const pul::Pul*>& puls,
+    const ReconcileOptions& options, ReconcileStats* stats = nullptr);
+
 }  // namespace xupdate::core
 
 #endif  // XUPDATE_CORE_RECONCILE_H_

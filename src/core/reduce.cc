@@ -11,6 +11,8 @@
 #include "analysis/predict.h"
 #include "label/bitstring.h"
 #include "label/node_label.h"
+#include "obs/trace.h"
+#include "pul/update_op.h"
 #include "xml/serializer.h"
 
 namespace xupdate::core {
@@ -54,6 +56,7 @@ bool IsO1Overridable(OpKind kind) {
 // One candidate rule application: ops in their rule roles plus the merge
 // recipe (result kind, identity donor, parameter order).
 struct PairApp {
+  const char* rule;
   int op1;
   int op2;
   OpKind result;
@@ -76,8 +79,9 @@ struct PairApp {
 class Reducer {
  public:
   Reducer(const Pul& input, ReduceMode mode,
-          const std::vector<int>* subset = nullptr)
-      : input_(input), mode_(mode), subset_(subset) {}
+          const std::vector<int>* subset = nullptr,
+          obs::TraceLane* lane = nullptr)
+      : input_(input), mode_(mode), subset_(subset), lane_(lane) {}
 
   // Runs the rule fixpoint (the caller has already checked Definition 3
   // compatibility). Infallible by construction; returns Status to fit
@@ -106,6 +110,24 @@ class Reducer {
   void Kill(int i) {
     alive_[static_cast<size_t>(i)] = 0;
     ++applications_;
+  }
+
+  // Stable id of a working-set op: its inherited listing rank. Merge
+  // constituent sets are disjoint, so min-rank inheritance keeps the ids
+  // unique across the whole run.
+  std::string Id(int i) const {
+    return "#" + std::to_string(rank_[static_cast<size_t>(i)]);
+  }
+
+  // rule-fired event with no result = pure kill: ops[0] overrides
+  // ops[1].
+  void EmitKill(const char* rule, int killer, int victim) {
+    if (lane_ == nullptr || !lane_->enabled()) return;
+    lane_->Emit(obs::EventKind::kRuleFired, rule, {Id(killer), Id(victim)},
+                {},
+                std::string(pul::OpKindName(Op(killer).kind)) +
+                    " overrides " +
+                    std::string(pul::OpKindName(Op(victim).kind)));
   }
 
   int AddMerged(UpdateOp op, size_t rank) {
@@ -139,8 +161,8 @@ class Reducer {
   // Builds the merged operation of an I/IR rule. `first`/`second` give
   // the parameter concatenation order; the result op's kind/target come
   // from `shape_from`.
-  void ApplyMerge(OpKind result_kind, int shape_from, int first,
-                  int second) {
+  void ApplyMerge(const char* rule, OpKind result_kind, int shape_from,
+                  int first, int second) {
     UpdateOp merged;
     merged.kind = result_kind;
     merged.target = Op(shape_from).target;
@@ -154,6 +176,10 @@ class Reducer {
     Kill(first);
     if (second != first) alive_[static_cast<size_t>(second)] = 0;
     int index = AddMerged(std::move(merged), rank);
+    if (lane_ != nullptr && lane_->enabled()) {
+      lane_->Emit(obs::EventKind::kRuleFired, rule, {Id(first), Id(second)},
+                  Id(index), std::string(pul::OpKindName(result_kind)));
+    }
     Enqueue(index);
   }
 
@@ -201,6 +227,7 @@ class Reducer {
   std::deque<int> worklist_;
   std::unordered_map<NodeId, std::vector<int>> by_target_;
   std::unordered_map<int, std::string> key_cache_;
+  obs::TraceLane* lane_;
   size_t applications_ = 0;
 };
 
@@ -211,6 +238,7 @@ bool Reducer::TryDropRules(int i) {
     int killer = FirstPartner(op.target, OpKind::kReplaceNode, i);
     if (killer < 0) killer = FirstPartner(op.target, OpKind::kDelete, i);
     if (killer >= 0) {
+      EmitKill("O1", killer, i);
       Kill(i);
       return true;
     }
@@ -221,6 +249,7 @@ bool Reducer::TryDropRules(int i) {
     if (it != by_target_.end()) {
       for (int j : it->second) {
         if (j != i && Alive(j) && IsO1Overridable(Op(j).kind)) {
+          EmitKill("O1", i, j);
           Kill(j);
           return true;
         }
@@ -229,7 +258,9 @@ bool Reducer::TryDropRules(int i) {
   }
   // O2: child insertions overridden by a same-target repC.
   if (IsChildInsertion(op.kind)) {
-    if (FirstPartner(op.target, OpKind::kReplaceChildren, i) >= 0) {
+    int killer = FirstPartner(op.target, OpKind::kReplaceChildren, i);
+    if (killer >= 0) {
+      EmitKill("O2", killer, i);
       Kill(i);
       return true;
     }
@@ -239,6 +270,7 @@ bool Reducer::TryDropRules(int i) {
     if (it != by_target_.end()) {
       for (int j : it->second) {
         if (j != i && Alive(j) && IsChildInsertion(Op(j).kind)) {
+          EmitKill("O2", i, j);
           Kill(j);
           return true;
         }
@@ -252,17 +284,18 @@ bool Reducer::TryMergeRules(int stage, int i) {
   const UpdateOp& op = Op(i);
   const NodeLabel& lab = op.target_label;
   // Helper lambdas for the two lookup directions.
-  auto merge_same_target = [&](OpKind mine, OpKind other, OpKind result,
-                               bool mine_first, int shape) -> bool {
+  auto merge_same_target = [&](const char* rule, OpKind mine, OpKind other,
+                               OpKind result, bool mine_first,
+                               int shape) -> bool {
     // shape: 0 = my op gives target/kind identity, 1 = partner does.
     if (op.kind != mine) return false;
     int j = FirstPartner(op.target, other, i);
     if (j < 0) return false;
     int shape_from = shape == 0 ? i : j;
     if (mine_first) {
-      ApplyMerge(result, shape_from, i, j);
+      ApplyMerge(rule, result, shape_from, i, j);
     } else {
-      ApplyMerge(result, shape_from, j, i);
+      ApplyMerge(rule, result, shape_from, j, i);
     }
     return true;
   };
@@ -280,43 +313,43 @@ bool Reducer::TryMergeRules(int stage, int i) {
                          rank_[static_cast<size_t>(j)];
           int first = i_first ? i : j;
           int second = i_first ? j : i;
-          ApplyMerge(op.kind, first, first, second);
+          ApplyMerge("I5", op.kind, first, first, second);
           return true;
         }
       }
       return false;
     case 2:
       // I6: insInto(v,L1) + insFirst(v,L2) -> insFirst(v,[L2,L1]).
-      if (merge_same_target(OpKind::kInsInto, OpKind::kInsFirst,
+      if (merge_same_target("I6", OpKind::kInsInto, OpKind::kInsFirst,
                             OpKind::kInsFirst, /*mine_first=*/false, 1)) {
         return true;
       }
-      return merge_same_target(OpKind::kInsFirst, OpKind::kInsInto,
+      return merge_same_target("I6", OpKind::kInsFirst, OpKind::kInsInto,
                                OpKind::kInsFirst, /*mine_first=*/true, 0);
     case 3:
       // I7: insInto(v,L1) + insLast(v,L2) -> insLast(v,[L1,L2]).
-      if (merge_same_target(OpKind::kInsInto, OpKind::kInsLast,
+      if (merge_same_target("I7", OpKind::kInsInto, OpKind::kInsLast,
                             OpKind::kInsLast, /*mine_first=*/true, 1)) {
         return true;
       }
-      return merge_same_target(OpKind::kInsLast, OpKind::kInsInto,
+      return merge_same_target("I7", OpKind::kInsLast, OpKind::kInsInto,
                                OpKind::kInsLast, /*mine_first=*/false, 0);
     case 4:
       // IR8: repN(v,L1) + insBefore(v,L2) -> repN(v,[L2,L1]).
       // IR9: repN(v,L1) + insAfter(v,L2)  -> repN(v,[L1,L2]).
-      if (merge_same_target(OpKind::kReplaceNode, OpKind::kInsBefore,
+      if (merge_same_target("IR8", OpKind::kReplaceNode, OpKind::kInsBefore,
                             OpKind::kReplaceNode, /*mine_first=*/false, 0)) {
         return true;
       }
-      if (merge_same_target(OpKind::kInsBefore, OpKind::kReplaceNode,
+      if (merge_same_target("IR8", OpKind::kInsBefore, OpKind::kReplaceNode,
                             OpKind::kReplaceNode, /*mine_first=*/true, 1)) {
         return true;
       }
-      if (merge_same_target(OpKind::kReplaceNode, OpKind::kInsAfter,
+      if (merge_same_target("IR9", OpKind::kReplaceNode, OpKind::kInsAfter,
                             OpKind::kReplaceNode, /*mine_first=*/true, 0)) {
         return true;
       }
-      return merge_same_target(OpKind::kInsAfter, OpKind::kReplaceNode,
+      return merge_same_target("IR9", OpKind::kInsAfter, OpKind::kReplaceNode,
                                OpKind::kReplaceNode, /*mine_first=*/false, 1);
     case 5:
       // I10: insInto(v,L1) + insBefore(v',L2), v' child of v
@@ -326,7 +359,7 @@ bool Reducer::TryMergeRules(int stage, int i) {
           lab.type != NodeType::kAttribute) {
         int j = FirstPartner(lab.parent, OpKind::kInsInto, i);
         if (j >= 0) {
-          ApplyMerge(OpKind::kInsBefore, i, j, i);
+          ApplyMerge("I10", OpKind::kInsBefore, i, j, i);
           return true;
         }
       }
@@ -344,7 +377,7 @@ bool Reducer::TryMergeRules(int stage, int i) {
           lab.type != NodeType::kAttribute) {
         int j = FirstPartner(lab.parent, OpKind::kInsInto, i);
         if (j >= 0) {
-          ApplyMerge(OpKind::kInsAfter, i, i, j);
+          ApplyMerge("I11", OpKind::kInsAfter, i, i, j);
           return true;
         }
       }
@@ -357,7 +390,7 @@ bool Reducer::TryMergeRules(int stage, int i) {
           lab.type != NodeType::kAttribute) {
         int j = FirstPartner(lab.parent, OpKind::kInsInto, i);
         if (j >= 0) {
-          ApplyMerge(OpKind::kReplaceNode, i, i, j);
+          ApplyMerge("IR12", OpKind::kReplaceNode, i, i, j);
           return true;
         }
       }
@@ -370,7 +403,7 @@ bool Reducer::TryMergeRules(int stage, int i) {
           lab.type == NodeType::kAttribute) {
         int j = FirstPartner(lab.parent, OpKind::kInsAttributes, i);
         if (j >= 0) {
-          ApplyMerge(OpKind::kReplaceNode, i, i, j);
+          ApplyMerge("IR13", OpKind::kReplaceNode, i, i, j);
           return true;
         }
       }
@@ -382,7 +415,7 @@ bool Reducer::TryMergeRules(int stage, int i) {
       if (op.kind == OpKind::kInsBefore && first_child) {
         int j = FirstPartner(lab.parent, OpKind::kInsFirst, i);
         if (j >= 0) {
-          ApplyMerge(OpKind::kInsBefore, i, j, i);
+          ApplyMerge("I14", OpKind::kInsBefore, i, j, i);
           return true;
         }
       }
@@ -391,7 +424,7 @@ bool Reducer::TryMergeRules(int stage, int i) {
       if (op.kind == OpKind::kInsAfter && last_child) {
         int j = FirstPartner(lab.parent, OpKind::kInsLast, i);
         if (j >= 0) {
-          ApplyMerge(OpKind::kInsAfter, i, i, j);
+          ApplyMerge("I15", OpKind::kInsAfter, i, i, j);
           return true;
         }
       }
@@ -399,7 +432,7 @@ bool Reducer::TryMergeRules(int stage, int i) {
       if (op.kind == OpKind::kReplaceNode && first_child) {
         int j = FirstPartner(lab.parent, OpKind::kInsFirst, i);
         if (j >= 0) {
-          ApplyMerge(OpKind::kReplaceNode, i, j, i);
+          ApplyMerge("IR16", OpKind::kReplaceNode, i, j, i);
           return true;
         }
       }
@@ -407,7 +440,7 @@ bool Reducer::TryMergeRules(int stage, int i) {
       if (op.kind == OpKind::kReplaceNode && last_child) {
         int j = FirstPartner(lab.parent, OpKind::kInsLast, i);
         if (j >= 0) {
-          ApplyMerge(OpKind::kReplaceNode, i, i, j);
+          ApplyMerge("IR17", OpKind::kReplaceNode, i, i, j);
           return true;
         }
       }
@@ -421,7 +454,7 @@ bool Reducer::TryMergeRules(int stage, int i) {
       if (op.kind == OpKind::kInsBefore && left != kInvalidNode) {
         int j = FirstPartner(left, OpKind::kInsAfter, i);
         if (j >= 0) {
-          ApplyMerge(OpKind::kInsBefore, i, j, i);
+          ApplyMerge("I18", OpKind::kInsBefore, i, j, i);
           return true;
         }
       }
@@ -431,7 +464,7 @@ bool Reducer::TryMergeRules(int stage, int i) {
       if (op.kind == OpKind::kReplaceNode && left != kInvalidNode) {
         int j = FirstPartner(left, OpKind::kInsAfter, i);
         if (j >= 0) {
-          ApplyMerge(OpKind::kReplaceNode, i, j, i);
+          ApplyMerge("IR19", OpKind::kReplaceNode, i, j, i);
           return true;
         }
       }
@@ -440,7 +473,7 @@ bool Reducer::TryMergeRules(int stage, int i) {
       if (op.kind == OpKind::kInsBefore && left != kInvalidNode) {
         int j = FirstPartner(left, OpKind::kReplaceNode, i);
         if (j >= 0) {
-          ApplyMerge(OpKind::kReplaceNode, j, j, i);
+          ApplyMerge("IR20", OpKind::kReplaceNode, j, j, i);
           return true;
         }
       }
@@ -502,7 +535,7 @@ bool Reducer::SweepOverrides() {
       continue;
     }
     if (!Alive(ev.op_index) || open.empty()) continue;
-    bool killed = false;
+    int killer_index = -1;
     for (const OpenKiller& k : open) {
       const UpdateOp& killer = ops_[static_cast<size_t>(k.op_index)];
       if (killer.target == op.target) continue;  // same node: O1/O2 turf
@@ -511,10 +544,13 @@ bool Reducer::SweepOverrides() {
           op.target_label.type == NodeType::kAttribute) {
         continue;  // attribute of the repC target survives
       }
-      killed = true;
+      killer_index = k.op_index;
       break;
     }
-    if (killed) {
+    if (killer_index >= 0) {
+      const UpdateOp& killer = ops_[static_cast<size_t>(killer_index)];
+      EmitKill(killer.kind == OpKind::kReplaceChildren ? "O4" : "O3",
+               killer_index, ev.op_index);
       Kill(ev.op_index);
       any = true;
     }
@@ -600,9 +636,9 @@ const std::string& Reducer::OpKey(int i) {
 void Reducer::CollectRulePairs(int stage, int rule,
                                std::vector<PairApp>* out) {
   std::vector<int> partners;
-  auto emit = [&](int op1, int op2, OpKind result, int shape, int first,
-                  int second) {
-    out->push_back({op1, op2, result, shape, first, second});
+  auto emit = [&](const char* name, int op1, int op2, OpKind result,
+                  int shape, int first, int second) {
+    out->push_back({name, op1, op2, result, shape, first, second});
   };
   for (size_t idx = 0; idx < ops_.size(); ++idx) {
     int i = static_cast<int>(idx);
@@ -614,27 +650,27 @@ void Reducer::CollectRulePairs(int stage, int rule,
       case 10:  // I5: op1 and op2 same insertion kind, same target.
         if (pul::ClassOf(op.kind) != OpClass::kInsertion) break;
         FindPartners(op.target, op.kind, i, &partners);
-        for (int j : partners) emit(i, j, op.kind, i, i, j);
+        for (int j : partners) emit("I5", i, j, op.kind, i, i, j);
         break;
       case 20:  // I6: insInto + insFirst(v) -> insFirst(v,[L2,L1])
         if (op.kind != OpKind::kInsInto) break;
         FindPartners(op.target, OpKind::kInsFirst, i, &partners);
-        for (int j : partners) emit(i, j, OpKind::kInsFirst, j, j, i);
+        for (int j : partners) emit("I6", i, j, OpKind::kInsFirst, j, j, i);
         break;
       case 30:  // I7: insInto + insLast(v) -> insLast(v,[L1,L2])
         if (op.kind != OpKind::kInsInto) break;
         FindPartners(op.target, OpKind::kInsLast, i, &partners);
-        for (int j : partners) emit(i, j, OpKind::kInsLast, j, i, j);
+        for (int j : partners) emit("I7", i, j, OpKind::kInsLast, j, i, j);
         break;
       case 40:  // IR8: repN + insBefore(v) -> repN(v,[L2,L1])
         if (op.kind != OpKind::kReplaceNode) break;
         FindPartners(op.target, OpKind::kInsBefore, i, &partners);
-        for (int j : partners) emit(i, j, OpKind::kReplaceNode, i, j, i);
+        for (int j : partners) emit("IR8", i, j, OpKind::kReplaceNode, i, j, i);
         break;
       case 41:  // IR9: repN + insAfter(v) -> repN(v,[L1,L2])
         if (op.kind != OpKind::kReplaceNode) break;
         FindPartners(op.target, OpKind::kInsAfter, i, &partners);
-        for (int j : partners) emit(i, j, OpKind::kReplaceNode, i, i, j);
+        for (int j : partners) emit("IR9", i, j, OpKind::kReplaceNode, i, i, j);
         break;
       case 50:  // I10: insInto(v) + insBefore(v' child of v)
         if (op.kind != OpKind::kInsBefore || !lab.valid() ||
@@ -643,7 +679,7 @@ void Reducer::CollectRulePairs(int stage, int rule,
           break;
         }
         FindPartners(lab.parent, OpKind::kInsInto, i, &partners);
-        for (int j : partners) emit(j, i, OpKind::kInsBefore, i, j, i);
+        for (int j : partners) emit("I10", j, i, OpKind::kInsBefore, i, j, i);
         break;
       case 60:  // I11: insInto(v) + insAfter(v' child of v)
         if (op.kind != OpKind::kInsAfter || !lab.valid() ||
@@ -652,7 +688,7 @@ void Reducer::CollectRulePairs(int stage, int rule,
           break;
         }
         FindPartners(lab.parent, OpKind::kInsInto, i, &partners);
-        for (int j : partners) emit(j, i, OpKind::kInsAfter, i, i, j);
+        for (int j : partners) emit("I11", j, i, OpKind::kInsAfter, i, i, j);
         break;
       case 70:  // IR12: repN(v child of v') + insInto(v')
         if (op.kind != OpKind::kReplaceNode || !lab.valid() ||
@@ -661,7 +697,7 @@ void Reducer::CollectRulePairs(int stage, int rule,
           break;
         }
         FindPartners(lab.parent, OpKind::kInsInto, i, &partners);
-        for (int j : partners) emit(i, j, OpKind::kReplaceNode, i, i, j);
+        for (int j : partners) emit("IR12", i, j, OpKind::kReplaceNode, i, i, j);
         break;
       case 80:  // IR13: repN(attribute v of v') + insA(v')
         if (op.kind != OpKind::kReplaceNode || !lab.valid() ||
@@ -670,7 +706,7 @@ void Reducer::CollectRulePairs(int stage, int rule,
           break;
         }
         FindPartners(lab.parent, OpKind::kInsAttributes, i, &partners);
-        for (int j : partners) emit(i, j, OpKind::kReplaceNode, i, i, j);
+        for (int j : partners) emit("IR13", i, j, OpKind::kReplaceNode, i, i, j);
         break;
       case 81:  // I14: insBefore(first child v of v') + insFirst(v')
         if (op.kind != OpKind::kInsBefore || !lab.valid() ||
@@ -680,7 +716,7 @@ void Reducer::CollectRulePairs(int stage, int rule,
           break;
         }
         FindPartners(lab.parent, OpKind::kInsFirst, i, &partners);
-        for (int j : partners) emit(i, j, OpKind::kInsBefore, i, j, i);
+        for (int j : partners) emit("I14", i, j, OpKind::kInsBefore, i, j, i);
         break;
       case 82:  // I15: insAfter(last child v of v') + insLast(v')
         if (op.kind != OpKind::kInsAfter || !lab.valid() ||
@@ -689,7 +725,7 @@ void Reducer::CollectRulePairs(int stage, int rule,
           break;
         }
         FindPartners(lab.parent, OpKind::kInsLast, i, &partners);
-        for (int j : partners) emit(i, j, OpKind::kInsAfter, i, i, j);
+        for (int j : partners) emit("I15", i, j, OpKind::kInsAfter, i, i, j);
         break;
       case 83:  // IR16: repN(first child v) + insFirst(parent)
         if (op.kind != OpKind::kReplaceNode || !lab.valid() ||
@@ -699,7 +735,7 @@ void Reducer::CollectRulePairs(int stage, int rule,
           break;
         }
         FindPartners(lab.parent, OpKind::kInsFirst, i, &partners);
-        for (int j : partners) emit(i, j, OpKind::kReplaceNode, i, j, i);
+        for (int j : partners) emit("IR16", i, j, OpKind::kReplaceNode, i, j, i);
         break;
       case 84:  // IR17: repN(last child v) + insLast(parent)
         if (op.kind != OpKind::kReplaceNode || !lab.valid() ||
@@ -708,7 +744,7 @@ void Reducer::CollectRulePairs(int stage, int rule,
           break;
         }
         FindPartners(lab.parent, OpKind::kInsLast, i, &partners);
-        for (int j : partners) emit(i, j, OpKind::kReplaceNode, i, i, j);
+        for (int j : partners) emit("IR17", i, j, OpKind::kReplaceNode, i, i, j);
         break;
       case 90:  // I18: insBefore(v) + insAfter(left sibling of v)
         if (op.kind != OpKind::kInsBefore || !lab.valid() ||
@@ -717,7 +753,7 @@ void Reducer::CollectRulePairs(int stage, int rule,
           break;
         }
         FindPartners(lab.left_sibling, OpKind::kInsAfter, i, &partners);
-        for (int j : partners) emit(i, j, OpKind::kInsBefore, i, j, i);
+        for (int j : partners) emit("I18", i, j, OpKind::kInsBefore, i, j, i);
         break;
       case 91:  // IR19: repN(v) + insAfter(left sibling of v)
         if (op.kind != OpKind::kReplaceNode || !lab.valid() ||
@@ -726,7 +762,7 @@ void Reducer::CollectRulePairs(int stage, int rule,
           break;
         }
         FindPartners(lab.left_sibling, OpKind::kInsAfter, i, &partners);
-        for (int j : partners) emit(i, j, OpKind::kReplaceNode, i, j, i);
+        for (int j : partners) emit("IR19", i, j, OpKind::kReplaceNode, i, j, i);
         break;
       case 92:  // IR20: repN(v) + insBefore(v', v left sibling of v')
         if (op.kind != OpKind::kInsBefore || !lab.valid() ||
@@ -735,7 +771,7 @@ void Reducer::CollectRulePairs(int stage, int rule,
           break;
         }
         FindPartners(lab.left_sibling, OpKind::kReplaceNode, i, &partners);
-        for (int j : partners) emit(j, i, OpKind::kReplaceNode, j, j, i);
+        for (int j : partners) emit("IR20", j, i, OpKind::kReplaceNode, j, j, i);
         break;
       default:
         break;
@@ -780,7 +816,8 @@ bool Reducer::CanonicalStageStep(int stage) {
         best = &cand;
       }
     }
-    ApplyMerge(best->result, best->shape, best->first, best->second);
+    ApplyMerge(best->rule, best->result, best->shape, best->first,
+               best->second);
     return true;
   }
   return false;
@@ -874,6 +911,11 @@ Status Reducer::RunRules() {
       if (Alive(static_cast<int>(i)) && ops_[i].kind == OpKind::kInsInto) {
         ops_[i].kind = OpKind::kInsFirst;
         ++applications_;
+        if (lane_ != nullptr && lane_->enabled()) {
+          int idx = static_cast<int>(i);
+          lane_->Emit(obs::EventKind::kRuleFired, "S10", {Id(idx)}, Id(idx),
+                      "insInto -> insFirst");
+        }
       }
     }
     while (run_all_stages()) {
@@ -990,6 +1032,17 @@ Result<pul::Pul> Reduce(const pul::Pul& input, const ReduceOptions& options,
       for (const UpdateOp& op : input.ops()) {
         XUPDATE_RETURN_IF_ERROR(out.AdoptOp(input.forest(), op));
       }
+      if (options.tracer != nullptr) {
+        obs::TraceLane lane =
+            options.tracer->Lane(options.tracer->NextPhase(), 0, "reduce");
+        lane.Emit(obs::EventKind::kFastPathTaken, "static-identity", {}, {},
+                  "no Figure 2 rule can fire");
+        for (size_t i = 0; i < input.size(); ++i) {
+          lane.Emit(obs::EventKind::kOpSurvived,
+                    pul::OpKindName(input.ops()[i].kind),
+                    {"#" + std::to_string(i)}, "out#" + std::to_string(i));
+        }
+      }
       if (stats != nullptr) {
         stats->input_ops = input.size();
         stats->output_ops = out.size();
@@ -1009,8 +1062,20 @@ Result<pul::Pul> Reduce(const pul::Pul& input, const ReduceOptions& options,
   }
 
   std::vector<std::vector<int>> shards;
-  bool want_parallel = options.parallelism > 1 && input.size() > 1;
+  obs::Tracer* tracer = options.tracer;
+  const bool tracing = tracer != nullptr;
+  // Tracing forces the shard path even at parallelism 1: the shard
+  // structure is a function of the input alone, so forcing it makes the
+  // journal byte-identical across every thread count.
+  bool want_parallel = tracing
+                           ? input.size() > 0
+                           : (options.parallelism > 1 && input.size() > 1);
+  obs::TraceLane partition_lane;
+  if (tracing && want_parallel) {
+    partition_lane = tracer->Lane(tracer->NextPhase(), 0, "reduce");
+  }
   if (want_parallel) {
+    obs::TraceSpan span(&partition_lane, "partition");
     ScopedTimer timer(options.metrics, "reduce.partition_seconds");
     shards = PartitionByTargetSubtree(input);
   }
@@ -1019,7 +1084,7 @@ Result<pul::Pul> Reduce(const pul::Pul& input, const ReduceOptions& options,
     options.metrics->AddCounter("reduce.input_ops", input.size());
   }
 
-  if (!want_parallel || shards.size() <= 1) {
+  if (!want_parallel || (!tracing && shards.size() <= 1)) {
     Reducer reducer(input, options.mode);
     {
       ScopedTimer timer(options.metrics, "reduce.rules_seconds");
@@ -1042,28 +1107,59 @@ Result<pul::Pul> Reduce(const pul::Pul& input, const ReduceOptions& options,
     return out;
   }
 
+  // One rules-phase lane per shard. The lanes are created (and the
+  // shard-assigned inventory emitted) on the coordinating thread, then
+  // each lane is handed to exactly one pool task — the task queue
+  // supplies the happens-before edge for the lane's seq counter.
+  std::vector<obs::TraceLane> shard_lanes;
+  if (tracing) {
+    uint32_t rules_phase = tracer->NextPhase();
+    shard_lanes.reserve(shards.size());
+    for (size_t s = 0; s < shards.size(); ++s) {
+      shard_lanes.push_back(
+          tracer->Lane(rules_phase, static_cast<uint32_t>(s) + 1, "reduce"));
+      std::vector<std::string> ids;
+      ids.reserve(shards[s].size());
+      for (int g : shards[s]) ids.push_back("#" + std::to_string(g));
+      shard_lanes[s].Emit(obs::EventKind::kShardAssigned, "shard",
+                          std::move(ids));
+    }
+  }
+
   std::vector<std::unique_ptr<Reducer>> reducers;
   reducers.reserve(shards.size());
-  for (const std::vector<int>& shard : shards) {
-    reducers.push_back(
-        std::make_unique<Reducer>(input, options.mode, &shard));
+  for (size_t s = 0; s < shards.size(); ++s) {
+    reducers.push_back(std::make_unique<Reducer>(
+        input, options.mode, &shards[s],
+        tracing ? &shard_lanes[s] : nullptr));
   }
   {
     ScopedTimer timer(options.metrics, "reduce.rules_seconds");
     ThreadPool* pool = options.pool;
     std::unique_ptr<ThreadPool> local_pool;
-    if (pool == nullptr) {
+    if (pool == nullptr && options.parallelism > 1) {
       size_t workers = std::min<size_t>(
           static_cast<size_t>(options.parallelism), shards.size());
       local_pool = std::make_unique<ThreadPool>(workers);
       pool = local_pool.get();
     }
+    Metrics* metrics = options.metrics;
     XUPDATE_RETURN_IF_ERROR(ParallelFor(
         pool, reducers.size(),
-        [&reducers](size_t s) { return reducers[s]->RunRules(); }));
+        [&reducers, &shard_lanes, tracing, metrics](size_t s) {
+          obs::TraceSpan span(tracing ? &shard_lanes[s] : nullptr,
+                              "shard-solve");
+          ScopedTimer shard_timer(metrics, "reduce.shard_solve_seconds");
+          return reducers[s]->RunRules();
+        }));
   }
 
+  obs::TraceLane merge_lane;
+  if (tracing) {
+    merge_lane = tracer->Lane(tracer->NextPhase(), 0, "reduce");
+  }
   ScopedTimer timer(options.metrics, "reduce.merge_seconds");
+  obs::TraceSpan merge_span(&merge_lane, "merge");
   std::vector<Reducer::Survivor> survivors;
   size_t applications = 0;
   for (std::unique_ptr<Reducer>& r : reducers) {
@@ -1087,6 +1183,14 @@ Result<pul::Pul> Reduce(const pul::Pul& input, const ReduceOptions& options,
   out.BindIdSpace(1);  // ids preserved on adoption; floor irrelevant
   for (const Reducer::Survivor& s : survivors) {
     XUPDATE_RETURN_IF_ERROR(out.AdoptOp(input.forest(), *s.op));
+  }
+  if (tracing) {
+    for (size_t j = 0; j < survivors.size(); ++j) {
+      merge_lane.Emit(obs::EventKind::kOpSurvived,
+                      pul::OpKindName(survivors[j].op->kind),
+                      {"#" + std::to_string(survivors[j].rank)},
+                      "out#" + std::to_string(j));
+    }
   }
   if (stats != nullptr) {
     stats->input_ops = input.size();

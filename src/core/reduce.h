@@ -4,6 +4,7 @@
 #include "common/metrics.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
+#include "obs/trace.h"
 #include "pul/pul.h"
 
 namespace xupdate::core {
@@ -70,6 +71,14 @@ struct ReduceOptions {
   // no insInto to rewrite). The output is byte-identical to the engine
   // path. kCanonical mode never skips (it reorders the listing).
   bool use_static_analysis = false;
+  // Decision-provenance sink (obs/trace.h). When set, every rule firing,
+  // override kill, shard assignment and surviving operation is recorded
+  // under stable listing-rank ids ("#12"). To keep the journal
+  // byte-identical across parallelism levels the engine then always
+  // partitions and takes the shard path (shard structure is a function
+  // of the input alone), so `stats->shards` reports the true shard count
+  // even at parallelism 1. The output PUL is unaffected.
+  obs::Tracer* tracer = nullptr;
 };
 
 // Reduce with engine knobs. Operations are partitioned by the targets'

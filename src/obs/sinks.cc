@@ -1,0 +1,123 @@
+#include "obs/sinks.h"
+
+#include <cstdio>
+#include <set>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace xupdate::obs {
+
+namespace {
+
+void AppendQuoted(std::string* out, std::string_view text) {
+  *out += '"';
+  *out += JsonEscape(text);
+  *out += '"';
+}
+
+}  // namespace
+
+std::string EventToJournalLine(const TraceEvent& event) {
+  std::string line = "{\"phase\":";
+  line += std::to_string(event.phase);
+  line += ",\"lane\":";
+  line += std::to_string(event.lane);
+  line += ",\"seq\":";
+  line += std::to_string(event.seq);
+  line += ",\"kind\":";
+  AppendQuoted(&line, EventKindName(event.kind));
+  line += ",\"scope\":";
+  AppendQuoted(&line, event.scope);
+  line += ",\"name\":";
+  AppendQuoted(&line, event.name);
+  line += ",\"ops\":[";
+  for (size_t i = 0; i < event.ops.size(); ++i) {
+    if (i > 0) line += ',';
+    AppendQuoted(&line, event.ops[i]);
+  }
+  line += "],\"result\":";
+  AppendQuoted(&line, event.result);
+  line += ",\"detail\":";
+  AppendQuoted(&line, event.detail);
+  line += '}';
+  return line;
+}
+
+std::string ToJournalJsonl(const Tracer& tracer) {
+  std::string out;
+  for (const TraceEvent& event : tracer.SortedEvents()) {
+    out += EventToJournalLine(event);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string ToChromeTrace(const Tracer& tracer) {
+  std::vector<TraceEvent> events = tracer.SortedEvents();
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&](const std::string& piece) {
+    if (!first) out += ',';
+    first = false;
+    out += piece;
+  };
+  // Thread-name metadata, one track per lane.
+  std::set<uint32_t> lanes;
+  for (const TraceEvent& e : events) lanes.insert(e.lane);
+  for (uint32_t lane : lanes) {
+    std::string name =
+        lane == 0 ? std::string("main")
+                  : "shard-" + std::to_string(lane - 1);
+    std::string piece =
+        "{\"ph\":\"M\",\"pid\":1,\"tid\":" + std::to_string(lane) +
+        ",\"name\":\"thread_name\",\"args\":{\"name\":";
+    AppendQuoted(&piece, name);
+    piece += "}}";
+    emit(piece);
+  }
+  for (const TraceEvent& e : events) {
+    char ts[32];
+    snprintf(ts, sizeof(ts), "%.3f", e.t_us);
+    std::string piece = "{\"ph\":\"";
+    if (e.kind == EventKind::kSpanBegin) {
+      piece += 'B';
+    } else if (e.kind == EventKind::kSpanEnd) {
+      piece += 'E';
+    } else {
+      piece += 'i';
+    }
+    piece += "\",\"pid\":1,\"tid\":";
+    piece += std::to_string(e.lane);
+    piece += ",\"ts\":";
+    piece += ts;
+    piece += ",\"cat\":";
+    AppendQuoted(&piece, e.scope);
+    piece += ",\"name\":";
+    std::string display(EventKindName(e.kind));
+    if (e.kind == EventKind::kSpanBegin || e.kind == EventKind::kSpanEnd) {
+      display = e.name;
+    } else if (!e.name.empty()) {
+      display += ":" + e.name;
+    }
+    AppendQuoted(&piece, display);
+    if (e.kind != EventKind::kSpanBegin && e.kind != EventKind::kSpanEnd) {
+      piece += ",\"s\":\"t\"";
+    }
+    piece += ",\"args\":{\"ops\":[";
+    for (size_t i = 0; i < e.ops.size(); ++i) {
+      if (i > 0) piece += ',';
+      AppendQuoted(&piece, e.ops[i]);
+    }
+    piece += "],\"result\":";
+    AppendQuoted(&piece, e.result);
+    piece += ",\"detail\":";
+    AppendQuoted(&piece, e.detail);
+    piece += "}}";
+    emit(piece);
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace xupdate::obs

@@ -1,0 +1,36 @@
+#ifndef XUPDATE_OBS_SINKS_H_
+#define XUPDATE_OBS_SINKS_H_
+
+#include <string>
+
+#include "obs/trace.h"
+
+namespace xupdate::obs {
+
+// The JSONL event journal: one JSON object per line, events in
+// (phase, lane, seq) order, every line carrying the full fixed key set
+//   {"phase":..,"lane":..,"seq":..,"kind":"..","scope":"..","name":"..",
+//    "ops":[..],"result":"..","detail":".."}
+// in that order. No timestamps and no platform-dependent formatting, so
+// the journal is byte-identical across runs and parallelism levels for
+// a deterministic workload. This is the input format of the `explain`
+// layer (obs/explain.h).
+[[nodiscard]] std::string ToJournalJsonl(const Tracer& tracer);
+
+// Serializes one event as a journal line (no trailing newline). Exposed
+// for tests that golden single events.
+[[nodiscard]] std::string EventToJournalLine(const TraceEvent& event);
+
+// Chrome trace_event JSON ({"traceEvents":[...]}), loadable in
+// chrome://tracing and Perfetto. Spans become B/E duration events and
+// everything else an instant event; each lane is rendered as its own
+// thread track (tid = lane, with thread_name metadata "main" resp.
+// "shard-<k>"), so the per-shard concurrency structure of the parallel
+// engines is visible on the timeline. Timestamps are the wall-clock
+// offsets captured at emission — this sink is *not* deterministic and
+// exists for humans, not for diffing.
+[[nodiscard]] std::string ToChromeTrace(const Tracer& tracer);
+
+}  // namespace xupdate::obs
+
+#endif  // XUPDATE_OBS_SINKS_H_

@@ -33,15 +33,52 @@ TEST(MetricsTest, JsonIsSortedAndDeterministic) {
   m.AddCounter("alpha", 1);
   m.RecordDuration("phase", 0.125);
   std::string json = m.ToJson();
+  // A single sample pins every percentile to the observed max.
   EXPECT_EQ(json,
             "{\"counters\":{\"alpha\":1,\"zeta\":3},"
-            "\"timers\":{\"phase\":{\"seconds\":0.125000000,\"count\":1}}}");
+            "\"timers\":{\"phase\":{\"seconds\":0.125000000,\"count\":1,"
+            "\"min\":0.125000000,\"max\":0.125000000,\"p50\":0.125000000,"
+            "\"p95\":0.125000000,\"p99\":0.125000000}}}");
   // Insertion order must not matter.
   Metrics m2;
   m2.RecordDuration("phase", 0.125);
   m2.AddCounter("alpha", 1);
   m2.AddCounter("zeta", 3);
   EXPECT_EQ(m2.ToJson(), json);
+}
+
+TEST(MetricsTest, JsonEscapesNames) {
+  Metrics m;
+  m.AddCounter("a\"b\\c", 1);
+  m.RecordDuration("t\n", 0.5);
+  std::string json = m.ToJson();
+  EXPECT_NE(json.find("\"a\\\"b\\\\c\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"t\\n\":{"), std::string::npos);
+}
+
+TEST(MetricsTest, TimerSnapshotTracksExtremaAndPercentiles) {
+  Metrics m;
+  // 90 fast samples in the (0.0005, 0.001] bucket, 10 slow ones in the
+  // (0.05, 0.1] bucket: p50 reports the fast bucket's upper bound, p95
+  // and p99 the slow one's, clamped to the observed max.
+  for (int i = 0; i < 90; ++i) m.RecordDuration("mix", 0.0008);
+  for (int i = 0; i < 10; ++i) m.RecordDuration("mix", 0.06);
+  Metrics::TimerSnapshot snap = m.timer("mix");
+  EXPECT_EQ(snap.count, 100u);
+  EXPECT_DOUBLE_EQ(snap.min, 0.0008);
+  EXPECT_DOUBLE_EQ(snap.max, 0.06);
+  EXPECT_DOUBLE_EQ(snap.p50, 0.001);
+  EXPECT_DOUBLE_EQ(snap.p95, 0.06);
+  EXPECT_DOUBLE_EQ(snap.p99, 0.06);
+  EXPECT_NEAR(snap.seconds, 90 * 0.0008 + 10 * 0.06, 1e-9);
+}
+
+TEST(MetricsTest, MissingTimerSnapshotIsZero) {
+  Metrics m;
+  Metrics::TimerSnapshot snap = m.timer("absent");
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_DOUBLE_EQ(snap.seconds, 0.0);
+  EXPECT_DOUBLE_EQ(snap.p99, 0.0);
 }
 
 TEST(MetricsTest, EmptyJson) {

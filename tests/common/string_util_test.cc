@@ -50,6 +50,19 @@ TEST(IsValidXmlNameTest, RejectsBadNames) {
   EXPECT_FALSE(IsValidXmlName("a<b"));
 }
 
+TEST(JsonEscapeTest, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("tab\there"), "tab\\there");
+  EXPECT_EQ(JsonEscape("line\nfeed\rback"), "line\\nfeed\\rback");
+  EXPECT_EQ(JsonEscape(std::string_view("\x01\x1f", 2)), "\\u0001\\u001f");
+}
+
+TEST(JsonEscapeTest, LeavesUtf8Alone) {
+  EXPECT_EQ(JsonEscape("caf\xC3\xA9"), "caf\xC3\xA9");
+}
+
 TEST(JoinTest, JoinsWithSeparator) {
   EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
   EXPECT_EQ(Join({}, ","), "");

@@ -282,5 +282,99 @@ TEST_F(CliTest, AnalyzeReportsVerdictAndDiagnostics) {
   EXPECT_FALSE(RunCli({"analyze"}, sink).ok());
 }
 
+TEST_F(CliTest, EqualsFlagSyntax) {
+  WriteDoc("doc.xml", "<r><a/></r>");
+  Run({"produce", "--doc=" + Path("doc.xml"),
+       "--update=insert nodes <x/> as last into /r/a",
+       "--out=" + Path("pul.xml")});
+  std::string out =
+      Run({"reduce", "--pul=" + Path("pul.xml"), "--out=" + Path("r.xml")});
+  EXPECT_NE(out.find("reduced 1 -> 1"), std::string::npos);
+}
+
+TEST_F(CliTest, TraceAndExplainRoundTrip) {
+  WriteDoc("doc.xml", "<r><a/></r>");
+  Run({"produce", "--doc", Path("doc.xml"), "--update",
+       "insert nodes <x/> as last into /r/a, "
+       "insert nodes <y/> as last into /r/a, "
+       "delete nodes /r/a",
+       "--out", Path("pul.xml")});
+  std::string out =
+      Run({"reduce", "--pul", Path("pul.xml"), "--out", Path("r.xml"),
+           "--trace=" + Path("trace.jsonl")});
+  EXPECT_NE(out.find("wrote trace"), std::string::npos);
+
+  // Every input operation gets a provenance chain.
+  std::string all = Run({"explain", Path("trace.jsonl")});
+  EXPECT_NE(all.find("#0"), std::string::npos);
+  EXPECT_NE(all.find("#1"), std::string::npos);
+  EXPECT_NE(all.find("#2"), std::string::npos);
+  EXPECT_NE(all.find("survived"), std::string::npos);
+  EXPECT_NE(all.find("eliminated"), std::string::npos);
+
+  // --op narrows to one chain; the delete overrides the insertions.
+  std::string one = Run({"explain", Path("trace.jsonl"), "--op=#0"});
+  EXPECT_EQ(one.rfind("#0", 0), 0u);
+  EXPECT_NE(one.find("eliminated"), std::string::npos);
+  std::string unknown =
+      Run({"explain", Path("trace.jsonl"), "--op", "#42"});
+  EXPECT_NE(unknown.find("unknown op id"), std::string::npos);
+
+  std::ostringstream sink;
+  EXPECT_FALSE(RunCli({"explain"}, sink).ok());
+  EXPECT_FALSE(RunCli({"explain", Path("missing.jsonl")}, sink).ok());
+}
+
+TEST_F(CliTest, ChromeTraceWritesTimeline) {
+  WriteDoc("doc.xml", "<r><a/></r>");
+  Run({"produce", "--doc", Path("doc.xml"), "--update",
+       "insert nodes <x/> as last into /r/a", "--out", Path("pul.xml")});
+  Run({"reduce", "--pul", Path("pul.xml"), "--out", Path("r.xml"),
+       "--chrome-trace", Path("trace.json")});
+  std::ifstream f(Path("trace.json"));
+  std::stringstream content;
+  content << f.rdbuf();
+  EXPECT_EQ(content.str().rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(content.str().find("thread_name"), std::string::npos);
+}
+
+TEST_F(CliTest, IntegrateAndReconcileTraceToStdout) {
+  WriteDoc("doc.xml", "<r><a>one</a></r>");
+  Run({"produce", "--doc", Path("doc.xml"), "--update",
+       "rename node /r/a as \"x\"", "--id-base", "100", "--out",
+       Path("p1.xml")});
+  Run({"produce", "--doc", Path("doc.xml"), "--update",
+       "rename node /r/a as \"y\"", "--id-base", "200", "--out",
+       Path("p2.xml")});
+  std::string integrate = Run(
+      {"integrate", "--trace=-", Path("p1.xml"), Path("p2.xml")});
+  EXPECT_NE(integrate.find("\"kind\":\"conflict-detected\""),
+            std::string::npos);
+  EXPECT_NE(integrate.find("repeated-modification"), std::string::npos);
+  std::string reconcile =
+      Run({"reconcile", "--out", Path("m.xml"), "--trace=-",
+           Path("p1.xml"), Path("p2.xml")});
+  EXPECT_NE(reconcile.find("\"kind\":\"policy-applied\""),
+            std::string::npos);
+}
+
+TEST_F(CliTest, AggregateAndAnalyzeEmitTraces) {
+  WriteDoc("doc.xml", "<r><a>one</a></r>");
+  Run({"produce", "--doc", Path("doc.xml"), "--update",
+       "insert nodes <b>two</b> as last into /r", "--id-base", "100",
+       "--out", Path("p1.xml")});
+  Run({"produce", "--doc", Path("doc.xml"), "--update",
+       "rename node /r/a as \"z\"", "--id-base", "200", "--out",
+       Path("p2.xml")});
+  std::string aggregate =
+      Run({"aggregate", "--out", Path("agg.xml"), "--trace=-",
+           Path("p1.xml"), Path("p2.xml")});
+  EXPECT_NE(aggregate.find("\"scope\":\"aggregate\""), std::string::npos);
+  std::string analyze = Run(
+      {"analyze", "--trace=-", Path("p1.xml"), Path("p2.xml")});
+  EXPECT_NE(analyze.find("\"name\":\"independence\""), std::string::npos);
+  EXPECT_NE(analyze.find("\"name\":\"prediction\""), std::string::npos);
+}
+
 }  // namespace
 }  // namespace xupdate::tools

@@ -21,6 +21,9 @@
 #include "core/reduce.h"
 #include "exec/in_memory.h"
 #include "label/sidecar.h"
+#include "obs/explain.h"
+#include "obs/sinks.h"
+#include "obs/trace.h"
 #include "pul/obtainable.h"
 #include "exec/streaming.h"
 #include "label/labeling.h"
@@ -36,7 +39,8 @@ namespace xupdate::tools {
 
 namespace {
 
-// Parsed command line: flags (--name value) and positional operands.
+// Parsed command line: flags (--name value or --name=value) and
+// positional operands.
 struct Args {
   std::map<std::string, std::string> flags;
   std::vector<std::string> positional;
@@ -54,10 +58,14 @@ Result<Args> ParseArgs(const std::vector<std::string>& argv, size_t begin) {
   for (size_t i = begin; i < argv.size(); ++i) {
     const std::string& arg = argv[i];
     if (arg.rfind("--", 0) == 0) {
-      if (i + 1 >= argv.size()) {
+      size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        args.flags[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      } else if (i + 1 >= argv.size()) {
         return Status::InvalidArgument("flag " + arg + " needs a value");
+      } else {
+        args.flags[arg.substr(2)] = argv[++i];
       }
-      args.flags[arg.substr(2)] = argv[++i];
     } else {
       args.positional.push_back(arg);
     }
@@ -206,6 +214,34 @@ Status MaybeDumpMetrics(const Args& args, const Metrics& metrics,
   return Status::OK();
 }
 
+// Shared tracing flags: --trace PATH writes the deterministic JSONL
+// decision journal ("-" for the output stream) consumed by `xupdate
+// explain`, --chrome-trace PATH the Perfetto/chrome://tracing timeline.
+bool WantTrace(const Args& args) {
+  return args.Has("trace") || args.Has("chrome-trace");
+}
+
+Status MaybeWriteTraces(const Args& args, const obs::Tracer& tracer,
+                        std::ostream& out) {
+  if (args.Has("trace")) {
+    std::string journal = obs::ToJournalJsonl(tracer);
+    std::string path = args.Get("trace");
+    if (path == "-") {
+      out << journal;
+    } else {
+      XUPDATE_RETURN_IF_ERROR(WriteFile(path, journal));
+      out << "wrote trace " << path << " (" << tracer.size()
+          << " events)\n";
+    }
+  }
+  if (args.Has("chrome-trace")) {
+    std::string path = args.Get("chrome-trace");
+    XUPDATE_RETURN_IF_ERROR(WriteFile(path, obs::ToChromeTrace(tracer)));
+    out << "wrote chrome trace " << path << "\n";
+  }
+  return Status::OK();
+}
+
 Status CmdReduce(const Args& args, std::ostream& out) {
   XUPDATE_RETURN_IF_ERROR(RequireFlags(args, {"pul", "out"}));
   XUPDATE_ASSIGN_OR_RETURN(std::string text, ReadFile(args.Get("pul")));
@@ -225,6 +261,8 @@ Status CmdReduce(const Args& args, std::ostream& out) {
   XUPDATE_ASSIGN_OR_RETURN(options.parallelism, ParseParallelismFlag(args));
   Metrics metrics;
   options.metrics = &metrics;
+  obs::Tracer tracer;
+  if (WantTrace(args)) options.tracer = &tracer;
   core::ReduceStats stats;
   XUPDATE_ASSIGN_OR_RETURN(pul::Pul reduced,
                            core::Reduce(pul, options, &stats));
@@ -232,6 +270,7 @@ Status CmdReduce(const Args& args, std::ostream& out) {
       << " operations (" << stats.rule_applications
       << " rule applications, " << stats.shards << " shards)\n";
   XUPDATE_RETURN_IF_ERROR(MaybeDumpMetrics(args, metrics, out));
+  XUPDATE_RETURN_IF_ERROR(MaybeWriteTraces(args, tracer, out));
   return WritePul(reduced, args.Get("out"), out);
 }
 
@@ -244,29 +283,20 @@ Status CmdAggregate(const Args& args, std::ostream& out) {
                            LoadPuls(args.positional));
   std::vector<const pul::Pul*> ptrs;
   for (const pul::Pul& pul : puls) ptrs.push_back(&pul);
+  core::AggregateOptions options;
+  Metrics metrics;
+  options.metrics = &metrics;
+  obs::Tracer tracer;
+  if (WantTrace(args)) options.tracer = &tracer;
   core::AggregateStats stats;
   XUPDATE_ASSIGN_OR_RETURN(pul::Pul aggregate,
-                           core::Aggregate(ptrs, &stats));
+                           core::Aggregate(ptrs, options, &stats));
   out << "aggregated " << stats.input_ops << " operations from "
       << puls.size() << " PULs into " << stats.output_ops << " ("
       << stats.folded_ops << " folded into parameter trees)\n";
+  XUPDATE_RETURN_IF_ERROR(MaybeDumpMetrics(args, metrics, out));
+  XUPDATE_RETURN_IF_ERROR(MaybeWriteTraces(args, tracer, out));
   return WritePul(aggregate, args.Get("out"), out);
-}
-
-const char* ConflictName(core::ConflictType type) {
-  switch (type) {
-    case core::ConflictType::kRepeatedModification:
-      return "repeated-modification";
-    case core::ConflictType::kRepeatedAttributeInsertion:
-      return "repeated-attribute-insertion";
-    case core::ConflictType::kInsertionOrder:
-      return "insertion-order";
-    case core::ConflictType::kLocalOverride:
-      return "local-override";
-    case core::ConflictType::kNonLocalOverride:
-      return "non-local-override";
-  }
-  return "?";
 }
 
 Status CmdIntegrate(const Args& args, std::ostream& out) {
@@ -281,6 +311,8 @@ Status CmdIntegrate(const Args& args, std::ostream& out) {
   XUPDATE_ASSIGN_OR_RETURN(options.parallelism, ParseParallelismFlag(args));
   Metrics metrics;
   options.metrics = &metrics;
+  obs::Tracer tracer;
+  if (WantTrace(args)) options.tracer = &tracer;
   XUPDATE_ASSIGN_OR_RETURN(core::IntegrationResult result,
                            core::Integrate(ptrs, options));
   out << "integration: " << result.merged.size()
@@ -288,12 +320,13 @@ Status CmdIntegrate(const Args& args, std::ostream& out) {
       << " conflicts\n";
   std::map<std::string, int> histogram;
   for (const core::Conflict& conflict : result.conflicts) {
-    ++histogram[ConflictName(conflict.type)];
+    ++histogram[std::string(core::ConflictTypeName(conflict.type))];
   }
   for (const auto& [name, count] : histogram) {
     out << "  " << name << ": " << count << "\n";
   }
   XUPDATE_RETURN_IF_ERROR(MaybeDumpMetrics(args, metrics, out));
+  XUPDATE_RETURN_IF_ERROR(MaybeWriteTraces(args, tracer, out));
   if (args.Has("out")) {
     return WritePul(result.merged, args.Get("out"), out);
   }
@@ -309,12 +342,21 @@ Status CmdReconcile(const Args& args, std::ostream& out) {
                            LoadPuls(args.positional));
   std::vector<const pul::Pul*> ptrs;
   for (const pul::Pul& pul : puls) ptrs.push_back(&pul);
+  core::ReconcileOptions options;
+  XUPDATE_ASSIGN_OR_RETURN(options.parallelism, ParseParallelismFlag(args));
+  Metrics metrics;
+  options.metrics = &metrics;
+  obs::Tracer tracer;
+  if (WantTrace(args)) options.tracer = &tracer;
   core::ReconcileStats stats;
-  XUPDATE_ASSIGN_OR_RETURN(pul::Pul merged, core::Reconcile(ptrs, &stats));
+  XUPDATE_ASSIGN_OR_RETURN(pul::Pul merged,
+                           core::Reconcile(ptrs, options, &stats));
   out << "reconciled " << stats.conflicts_total << " conflicts ("
       << stats.conflicts_auto_solved << " auto-solved, "
       << stats.operations_excluded << " operations excluded, "
       << stats.operations_generated << " generated)\n";
+  XUPDATE_RETURN_IF_ERROR(MaybeDumpMetrics(args, metrics, out));
+  XUPDATE_RETURN_IF_ERROR(MaybeWriteTraces(args, tracer, out));
   return WritePul(merged, args.Get("out"), out);
 }
 
@@ -485,6 +527,14 @@ Status CmdAnalyze(const Args& args, std::ostream& out) {
   }
   XUPDATE_ASSIGN_OR_RETURN(std::vector<pul::Pul> puls,
                            LoadPuls(args.positional));
+  obs::Tracer tracer;
+  obs::TraceLane lane;
+  if (WantTrace(args)) {
+    lane = tracer.Lane(tracer.NextPhase(), 0, "analyze");
+  }
+  auto ref = [](size_t pul, int op) {
+    return "P" + std::to_string(pul) + "#" + std::to_string(op);
+  };
   std::ostringstream json;
   json << "{\"puls\":[";
   for (size_t i = 0; i < puls.size(); ++i) {
@@ -492,6 +542,19 @@ Status CmdAnalyze(const Args& args, std::ostream& out) {
     analysis::DiagnosticReport lint = analysis::LintPul(puls[i]);
     analysis::ReductionPrediction prediction =
         analysis::PredictReduction(puls[i]);
+    if (lane.enabled()) {
+      for (const analysis::Diagnostic& d : lint) {
+        std::vector<std::string> ops = {ref(i, d.op_index)};
+        if (d.related_op >= 0) ops.push_back(ref(i, d.related_op));
+        lane.Emit(obs::EventKind::kNote, "lint", std::move(ops), d.code,
+                  d.message);
+      }
+      lane.Emit(obs::EventKind::kNote, "prediction", {}, {},
+                "P" + std::to_string(i) + ": " +
+                    std::to_string(prediction.input_ops) + " ops, <= " +
+                    std::to_string(prediction.surviving_upper_bound) +
+                    " survive");
+    }
     json << "{\"path\":\"" << analysis::JsonEscape(args.positional[i])
          << "\",\"ops\":" << puls[i].size()
          << ",\"lint\":" << analysis::DiagnosticsToJson(lint)
@@ -506,6 +569,15 @@ Status CmdAnalyze(const Args& args, std::ostream& out) {
       first = false;
       analysis::IndependenceReport verdict =
           analysis::AnalyzeIndependence(puls[i], puls[j]);
+      if (lane.enabled()) {
+        std::vector<std::string> ops;
+        if (verdict.op_a >= 0) ops.push_back(ref(i, verdict.op_a));
+        if (verdict.op_b >= 0) ops.push_back(ref(j, verdict.op_b));
+        lane.Emit(
+            obs::EventKind::kNote, "independence", std::move(ops),
+            std::string(analysis::IndependenceVerdictName(verdict.verdict)),
+            verdict.reason);
+      }
       json << "{\"a\":" << i << ",\"b\":" << j
            << ",\"report\":" << analysis::IndependenceToJson(verdict) << "}";
     }
@@ -518,6 +590,22 @@ Status CmdAnalyze(const Args& args, std::ostream& out) {
   } else {
     out << text;
   }
+  return MaybeWriteTraces(args, tracer, out);
+}
+
+// `xupdate explain journal.jsonl [--op ID]`: folds a --trace journal
+// back into per-operation provenance chains (obs/explain.h). With --op
+// it prints the story of one operation; without, every known operation.
+Status CmdExplain(const Args& args, std::ostream& out) {
+  if (args.positional.size() != 1) {
+    return Status::InvalidArgument("explain takes exactly one journal");
+  }
+  XUPDATE_ASSIGN_OR_RETURN(std::string text, ReadFile(args.positional[0]));
+  XUPDATE_ASSIGN_OR_RETURN(std::vector<obs::TraceEvent> events,
+                           obs::ParseJournal(text));
+  XUPDATE_ASSIGN_OR_RETURN(obs::ExplainReport report,
+                           obs::BuildExplainReport(events));
+  out << obs::RenderChains(report, args.Get("op"));
   return Status::OK();
 }
 
@@ -525,7 +613,7 @@ constexpr char kUsage[] =
     "usage: xupdate <command> [flags] [operands]\n"
     "commands: generate produce apply reduce aggregate integrate\n"
     "          reconcile invert diff query show stats equivalent\n"
-    "          sidecar-save sidecar-load analyze\n"
+    "          sidecar-save sidecar-load analyze explain\n"
     "see tools/cli.h for per-command flags\n";
 
 }  // namespace
@@ -553,6 +641,7 @@ Status RunCli(const std::vector<std::string>& argv, std::ostream& out) {
   if (command == "show") return CmdShow(args, out);
   if (command == "stats") return CmdStats(args, out);
   if (command == "analyze") return CmdAnalyze(args, out);
+  if (command == "explain") return CmdExplain(args, out);
   out << kUsage;
   return Status::InvalidArgument("unknown command \"" + command + "\"");
 }

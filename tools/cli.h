@@ -26,6 +26,15 @@ namespace xupdate::tools {
 //   xupdate query     --doc doc.xml --path "//item/name"
 //   xupdate stats     --doc doc.xml
 //   xupdate analyze   [--out report.json] PUL...
+//   xupdate explain   journal.jsonl [--op ID]
+//
+// Flags accept both `--name value` and `--name=value`. The reasoning
+// commands (reduce, aggregate, integrate, reconcile, analyze) share
+//   --parallelism N           worker threads (reduce/integrate/reconcile)
+//   --metrics PATH            counters/timers JSON ("-" for stdout)
+//   --trace PATH              deterministic JSONL decision journal,
+//                             input of `xupdate explain`
+//   --chrome-trace PATH       chrome://tracing / Perfetto timeline
 //
 // Documents and PULs are exchanged in the id-annotated XML formats of
 // the library. Returns a Status; diagnostics and results go to `out`.
