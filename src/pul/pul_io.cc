@@ -134,6 +134,10 @@ Status ParseOpElement(const Document& temp, NodeId op_node, Pul* out) {
 
 Result<std::string> SerializePul(const Pul& pul) {
   std::string out = "<pul>";
+  // Build first, scan once at the end: a NUL anywhere in the output can
+  // only come from an operation argument or parameter value, and NUL is
+  // not a legal XML character — consumers reading the serialization as
+  // a C string would silently truncate the record. Reject instead.
   const Policies& p = pul.policies();
   if (p.preserve_insertion_order || p.preserve_inserted_data ||
       p.preserve_removed_data) {
@@ -164,10 +168,24 @@ Result<std::string> SerializePul(const Pul& pul) {
     out += "</op>";
   }
   out += "</pul>";
+  if (out.find('\0') != std::string::npos) {
+    return Status::InvalidArgument(
+        "PUL contains an embedded NUL byte (not serializable as XML)");
+  }
   return out;
 }
 
 Result<Pul> ParsePul(std::string_view xml_text) {
+  // NUL is not a legal XML character; an embedded one means the record
+  // was produced or transported through something that treats PULs as C
+  // strings — reject it up front rather than round-tripping bytes that
+  // every other XML consumer would truncate at. (A *truncated* record —
+  // an unterminated element or attribute — is rejected by the SAX layer
+  // below with an "unclosed"/"unterminated" parse error.)
+  if (xml_text.find('\0') != std::string_view::npos) {
+    return Status::ParseError(
+        "serialized PUL contains an embedded NUL byte");
+  }
   Document temp;
   // Auto-assigned wrapper-element ids must not collide with the
   // producer's explicit parameter ids; park them in a far id range.

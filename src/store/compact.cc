@@ -1,0 +1,256 @@
+#include "store/compact.h"
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "core/aggregate.h"
+#include "core/invert.h"
+#include "core/reduce.h"
+#include "pul/apply.h"
+#include "pul/pul_io.h"
+#include "xml/document.h"
+
+namespace xupdate::store {
+
+namespace {
+
+// Replacement frames for one compacted segment (from, to]: the
+// aggregate, then undos for to .. from+1.
+struct Replacement {
+  uint64_t from = 0;
+  uint64_t to = 0;
+  std::vector<WalFrame> frames;
+};
+
+// Builds the replacement for segment (from, to] whose plain PULs are
+// `puls` (versions from+1 .. to, in order). Returns kNotApplicable when
+// a byte-identity check fails — the caller skips the segment; any other
+// error is real.
+Result<Replacement> BuildReplacement(const VersionStore& store,
+                                     const StoreOptions& options,
+                                     uint64_t from, uint64_t to,
+                                     std::vector<pul::Pul> puls,
+                                     size_t* input_ops, size_t* output_ops,
+                                     obs::TraceLane* lane) {
+  XUPDATE_ASSIGN_OR_RETURN(xml::Document doc, store.Checkout(from));
+  XUPDATE_ASSIGN_OR_RETURN(std::string base_bytes,
+                           VersionStore::SerializeAnnotated(doc));
+  // Forward replay, recording the reference serialization of every
+  // version and computing + byte-checking the undo delta of every edge.
+  std::vector<std::string> refs;  // refs[v - from] = bytes of doc_v
+  refs.push_back(std::move(base_bytes));
+  std::vector<pul::Pul> undos;  // undos[v - from - 1] takes v -> v-1
+  for (uint64_t v = from + 1; v <= to; ++v) {
+    const pul::Pul& pul = puls[static_cast<size_t>(v - from - 1)];
+    *input_ops += pul.size();
+    // Same formula as VersionStore::UndoFor, so rollback chains agree
+    // byte-for-byte whether or not the segment is compacted.
+    Result<pul::Pul> undo = VersionStore::ComputeUndo(doc, pul, options);
+    if (!undo.ok()) {
+      return Status::NotApplicable("invert failed for version " +
+                                   std::to_string(v) + ": " +
+                                   undo.status().message());
+    }
+    XUPDATE_RETURN_IF_ERROR(pul::ApplyPul(&doc, pul));
+    XUPDATE_ASSIGN_OR_RETURN(std::string after,
+                             VersionStore::SerializeAnnotated(doc));
+    xml::Document scratch = doc;
+    Status undone = pul::ApplyPul(&scratch, *undo);
+    if (!undone.ok()) {
+      return Status::NotApplicable("undo for version " + std::to_string(v) +
+                                   " not applicable: " + undone.message());
+    }
+    XUPDATE_ASSIGN_OR_RETURN(std::string walked,
+                             VersionStore::SerializeAnnotated(scratch));
+    if (walked != refs.back()) {
+      return Status::NotApplicable("undo for version " + std::to_string(v) +
+                                   " does not reproduce its parent");
+    }
+    refs.push_back(std::move(after));
+    undos.push_back(std::move(*undo));
+  }
+  // Fold the whole segment (Algorithm 2, then canonical reduction) and
+  // byte-check it against doc_to before trusting it.
+  std::vector<const pul::Pul*> pointers;
+  pointers.reserve(puls.size());
+  for (const pul::Pul& pul : puls) pointers.push_back(&pul);
+  core::AggregateOptions aggregate_options;
+  aggregate_options.metrics = options.metrics;
+  Result<pul::Pul> folded = core::Aggregate(pointers, aggregate_options);
+  if (!folded.ok()) {
+    return Status::NotApplicable("aggregate failed: " +
+                                 folded.status().message());
+  }
+  core::ReduceOptions canonical;
+  canonical.mode = core::ReduceMode::kCanonical;
+  canonical.parallelism = options.parallelism;
+  canonical.metrics = options.metrics;
+  Result<pul::Pul> reduced = core::Reduce(*folded, canonical);
+  if (!reduced.ok()) {
+    return Status::NotApplicable("canonical reduction failed: " +
+                                 reduced.status().message());
+  }
+  *output_ops += reduced->size();
+  {
+    XUPDATE_ASSIGN_OR_RETURN(xml::Document scratch, store.Checkout(from));
+    Status applied = pul::ApplyPul(&scratch, *reduced);
+    if (!applied.ok()) {
+      return Status::NotApplicable("aggregate not applicable: " +
+                                   applied.message());
+    }
+    XUPDATE_ASSIGN_OR_RETURN(std::string walked,
+                             VersionStore::SerializeAnnotated(scratch));
+    if (walked != refs.back()) {
+      return Status::NotApplicable("aggregate does not reproduce version " +
+                                   std::to_string(to));
+    }
+  }
+  if (lane != nullptr && lane->enabled()) {
+    lane->Emit(obs::EventKind::kNote, "segment-verified", {}, "",
+               "(" + std::to_string(from) + "," + std::to_string(to) +
+                   "] edges=" + std::to_string(undos.size()));
+  }
+  Replacement replacement;
+  replacement.from = from;
+  replacement.to = to;
+  WalFrame aggregate_frame;
+  aggregate_frame.type = FrameType::kAggregate;
+  aggregate_frame.version = to;
+  aggregate_frame.aux = from;
+  XUPDATE_ASSIGN_OR_RETURN(aggregate_frame.payload,
+                           pul::SerializePul(*reduced));
+  replacement.frames.push_back(std::move(aggregate_frame));
+  for (uint64_t v = to; v > from; --v) {
+    WalFrame undo_frame;
+    undo_frame.type = FrameType::kUndo;
+    undo_frame.version = v;
+    XUPDATE_ASSIGN_OR_RETURN(
+        undo_frame.payload,
+        pul::SerializePul(undos[static_cast<size_t>(v - from - 1)]));
+    replacement.frames.push_back(std::move(undo_frame));
+  }
+  return replacement;
+}
+
+}  // namespace
+
+Status CompactImpl(VersionStore* store, CompactStats* stats) {
+  const StoreOptions& options = store->options_;
+  ScopedTimer timer(options.metrics, "store.compact.seconds");
+  obs::TraceLane lane;
+  if (options.tracer != nullptr) {
+    lane = options.tracer->Lane(options.tracer->NextPhase(), 0, "store");
+  }
+  obs::TraceSpan span(&lane, "compact");
+  CompactStats local;
+  local.frames_before = store->wal_.frames().size();
+  local.journal_bytes_before = store->wal_.size_bytes();
+  // Eligible segments: consecutive checkpointed versions with only
+  // plain kPul frames in between, folding >= 2 versions.
+  std::map<uint64_t, Replacement> replacements;  // by `from`
+  const std::vector<uint64_t>& checkpoints = store->snapshots().versions();
+  for (size_t i = 0; i + 1 < checkpoints.size(); ++i) {
+    uint64_t from = checkpoints[i];
+    uint64_t to = checkpoints[i + 1];
+    if (to > store->head() || to - from < 2) continue;
+    std::vector<pul::Pul> puls;
+    bool plain = true;
+    for (uint64_t v = from + 1; v <= to && plain; ++v) {
+      auto it = store->pul_frames_.find(v);
+      if (it == store->pul_frames_.end()) {
+        plain = false;
+        break;
+      }
+      XUPDATE_ASSIGN_OR_RETURN(pul::Pul pul, store->ReadPul(it->second));
+      puls.push_back(std::move(pul));
+    }
+    if (!plain) continue;
+    ++local.segments_considered;
+    size_t input_ops = 0;
+    size_t output_ops = 0;
+    Result<Replacement> replacement =
+        BuildReplacement(*store, options, from, to, std::move(puls),
+                         &input_ops, &output_ops, &lane);
+    if (!replacement.ok()) {
+      if (replacement.status().code() != StatusCode::kNotApplicable) {
+        return replacement.status();
+      }
+      ++local.segments_skipped;
+      if (lane.enabled()) {
+        lane.Emit(obs::EventKind::kNote, "segment-skipped", {}, "",
+                  "(" + std::to_string(from) + "," + std::to_string(to) +
+                      "] " + replacement.status().message());
+      }
+      continue;
+    }
+    local.input_ops += input_ops;
+    local.output_ops += output_ops;
+    ++local.segments_compacted;
+    replacements[from] = std::move(*replacement);
+  }
+  if (!replacements.empty()) {
+    // Rewrite the journal: frames outside compacted segments are copied
+    // byte-for-byte; each compacted run of kPul frames is replaced by
+    // its aggregate + undo block. The new journal is installed
+    // atomically, then re-opened and re-indexed.
+    std::string content(Wal::kMagic, Wal::kMagicSize);
+    for (const WalFrameInfo& info : store->wal_.frames()) {
+      const Replacement* owner = nullptr;
+      if (info.type == FrameType::kPul) {
+        // Owner segment (from, to]: the one with the largest from < v —
+        // lower_bound, not upper_bound, so a version equal to a later
+        // segment's base still resolves to the segment it closes.
+        auto it = replacements.lower_bound(info.version);
+        if (it != replacements.begin()) {
+          --it;
+          if (info.version > it->second.from &&
+              info.version <= it->second.to) {
+            owner = &it->second;
+          }
+        }
+      }
+      if (owner != nullptr) {
+        if (info.version == owner->from + 1) {
+          for (const WalFrame& frame : owner->frames) {
+            content += Wal::EncodeFrame(frame);
+          }
+        }
+        continue;  // other frames of the segment are folded away
+      }
+      XUPDATE_ASSIGN_OR_RETURN(WalFrame frame, store->wal_.ReadFrame(info));
+      content += Wal::EncodeFrame(frame);
+    }
+    std::string path = store->wal_.path();
+    XUPDATE_RETURN_IF_ERROR(store->wal_.Close());
+    XUPDATE_RETURN_IF_ERROR(WriteFileAtomic(path, content));
+    WalOptions wal_options;
+    wal_options.fsync = options.fsync;
+    wal_options.batch_interval = options.batch_interval;
+    wal_options.fail_after_bytes = options.fail_after_bytes;
+    wal_options.metrics = options.metrics;
+    XUPDATE_ASSIGN_OR_RETURN(store->wal_, Wal::Open(path, wal_options));
+    XUPDATE_RETURN_IF_ERROR(store->BuildIndex());
+    // The journal shrank; rebase the byte-cadence marker so the next
+    // commit does not spuriously checkpoint.
+    store->wal_bytes_at_checkpoint_ = store->wal_.size_bytes();
+  }
+  local.frames_after = store->wal_.frames().size();
+  local.journal_bytes_after = store->wal_.size_bytes();
+  if (options.metrics != nullptr) {
+    options.metrics->AddCounter("store.compact.count");
+    options.metrics->AddCounter("store.compact.segments",
+                                local.segments_compacted);
+    options.metrics->AddCounter("store.compact.segments_skipped",
+                                local.segments_skipped);
+    if (local.journal_bytes_before > local.journal_bytes_after) {
+      options.metrics->AddCounter(
+          "store.compact.bytes_saved",
+          local.journal_bytes_before - local.journal_bytes_after);
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return Status::OK();
+}
+
+}  // namespace xupdate::store

@@ -1,0 +1,36 @@
+#ifndef XUPDATE_STORE_COMPACT_H_
+#define XUPDATE_STORE_COMPACT_H_
+
+#include "common/result.h"
+#include "store/version.h"
+
+namespace xupdate::store {
+
+// Journal compaction (VersionStore::Compact forwards here).
+//
+// A segment (a, b] is eligible when a and b are consecutive
+// checkpointed versions, every version in between is still a plain
+// kPul frame, and the segment folds at least two versions. For each
+// eligible segment compaction builds
+//
+//   - one kAggregate frame: Reduce_canonical(Aggregate(pul_{a+1} ..
+//     pul_b)) — Algorithm 2 cumulation followed by canonical reduction,
+//     taking doc_a directly to doc_b;
+//   - one kUndo frame per interior version v in b .. a+1:
+//     Invert(doc_{v-1}, Reduce_det(pul_v)), taking doc_v back to
+//     doc_{v-1}.
+//
+// Verify-before-install: during the forward replay of the segment the
+// id-annotated serialization of every version is recorded, and every
+// produced frame is byte-checked against those references — the
+// aggregate must land exactly on doc_b's bytes, each undo exactly on
+// doc_{v-1}'s. A segment failing any check is skipped (kept on its
+// plain frames, counted in CompactStats::segments_skipped); the store
+// never trades correctness for journal size. The rewritten journal is
+// installed atomically (temp + fsync + rename), so a crash during
+// compaction leaves either the old or the new journal, both valid.
+Status CompactImpl(VersionStore* store, CompactStats* stats);
+
+}  // namespace xupdate::store
+
+#endif  // XUPDATE_STORE_COMPACT_H_

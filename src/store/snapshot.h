@@ -1,0 +1,68 @@
+#ifndef XUPDATE_STORE_SNAPSHOT_H_
+#define XUPDATE_STORE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/result.h"
+#include "store/wal.h"
+
+namespace xupdate::store {
+
+// Snapshot checkpoints for the versioned store: full id-annotated
+// serializations of the document at selected versions, so Checkout(v)
+// replays from the nearest checkpoint instead of from version 0.
+//
+// One file per checkpoint, `snap-<version, 20 decimal digits>.snap`,
+// containing the magic "XUSNP001" followed by a single WAL-encoded
+// frame (type kSnapshot, version = checkpointed version, payload = the
+// annotated XML). Files are written atomically (temp + fsync + rename +
+// directory fsync), so a crash mid-checkpoint leaves either no file or
+// a complete one — Open() CRC-rejects anything else.
+
+inline constexpr char kSnapshotMagic[] = "XUSNP001";
+inline constexpr size_t kSnapshotMagicSize = 8;
+
+class SnapshotStore {
+ public:
+  // A default-constructed store is empty; use Open().
+  SnapshotStore() = default;
+
+  // Scans `dir` for snapshot files. Unreadable or torn files are
+  // skipped (and counted), not fatal: the journal can always rebuild.
+  static Result<SnapshotStore> Open(const std::string& dir,
+                                    Metrics* metrics = nullptr);
+
+  // Writes the checkpoint for `version` atomically and registers it.
+  Status Write(uint64_t version, std::string_view annotated_xml);
+
+  // Reads and CRC-verifies the checkpoint for `version`.
+  Result<std::string> Read(uint64_t version) const;
+
+  // Largest checkpointed version <= v; false if none (version 0 is
+  // always checkpointed by VersionStore::Init, so this only fails on a
+  // damaged store).
+  bool NearestAtOrBelow(uint64_t v, uint64_t* out) const;
+
+  bool Has(uint64_t version) const;
+
+  // Checkpointed versions, ascending.
+  const std::vector<uint64_t>& versions() const { return versions_; }
+
+  // Files skipped by Open() because they failed magic/CRC/name checks.
+  size_t skipped_files() const { return skipped_files_; }
+
+  static std::string FileName(uint64_t version);
+
+ private:
+  std::string dir_;
+  std::vector<uint64_t> versions_;
+  size_t skipped_files_ = 0;
+  Metrics* metrics_ = nullptr;
+};
+
+}  // namespace xupdate::store
+
+#endif  // XUPDATE_STORE_SNAPSHOT_H_

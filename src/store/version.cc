@@ -1,0 +1,603 @@
+#include "store/version.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/aggregate.h"
+#include "core/invert.h"
+#include "core/reduce.h"
+#include "pul/apply.h"
+#include "pul/pul_io.h"
+#include "store/compact.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace xupdate::store {
+
+namespace {
+
+constexpr char kJournalName[] = "wal.log";
+
+WalOptions ToWalOptions(const StoreOptions& options) {
+  WalOptions wal;
+  wal.fsync = options.fsync;
+  wal.batch_interval = options.batch_interval;
+  wal.fail_after_bytes = options.fail_after_bytes;
+  wal.metrics = options.metrics;
+  return wal;
+}
+
+// Kinds a same-target repN/del overrides (O1's overridable set; mirrors
+// core/invert.cc, which enforces exactly these as preconditions).
+bool IsO1Overridable(pul::OpKind kind) {
+  switch (kind) {
+    case pul::OpKind::kRename:
+    case pul::OpKind::kReplaceValue:
+    case pul::OpKind::kReplaceChildren:
+    case pul::OpKind::kDelete:
+    case pul::OpKind::kInsFirst:
+    case pul::OpKind::kInsLast:
+    case pul::OpKind::kInsInto:
+    case pul::OpKind::kInsAttributes:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Drops every operation the O-rules override, judged against the
+// pre-state document instead of the operation labels: labels inside an
+// aggregated PUL can predate the document state and miss ancestor
+// relations the document itself exhibits. Overridden operations have no
+// effect on Apply, so the filtered PUL is Apply-equivalent; it exists so
+// core/invert's O-irreducibility precondition holds.
+Result<pul::Pul> DropOverriddenOps(const xml::Document& doc,
+                                   const pul::Pul& pul) {
+  const auto& ops = pul.ops();
+  std::vector<bool> drop(ops.size(), false);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Same-target overrides (O1, and repC vs child insertions).
+    std::unordered_map<xml::NodeId, std::vector<size_t>> by_target;
+    for (size_t i = 0; i < ops.size(); ++i) {
+      if (!drop[i]) by_target[ops[i].target].push_back(i);
+    }
+    for (const auto& [target, indexes] : by_target) {
+      size_t killer = ops.size();
+      bool has_repc = false;
+      for (size_t i : indexes) {
+        if (ops[i].kind == pul::OpKind::kDelete ||
+            ops[i].kind == pul::OpKind::kReplaceNode) {
+          killer = i;
+        }
+        if (ops[i].kind == pul::OpKind::kReplaceChildren) has_repc = true;
+      }
+      for (size_t i : indexes) {
+        if (killer != ops.size() && i != killer &&
+            IsO1Overridable(ops[i].kind)) {
+          drop[i] = true;
+          changed = true;
+        }
+        if (has_repc && (ops[i].kind == pul::OpKind::kInsFirst ||
+                         ops[i].kind == pul::OpKind::kInsInto ||
+                         ops[i].kind == pul::OpKind::kInsLast)) {
+          drop[i] = true;
+          changed = true;
+        }
+      }
+    }
+    // Nested overrides: operations inside a killed subtree (del/repN)
+    // or under a surviving repC target (attributes of the target itself
+    // excepted, matching core/invert.cc).
+    for (size_t k = 0; k < ops.size(); ++k) {
+      if (drop[k]) continue;
+      bool kills_subtree = ops[k].kind == pul::OpKind::kDelete ||
+                           ops[k].kind == pul::OpKind::kReplaceNode;
+      bool is_repc = ops[k].kind == pul::OpKind::kReplaceChildren;
+      if (!kills_subtree && !is_repc) continue;
+      for (size_t i = 0; i < ops.size(); ++i) {
+        if (drop[i] || i == k) continue;
+        if (!doc.IsAncestor(ops[k].target, ops[i].target)) continue;
+        if (is_repc && doc.parent(ops[i].target) == ops[k].target &&
+            doc.type(ops[i].target) == xml::NodeType::kAttribute) {
+          continue;
+        }
+        drop[i] = true;
+        changed = true;
+      }
+    }
+  }
+  if (std::find(drop.begin(), drop.end(), true) == drop.end()) return pul;
+  pul::Pul out;
+  out.set_policies(pul.policies());
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (drop[i]) continue;
+    pul::UpdateOp op = ops[i];
+    for (xml::NodeId& root : op.param_trees) {
+      XUPDATE_ASSIGN_OR_RETURN(
+          root, out.forest().AdoptSubtree(pul.forest(), root,
+                                          /*preserve_ids=*/true, nullptr));
+    }
+    XUPDATE_RETURN_IF_ERROR(out.AddOp(std::move(op)));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::string> VersionStore::SerializeAnnotated(
+    const xml::Document& doc) {
+  xml::SerializeOptions options;
+  options.with_ids = true;
+  return xml::SerializeDocument(doc, options);
+}
+
+Status VersionStore::Init(const std::string& dir,
+                          std::string_view initial_xml,
+                          const StoreOptions& options) {
+  XUPDATE_RETURN_IF_ERROR(EnsureDirectory(dir));
+  std::string journal = dir + "/" + kJournalName;
+  if (PathExists(journal)) {
+    return Status::InvalidArgument("store already initialized: " + dir);
+  }
+  XUPDATE_ASSIGN_OR_RETURN(xml::Document doc,
+                           xml::ParseDocument(initial_xml));
+  XUPDATE_ASSIGN_OR_RETURN(std::string annotated, SerializeAnnotated(doc));
+  XUPDATE_ASSIGN_OR_RETURN(SnapshotStore snapshots,
+                           SnapshotStore::Open(dir, options.metrics));
+  XUPDATE_RETURN_IF_ERROR(snapshots.Write(0, annotated));
+  XUPDATE_ASSIGN_OR_RETURN(Wal wal,
+                           Wal::Create(journal, ToWalOptions(options)));
+  return wal.Close();
+}
+
+Result<VersionStore> VersionStore::Open(const std::string& dir,
+                                        const StoreOptions& options,
+                                        OpenReport* report) {
+  ScopedTimer timer(options.metrics, "store.open.seconds");
+  VersionStore store;
+  store.dir_ = dir;
+  store.options_ = options;
+  WalRecovery recovery;
+  XUPDATE_ASSIGN_OR_RETURN(
+      store.wal_,
+      Wal::Open(dir + "/" + kJournalName, ToWalOptions(options), &recovery));
+  XUPDATE_ASSIGN_OR_RETURN(store.snapshots_,
+                           SnapshotStore::Open(dir, options.metrics));
+  XUPDATE_RETURN_IF_ERROR(store.BuildIndex());
+  size_t stale_snapshots = 0;
+  for (uint64_t v : store.snapshots_.versions()) {
+    if (v > store.head_) ++stale_snapshots;
+  }
+  XUPDATE_ASSIGN_OR_RETURN(store.doc_, store.Checkout(store.head_));
+  uint64_t nearest = 0;
+  if (!store.snapshots_.NearestAtOrBelow(store.head_, &nearest)) {
+    return Status::ParseError("store has no base checkpoint: " + dir);
+  }
+  store.last_checkpoint_version_ = nearest;
+  store.wal_bytes_at_checkpoint_ = store.wal_.size_bytes();
+  if (report != nullptr) {
+    report->wal = recovery;
+    report->head = store.head_;
+    report->snapshots = store.snapshots_.versions().size();
+    report->snapshots_ignored =
+        store.snapshots_.skipped_files() + stale_snapshots;
+  }
+  if (options.tracer != nullptr) {
+    obs::TraceLane lane =
+        options.tracer->Lane(options.tracer->NextPhase(), 0, "store");
+    lane.Emit(obs::EventKind::kNote, "open", {}, "",
+              "head=" + std::to_string(store.head_) +
+                  " frames=" + std::to_string(recovery.frames) +
+                  " truncated_bytes=" +
+                  std::to_string(recovery.truncated_bytes) +
+                  " snapshots=" +
+                  std::to_string(store.snapshots_.versions().size()));
+  }
+  return store;
+}
+
+Status VersionStore::BuildIndex() {
+  pul_frames_.clear();
+  segments_.clear();
+  const std::vector<WalFrameInfo>& frames = wal_.frames();
+  uint64_t cur = 0;
+  size_t i = 0;
+  while (i < frames.size()) {
+    const WalFrameInfo& info = frames[i];
+    switch (info.type) {
+      case FrameType::kPul: {
+        if (info.version != cur + 1) {
+          return Status::ParseError(
+              "journal gap: PUL frame for version " +
+              std::to_string(info.version) + " after version " +
+              std::to_string(cur));
+        }
+        pul_frames_[info.version] = info;
+        cur = info.version;
+        ++i;
+        break;
+      }
+      case FrameType::kAggregate: {
+        if (info.aux != cur || info.version <= cur) {
+          return Status::ParseError(
+              "journal gap: aggregate frame (" + std::to_string(info.aux) +
+              ", " + std::to_string(info.version) + "] after version " +
+              std::to_string(cur));
+        }
+        Segment segment;
+        segment.from = info.aux;
+        segment.to = info.version;
+        segment.aggregate = info;
+        ++i;
+        // Undo frames for to .. from+1, descending, immediately after.
+        for (uint64_t w = segment.to; w > segment.from; --w) {
+          if (i >= frames.size() || frames[i].type != FrameType::kUndo ||
+              frames[i].version != w) {
+            return Status::ParseError(
+                "journal structure: missing undo frame for version " +
+                std::to_string(w));
+          }
+          segment.undos[w] = frames[i];
+          ++i;
+        }
+        cur = segment.to;
+        segments_.push_back(std::move(segment));
+        break;
+      }
+      case FrameType::kUndo:
+        return Status::ParseError(
+            "journal structure: stray undo frame for version " +
+            std::to_string(info.version));
+      case FrameType::kSnapshot:
+        return Status::ParseError(
+            "journal structure: snapshot frame inside journal");
+    }
+  }
+  head_ = cur;
+  return Status::OK();
+}
+
+Result<pul::Pul> VersionStore::ReadPul(const WalFrameInfo& info) const {
+  XUPDATE_ASSIGN_OR_RETURN(WalFrame frame, wal_.ReadFrame(info));
+  return pul::ParsePul(frame.payload);
+}
+
+Result<xml::Document> VersionStore::Checkout(uint64_t v) const {
+  if (v > head_) {
+    return Status::InvalidArgument(
+        "version " + std::to_string(v) + " beyond head " +
+        std::to_string(head_));
+  }
+  ScopedTimer timer(options_.metrics, "store.checkout.seconds");
+  uint64_t base = 0;
+  if (!snapshots_.NearestAtOrBelow(v, &base)) {
+    return Status::ParseError("no checkpoint at or below version " +
+                              std::to_string(v));
+  }
+  XUPDATE_ASSIGN_OR_RETURN(std::string annotated, snapshots_.Read(base));
+  XUPDATE_ASSIGN_OR_RETURN(xml::Document doc,
+                           xml::ParseDocument(annotated));
+  uint64_t cur = base;
+  uint64_t replayed = 0;
+  while (cur < v) {
+    auto it = pul_frames_.find(cur + 1);
+    if (it != pul_frames_.end()) {
+      XUPDATE_ASSIGN_OR_RETURN(pul::Pul pul, ReadPul(it->second));
+      XUPDATE_RETURN_IF_ERROR(pul::ApplyPul(&doc, pul));
+      ++cur;
+      ++replayed;
+      continue;
+    }
+    // The next version lives in a compacted segment based at `cur`.
+    const Segment* segment = nullptr;
+    for (const Segment& s : segments_) {
+      if (s.from == cur) {
+        segment = &s;
+        break;
+      }
+    }
+    if (segment == nullptr) {
+      return Status::ParseError("journal gap above version " +
+                                std::to_string(cur));
+    }
+    XUPDATE_ASSIGN_OR_RETURN(pul::Pul aggregate,
+                             ReadPul(segment->aggregate));
+    XUPDATE_RETURN_IF_ERROR(pul::ApplyPul(&doc, aggregate));
+    cur = segment->to;
+    ++replayed;
+    // Interior version: walk the undo chain back down from `to`.
+    for (uint64_t w = cur; w > v; --w) {
+      XUPDATE_ASSIGN_OR_RETURN(pul::Pul undo,
+                               ReadPul(segment->undos.at(w)));
+      XUPDATE_RETURN_IF_ERROR(pul::ApplyPul(&doc, undo));
+      ++replayed;
+    }
+    cur = std::min(cur, v);
+  }
+  if (options_.metrics != nullptr) {
+    options_.metrics->AddCounter("store.checkout.count");
+    options_.metrics->AddCounter("store.checkout.replayed_frames",
+                                 replayed);
+  }
+  return doc;
+}
+
+Result<std::string> VersionStore::CheckoutXml(uint64_t v) const {
+  XUPDATE_ASSIGN_OR_RETURN(xml::Document doc, Checkout(v));
+  return SerializeAnnotated(doc);
+}
+
+Result<uint64_t> VersionStore::Commit(const pul::Pul& pul) {
+  ScopedTimer timer(options_.metrics, "store.commit.seconds");
+  XUPDATE_RETURN_IF_ERROR(pul::CheckPulApplicable(doc_, pul));
+  XUPDATE_ASSIGN_OR_RETURN(std::string payload, pul::SerializePul(pul));
+  WalFrame frame;
+  frame.type = FrameType::kPul;
+  frame.version = head_ + 1;
+  frame.payload = std::move(payload);
+  // WAL-first: if the append (or its fsync) fails, the in-memory state
+  // is untouched and the torn tail is recovered on the next Open.
+  XUPDATE_RETURN_IF_ERROR(wal_.Append(frame));
+  XUPDATE_RETURN_IF_ERROR(pul::ApplyPul(&doc_, pul));
+  ++head_;
+  pul_frames_[head_] = wal_.frames().back();
+  if (options_.metrics != nullptr) {
+    options_.metrics->AddCounter("store.commit.count");
+  }
+  XUPDATE_RETURN_IF_ERROR(MaybeCheckpoint());
+  return head_;
+}
+
+Status VersionStore::MaybeCheckpoint() {
+  bool version_trigger =
+      options_.snapshot_every > 0 &&
+      head_ - last_checkpoint_version_ >= options_.snapshot_every;
+  bool byte_trigger =
+      options_.snapshot_bytes > 0 &&
+      wal_.size_bytes() - wal_bytes_at_checkpoint_ >=
+          options_.snapshot_bytes;
+  if (!version_trigger && !byte_trigger) return Status::OK();
+  XUPDATE_ASSIGN_OR_RETURN(std::string annotated, SerializeAnnotated(doc_));
+  XUPDATE_RETURN_IF_ERROR(snapshots_.Write(head_, annotated));
+  last_checkpoint_version_ = head_;
+  wal_bytes_at_checkpoint_ = wal_.size_bytes();
+  if (options_.tracer != nullptr) {
+    obs::TraceLane lane =
+        options_.tracer->Lane(options_.tracer->NextPhase(), 0, "store");
+    lane.Emit(obs::EventKind::kNote, "checkpoint", {}, "",
+              "version=" + std::to_string(head_) + " trigger=" +
+                  (version_trigger ? "versions" : "bytes"));
+  }
+  return Status::OK();
+}
+
+Result<pul::Pul> VersionStore::UndoFor(uint64_t v) const {
+  for (const Segment& segment : segments_) {
+    if (v > segment.from && v <= segment.to) {
+      XUPDATE_ASSIGN_OR_RETURN(WalFrame frame,
+                               wal_.ReadFrame(segment.undos.at(v)));
+      return pul::ParsePul(frame.payload);
+    }
+  }
+  auto it = pul_frames_.find(v);
+  if (it == pul_frames_.end()) {
+    return Status::Internal("no frame for version " + std::to_string(v));
+  }
+  XUPDATE_ASSIGN_OR_RETURN(pul::Pul pul, ReadPul(it->second));
+  XUPDATE_ASSIGN_OR_RETURN(xml::Document prev, Checkout(v - 1));
+  return ComputeUndo(prev, pul, options_);
+}
+
+Result<pul::Pul> VersionStore::ComputeUndo(const xml::Document& pre,
+                                           const pul::Pul& pul,
+                                           const StoreOptions& options) {
+  core::ReduceOptions reduce_options;
+  reduce_options.mode = core::ReduceMode::kDeterministic;
+  reduce_options.parallelism = options.parallelism;
+  reduce_options.metrics = options.metrics;
+  XUPDATE_ASSIGN_OR_RETURN(pul::Pul reduced,
+                           core::Reduce(pul, reduce_options));
+  XUPDATE_ASSIGN_OR_RETURN(pul::Pul filtered,
+                           DropOverriddenOps(pre, reduced));
+  label::Labeling labeling = label::Labeling::Build(pre);
+  return core::Invert(pre, labeling, filtered);
+}
+
+Result<uint64_t> VersionStore::Rollback(uint64_t to) {
+  if (to >= head_) {
+    return Status::InvalidArgument(
+        "rollback target " + std::to_string(to) +
+        " is not below head " + std::to_string(head_));
+  }
+  ScopedTimer timer(options_.metrics, "store.rollback.seconds");
+  XUPDATE_ASSIGN_OR_RETURN(std::string target, CheckoutXml(to));
+  std::vector<pul::Pul> undos;
+  undos.reserve(static_cast<size_t>(head_ - to));
+  for (uint64_t v = head_; v > to; --v) {
+    XUPDATE_ASSIGN_OR_RETURN(pul::Pul undo, UndoFor(v));
+    undos.push_back(std::move(undo));
+  }
+  // The chain is the ground truth: applying it must land on the target
+  // bytes before anything is committed.
+  {
+    xml::Document scratch = doc_;
+    for (const pul::Pul& undo : undos) {
+      XUPDATE_RETURN_IF_ERROR(pul::ApplyPul(&scratch, undo));
+    }
+    XUPDATE_ASSIGN_OR_RETURN(std::string bytes,
+                             SerializeAnnotated(scratch));
+    if (bytes != target) {
+      return Status::Internal(
+          "rollback chain does not reproduce version " +
+          std::to_string(to));
+    }
+  }
+  // Prefer a single aggregated commit; fall back to the verified chain
+  // when aggregation or its byte-check fails.
+  bool aggregated = false;
+  pul::Pul folded;
+  if (undos.size() == 1) {
+    folded = undos.front();
+    aggregated = true;
+  } else {
+    std::vector<const pul::Pul*> pointers;
+    pointers.reserve(undos.size());
+    for (const pul::Pul& undo : undos) pointers.push_back(&undo);
+    core::AggregateOptions aggregate_options;
+    aggregate_options.metrics = options_.metrics;
+    aggregate_options.tracer = options_.tracer;
+    Result<pul::Pul> fold = core::Aggregate(pointers, aggregate_options);
+    if (fold.ok()) {
+      core::ReduceOptions reduce_options;
+      reduce_options.mode = core::ReduceMode::kCanonical;
+      reduce_options.parallelism = options_.parallelism;
+      reduce_options.metrics = options_.metrics;
+      Result<pul::Pul> reduced = core::Reduce(*fold, reduce_options);
+      if (reduced.ok()) {
+        xml::Document scratch = doc_;
+        if (pul::ApplyPul(&scratch, *reduced).ok()) {
+          Result<std::string> bytes = SerializeAnnotated(scratch);
+          if (bytes.ok() && *bytes == target) {
+            folded = std::move(*reduced);
+            aggregated = true;
+          }
+        }
+      }
+    }
+  }
+  if (aggregated) {
+    XUPDATE_ASSIGN_OR_RETURN(uint64_t version, Commit(folded));
+    if (options_.metrics != nullptr) {
+      options_.metrics->AddCounter("store.rollback.count");
+    }
+    return version;
+  }
+  if (options_.metrics != nullptr) {
+    options_.metrics->AddCounter("store.rollback.chain_fallback");
+  }
+  uint64_t version = head_;
+  for (const pul::Pul& undo : undos) {
+    XUPDATE_ASSIGN_OR_RETURN(version, Commit(undo));
+  }
+  if (options_.metrics != nullptr) {
+    options_.metrics->AddCounter("store.rollback.count");
+  }
+  return version;
+}
+
+Status VersionStore::Compact(CompactStats* stats) {
+  return CompactImpl(this, stats);
+}
+
+Result<VerifyReport> VersionStore::Verify() const {
+  ScopedTimer timer(options_.metrics, "store.verify.seconds");
+  VerifyReport report;
+  report.head = head_;
+  report.snapshots = snapshots_.versions().size();
+  // Structural re-scan: every byte of the journal must decode into
+  // CRC-clean frames with no trailing garbage.
+  XUPDATE_ASSIGN_OR_RETURN(std::string data,
+                           ReadFileToString(wal_.path()));
+  if (data.size() < Wal::kMagicSize ||
+      data.compare(0, Wal::kMagicSize, Wal::kMagic, Wal::kMagicSize) != 0) {
+    return Status::ParseError("bad journal magic");
+  }
+  size_t offset = Wal::kMagicSize;
+  while (offset < data.size()) {
+    XUPDATE_ASSIGN_OR_RETURN(WalFrame frame,
+                             Wal::DecodeFrame(data, &offset));
+    (void)frame;
+    ++report.frames;
+  }
+  if (report.frames != wal_.frames().size()) {
+    return Status::ParseError("journal frame directory out of sync");
+  }
+  // Forward replay from the base checkpoint: every checkpointed version
+  // must serialize to exactly its checkpoint bytes, and every compacted
+  // segment's undo chain must walk back down onto the segment base.
+  XUPDATE_ASSIGN_OR_RETURN(std::string base_xml, snapshots_.Read(0));
+  XUPDATE_ASSIGN_OR_RETURN(xml::Document doc,
+                           xml::ParseDocument(base_xml));
+  ++report.snapshots_checked;
+  uint64_t cur = 0;
+  std::string segment_base_bytes;  // serialized doc at each segment base
+  while (cur < head_) {
+    auto it = pul_frames_.find(cur + 1);
+    if (it != pul_frames_.end()) {
+      XUPDATE_ASSIGN_OR_RETURN(pul::Pul pul, ReadPul(it->second));
+      XUPDATE_RETURN_IF_ERROR(pul::ApplyPul(&doc, pul));
+      ++cur;
+      ++report.replayed_versions;
+    } else {
+      const Segment* segment = nullptr;
+      for (const Segment& s : segments_) {
+        if (s.from == cur) {
+          segment = &s;
+          break;
+        }
+      }
+      if (segment == nullptr) {
+        return Status::ParseError("journal gap above version " +
+                                  std::to_string(cur));
+      }
+      XUPDATE_ASSIGN_OR_RETURN(segment_base_bytes,
+                               SerializeAnnotated(doc));
+      XUPDATE_ASSIGN_OR_RETURN(pul::Pul aggregate,
+                               ReadPul(segment->aggregate));
+      XUPDATE_RETURN_IF_ERROR(pul::ApplyPul(&doc, aggregate));
+      cur = segment->to;
+      report.replayed_versions +=
+          static_cast<size_t>(segment->to - segment->from);
+      // Undo chain: to -> from must land on the segment-base bytes.
+      xml::Document scratch = doc;
+      for (uint64_t w = segment->to; w > segment->from; --w) {
+        XUPDATE_ASSIGN_OR_RETURN(pul::Pul undo,
+                                 ReadPul(segment->undos.at(w)));
+        XUPDATE_RETURN_IF_ERROR(pul::ApplyPul(&scratch, undo));
+      }
+      XUPDATE_ASSIGN_OR_RETURN(std::string walked,
+                               SerializeAnnotated(scratch));
+      if (walked != segment_base_bytes) {
+        return Status::ParseError(
+            "undo chain of segment (" + std::to_string(segment->from) +
+            ", " + std::to_string(segment->to) +
+            "] does not reproduce its base");
+      }
+      ++report.undo_chains_checked;
+    }
+    if (snapshots_.Has(cur)) {
+      XUPDATE_ASSIGN_OR_RETURN(std::string expect, snapshots_.Read(cur));
+      XUPDATE_ASSIGN_OR_RETURN(std::string got, SerializeAnnotated(doc));
+      if (got != expect) {
+        return Status::ParseError(
+            "checkpoint for version " + std::to_string(cur) +
+            " does not match replay");
+      }
+      ++report.snapshots_checked;
+    }
+  }
+  return report;
+}
+
+std::vector<LogEntry> VersionStore::Log() const {
+  std::vector<LogEntry> entries;
+  entries.reserve(wal_.frames().size());
+  for (const WalFrameInfo& info : wal_.frames()) {
+    LogEntry entry;
+    entry.type = info.type;
+    entry.version = info.version;
+    entry.aux = info.aux;
+    entry.offset = info.offset;
+    entry.payload_bytes = info.payload_bytes;
+    entries.push_back(entry);
+  }
+  return entries;
+}
+
+Status VersionStore::Close() { return wal_.Close(); }
+
+}  // namespace xupdate::store

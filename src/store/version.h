@@ -1,0 +1,229 @@
+#ifndef XUPDATE_STORE_VERSION_H_
+#define XUPDATE_STORE_VERSION_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/result.h"
+#include "label/labeling.h"
+#include "obs/trace.h"
+#include "pul/pul.h"
+#include "store/snapshot.h"
+#include "store/wal.h"
+#include "xml/document.h"
+
+namespace xupdate::store {
+
+// The durable versioned update store: a linear version history where
+// version 0 is the initial document and each later version is its
+// parent plus one committed PUL. On disk a store directory holds
+//
+//   wal.log        the journal (store/wal.h)
+//   snap-*.snap    snapshot checkpoints (store/snapshot.h)
+//
+// and nothing else — there is no manifest; the whole state is derived
+// by scanning both at Open(). Commit is WAL-first: the serialized PUL
+// is appended (and fsync'd per policy) before it is applied in memory,
+// so a crash at any byte leaves a journal that recovers to the last
+// complete version. Checkout(v) materializes any historical version by
+// replaying from the nearest checkpoint at or below v; compaction
+// (store/compact.h, VersionStore::Compact) folds journal segments
+// between consecutive checkpoints into one aggregated PUL plus
+// per-version undo deltas, preserving Checkout byte-identity for every
+// version — verified against forward-replay serializations before the
+// rewritten journal is installed.
+
+struct StoreOptions {
+  FsyncPolicy fsync = FsyncPolicy::kAlways;
+  size_t batch_interval = 16;
+  // Checkpoint cadence: snapshot after this many versions since the
+  // last checkpoint (0 disables the version trigger) ...
+  uint64_t snapshot_every = 8;
+  // ... or after this many journal bytes since it (0 disables).
+  uint64_t snapshot_bytes = 1 << 20;
+  // Reduce parallelism used by compaction and rollback. The reduction
+  // engine is byte-deterministic across parallelism levels, so this
+  // never changes store contents.
+  int parallelism = 1;
+  // Fault injection (see WalOptions::fail_after_bytes).
+  int64_t fail_after_bytes = -1;
+  Metrics* metrics = nullptr;
+  obs::Tracer* tracer = nullptr;
+};
+
+// One journal frame, as reported by Log().
+struct LogEntry {
+  FrameType type = FrameType::kPul;
+  uint64_t version = 0;
+  uint64_t aux = 0;  // kAggregate: the segment's base version
+  uint64_t offset = 0;
+  uint32_t payload_bytes = 0;
+};
+
+// What Open() found and repaired.
+struct OpenReport {
+  WalRecovery wal;
+  uint64_t head = 0;
+  size_t snapshots = 0;
+  // Checkpoint files ignored because they are torn, or describe a
+  // version above the recovered head (a crash between journal loss and
+  // checkpoint write can leave these behind under fsync=never).
+  size_t snapshots_ignored = 0;
+};
+
+struct VerifyReport {
+  size_t frames = 0;
+  size_t snapshots = 0;
+  uint64_t head = 0;
+  // Versions re-materialized by forward replay during verification.
+  size_t replayed_versions = 0;
+  // Checkpoints whose bytes were matched against the replay.
+  size_t snapshots_checked = 0;
+  // Undo chains of compacted segments walked back to a checkpoint.
+  size_t undo_chains_checked = 0;
+};
+
+struct CompactStats {
+  size_t segments_considered = 0;
+  size_t segments_compacted = 0;
+  // Segments left alone because an aggregated or undo replay failed the
+  // byte-identity check (the store stays on the plain frames).
+  size_t segments_skipped = 0;
+  size_t frames_before = 0;
+  size_t frames_after = 0;
+  uint64_t journal_bytes_before = 0;
+  uint64_t journal_bytes_after = 0;
+  size_t input_ops = 0;   // across compacted segments
+  size_t output_ops = 0;  // aggregate ops across compacted segments
+};
+
+class VersionStore {
+ public:
+  // Creates a store directory: parses `initial_xml` as version 0,
+  // writes its checkpoint and an empty journal. Fails if a journal
+  // already exists there.
+  static Status Init(const std::string& dir, std::string_view initial_xml,
+                     const StoreOptions& options = {});
+
+  // Opens an existing store: recovers the journal tail, indexes frames
+  // and checkpoints, and materializes the head document.
+  static Result<VersionStore> Open(const std::string& dir,
+                                   const StoreOptions& options = {},
+                                   OpenReport* report = nullptr);
+
+  VersionStore(VersionStore&&) noexcept = default;
+  VersionStore& operator=(VersionStore&&) noexcept = default;
+
+  // Commits one PUL as version head()+1. WAL-first: applicability is
+  // checked, the frame is appended (honoring the fsync policy), and
+  // only then is the PUL applied to the head document. A checkpoint is
+  // written when the cadence triggers fire.
+  Result<uint64_t> Commit(const pul::Pul& pul);
+
+  // Materializes the document at version `v` by replaying from the
+  // nearest checkpoint at or below v (forward over kPul/kAggregate
+  // frames, then down a compacted segment's kUndo chain for interior
+  // versions).
+  Result<xml::Document> Checkout(uint64_t v) const;
+
+  // Id-annotated serialization of Checkout(v) — the store's canonical
+  // byte representation of a version.
+  Result<std::string> CheckoutXml(uint64_t v) const;
+
+  // Rolls the store back to version `to` *by committing forward*: the
+  // undo deltas head..to+1 (stored kUndo frames where compaction kept
+  // them, otherwise recomputed by the same invert-of-reduction formula)
+  // are aggregated into a single PUL; if applying it reproduces
+  // Checkout(to) byte-for-byte it is committed as one new version,
+  // otherwise the per-version deltas are committed as a chain. Either
+  // way history is preserved and the result is identical on compacted
+  // and uncompacted stores. Returns the new head.
+  Result<uint64_t> Rollback(uint64_t to);
+
+  // Folds every eligible journal segment (the kPul frames strictly
+  // between two consecutive checkpointed versions) into one kAggregate
+  // frame plus kUndo frames, then atomically rewrites the journal.
+  // Implemented in store/compact.cc; see that file for the
+  // byte-identity verification protocol.
+  Status Compact(CompactStats* stats = nullptr);
+
+  // Full offline audit: structural re-scan of the journal (every CRC),
+  // forward replay of every version, byte-comparison against every
+  // checkpoint, and a walk down every compacted segment's undo chain.
+  Result<VerifyReport> Verify() const;
+
+  // Journal frames in file order.
+  std::vector<LogEntry> Log() const;
+
+  uint64_t head() const { return head_; }
+  const xml::Document& head_doc() const { return doc_; }
+  const std::string& dir() const { return dir_; }
+  const SnapshotStore& snapshots() const { return snapshots_; }
+
+  // Flushes and closes the journal handle.
+  Status Close();
+
+  // Serialization shared by checkpoints, verification and the CLI: the
+  // id-annotated non-pretty form (the store's canonical bytes).
+  static Result<std::string> SerializeAnnotated(const xml::Document& doc);
+
+  // The store's canonical undo formula, shared by rollback and
+  // compaction so their deltas agree byte-for-byte: deterministic
+  // reduction of `pul`, a document-grounded drop of operations the
+  // O-rules override (labels inside an aggregated PUL can be too stale
+  // for the label-based engine to see every override; the pre-state
+  // document is ground truth and overridden operations have no effect
+  // on Apply), then core/invert against `pre`.
+  static Result<pul::Pul> ComputeUndo(const xml::Document& pre,
+                                      const pul::Pul& pul,
+                                      const StoreOptions& options);
+
+ private:
+  friend Status CompactImpl(VersionStore* store, CompactStats* stats);
+
+  VersionStore() = default;
+
+  // A compacted journal segment (from, to]: one aggregate frame plus
+  // undo frames for versions to .. from+1.
+  struct Segment {
+    uint64_t from = 0;
+    uint64_t to = 0;
+    WalFrameInfo aggregate;
+    std::map<uint64_t, WalFrameInfo> undos;
+  };
+
+  // Rebuilds pul_frames_ / segments_ / head_ from wal_.frames();
+  // enforces the contiguous-version journal structure.
+  Status BuildIndex();
+
+  Result<pul::Pul> ReadPul(const WalFrameInfo& info) const;
+
+  // Undo delta taking doc_v back to doc_{v-1}: the stored kUndo frame
+  // when a compacted segment kept one, else Invert(doc_{v-1},
+  // Reduce_det(pul_v)) — the same deterministic formula compaction
+  // uses, so rollback chains agree across compaction states.
+  Result<pul::Pul> UndoFor(uint64_t v) const;
+
+  // Writes a checkpoint for the current head if a cadence trigger fired.
+  Status MaybeCheckpoint();
+
+  std::string dir_;
+  StoreOptions options_;
+  Wal wal_;
+  SnapshotStore snapshots_;
+  xml::Document doc_;  // at head_
+  uint64_t head_ = 0;
+
+  std::map<uint64_t, WalFrameInfo> pul_frames_;  // by produced version
+  std::vector<Segment> segments_;                // ascending by `from`
+
+  uint64_t last_checkpoint_version_ = 0;
+  uint64_t wal_bytes_at_checkpoint_ = 0;
+};
+
+}  // namespace xupdate::store
+
+#endif  // XUPDATE_STORE_VERSION_H_

@@ -1,0 +1,269 @@
+#include "store/wal.h"
+
+#include <cstring>
+#include <utility>
+
+#include "common/crc32c.h"
+
+namespace xupdate::store {
+
+namespace {
+
+// Little-endian fixed-width encoding keeps the journal portable across
+// hosts; the store never memcpy's structs to disk.
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+uint32_t GetU32(std::string_view data, size_t offset) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(data[offset + i]);
+  }
+  return v;
+}
+
+uint64_t GetU64(std::string_view data, size_t offset) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(data[offset + i]);
+  }
+  return v;
+}
+
+bool ValidFrameType(uint8_t type) {
+  return type == static_cast<uint8_t>(FrameType::kPul) ||
+         type == static_cast<uint8_t>(FrameType::kAggregate) ||
+         type == static_cast<uint8_t>(FrameType::kUndo) ||
+         type == static_cast<uint8_t>(FrameType::kSnapshot);
+}
+
+}  // namespace
+
+bool FsyncPolicyFromName(std::string_view name, FsyncPolicy* out) {
+  if (name == "always") {
+    *out = FsyncPolicy::kAlways;
+  } else if (name == "batch") {
+    *out = FsyncPolicy::kBatch;
+  } else if (name == "never") {
+    *out = FsyncPolicy::kNever;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::string_view FsyncPolicyName(FsyncPolicy policy) {
+  switch (policy) {
+    case FsyncPolicy::kAlways:
+      return "always";
+    case FsyncPolicy::kBatch:
+      return "batch";
+    case FsyncPolicy::kNever:
+      return "never";
+  }
+  return "unknown";
+}
+
+std::string Wal::EncodeFrame(const WalFrame& frame) {
+  std::string body;
+  body.reserve(kFrameBodyFixedSize + frame.payload.size());
+  body.push_back(static_cast<char>(frame.type));
+  PutU64(&body, frame.version);
+  PutU64(&body, frame.aux);
+  body += frame.payload;
+  std::string out;
+  out.reserve(kFrameHeaderSize + body.size());
+  PutU32(&out, static_cast<uint32_t>(body.size()));
+  PutU32(&out, MaskCrc32c(Crc32c(body)));
+  out += body;
+  return out;
+}
+
+Result<WalFrame> Wal::DecodeFrame(std::string_view data, size_t* offset) {
+  size_t pos = *offset;
+  if (data.size() - pos < kFrameHeaderSize) {
+    return Status::ParseError("torn frame header");
+  }
+  uint32_t body_len = GetU32(data, pos);
+  uint32_t masked_crc = GetU32(data, pos + 4);
+  if (body_len < kFrameBodyFixedSize ||
+      body_len > data.size() - pos - kFrameHeaderSize) {
+    return Status::ParseError("torn or oversized frame body");
+  }
+  std::string_view body = data.substr(pos + kFrameHeaderSize, body_len);
+  if (MaskCrc32c(Crc32c(body)) != masked_crc) {
+    return Status::ParseError("frame CRC mismatch");
+  }
+  uint8_t type = static_cast<uint8_t>(body[0]);
+  if (!ValidFrameType(type)) {
+    return Status::ParseError("unknown frame type");
+  }
+  WalFrame frame;
+  frame.type = static_cast<FrameType>(type);
+  frame.version = GetU64(body, 1);
+  frame.aux = GetU64(body, 9);
+  frame.payload = std::string(body.substr(kFrameBodyFixedSize));
+  *offset = pos + kFrameHeaderSize + body_len;
+  return frame;
+}
+
+Result<Wal> Wal::Create(const std::string& path, const WalOptions& options) {
+  if (PathExists(path)) {
+    return Status::InvalidArgument("journal already exists: " + path);
+  }
+  Wal wal;
+  wal.path_ = path;
+  wal.options_ = options;
+  XUPDATE_ASSIGN_OR_RETURN(wal.file_, AppendableFile::Open(path));
+  XUPDATE_RETURN_IF_ERROR(
+      wal.file_.Append(std::string_view(kMagic, kMagicSize)));
+  XUPDATE_RETURN_IF_ERROR(wal.file_.Sync());
+  wal.size_bytes_ = kMagicSize;
+  return wal;
+}
+
+Result<Wal> Wal::Open(const std::string& path, const WalOptions& options,
+                      WalRecovery* recovery) {
+  XUPDATE_ASSIGN_OR_RETURN(std::string data, ReadFileToString(path));
+  if (data.size() < kMagicSize ||
+      std::memcmp(data.data(), kMagic, kMagicSize) != 0) {
+    return Status::ParseError("bad journal magic in " + path);
+  }
+  Wal wal;
+  wal.path_ = path;
+  wal.options_ = options;
+  // Scan every frame; stop (and truncate) at the first torn or corrupt
+  // one. A frame that fails its CRC mid-file also truncates — bytes
+  // after a broken frame cannot be trusted to be frame-aligned.
+  size_t offset = kMagicSize;
+  while (offset < data.size()) {
+    size_t frame_start = offset;
+    Result<WalFrame> frame = DecodeFrame(data, &offset);
+    if (!frame.ok()) break;
+    WalFrameInfo info;
+    info.type = frame->type;
+    info.version = frame->version;
+    info.aux = frame->aux;
+    info.offset = frame_start;
+    info.payload_bytes = static_cast<uint32_t>(frame->payload.size());
+    wal.frames_.push_back(info);
+  }
+  uint64_t valid_bytes = wal.frames_.empty()
+                             ? kMagicSize
+                             : wal.frames_.back().offset + kFrameHeaderSize +
+                                   kFrameBodyFixedSize +
+                                   wal.frames_.back().payload_bytes;
+  uint64_t torn = data.size() - valid_bytes;
+  if (torn > 0) {
+    XUPDATE_RETURN_IF_ERROR(TruncateFile(path, valid_bytes));
+  }
+  if (recovery != nullptr) {
+    recovery->frames = wal.frames_.size();
+    recovery->valid_bytes = valid_bytes;
+    recovery->truncated_bytes = torn;
+  }
+  if (options.metrics != nullptr) {
+    options.metrics->AddCounter("store.wal.open.frames",
+                                wal.frames_.size());
+    options.metrics->AddCounter("store.wal.open.truncated_bytes", torn);
+  }
+  XUPDATE_ASSIGN_OR_RETURN(wal.file_, AppendableFile::Open(path));
+  wal.size_bytes_ = valid_bytes;
+  return wal;
+}
+
+Status Wal::Append(const WalFrame& frame) {
+  std::string encoded = EncodeFrame(frame);
+  // Fault injection: write the prefix that fits under the byte budget,
+  // then fail — the torn tail Open() must recover from.
+  if (options_.fail_after_bytes >= 0) {
+    uint64_t budget = static_cast<uint64_t>(options_.fail_after_bytes);
+    if (appended_bytes_ + encoded.size() > budget) {
+      size_t fits = budget > appended_bytes_
+                        ? static_cast<size_t>(budget - appended_bytes_)
+                        : 0;
+      if (fits > 0) {
+        XUPDATE_RETURN_IF_ERROR(
+            file_.Append(std::string_view(encoded).substr(0, fits)));
+        (void)file_.Sync();
+        appended_bytes_ += fits;
+        size_bytes_ += fits;
+      }
+      return Status::IoError("injected write failure after " +
+                             std::to_string(appended_bytes_) + " bytes");
+    }
+  }
+  {
+    ScopedTimer timer(options_.metrics, "store.wal.append.seconds");
+    XUPDATE_RETURN_IF_ERROR(file_.Append(encoded));
+  }
+  appended_bytes_ += encoded.size();
+  size_bytes_ += encoded.size();
+  ++appends_since_sync_;
+  if (options_.metrics != nullptr) {
+    options_.metrics->AddCounter("store.wal.append.bytes", encoded.size());
+    options_.metrics->AddCounter("store.wal.append.frames");
+  }
+  WalFrameInfo info;
+  info.type = frame.type;
+  info.version = frame.version;
+  info.aux = frame.aux;
+  info.offset = size_bytes_ - encoded.size();
+  info.payload_bytes = static_cast<uint32_t>(frame.payload.size());
+  frames_.push_back(info);
+  switch (options_.fsync) {
+    case FsyncPolicy::kAlways:
+      return Sync();
+    case FsyncPolicy::kBatch:
+      if (appends_since_sync_ >= options_.batch_interval) return Sync();
+      return Status::OK();
+    case FsyncPolicy::kNever:
+      return Status::OK();
+  }
+  return Status::OK();
+}
+
+Status Wal::Sync() {
+  ScopedTimer timer(options_.metrics, "store.wal.fsync.seconds");
+  XUPDATE_RETURN_IF_ERROR(file_.Sync());
+  appends_since_sync_ = 0;
+  if (options_.metrics != nullptr) {
+    options_.metrics->AddCounter("store.wal.fsync.count");
+  }
+  return Status::OK();
+}
+
+Status Wal::Close() {
+  if (!file_.is_open()) return Status::OK();
+  if (options_.fsync != FsyncPolicy::kNever && appends_since_sync_ > 0) {
+    XUPDATE_RETURN_IF_ERROR(Sync());
+  }
+  return file_.Close();
+}
+
+Result<WalFrame> Wal::ReadFrame(const WalFrameInfo& info) const {
+  // Re-read just the frame's region: the store deliberately does not
+  // cache payloads (journals outgrow memory; the OS page cache serves
+  // hot replays).
+  size_t frame_size =
+      kFrameHeaderSize + kFrameBodyFixedSize + info.payload_bytes;
+  XUPDATE_ASSIGN_OR_RETURN(std::string data,
+                           ReadFileRegion(path_, info.offset, frame_size));
+  size_t offset = 0;
+  XUPDATE_ASSIGN_OR_RETURN(WalFrame frame, DecodeFrame(data, &offset));
+  if (frame.version != info.version || frame.type != info.type) {
+    return Status::Internal("frame directory out of sync with journal");
+  }
+  return frame;
+}
+
+}  // namespace xupdate::store

@@ -1,0 +1,162 @@
+#ifndef XUPDATE_STORE_WAL_H_
+#define XUPDATE_STORE_WAL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/file_io.h"
+#include "common/metrics.h"
+#include "common/result.h"
+#include "obs/trace.h"
+
+namespace xupdate::store {
+
+// Write-ahead journal of serialized PULs — the durable half of the
+// versioned update store. The file is a fixed 8-byte magic header
+// followed by length-prefixed, CRC32C-framed records:
+//
+//   file   := "XUWAL001" frame*
+//   frame  := u32 body_len | u32 masked_crc32c(body) | body
+//   body   := u8 type | u64 version | u64 aux | payload
+//
+// All integers little-endian. The CRC is masked (common/crc32c.h) and
+// covers the whole body, so a bit flip in the type/version words is
+// caught, not only in the payload. Frame types:
+//
+//   kPul        one committed PUL; `version` is the version it produces
+//               (its parent is version - 1), `aux` is 0.
+//   kAggregate  a compacted segment: the payload PUL takes the document
+//               from version `aux` directly to version `version`
+//               (core/aggregate folded, core/reduce canonicalized).
+//   kUndo       backward delta kept by compaction so interior versions
+//               of a folded segment stay addressable: the payload PUL
+//               takes version `version` back to version - 1
+//               (computed via core/invert and byte-verified before the
+//               compacted journal is installed).
+//
+// Torn-tail discipline: a crash mid-append leaves a trailing partial
+// frame. Open() scans the file front to back and truncates it at the
+// first offset where a complete, CRC-clean frame cannot be read — the
+// classic "recover to the last valid frame" WAL contract. The
+// truncation itself is fsync'd, so `store verify` reports a clean
+// journal immediately after recovery.
+//
+// Fsync policy trades durability for commit throughput:
+//   kAlways  fdatasync after every append (default; no committed
+//            version is ever lost);
+//   kBatch   fdatasync every `batch_interval` appends and on Close();
+//   kNever   leave flushing to the OS (benchmark baseline).
+
+enum class FsyncPolicy { kAlways, kBatch, kNever };
+
+// "always" / "batch" / "never"; false if `name` is not a policy.
+bool FsyncPolicyFromName(std::string_view name, FsyncPolicy* out);
+std::string_view FsyncPolicyName(FsyncPolicy policy);
+
+// kSnapshot never appears in the journal — it is the single frame of a
+// snapshot checkpoint file (magic + frame, same CRC discipline).
+enum class FrameType : uint8_t {
+  kPul = 1,
+  kAggregate = 2,
+  kUndo = 3,
+  kSnapshot = 4,
+};
+
+struct WalFrame {
+  FrameType type = FrameType::kPul;
+  uint64_t version = 0;
+  uint64_t aux = 0;
+  std::string payload;
+};
+
+// Where a frame sits in the file; enough to re-read it lazily.
+struct WalFrameInfo {
+  FrameType type = FrameType::kPul;
+  uint64_t version = 0;
+  uint64_t aux = 0;
+  uint64_t offset = 0;        // of the frame header
+  uint32_t payload_bytes = 0;
+};
+
+// What Open() found (and possibly repaired).
+struct WalRecovery {
+  size_t frames = 0;
+  uint64_t valid_bytes = 0;      // file size after recovery
+  uint64_t truncated_bytes = 0;  // torn/corrupt tail dropped
+};
+
+struct WalOptions {
+  FsyncPolicy fsync = FsyncPolicy::kAlways;
+  size_t batch_interval = 16;
+  // Fault injection: after this many appended bytes (counted across the
+  // Wal's lifetime, header included), Append() writes only the prefix
+  // that fits and fails — simulating a crash that tears the last frame.
+  // Negative disables. Wired to the CLI via XUPDATE_STORE_FAIL_AFTER_BYTES.
+  int64_t fail_after_bytes = -1;
+  Metrics* metrics = nullptr;
+};
+
+class Wal {
+ public:
+  // Creates an empty journal (header only). Fails if the file exists.
+  static Result<Wal> Create(const std::string& path,
+                            const WalOptions& options);
+
+  // Opens an existing journal, scanning every frame and truncating a
+  // torn tail. The scan result (frame directory) is retained for
+  // index building; payloads are not kept in memory.
+  static Result<Wal> Open(const std::string& path, const WalOptions& options,
+                          WalRecovery* recovery = nullptr);
+
+  // A default-constructed Wal is closed; use Create()/Open().
+  Wal() = default;
+  Wal(Wal&&) noexcept = default;
+  Wal& operator=(Wal&&) noexcept = default;
+
+  // Appends one frame, honoring the fsync policy.
+  Status Append(const WalFrame& frame);
+
+  // Forces an fdatasync regardless of policy.
+  Status Sync();
+
+  // Flushes (per policy) and closes the append handle.
+  Status Close();
+
+  // Re-reads and CRC-checks the frame at `info.offset`.
+  Result<WalFrame> ReadFrame(const WalFrameInfo& info) const;
+
+  // Frame directory in file order: the Open() scan plus every
+  // successful Append() since.
+  const std::vector<WalFrameInfo>& frames() const { return frames_; }
+
+  uint64_t size_bytes() const { return size_bytes_; }
+  const std::string& path() const { return path_; }
+
+  // Serializes one frame to its on-disk bytes (shared with snapshot
+  // files, which are a magic header plus a single frame).
+  static std::string EncodeFrame(const WalFrame& frame);
+
+  // Decodes the frame starting at `data[offset]`; advances `offset` past
+  // it. Returns kParseError for a torn or corrupt frame.
+  static Result<WalFrame> DecodeFrame(std::string_view data, size_t* offset);
+
+  static constexpr char kMagic[] = "XUWAL001";  // 8 bytes, no NUL on disk
+  static constexpr size_t kMagicSize = 8;
+  static constexpr size_t kFrameHeaderSize = 8;   // len + crc
+  static constexpr size_t kFrameBodyFixedSize = 17;  // type + version + aux
+
+ private:
+  std::string path_;
+  AppendableFile file_;
+  WalOptions options_;
+  std::vector<WalFrameInfo> frames_;
+  uint64_t size_bytes_ = 0;
+  uint64_t appended_bytes_ = 0;   // for fault injection accounting
+  size_t appends_since_sync_ = 0;
+};
+
+}  // namespace xupdate::store
+
+#endif  // XUPDATE_STORE_WAL_H_

@@ -151,5 +151,73 @@ TEST_F(PulIoTest, LabelTravelsWithOps) {
   EXPECT_TRUE(label::IsDescendantOf(lab, *anc));
 }
 
+// NUL is not a legal XML character: a serialized PUL carrying one would
+// be silently truncated by any consumer that treats records as C
+// strings, so both directions reject it outright.
+TEST_F(PulIoTest, ParseRejectsEmbeddedNulByte) {
+  std::string wire = "<pul><op kind=\"repV\" target=\"15\" arg=\"he";
+  wire += '\0';
+  wire += "llo\"/></pul>";
+  auto back = ParsePul(wire);
+  ASSERT_FALSE(back.ok());
+  EXPECT_EQ(back.status().code(), StatusCode::kParseError);
+  EXPECT_NE(back.status().message().find("NUL"), std::string::npos);
+}
+
+TEST_F(PulIoTest, ParseRejectsNulInsideParameterValue) {
+  std::string wire = "<pul><op kind=\"repN\" target=\"7\">"
+                     "<text id=\"900\" value=\"x";
+  wire += '\0';
+  wire += "y\"/></op></pul>";
+  EXPECT_FALSE(ParsePul(wire).ok());
+}
+
+TEST_F(PulIoTest, SerializeRejectsEmbeddedNulByte) {
+  Pul p;
+  p.BindIdSpace(doc_.max_assigned_id() + 1);
+  std::string value = "trun";
+  value += '\0';
+  value += "cated";
+  ASSERT_TRUE(
+      p.AddStringOp(OpKind::kReplaceValue, 15, labeling_, value).ok());
+  auto text = SerializePul(p);
+  ASSERT_FALSE(text.ok());
+  EXPECT_EQ(text.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(PulIoTest, SerializeRejectsNulInParameterTree) {
+  Pul p;
+  p.BindIdSpace(doc_.max_assigned_id() + 1);
+  std::string value = "a";
+  value += '\0';
+  value += "b";
+  NodeId text_param = p.NewTextParam(value);
+  ASSERT_TRUE(
+      p.AddTreeOp(OpKind::kReplaceChildren, 3, labeling_, {text_param}).ok());
+  EXPECT_FALSE(SerializePul(p).ok());
+}
+
+// Truncated (unterminated) records must fail loudly, never parse as a
+// shorter PUL.
+TEST_F(PulIoTest, RejectsUnterminatedRecord) {
+  Pul p = MakeRichPul();
+  auto text = SerializePul(p);
+  ASSERT_TRUE(text.ok());
+  // Every proper prefix is either an unterminated record or (length 0)
+  // empty input; none may parse successfully.
+  for (size_t cut = 0; cut < text->size(); ++cut) {
+    auto back = ParsePul(std::string_view(*text).substr(0, cut));
+    EXPECT_FALSE(back.ok()) << "prefix of length " << cut << " parsed";
+  }
+}
+
+TEST_F(PulIoTest, RejectsTrailingGarbageAfterRecord) {
+  Pul p = MakeRichPul();
+  auto text = SerializePul(p);
+  ASSERT_TRUE(text.ok());
+  EXPECT_FALSE(ParsePul(*text + "<extra/>").ok());
+  EXPECT_FALSE(ParsePul(*text + "garbage").ok());
+}
+
 }  // namespace
 }  // namespace xupdate::pul

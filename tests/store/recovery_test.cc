@@ -1,0 +1,255 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/file_io.h"
+#include "label/labeling.h"
+#include "store/version.h"
+#include "store/wal.h"
+#include "testing/test_docs.h"
+#include "workload/pul_generator.h"
+
+namespace xupdate::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Crash-recovery contract: truncating the journal at ANY byte offset
+// inside the final frame must recover to the last complete version,
+// with a clean Verify() and byte-identical checkouts.
+class RecoveryTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kVersions = 7;  // snapshots land at 0, 3, 6
+
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("xupdate_recovery_test_" +
+            std::to_string(
+                ::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    fs::create_directories(dir_);
+    base_dir_ = (dir_ / "base").string();
+
+    xml::Document doc = xupdate::testing::PaperFigureDocument();
+    auto base_xml = VersionStore::SerializeAnnotated(doc);
+    ASSERT_TRUE(base_xml.ok());
+
+    StoreOptions options;
+    options.snapshot_every = 3;  // the final version is NOT snapshotted
+    ASSERT_TRUE(VersionStore::Init(base_dir_, *base_xml, options).ok());
+    auto store = VersionStore::Open(base_dir_, options);
+    ASSERT_TRUE(store.ok()) << store.status();
+
+    label::Labeling labeling = label::Labeling::Build(doc);
+    workload::PulGenerator gen(doc, labeling, 42);
+    workload::PulGenerator::SequenceOptions seq;
+    seq.num_puls = kVersions;
+    seq.ops_per_pul = 3;
+    auto puls = gen.GenerateSequence(seq);
+    ASSERT_TRUE(puls.ok()) << puls.status();
+
+    expected_.push_back(*base_xml);
+    for (const pul::Pul& pul : *puls) {
+      auto version = store->Commit(pul);
+      ASSERT_TRUE(version.ok()) << version.status();
+      auto xml = VersionStore::SerializeAnnotated(store->head_doc());
+      ASSERT_TRUE(xml.ok());
+      expected_.push_back(*xml);
+    }
+    ASSERT_EQ(store->head(), kVersions);
+    ASSERT_TRUE(store->Close().ok());
+
+    journal_path_ = base_dir_ + "/wal.log";
+    auto journal = ReadFileToString(journal_path_);
+    ASSERT_TRUE(journal.ok());
+    journal_ = *journal;
+
+    // Locate the final frame via a direct Wal scan of the clean file.
+    auto wal = Wal::Open(journal_path_, {});
+    ASSERT_TRUE(wal.ok());
+    ASSERT_EQ(wal->frames().size(), kVersions);
+    const WalFrameInfo& last = wal->frames().back();
+    final_frame_start_ = last.offset;
+    ASSERT_EQ(final_frame_start_ + Wal::kFrameHeaderSize +
+                  Wal::kFrameBodyFixedSize + last.payload_bytes,
+              journal_.size());
+    ASSERT_TRUE(wal->Close().ok());
+  }
+
+  void TearDown() override { fs::remove_all(dir_); }
+
+  // Clones the base store, truncating its journal to `cut` bytes.
+  std::string CloneTruncated(uint64_t cut, const std::string& name) {
+    std::string clone = (dir_ / name).string();
+    fs::copy(base_dir_, clone, fs::copy_options::recursive);
+    std::ofstream f(clone + "/wal.log",
+                    std::ios::binary | std::ios::trunc);
+    f << journal_.substr(0, cut);
+    f.close();
+    return clone;
+  }
+
+  fs::path dir_;
+  std::string base_dir_;
+  std::string journal_path_;
+  std::string journal_;
+  uint64_t final_frame_start_ = 0;
+  std::vector<std::string> expected_;  // expected_[v] = annotated xml
+};
+
+TEST_F(RecoveryTest, EveryByteOffsetOfFinalFrameRecovers) {
+  // Every cut inside the final frame loses exactly the last version.
+  for (uint64_t cut = final_frame_start_; cut < journal_.size(); ++cut) {
+    std::string clone =
+        CloneTruncated(cut, "cut_" + std::to_string(cut));
+    OpenReport report;
+    auto store = VersionStore::Open(clone, {}, &report);
+    ASSERT_TRUE(store.ok()) << "cut=" << cut << ": " << store.status();
+    EXPECT_EQ(store->head(), kVersions - 1) << "cut=" << cut;
+    EXPECT_EQ(report.wal.truncated_bytes, cut - final_frame_start_)
+        << "cut=" << cut;
+    auto xml = store->CheckoutXml(store->head());
+    ASSERT_TRUE(xml.ok()) << "cut=" << cut;
+    EXPECT_EQ(*xml, expected_[kVersions - 1]) << "cut=" << cut;
+    auto verify = store->Verify();
+    EXPECT_TRUE(verify.ok()) << "cut=" << cut << ": " << verify.status();
+    ASSERT_TRUE(store->Close().ok());
+    fs::remove_all(clone);
+  }
+}
+
+TEST_F(RecoveryTest, FullJournalRecoversHeadVersion) {
+  std::string clone = CloneTruncated(journal_.size(), "full");
+  auto store = VersionStore::Open(clone);
+  ASSERT_TRUE(store.ok()) << store.status();
+  EXPECT_EQ(store->head(), kVersions);
+  auto xml = store->CheckoutXml(kVersions);
+  ASSERT_TRUE(xml.ok());
+  EXPECT_EQ(*xml, expected_[kVersions]);
+  auto verify = store->Verify();
+  EXPECT_TRUE(verify.ok()) << verify.status();
+}
+
+TEST_F(RecoveryTest, RecoveredStoreAcceptsNewCommits) {
+  std::string clone =
+      CloneTruncated(final_frame_start_ + 1, "recommit");
+  auto store = VersionStore::Open(clone);
+  ASSERT_TRUE(store.ok());
+  ASSERT_EQ(store->head(), kVersions - 1);
+  xml::Document head = store->head_doc();
+  label::Labeling labeling = label::Labeling::Build(head);
+  workload::PulGenerator gen(head, labeling, 7);
+  workload::PulGenerator::SequenceOptions seq;
+  seq.num_puls = 2;
+  seq.ops_per_pul = 2;
+  auto puls = gen.GenerateSequence(seq);
+  ASSERT_TRUE(puls.ok());
+  for (const pul::Pul& pul : *puls) {
+    ASSERT_TRUE(store->Commit(pul).ok());
+  }
+  EXPECT_EQ(store->head(), kVersions + 1);
+  auto verify = store->Verify();
+  EXPECT_TRUE(verify.ok()) << verify.status();
+  // Pre-crash history is still byte-stable.
+  for (uint64_t v = 0; v < kVersions; ++v) {
+    auto xml = store->CheckoutXml(v);
+    ASSERT_TRUE(xml.ok());
+    EXPECT_EQ(*xml, expected_[v]) << "version " << v;
+  }
+}
+
+TEST_F(RecoveryTest, StaleSnapshotAfterDataLossIsIgnored) {
+  // Cut away the last frame entirely; the snapshot at version 6 is now
+  // the head snapshot, but fabricate the scenario where a snapshot
+  // exists ABOVE the recovered head (fsync=never crash) by cutting back
+  // to version 5 (inside frame 6) while snapshots 0/3/6 survive.
+  auto wal = Wal::Open(journal_path_, {});
+  ASSERT_TRUE(wal.ok());
+  uint64_t frame6_start = wal->frames()[5].offset;
+  ASSERT_TRUE(wal->Close().ok());
+  std::string clone = CloneTruncated(frame6_start + 3, "stale");
+  OpenReport report;
+  auto store = VersionStore::Open(clone, {}, &report);
+  ASSERT_TRUE(store.ok()) << store.status();
+  EXPECT_EQ(store->head(), 5u);
+  EXPECT_EQ(report.snapshots_ignored, 1u);
+  auto xml = store->CheckoutXml(5);
+  ASSERT_TRUE(xml.ok());
+  EXPECT_EQ(*xml, expected_[5]);
+  auto verify = store->Verify();
+  EXPECT_TRUE(verify.ok()) << verify.status();
+}
+
+TEST_F(RecoveryTest, FaultInjectionBudgetSweep) {
+  // Measure the byte size of the next frame by letting one clone commit
+  // it cleanly, then sweep fault budgets across that frame: every
+  // budget that tears the frame must fail the commit yet leave a store
+  // that recovers to the pre-commit head.
+  xml::Document head;
+  pul::Pul next_pul;
+  {
+    auto store = VersionStore::Open(base_dir_);
+    ASSERT_TRUE(store.ok());
+    head = store->head_doc();
+  }
+  label::Labeling labeling = label::Labeling::Build(head);
+  workload::PulGenerator gen(head, labeling, 99);
+  workload::PulGenerator::SequenceOptions seq;
+  seq.num_puls = 1;
+  seq.ops_per_pul = 3;
+  auto puls = gen.GenerateSequence(seq);
+  ASSERT_TRUE(puls.ok());
+  next_pul = (*puls)[0];
+
+  uint64_t frame_bytes = 0;
+  {
+    std::string probe = CloneTruncated(journal_.size(), "probe");
+    auto store = VersionStore::Open(probe);
+    ASSERT_TRUE(store.ok());
+    uint64_t before = fs::file_size(probe + "/wal.log");
+    ASSERT_TRUE(store->Commit(next_pul).ok());
+    frame_bytes = fs::file_size(probe + "/wal.log") - before;
+    ASSERT_TRUE(store->Close().ok());
+  }
+  ASSERT_GT(frame_bytes, Wal::kFrameHeaderSize + Wal::kFrameBodyFixedSize);
+
+  const std::vector<uint64_t> budgets = {
+      0, 1, Wal::kFrameHeaderSize - 1, Wal::kFrameHeaderSize,
+      Wal::kFrameHeaderSize + Wal::kFrameBodyFixedSize,
+      frame_bytes / 2, frame_bytes - 1};
+  for (uint64_t budget : budgets) {
+    std::string clone =
+        CloneTruncated(journal_.size(), "budget_" + std::to_string(budget));
+    {
+      StoreOptions options;
+      options.fail_after_bytes = static_cast<int64_t>(budget);
+      auto store = VersionStore::Open(clone, options);
+      ASSERT_TRUE(store.ok()) << "budget=" << budget;
+      auto failed = store->Commit(next_pul);
+      ASSERT_FALSE(failed.ok()) << "budget=" << budget;
+      EXPECT_EQ(failed.status().code(), StatusCode::kIoError);
+      EXPECT_EQ(store->head(), kVersions);
+      (void)store->Close();
+    }
+    auto recovered = VersionStore::Open(clone);
+    ASSERT_TRUE(recovered.ok())
+        << "budget=" << budget << ": " << recovered.status();
+    EXPECT_EQ(recovered->head(), kVersions) << "budget=" << budget;
+    auto xml = recovered->CheckoutXml(kVersions);
+    ASSERT_TRUE(xml.ok());
+    EXPECT_EQ(*xml, expected_[kVersions]);
+    auto verify = recovered->Verify();
+    EXPECT_TRUE(verify.ok())
+        << "budget=" << budget << ": " << verify.status();
+    ASSERT_TRUE(recovered->Close().ok());
+    fs::remove_all(clone);
+  }
+}
+
+}  // namespace
+}  // namespace xupdate::store

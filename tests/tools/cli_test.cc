@@ -376,5 +376,110 @@ TEST_F(CliTest, AggregateAndAnalyzeEmitTraces) {
   EXPECT_NE(analyze.find("\"name\":\"prediction\""), std::string::npos);
 }
 
+TEST_F(CliTest, StoreLifecycle) {
+  WriteDoc("doc.xml", "<r><a>old</a><b>keep</b></r>");
+  Run({"store", "init", "--dir", Path("store"), "--doc", Path("doc.xml"),
+       "--snapshot-every", "2"});
+  Run({"produce", "--doc", Path("doc.xml"), "--update",
+       "replace value of node /r/a/text() with \"v1\"", "--id-base", "100",
+       "--out", Path("p1.xml")});
+  std::string commit =
+      Run({"store", "commit", "--dir", Path("store"), "--pul",
+           Path("p1.xml"), "--snapshot-every", "2"});
+  EXPECT_NE(commit.find("committed version 1"), std::string::npos);
+
+  // Checkout both versions; version 0 must match the initial document.
+  Run({"store", "checkout", "--dir", Path("store"), "--version", "0",
+       "--out", Path("v0.xml")});
+  Run({"store", "checkout", "--dir", Path("store"), "--version", "1",
+       "--out", Path("v1.xml")});
+  std::ifstream v0(Path("v0.xml"));
+  std::stringstream v0_content;
+  v0_content << v0.rdbuf();
+  EXPECT_NE(v0_content.str().find("old"), std::string::npos);
+  std::ifstream v1(Path("v1.xml"));
+  std::stringstream v1_content;
+  v1_content << v1.rdbuf();
+  EXPECT_NE(v1_content.str().find("v1"), std::string::npos);
+
+  std::string log = Run({"store", "log", "--dir", Path("store")});
+  EXPECT_NE(log.find("head: 1"), std::string::npos);
+  EXPECT_NE(log.find("pul       v1"), std::string::npos);
+
+  std::string verify = Run({"store", "verify", "--dir", Path("store")});
+  EXPECT_NE(verify.find("verify ok"), std::string::npos);
+
+  std::string rollback = Run(
+      {"store", "rollback", "--dir", Path("store"), "--to", "0"});
+  EXPECT_NE(rollback.find("rolled back to version 0"), std::string::npos);
+  Run({"store", "checkout", "--dir", Path("store"), "--version", "2",
+       "--out", Path("v2.xml")});
+  std::ifstream v2(Path("v2.xml"));
+  std::stringstream v2_content;
+  v2_content << v2.rdbuf();
+  EXPECT_NE(v2_content.str().find("old"), std::string::npos);
+}
+
+TEST_F(CliTest, StoreCompactAndMetrics) {
+  WriteDoc("doc.xml", "<r><a>x</a></r>");
+  Run({"store", "init", "--dir", Path("store"), "--doc", Path("doc.xml"),
+       "--snapshot-every", "2"});
+  for (int round = 1; round <= 4; ++round) {
+    Run({"produce", "--doc", Path("doc.xml"), "--update",
+         "replace value of node /r/a/text() with \"round" +
+             std::to_string(round) + "\"",
+         "--id-base", std::to_string(100 * round), "--out",
+         Path("p.xml")});
+    Run({"store", "commit", "--dir", Path("store"), "--pul", Path("p.xml"),
+         "--snapshot-every", "2"});
+  }
+  std::string compact = Run({"store", "compact", "--dir", Path("store"),
+                             "--metrics", "-"});
+  EXPECT_NE(compact.find("compacted"), std::string::npos);
+  EXPECT_NE(compact.find("store.compact.count"), std::string::npos);
+  std::string verify = Run({"store", "verify", "--dir", Path("store")});
+  EXPECT_NE(verify.find("verify ok"), std::string::npos);
+}
+
+TEST_F(CliTest, StoreFaultInjectionEnvShim) {
+  WriteDoc("doc.xml", "<r><a>x</a></r>");
+  Run({"store", "init", "--dir", Path("store"), "--doc", Path("doc.xml")});
+  Run({"produce", "--doc", Path("doc.xml"), "--update",
+       "replace value of node /r/a/text() with \"y\"", "--id-base", "100",
+       "--out", Path("p.xml")});
+  // A zero byte budget tears the very first append: the commit must
+  // fail, and a later open must recover the journal cleanly.
+  setenv("XUPDATE_STORE_FAIL_AFTER_BYTES", "0", 1);
+  std::ostringstream out;
+  Status failed = RunCli({"store", "commit", "--dir", Path("store"),
+                          "--pul", Path("p.xml")},
+                         out);
+  unsetenv("XUPDATE_STORE_FAIL_AFTER_BYTES");
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.code(), StatusCode::kIoError);
+  std::string recovered =
+      Run({"store", "log", "--dir", Path("store")});
+  EXPECT_NE(recovered.find("head: 0"), std::string::npos);
+  std::string verify = Run({"store", "verify", "--dir", Path("store")});
+  EXPECT_NE(verify.find("verify ok"), std::string::npos);
+  // With the shim unset the same commit succeeds.
+  std::string commit = Run(
+      {"store", "commit", "--dir", Path("store"), "--pul", Path("p.xml")});
+  EXPECT_NE(commit.find("committed version 1"), std::string::npos);
+}
+
+TEST_F(CliTest, StoreRejectsBadFlags) {
+  std::ostringstream out;
+  EXPECT_FALSE(RunCli({"store"}, out).ok());
+  EXPECT_FALSE(RunCli({"store", "init", "--doc", "x"}, out).ok());
+  EXPECT_FALSE(
+      RunCli({"store", "frobnicate", "--dir", Path("store")}, out).ok());
+  WriteDoc("doc.xml", "<r/>");
+  EXPECT_FALSE(RunCli({"store", "init", "--dir", Path("store"), "--doc",
+                       Path("doc.xml"), "--fsync", "sometimes"},
+                      out)
+                   .ok());
+}
+
 }  // namespace
 }  // namespace xupdate::tools

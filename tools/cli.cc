@@ -1,6 +1,7 @@
 #include "tools/cli.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <ostream>
@@ -26,6 +27,7 @@
 #include "obs/trace.h"
 #include "pul/obtainable.h"
 #include "exec/streaming.h"
+#include "store/version.h"
 #include "label/labeling.h"
 #include "pul/describe.h"
 #include "pul/pul_io.h"
@@ -609,11 +611,163 @@ Status CmdExplain(const Args& args, std::ostream& out) {
   return Status::OK();
 }
 
+// `xupdate store <init|commit|checkout|log|compact|rollback|verify>`:
+// the durable versioned update store (store/version.h) as a tool.
+// Shared flags: --dir DIR (the store directory), --fsync
+// always|batch|never, --snapshot-every N, --snapshot-bytes N,
+// --parallelism N, --metrics PATH, --trace PATH. The environment
+// variable XUPDATE_STORE_FAIL_AFTER_BYTES, when set to a non-negative
+// integer, injects a journal write failure after that many appended
+// bytes (crash-testing shim; see WalOptions::fail_after_bytes).
+Result<store::StoreOptions> ParseStoreOptions(const Args& args,
+                                              Metrics* metrics,
+                                              obs::Tracer* tracer) {
+  store::StoreOptions options;
+  options.metrics = metrics;
+  if (WantTrace(args)) options.tracer = tracer;
+  if (args.Has("fsync") &&
+      !store::FsyncPolicyFromName(args.Get("fsync"), &options.fsync)) {
+    return Status::InvalidArgument("--fsync must be always|batch|never");
+  }
+  if (args.Has("snapshot-every")) {
+    int64_t n = ParseNonNegativeInt(args.Get("snapshot-every"));
+    if (n < 0) return Status::InvalidArgument("bad --snapshot-every");
+    options.snapshot_every = static_cast<uint64_t>(n);
+  }
+  if (args.Has("snapshot-bytes")) {
+    int64_t n = ParseNonNegativeInt(args.Get("snapshot-bytes"));
+    if (n < 0) return Status::InvalidArgument("bad --snapshot-bytes");
+    options.snapshot_bytes = static_cast<uint64_t>(n);
+  }
+  XUPDATE_ASSIGN_OR_RETURN(options.parallelism, ParseParallelismFlag(args));
+  if (const char* budget = std::getenv("XUPDATE_STORE_FAIL_AFTER_BYTES");
+      budget != nullptr && *budget != '\0') {
+    int64_t n = ParseNonNegativeInt(budget);
+    if (n < 0) {
+      return Status::InvalidArgument(
+          "bad XUPDATE_STORE_FAIL_AFTER_BYTES value");
+    }
+    options.fail_after_bytes = n;
+  }
+  return options;
+}
+
+Result<uint64_t> ParseVersionFlag(const Args& args, const char* name) {
+  int64_t v = ParseNonNegativeInt(args.Get(name));
+  if (v < 0) {
+    return Status::InvalidArgument(std::string("bad --") + name);
+  }
+  return static_cast<uint64_t>(v);
+}
+
+Status CmdStore(const Args& args, std::ostream& out) {
+  if (args.positional.empty()) {
+    return Status::InvalidArgument(
+        "store needs a subcommand: "
+        "init|commit|checkout|log|compact|rollback|verify");
+  }
+  const std::string& sub = args.positional[0];
+  XUPDATE_RETURN_IF_ERROR(RequireFlags(args, {"dir"}));
+  std::string dir = args.Get("dir");
+  Metrics metrics;
+  obs::Tracer tracer;
+  XUPDATE_ASSIGN_OR_RETURN(store::StoreOptions options,
+                           ParseStoreOptions(args, &metrics, &tracer));
+
+  Status result = Status::OK();
+  if (sub == "init") {
+    XUPDATE_RETURN_IF_ERROR(RequireFlags(args, {"doc"}));
+    XUPDATE_ASSIGN_OR_RETURN(std::string text, ReadFile(args.Get("doc")));
+    XUPDATE_RETURN_IF_ERROR(store::VersionStore::Init(dir, text, options));
+    out << "initialized store " << dir << " at version 0\n";
+  } else {
+    store::OpenReport report;
+    XUPDATE_ASSIGN_OR_RETURN(
+        store::VersionStore vs,
+        store::VersionStore::Open(dir, options, &report));
+    if (report.wal.truncated_bytes > 0) {
+      out << "recovered journal: dropped " << report.wal.truncated_bytes
+          << " torn bytes, head is version " << vs.head() << "\n";
+    }
+    if (sub == "commit") {
+      XUPDATE_RETURN_IF_ERROR(RequireFlags(args, {"pul"}));
+      XUPDATE_ASSIGN_OR_RETURN(std::string text, ReadFile(args.Get("pul")));
+      XUPDATE_ASSIGN_OR_RETURN(pul::Pul pul, pul::ParsePul(text));
+      XUPDATE_ASSIGN_OR_RETURN(uint64_t version, vs.Commit(pul));
+      out << "committed version " << version << " (" << pul.size()
+          << " operations)\n";
+    } else if (sub == "checkout") {
+      XUPDATE_RETURN_IF_ERROR(RequireFlags(args, {"version", "out"}));
+      XUPDATE_ASSIGN_OR_RETURN(uint64_t version,
+                               ParseVersionFlag(args, "version"));
+      XUPDATE_ASSIGN_OR_RETURN(std::string xml, vs.CheckoutXml(version));
+      XUPDATE_RETURN_IF_ERROR(WriteFile(args.Get("out"), xml));
+      out << "checked out version " << version << " to " << args.Get("out")
+          << " (" << xml.size() << " bytes)\n";
+    } else if (sub == "log") {
+      out << "head: " << vs.head() << "\n";
+      out << "snapshots:";
+      for (uint64_t v : vs.snapshots().versions()) out << " " << v;
+      out << "\n";
+      for (const store::LogEntry& entry : vs.Log()) {
+        switch (entry.type) {
+          case store::FrameType::kPul:
+            out << "  pul       v" << entry.version;
+            break;
+          case store::FrameType::kAggregate:
+            out << "  aggregate v" << entry.aux << " -> v" << entry.version;
+            break;
+          case store::FrameType::kUndo:
+            out << "  undo      v" << entry.version << " -> v"
+                << entry.version - 1;
+            break;
+          case store::FrameType::kSnapshot:
+            out << "  snapshot  v" << entry.version;
+            break;
+        }
+        out << "  (" << entry.payload_bytes << " bytes at offset "
+            << entry.offset << ")\n";
+      }
+    } else if (sub == "compact") {
+      store::CompactStats stats;
+      XUPDATE_RETURN_IF_ERROR(vs.Compact(&stats));
+      out << "compacted " << stats.segments_compacted << "/"
+          << stats.segments_considered << " segments ("
+          << stats.segments_skipped << " skipped): " << stats.frames_before
+          << " -> " << stats.frames_after << " frames, "
+          << stats.journal_bytes_before << " -> "
+          << stats.journal_bytes_after << " journal bytes, "
+          << stats.input_ops << " -> " << stats.output_ops
+          << " operations\n";
+    } else if (sub == "rollback") {
+      XUPDATE_RETURN_IF_ERROR(RequireFlags(args, {"to"}));
+      XUPDATE_ASSIGN_OR_RETURN(uint64_t to, ParseVersionFlag(args, "to"));
+      XUPDATE_ASSIGN_OR_RETURN(uint64_t head, vs.Rollback(to));
+      out << "rolled back to version " << to << " as new version " << head
+          << "\n";
+    } else if (sub == "verify") {
+      XUPDATE_ASSIGN_OR_RETURN(store::VerifyReport report2, vs.Verify());
+      out << "verify ok: " << report2.frames << " frames, "
+          << report2.snapshots << " snapshots, head " << report2.head
+          << ", " << report2.replayed_versions << " versions replayed, "
+          << report2.snapshots_checked << " snapshots byte-checked, "
+          << report2.undo_chains_checked << " undo chains walked\n";
+    } else {
+      result = Status::InvalidArgument("unknown store subcommand \"" + sub +
+                                       "\"");
+    }
+    if (result.ok()) XUPDATE_RETURN_IF_ERROR(vs.Close());
+  }
+  XUPDATE_RETURN_IF_ERROR(MaybeDumpMetrics(args, metrics, out));
+  XUPDATE_RETURN_IF_ERROR(MaybeWriteTraces(args, tracer, out));
+  return result;
+}
+
 constexpr char kUsage[] =
     "usage: xupdate <command> [flags] [operands]\n"
     "commands: generate produce apply reduce aggregate integrate\n"
     "          reconcile invert diff query show stats equivalent\n"
-    "          sidecar-save sidecar-load analyze explain\n"
+    "          sidecar-save sidecar-load analyze explain store\n"
     "see tools/cli.h for per-command flags\n";
 
 }  // namespace
@@ -642,6 +796,7 @@ Status RunCli(const std::vector<std::string>& argv, std::ostream& out) {
   if (command == "stats") return CmdStats(args, out);
   if (command == "analyze") return CmdAnalyze(args, out);
   if (command == "explain") return CmdExplain(args, out);
+  if (command == "store") return CmdStore(args, out);
   out << kUsage;
   return Status::InvalidArgument("unknown command \"" + command + "\"");
 }

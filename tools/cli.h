@@ -27,6 +27,16 @@ namespace xupdate::tools {
 //   xupdate stats     --doc doc.xml
 //   xupdate analyze   [--out report.json] PUL...
 //   xupdate explain   journal.jsonl [--op ID]
+//   xupdate store     init --dir DIR --doc doc.xml
+//   xupdate store     commit --dir DIR --pul pul.xml
+//   xupdate store     checkout --dir DIR --version V --out out.xml
+//   xupdate store     log|compact|verify --dir DIR
+//   xupdate store     rollback --dir DIR --to V
+//
+// The store subcommands share --fsync always|batch|never,
+// --snapshot-every N and --snapshot-bytes N, and honor the environment
+// variable XUPDATE_STORE_FAIL_AFTER_BYTES (inject a journal write
+// failure after N appended bytes — crash-recovery testing).
 //
 // Flags accept both `--name value` and `--name=value`. The reasoning
 // commands (reduce, aggregate, integrate, reconcile, analyze) share
