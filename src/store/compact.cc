@@ -130,6 +130,14 @@ Result<Replacement> BuildReplacement(const VersionStore& store,
         pul::SerializePul(undos[static_cast<size_t>(v - from - 1)]));
     replacement.frames.push_back(std::move(undo_frame));
   }
+  // These frames bypass Wal::Append (the rewrite encodes them straight
+  // into the new journal), so bound-check the payloads here.
+  for (const WalFrame& frame : replacement.frames) {
+    if (frame.payload.size() > Wal::kMaxPayloadBytes) {
+      return Status::NotApplicable("replacement frame payload exceeds "
+                                   "the journal frame limit");
+    }
+  }
   return replacement;
 }
 

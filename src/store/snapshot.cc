@@ -75,6 +75,11 @@ Result<SnapshotStore> SnapshotStore::Open(const std::string& dir,
 Status SnapshotStore::Write(uint64_t version,
                             std::string_view annotated_xml) {
   ScopedTimer timer(metrics_, "store.snapshot.write.seconds");
+  if (annotated_xml.size() > Wal::kMaxPayloadBytes) {
+    return Status::InvalidArgument(
+        "snapshot of " + std::to_string(annotated_xml.size()) +
+        " bytes exceeds the frame limit");
+  }
   WalFrame frame;
   frame.type = FrameType::kSnapshot;
   frame.version = version;
@@ -93,6 +98,23 @@ Status SnapshotStore::Write(uint64_t version,
     metrics_->AddCounter("store.snapshot.write.bytes", content.size());
   }
   return Status::OK();
+}
+
+Result<size_t> SnapshotStore::RemoveAbove(uint64_t version) {
+  size_t removed = 0;
+  while (!versions_.empty() && versions_.back() > version) {
+    XUPDATE_RETURN_IF_ERROR(
+        RemoveFile(dir_ + "/" + FileName(versions_.back())));
+    versions_.pop_back();
+    ++removed;
+  }
+  if (removed > 0) {
+    XUPDATE_RETURN_IF_ERROR(SyncDirectory(dir_));
+    if (metrics_ != nullptr) {
+      metrics_->AddCounter("store.snapshot.removed_stale", removed);
+    }
+  }
+  return removed;
 }
 
 Result<std::string> SnapshotStore::Read(uint64_t version) const {

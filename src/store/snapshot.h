@@ -41,6 +41,14 @@ class SnapshotStore {
   // Reads and CRC-verifies the checkpoint for `version`.
   Result<std::string> Read(uint64_t version) const;
 
+  // Deletes every checkpoint strictly above `version` — file and index
+  // entry — and fsyncs the directory; returns how many were removed.
+  // VersionStore::Open uses this to purge checkpoints that outlived a
+  // journal tail lost in a crash: left in place, a later commit past
+  // their version would let NearestAtOrBelow hand Checkout pre-crash
+  // bytes as a replay base.
+  Result<size_t> RemoveAbove(uint64_t version);
+
   // Largest checkpointed version <= v; false if none (version 0 is
   // always checkpointed by VersionStore::Init, so this only fails on a
   // damaged store).

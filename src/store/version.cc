@@ -168,10 +168,12 @@ Result<VersionStore> VersionStore::Open(const std::string& dir,
   XUPDATE_ASSIGN_OR_RETURN(store.snapshots_,
                            SnapshotStore::Open(dir, options.metrics));
   XUPDATE_RETURN_IF_ERROR(store.BuildIndex());
-  size_t stale_snapshots = 0;
-  for (uint64_t v : store.snapshots_.versions()) {
-    if (v > store.head_) ++stale_snapshots;
-  }
+  // Checkpoints above the recovered head outlived a journal tail lost
+  // in a crash (possible under fsync=batch/never). Delete them — kept
+  // around, a later commit past their version would make
+  // NearestAtOrBelow hand Checkout pre-crash bytes as a replay base.
+  XUPDATE_ASSIGN_OR_RETURN(size_t stale_snapshots,
+                           store.snapshots_.RemoveAbove(store.head_));
   XUPDATE_ASSIGN_OR_RETURN(store.doc_, store.Checkout(store.head_));
   uint64_t nearest = 0;
   if (!store.snapshots_.NearestAtOrBelow(store.head_, &nearest)) {
@@ -348,7 +350,23 @@ Result<uint64_t> VersionStore::Commit(const pul::Pul& pul) {
   if (options_.metrics != nullptr) {
     options_.metrics->AddCounter("store.commit.count");
   }
-  XUPDATE_RETURN_IF_ERROR(MaybeCheckpoint());
+  // The version is already durable and applied; a failed checkpoint
+  // only costs replay time on later Checkouts (the cadence triggers
+  // stay armed, so the next commit retries). Failing the commit here
+  // would make callers treat a committed version as lost.
+  Status checkpoint = MaybeCheckpoint();
+  if (!checkpoint.ok()) {
+    if (options_.metrics != nullptr) {
+      options_.metrics->AddCounter("store.checkpoint.failures");
+    }
+    if (options_.tracer != nullptr) {
+      obs::TraceLane lane =
+          options_.tracer->Lane(options_.tracer->NextPhase(), 0, "store");
+      lane.Emit(obs::EventKind::kNote, "checkpoint-failed", {}, "",
+                "version=" + std::to_string(head_) + " " +
+                    checkpoint.message());
+    }
+  }
   return head_;
 }
 

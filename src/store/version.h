@@ -68,9 +68,10 @@ struct OpenReport {
   WalRecovery wal;
   uint64_t head = 0;
   size_t snapshots = 0;
-  // Checkpoint files ignored because they are torn, or describe a
-  // version above the recovered head (a crash between journal loss and
-  // checkpoint write can leave these behind under fsync=never).
+  // Checkpoint files not usable: torn files skipped by the scan, plus
+  // checkpoints above the recovered head (a crash under fsync=batch/
+  // never can leave these behind). Stale ones are deleted at Open so a
+  // later commit past their version can never replay pre-crash bytes.
   size_t snapshots_ignored = 0;
 };
 

@@ -182,12 +182,23 @@ Result<Wal> Wal::Open(const std::string& path, const WalOptions& options,
 }
 
 Status Wal::Append(const WalFrame& frame) {
+  if (poisoned_) {
+    return Status::IoError(
+        "append refused: journal poisoned by earlier write failure: " +
+        path_);
+  }
+  if (frame.payload.size() > kMaxPayloadBytes) {
+    return Status::InvalidArgument(
+        "frame payload of " + std::to_string(frame.payload.size()) +
+        " bytes exceeds the journal frame limit");
+  }
   std::string encoded = EncodeFrame(frame);
   // Fault injection: write the prefix that fits under the byte budget,
   // then fail — the torn tail Open() must recover from.
   if (options_.fail_after_bytes >= 0) {
     uint64_t budget = static_cast<uint64_t>(options_.fail_after_bytes);
     if (appended_bytes_ + encoded.size() > budget) {
+      poisoned_ = true;
       size_t fits = budget > appended_bytes_
                         ? static_cast<size_t>(budget - appended_bytes_)
                         : 0;
@@ -204,7 +215,14 @@ Status Wal::Append(const WalFrame& frame) {
   }
   {
     ScopedTimer timer(options_.metrics, "store.wal.append.seconds");
-    XUPDATE_RETURN_IF_ERROR(file_.Append(encoded));
+    Status appended = file_.Append(encoded);
+    if (!appended.ok()) {
+      // A prefix of the frame may be on disk; nothing appended after
+      // it would be frame-aligned, so the handle is write-dead until a
+      // reopen truncates the torn tail.
+      poisoned_ = true;
+      return appended;
+    }
   }
   appended_bytes_ += encoded.size();
   size_bytes_ += encoded.size();
@@ -234,7 +252,13 @@ Status Wal::Append(const WalFrame& frame) {
 
 Status Wal::Sync() {
   ScopedTimer timer(options_.metrics, "store.wal.fsync.seconds");
-  XUPDATE_RETURN_IF_ERROR(file_.Sync());
+  Status synced = file_.Sync();
+  if (!synced.ok()) {
+    // After a failed fdatasync the kernel may have dropped the dirty
+    // pages, so the tail's durability is unknowable; stop appending.
+    poisoned_ = true;
+    return synced;
+  }
   appends_since_sync_ = 0;
   if (options_.metrics != nullptr) {
     options_.metrics->AddCounter("store.wal.fsync.count");
@@ -244,7 +268,10 @@ Status Wal::Sync() {
 
 Status Wal::Close() {
   if (!file_.is_open()) return Status::OK();
-  if (options_.fsync != FsyncPolicy::kNever && appends_since_sync_ > 0) {
+  // A poisoned journal is not synced on close: its tail is already
+  // suspect and the close must not mask the original failure status.
+  if (!poisoned_ && options_.fsync != FsyncPolicy::kNever &&
+      appends_since_sync_ > 0) {
     XUPDATE_RETURN_IF_ERROR(Sync());
   }
   return file_.Close();

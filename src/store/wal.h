@@ -43,6 +43,13 @@ namespace xupdate::store {
 // truncation itself is fsync'd, so `store verify` reports a clean
 // journal immediately after recovery.
 //
+// Write-failure discipline: a failed append (e.g. ENOSPC) can leave a
+// torn prefix of the frame on disk, and a failed fdatasync leaves the
+// tail's durability unknown — in both cases nothing after the failure
+// point can be trusted to be frame-aligned, so the handle poisons
+// itself and refuses every further Append. The caller reopens the
+// journal, which truncates back to the last clean frame.
+//
 // Fsync policy trades durability for commit throughput:
 //   kAlways  fdatasync after every append (default; no committed
 //            version is ever lost);
@@ -115,7 +122,9 @@ class Wal {
   Wal(Wal&&) noexcept = default;
   Wal& operator=(Wal&&) noexcept = default;
 
-  // Appends one frame, honoring the fsync policy.
+  // Appends one frame, honoring the fsync policy. After any append or
+  // fsync failure the handle is poisoned: every later Append is refused
+  // (kIoError) until the journal is reopened and its tail recovered.
   Status Append(const WalFrame& frame);
 
   // Forces an fdatasync regardless of policy.
@@ -146,6 +155,12 @@ class Wal {
   static constexpr size_t kMagicSize = 8;
   static constexpr size_t kFrameHeaderSize = 8;   // len + crc
   static constexpr size_t kFrameBodyFixedSize = 17;  // type + version + aux
+  // Largest payload a frame can carry: the body (fixed fields +
+  // payload) must fit the u32 length prefix. Append rejects anything
+  // larger up front — silently wrapping the length would corrupt the
+  // journal.
+  static constexpr uint64_t kMaxPayloadBytes =
+      UINT32_MAX - kFrameBodyFixedSize;
 
  private:
   std::string path_;
@@ -155,6 +170,9 @@ class Wal {
   uint64_t size_bytes_ = 0;
   uint64_t appended_bytes_ = 0;   // for fault injection accounting
   size_t appends_since_sync_ = 0;
+  // Set by a failed append/fsync; Append refuses once set (the file may
+  // end in torn bytes that only a reopen's tail recovery can clear).
+  bool poisoned_ = false;
 };
 
 }  // namespace xupdate::store

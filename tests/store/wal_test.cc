@@ -194,6 +194,36 @@ TEST_F(WalTest, FaultInjectionTearsExactlyAtBudget) {
   EXPECT_EQ(recovery.truncated_bytes, second.size() / 2);
 }
 
+TEST_F(WalTest, PoisonedAfterFailedAppend) {
+  WalOptions options;
+  std::string first = Wal::EncodeFrame(PulFrame(1, "payload-one"));
+  std::string second = Wal::EncodeFrame(PulFrame(2, "payload-two"));
+  options.fail_after_bytes =
+      static_cast<int64_t>(first.size() + second.size() / 2);
+  auto wal = Wal::Create(path_, options);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE(wal->Append(PulFrame(1, "payload-one")).ok());
+  ASSERT_FALSE(wal->Append(PulFrame(2, "payload-two")).ok());
+  // The failure left torn bytes at the tail; a "successful" append
+  // after them would be truncated away by the next recovery. The
+  // handle must refuse up front instead.
+  Status refused = wal->Append(PulFrame(3, "payload-three"));
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.code(), StatusCode::kIoError);
+  EXPECT_NE(refused.message().find("poisoned"), std::string::npos)
+      << refused.message();
+  EXPECT_EQ(wal->frames().size(), 1u);
+  // Close skips the sync of a poisoned journal but still closes.
+  EXPECT_TRUE(wal->Close().ok());
+  // Reopening clears the poison: recovery truncates the torn tail and
+  // appends flow again.
+  auto reopened = Wal::Open(path_, {});
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  ASSERT_EQ(reopened->frames().size(), 1u);
+  ASSERT_TRUE(reopened->Append(PulFrame(2, "retried")).ok());
+  ASSERT_TRUE(reopened->Close().ok());
+}
+
 TEST_F(WalTest, DecodeRejectsOversizedLength) {
   std::string frame = Wal::EncodeFrame(PulFrame(1, "abc"));
   // Claim a body longer than the data that follows.
