@@ -171,4 +171,3 @@ BENCHMARK(BM_ReduceStaticAnalysis)->Arg(0)->Arg(20);
 }  // namespace
 }  // namespace xupdate
 
-BENCHMARK_MAIN();

@@ -68,4 +68,3 @@ BENCHMARK(BM_ReduceMode<core::ReduceMode::kCanonical>)
 }  // namespace
 }  // namespace xupdate
 
-BENCHMARK_MAIN();

@@ -139,4 +139,3 @@ BENCHMARK(BM_CdqsSkewedAppends)->Arg(1000)->Arg(10000);
 }  // namespace
 }  // namespace xupdate
 
-BENCHMARK_MAIN();

@@ -70,4 +70,3 @@ XUPDATE_PREDICATE_BENCH(IsNonAttributeDescendantOf);
 }  // namespace
 }  // namespace xupdate
 
-BENCHMARK_MAIN();

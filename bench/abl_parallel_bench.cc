@@ -129,4 +129,3 @@ BENCHMARK(BM_ParallelIntegrate)->Apply(ThreadSweep);
 }  // namespace
 }  // namespace xupdate
 
-BENCHMARK_MAIN();

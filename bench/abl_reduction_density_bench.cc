@@ -69,4 +69,3 @@ BENCHMARK(BM_ReduceByDensity)
 }  // namespace
 }  // namespace xupdate
 
-BENCHMARK_MAIN();

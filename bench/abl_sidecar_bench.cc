@@ -79,4 +79,3 @@ BENCHMARK(BM_LoadWithSidecar)->Apply(Sizes);
 }  // namespace
 }  // namespace xupdate
 
-BENCHMARK_MAIN();

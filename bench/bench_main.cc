@@ -1,0 +1,43 @@
+// Shared benchmark entry point. BENCHMARK_MAIN() alone mislabels the
+// artifacts: the distro libbenchmark package is compiled without
+// NDEBUG, so every JSON reports "library_build_type": "debug" even when
+// the benchmark code and the statically linked xupdate library are -O2
+// Release. What matters for the numbers is how *this* binary was
+// compiled, so the entry point records that as "bench_build_type" (and
+// run_all.sh rewrites the library field to match). It also refuses to
+// run a Debug build outright — Debug timings committed as BENCH_*.json
+// baselines poison every later comparison — unless the operator sets
+// XUPDATE_ALLOW_DEBUG_BENCH=1.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace {
+
+#ifdef NDEBUG
+constexpr char kBenchBuildType[] = "release";
+#else
+constexpr char kBenchBuildType[] = "debug";
+#endif
+
+}  // namespace
+
+int main(int argc, char** argv) {
+#ifndef NDEBUG
+  if (std::getenv("XUPDATE_ALLOW_DEBUG_BENCH") == nullptr) {
+    std::fprintf(stderr,
+                 "refusing to benchmark a Debug build (assertions on, no "
+                 "optimization); rebuild with -DCMAKE_BUILD_TYPE=Release "
+                 "or set XUPDATE_ALLOW_DEBUG_BENCH=1 to override\n");
+    return 1;
+  }
+#endif
+  benchmark::AddCustomContext("bench_build_type", kBenchBuildType);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

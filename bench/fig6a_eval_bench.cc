@@ -96,4 +96,3 @@ BENCHMARK(BM_StreamingEval)->Apply(DocSizes);
 }  // namespace
 }  // namespace xupdate
 
-BENCHMARK_MAIN();

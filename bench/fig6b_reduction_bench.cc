@@ -129,4 +129,3 @@ BENCHMARK(BM_ReduceSerializeOnly)->Apply(PulSizes);
 }  // namespace
 }  // namespace xupdate
 
-BENCHMARK_MAIN();

@@ -133,4 +133,3 @@ BENCHMARK(BM_AggregateDeserializeOnly)->Apply(PulCounts);
 }  // namespace
 }  // namespace xupdate
 
-BENCHMARK_MAIN();

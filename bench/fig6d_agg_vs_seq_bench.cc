@@ -104,4 +104,3 @@ BENCHMARK(BM_AggregateThenEvaluate)->Apply(PulCounts);
 }  // namespace
 }  // namespace xupdate
 
-BENCHMARK_MAIN();

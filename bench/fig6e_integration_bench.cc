@@ -105,4 +105,3 @@ BENCHMARK(BM_IntegrationAndResolution)->Apply(OpsPerPul);
 }  // namespace
 }  // namespace xupdate
 
-BENCHMARK_MAIN();

@@ -26,7 +26,7 @@ status=0
 for bench in fig6a_eval fig6b_reduction fig6c_aggregation \
              fig6d_agg_vs_seq fig6e_integration abl_parallel \
              abl_reduction_density abl_label abl_canonical \
-             abl_encoding abl_sidecar abl_analysis store; do
+             abl_encoding abl_sidecar abl_analysis store hot_path; do
   binary="$build/bench/${bench}_bench"
   if [ ! -x "$binary" ]; then
     echo "skip: $binary missing" >&2
@@ -34,10 +34,20 @@ for bench in fig6a_eval fig6b_reduction fig6c_aggregation \
     continue
   fi
   echo "== $bench =="
+  out="$root/BENCH_${bench}.json"
   "$binary" \
     ${filter:+--benchmark_filter="$filter"} \
-    --benchmark_out="$root/BENCH_${bench}.json" \
+    --benchmark_out="$out" \
     --benchmark_out_format=json || status=1
+  # The distro libbenchmark is compiled without NDEBUG and stamps
+  # "library_build_type": "debug" into every artifact regardless of how
+  # the benchmark code was built. bench_main.cc records the truth as
+  # "bench_build_type"; rewrite the library field to agree so committed
+  # artifacts are not misread as Debug numbers.
+  if grep -q '"bench_build_type": "release"' "$out" 2>/dev/null; then
+    sed -i 's/"library_build_type": "debug"/"library_build_type": "release"/' \
+      "$out"
+  fi
 done
 
 echo "== trace_overhead =="

@@ -285,4 +285,3 @@ BENCHMARK(BM_StoreCheckoutCompacted)->Arg(4)->Arg(8)
 }  // namespace
 }  // namespace xupdate
 
-BENCHMARK_MAIN();

@@ -61,6 +61,19 @@ int main(int argc, char** argv) {
   using xupdate::core::ReduceMode;
   using xupdate::core::ReduceOptions;
 
+#ifdef NDEBUG
+  const char* build_type = "release";
+#else
+  const char* build_type = "debug";
+  if (std::getenv("XUPDATE_ALLOW_DEBUG_BENCH") == nullptr) {
+    fprintf(stderr,
+            "refusing to gate on a Debug build; rebuild with "
+            "-DCMAKE_BUILD_TYPE=Release or set "
+            "XUPDATE_ALLOW_DEBUG_BENCH=1 to override\n");
+    return 1;
+  }
+#endif
+
   const char* out_path = argc > 1 ? argv[1] : "BENCH_trace_overhead.json";
 
   const xupdate::bench::BenchDocument& fixture =
@@ -120,12 +133,14 @@ int main(int argc, char** argv) {
 
   char json[512];
   snprintf(json, sizeof(json),
-           "{\"workload\":\"fig6b-reduction\",\"ops\":%zu,\"trials\":%d,"
+           "{\"workload\":\"fig6b-reduction\",\"build_type\":\"%s\","
+           "\"ops\":%zu,\"trials\":%d,"
            "\"legacy_min_seconds\":%.9f,\"disabled_min_seconds\":%.9f,"
            "\"enabled_min_seconds\":%.9f,\"disabled_overhead\":%.6f,"
            "\"enabled_ratio\":%.3f,\"budget\":%.6f,\"pass\":%s}\n",
-           kNumOps, kTrials, legacy_min, disabled_min, enabled_min,
-           overhead, enabled_ratio, kMaxOverhead, pass ? "true" : "false");
+           build_type, kNumOps, kTrials, legacy_min, disabled_min,
+           enabled_min, overhead, enabled_ratio, kMaxOverhead,
+           pass ? "true" : "false");
   FILE* f = fopen(out_path, "w");
   if (f == nullptr) {
     fprintf(stderr, "cannot open %s\n", out_path);

@@ -3,11 +3,11 @@
 #include <algorithm>
 #include <set>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "label/bitstring.h"
 #include "label/node_label.h"
+#include "pul/pul_view.h"
 #include "pul/update_op.h"
 
 namespace xupdate::analysis {
@@ -117,8 +117,11 @@ bool NonLocalOverride(const UpdateOp& over, const UpdateOp& inner) {
 }
 
 // Labeled ops of one PUL sorted by document order of the targets, for
-// the containment sweep.
+// the containment sweep. `key` caches the start code's order-preserving
+// 64-bit prefix (label::BitString::PrefixKey64): the sort and the sweep
+// compare keys first and fall back to the full code only on ties.
 struct ByStart {
+  uint64_t key;
   const UpdateOp* op;
   int index;
 };
@@ -128,10 +131,12 @@ std::vector<ByStart> SortByStart(const Pul& pul) {
   const auto& ops = pul.ops();
   out.reserve(ops.size());
   for (size_t i = 0; i < ops.size(); ++i) {
-    out.push_back({&ops[i], static_cast<int>(i)});
+    out.push_back({ops[i].target_label.start.PrefixKey64(), &ops[i],
+                   static_cast<int>(i)});
   }
   std::sort(out.begin(), out.end(), [](const ByStart& x, const ByStart& y) {
-    int c = x.op->target_label.start.Compare(y.op->target_label.start);
+    int c = label::BitString::CompareKeyed(x.key, x.op->target_label.start,
+                                           y.key, y.op->target_label.start);
     if (c != 0) return c < 0;
     return x.index < y.index;
   });
@@ -169,15 +174,16 @@ IndependenceReport AnalyzeIndependence(const Pul& a, const Pul& b) {
     }
   }
 
-  // Conflict classes 1-4 need a shared target node.
-  std::unordered_map<NodeId, std::vector<int>> b_by_target;
+  // Conflict classes 1-4 need a shared target node: a flat chained join
+  // in place of the hash-of-vectors (chains keep listing order).
+  pul::TargetIndex b_by_target;
+  b_by_target.Reset(b.ops().size());
   for (size_t j = 0; j < b.ops().size(); ++j) {
-    b_by_target[b.ops()[j].target].push_back(static_cast<int>(j));
+    b_by_target.Append(b.ops()[j].target, static_cast<int32_t>(j));
   }
   for (size_t i = 0; i < a.ops().size(); ++i) {
-    auto it = b_by_target.find(a.ops()[i].target);
-    if (it == b_by_target.end()) continue;
-    for (int j : it->second) {
+    for (int32_t j = b_by_target.Head(a.ops()[i].target); j >= 0;
+         j = b_by_target.Next(j)) {
       const char* reason = SameTargetConflict(
           a, a.ops()[i], b, b.ops()[static_cast<size_t>(j)]);
       if (reason != nullptr) {
@@ -205,15 +211,23 @@ IndependenceReport AnalyzeIndependence(const Pul& a, const Pul& b) {
         continue;
       }
       const NodeLabel& lab = over.op->target_label;
+      const uint64_t end_key = lab.end.PrefixKey64();
       // First inner whose start lies after the overrider's start; walk
-      // while still inside the [start, end] interval.
+      // while still inside the [start, end] interval. The binary search
+      // and the walk both run on the cached keys.
       auto first = std::upper_bound(
-          inners.begin(), inners.end(), lab.start,
-          [](const label::BitString& s, const ByStart& x) {
-            return s < x.op->target_label.start;
+          inners.begin(), inners.end(), over,
+          [](const ByStart& s, const ByStart& x) {
+            return label::BitString::CompareKeyed(
+                       s.key, s.op->target_label.start, x.key,
+                       x.op->target_label.start) < 0;
           });
       for (auto it = first; it != inners.end(); ++it) {
-        if (!(it->op->target_label.start < lab.end)) break;
+        if (label::BitString::CompareKeyed(it->key,
+                                           it->op->target_label.start,
+                                           end_key, lab.end) >= 0) {
+          break;
+        }
         if (!label::IsDescendantOf(it->op->target_label, lab)) continue;
         if (NonLocalOverride(*over.op, *it->op)) {
           *over_out = over.index;

@@ -1,11 +1,13 @@
 #include "core/aggregate.h"
 
 #include <algorithm>
+#include <array>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "pul/pul_view.h"
 #include "pul/update_op.h"
 
 namespace xupdate::core {
@@ -72,7 +74,7 @@ class Aggregator {
   int AppendOp(UpdateOp op, int source_k) {
     int index = static_cast<int>(ops_.size());
     for (NodeId r : op.param_trees) Own(r, index);
-    by_target_[op.target].push_back(index);
+    by_target_.Append(op.target, index);
     source_.push_back(source_k);
     alive_.push_back(1);
     ops_.push_back(std::move(op));
@@ -81,9 +83,7 @@ class Aggregator {
 
   // Finds an alive aggregate op with `kind` on `target`, else -1.
   int FindOp(NodeId target, OpKind kind) const {
-    auto it = by_target_.find(target);
-    if (it == by_target_.end()) return -1;
-    for (int i : it->second) {
+    for (int32_t i = by_target_.Head(target); i >= 0; i = by_target_.Next(i)) {
       if (alive_[static_cast<size_t>(i)] && ops_[static_cast<size_t>(i)].kind == kind) {
         return i;
       }
@@ -113,7 +113,7 @@ class Aggregator {
   std::vector<UpdateOp> ops_;
   std::vector<char> alive_;
   std::vector<int> source_;  // PUL index that last produced/merged the op
-  std::unordered_map<NodeId, std::vector<int>> by_target_;
+  pul::TargetIndex by_target_;  // chains keep append order, as FindOp needs
   std::unordered_map<NodeId, int> owner_;  // param tree root -> op index
   std::unordered_set<NodeId> ever_new_;    // ids ever inserted by the seq
   size_t folded_ = 0;
@@ -322,6 +322,14 @@ Result<Pul> Aggregator::Run(AggregateStats* stats) {
   {
     obs::TraceSpan span(&lane_, "accumulate");
     ScopedTimer timer(metrics, "aggregate.accumulate_seconds");
+    size_t total_ops = 0;
+    for (const Pul* src : puls_) total_ops += src->size();
+    by_target_.Reset(total_ops);
+    // Stage buckets reused across PULs; one pass per PUL replaces a
+    // stable_sort (stages are 1..5 and within-stage order is listing
+    // order either way).
+    std::array<std::vector<const UpdateOp*>, 5> stage_buckets;
+    std::vector<const UpdateOp*> staged;
     for (size_t k = 0; k < puls_.size(); ++k) {
       const Pul& src = *puls_[k];
       XUPDATE_RETURN_IF_ERROR(src.CheckCompatible());
@@ -329,14 +337,16 @@ Result<Pul> Aggregator::Run(AggregateStats* stats) {
       // Folding applies effects immediately, so within one PUL the
       // five-stage precedence must be respected: an insertion next to a
       // node deleted by the same PUL still happens (stage 2 < stage 5).
-      std::vector<const UpdateOp*> staged;
+      for (auto& bucket : stage_buckets) bucket.clear();
+      for (const UpdateOp& op : src.ops()) {
+        stage_buckets[static_cast<size_t>(pul::StageOf(op.kind) - 1)]
+            .push_back(&op);
+      }
+      staged.clear();
       staged.reserve(src.size());
-      for (const UpdateOp& op : src.ops()) staged.push_back(&op);
-      std::stable_sort(staged.begin(), staged.end(),
-                       [](const UpdateOp* a, const UpdateOp* b) {
-                         return pul::StageOf(a->kind) <
-                                pul::StageOf(b->kind);
-                       });
+      for (const auto& bucket : stage_buckets) {
+        staged.insert(staged.end(), bucket.begin(), bucket.end());
+      }
       for (const UpdateOp* op : staged) {
         if (lane_.enabled()) {
           cur_ref_ = "P" + std::to_string(k) + "#" +

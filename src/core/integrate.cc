@@ -6,12 +6,13 @@
 #include <memory>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 #include "analysis/independence.h"
+#include "label/bitstring.h"
 #include "label/node_label.h"
 #include "obs/trace.h"
+#include "pul/pul_view.h"
 #include "pul/update_op.h"
 
 namespace xupdate::core {
@@ -73,12 +74,24 @@ struct TaggedOp {
   bool conflicted = false;
 };
 
-// One target node with all the operations aimed at it.
+// One target node with all the operations aimed at it. The order keys
+// are the 64-bit start/end code prefixes (label::BitString::PrefixKey64)
+// cached at group creation: the document-order sort and the containment
+// sweep compare them first and touch the codes only on key ties.
 struct Group {
   NodeId target = xml::kInvalidNode;
   const label::NodeLabel* label = nullptr;
+  uint64_t start_key = 0;
+  uint64_t end_key = 0;
   std::vector<TaggedOp*> ops;
   std::vector<int> children;  // indices into the group vector (type-5 tree)
+};
+
+// Per-shard scratch for DetectLocalConflicts: one bucket per op kind,
+// reused across the shard's groups so the 11-kind filter is a single
+// pass over each group instead of kNumOpKinds passes.
+struct LocalScratch {
+  std::vector<TaggedOp*> by_kind[pul::kNumOpKinds];
 };
 
 // Attribute names inserted by an insA operation.
@@ -100,7 +113,10 @@ class Integrator {
 
  private:
   // Appends the type 1-4 conflicts of one target group to `out`.
-  void DetectLocalConflicts(Group& group, std::vector<Conflict>* out);
+  // `scratch` is the calling shard's kind-bucket scratch (reused across
+  // its groups; shards never share one).
+  void DetectLocalConflicts(Group& group, LocalScratch* scratch,
+                            std::vector<Conflict>* out);
   // Appends the type-5 conflicts of the self-contained group forest
   // groups_[begin, end) to `out`, innermost targets first (reverse
   // document order of the overriding group).
@@ -114,7 +130,7 @@ class Integrator {
   std::vector<Conflict> conflicts_;
 };
 
-void Integrator::DetectLocalConflicts(Group& group,
+void Integrator::DetectLocalConflicts(Group& group, LocalScratch* scratch,
                                       std::vector<Conflict>* out) {
   // Spans of operations from at least two distinct PULs are required for
   // any conflict.
@@ -130,14 +146,18 @@ void Integrator::DetectLocalConflicts(Group& group,
     return false;
   };
 
+  // One bucketing pass replaces the per-kind scans; bucket order is the
+  // group's op order, so the emitted conflicts are unchanged.
+  for (auto& bucket : scratch->by_kind) bucket.clear();
+  for (TaggedOp* t : group.ops) {
+    scratch->by_kind[static_cast<int>(t->effective)].push_back(t);
+  }
+
   // Types 1 and 3: same effective kind, same target.
   for (int k = 0; k < pul::kNumOpKinds; ++k) {
     OpKind kind = static_cast<OpKind>(k);
     if (!IsType1Kind(kind) && !IsType3Kind(kind)) continue;
-    std::vector<TaggedOp*> same_kind;
-    for (TaggedOp* t : group.ops) {
-      if (t->effective == kind) same_kind.push_back(t);
-    }
+    const std::vector<TaggedOp*>& same_kind = scratch->by_kind[k];
     if (same_kind.size() < 2 || !distinct_puls(same_kind)) continue;
     Conflict c;
     c.type = IsType1Kind(kind) ? ConflictType::kRepeatedModification
@@ -152,10 +172,8 @@ void Integrator::DetectLocalConflicts(Group& group,
   // Type 2: insA operations from different PULs inserting at least one
   // common attribute name; conflicts are the connected components of the
   // shared-name relation.
-  std::vector<TaggedOp*> ins_attr;
-  for (TaggedOp* t : group.ops) {
-    if (t->effective == OpKind::kInsAttributes) ins_attr.push_back(t);
-  }
+  const std::vector<TaggedOp*>& ins_attr =
+      scratch->by_kind[static_cast<int>(OpKind::kInsAttributes)];
   if (ins_attr.size() >= 2) {
     std::vector<std::vector<std::string_view>> names;
     names.reserve(ins_attr.size());
@@ -392,33 +410,43 @@ Result<IntegrationResult> Integrator::Run() {
     obs::TraceSpan span(&group_lane, "group");
     ScopedTimer timer(metrics, "integrate.group_seconds");
 
-    // Partition by target in document order of the targets.
-    std::unordered_map<NodeId, size_t> group_of;
+    // Partition by target in document order of the targets. The flat
+    // target index replaces the hash map: Head() is the group of a
+    // target, -1 if unseen.
+    pul::TargetIndex group_of;
+    group_of.Reset(tagged_.size());
     for (TaggedOp& t : tagged_) {
-      auto [it, inserted] = group_of.emplace(t.op->target, groups_.size());
-      if (inserted) {
+      int32_t gi = group_of.Head(t.op->target);
+      if (gi < 0) {
+        gi = static_cast<int32_t>(groups_.size());
+        group_of.Append(t.op->target, gi);
         Group g;
         g.target = t.op->target;
         g.label = &t.op->target_label;
+        g.start_key = t.op->target_label.start.PrefixKey64();
+        g.end_key = t.op->target_label.end.PrefixKey64();
         groups_.push_back(std::move(g));
       }
-      groups_[it->second].ops.push_back(&t);
+      groups_[static_cast<size_t>(gi)].ops.push_back(&t);
     }
     std::sort(groups_.begin(), groups_.end(),
               [](const Group& a, const Group& b) {
-                return a.label->start < b.label->start;
+                return label::BitString::CompareKeyed(
+                           a.start_key, a.label->start, b.start_key,
+                           b.label->start) < 0;
               });
 
     // Containment tree over the sorted targets: the parent of a group is
     // the closest enclosing target (paper's tree T; a virtual root covers
-    // forests). Stack sweep over document order.
+    // forests). Stack sweep over document order, on the cached keys.
     std::vector<int> stack;
     for (size_t gi = 0; gi < groups_.size(); ++gi) {
-      const label::NodeLabel* lab = groups_[gi].label;
+      const Group& g = groups_[gi];
       while (!stack.empty()) {
-        const label::NodeLabel* top =
-            groups_[static_cast<size_t>(stack.back())].label;
-        if (top->end < lab->start) {
+        const Group& top = groups_[static_cast<size_t>(stack.back())];
+        if (label::BitString::CompareKeyed(top.end_key, top.label->end,
+                                           g.start_key,
+                                           g.label->start) < 0) {
           stack.pop_back();
         } else {
           break;
@@ -471,8 +499,9 @@ Result<IntegrationResult> Integrator::Run() {
     ScopedTimer shard_timer(metrics, "integrate.shard_detect_seconds");
     size_t begin = roots[s];
     size_t end = s + 1 < num_shards ? roots[s + 1] : groups_.size();
+    LocalScratch scratch;
     for (size_t gi = begin; gi < end; ++gi) {
-      DetectLocalConflicts(groups_[gi], &locals[s]);
+      DetectLocalConflicts(groups_[gi], &scratch, &locals[s]);
     }
     DetectNonLocalConflicts(begin, end, &nonlocals[s]);
     if (tracing) {

@@ -12,6 +12,7 @@
 #include "label/bitstring.h"
 #include "label/node_label.h"
 #include "obs/trace.h"
+#include "pul/pul_view.h"
 #include "pul/update_op.h"
 #include "xml/serializer.h"
 
@@ -105,7 +106,11 @@ class Reducer {
 
  private:
   bool Alive(int i) const { return alive_[static_cast<size_t>(i)] != 0; }
-  const UpdateOp& Op(int i) const { return ops_[static_cast<size_t>(i)]; }
+  // The working set is a pointer view: base operations alias the input
+  // PUL (never copied), merged and stage-10-rewritten operations live in
+  // owned_ (a deque, so addresses stay stable as it grows).
+  const UpdateOp& Op(int i) const { return *view_[static_cast<size_t>(i)]; }
+  size_t NumOps() const { return view_.size(); }
 
   void Kill(int i) {
     alive_[static_cast<size_t>(i)] = 0;
@@ -131,9 +136,12 @@ class Reducer {
   }
 
   int AddMerged(UpdateOp op, size_t rank) {
-    int index = static_cast<int>(ops_.size());
-    by_target_[op.target].push_back(index);
-    ops_.push_back(std::move(op));
+    int index = static_cast<int>(view_.size());
+    uint64_t key = op.target_label.start.PrefixKey64();
+    by_target_.Append(op.target, index);
+    owned_.push_back(std::move(op));
+    view_.push_back(&owned_.back());
+    okey_.push_back(key);
     alive_.push_back(1);
     queued_.push_back(0);
     rank_.push_back(rank);
@@ -141,18 +149,18 @@ class Reducer {
   }
 
   // All alive ops with the given target and kind, excluding `exclude`.
+  // Chains preserve append order, so partner choice matches the order
+  // the per-target vectors used to produce.
   void FindPartners(NodeId target, OpKind kind, int exclude,
                     std::vector<int>* out) const {
-    auto it = by_target_.find(target);
-    if (it == by_target_.end()) return;
-    for (int j : it->second) {
+    for (int32_t j = by_target_.Head(target); j >= 0;
+         j = by_target_.Next(j)) {
       if (j != exclude && Alive(j) && Op(j).kind == kind) out->push_back(j);
     }
   }
   int FirstPartner(NodeId target, OpKind kind, int exclude) const {
-    auto it = by_target_.find(target);
-    if (it == by_target_.end()) return -1;
-    for (int j : it->second) {
+    for (int32_t j = by_target_.Head(target); j >= 0;
+         j = by_target_.Next(j)) {
       if (j != exclude && Alive(j) && Op(j).kind == kind) return j;
     }
     return -1;
@@ -190,9 +198,8 @@ class Reducer {
     }
   }
   void EnqueueBucket(NodeId target) {
-    auto it = by_target_.find(target);
-    if (it == by_target_.end()) return;
-    for (int j : it->second) {
+    for (int32_t j = by_target_.Head(target); j >= 0;
+         j = by_target_.Next(j)) {
       if (Alive(j)) Enqueue(j);
     }
   }
@@ -220,13 +227,21 @@ class Reducer {
   const Pul& input_;
   ReduceMode mode_;
   const std::vector<int>* subset_;
-  std::vector<UpdateOp> ops_;
+  std::vector<const UpdateOp*> view_;  // op i; aliases input_ or owned_
+  std::deque<UpdateOp> owned_;         // merged + stage-10-rewritten ops
+  std::vector<uint64_t> okey_;         // cached start-code order keys
   std::vector<char> alive_;
   std::vector<char> queued_;
   std::vector<size_t> rank_;  // PUL listing order, inherited by merges
   std::deque<int> worklist_;
-  std::unordered_map<NodeId, std::vector<int>> by_target_;
-  std::unordered_map<int, std::string> key_cache_;
+  pul::TargetIndex by_target_;
+  // <o keys are a function of the op's content, which never changes
+  // after creation, so the cache is append-only across canonical steps.
+  // Deque, not vector: OpKey hands out references that must survive the
+  // cache growing when merges append ops mid-fixpoint.
+  std::deque<std::string> key_cache_;
+  std::vector<char> key_computed_;
+  pul::Arena arena_;  // sweep-event scratch, recycled between passes
   obs::TraceLane* lane_;
   size_t applications_ = 0;
 };
@@ -245,14 +260,12 @@ bool Reducer::TryDropRules(int i) {
   }
   // O1, as the overriding side: drop overridable partners.
   if (op.kind == OpKind::kReplaceNode || op.kind == OpKind::kDelete) {
-    auto it = by_target_.find(op.target);
-    if (it != by_target_.end()) {
-      for (int j : it->second) {
-        if (j != i && Alive(j) && IsO1Overridable(Op(j).kind)) {
-          EmitKill("O1", i, j);
-          Kill(j);
-          return true;
-        }
+    for (int32_t j = by_target_.Head(op.target); j >= 0;
+         j = by_target_.Next(j)) {
+      if (j != i && Alive(j) && IsO1Overridable(Op(j).kind)) {
+        EmitKill("O1", i, j);
+        Kill(j);
+        return true;
       }
     }
   }
@@ -266,14 +279,12 @@ bool Reducer::TryDropRules(int i) {
     }
   }
   if (op.kind == OpKind::kReplaceChildren) {
-    auto it = by_target_.find(op.target);
-    if (it != by_target_.end()) {
-      for (int j : it->second) {
-        if (j != i && Alive(j) && IsChildInsertion(Op(j).kind)) {
-          EmitKill("O2", i, j);
-          Kill(j);
-          return true;
-        }
+    for (int32_t j = by_target_.Head(op.target); j >= 0;
+         j = by_target_.Next(j)) {
+      if (j != i && Alive(j) && IsChildInsertion(Op(j).kind)) {
+        EmitKill("O2", i, j);
+        Kill(j);
+        return true;
       }
     }
   }
@@ -486,58 +497,69 @@ bool Reducer::TryMergeRules(int stage, int i) {
 
 bool Reducer::SweepOverrides() {
   struct Event {
-    const BitString* code;
+    uint64_t key;  // cached start-code order key of the op's target
     // 0 = query (op target), 1 = open interval. (Close events are not
     // needed: a stack ordered by interval nesting suffices.)
     int type;
     int op_index;
   };
-  std::vector<Event> events;
-  events.reserve(ops_.size() * 2);
-  for (size_t i = 0; i < ops_.size(); ++i) {
+  // Scratch comes from the arena: the sweep runs once per stage-1 pass
+  // and the event array is the largest transient of the whole fixpoint.
+  arena_.Reset();
+  Event* events = arena_.AllocateArray<Event>(NumOps() * 2);
+  size_t num_events = 0;
+  for (size_t i = 0; i < NumOps(); ++i) {
     if (!Alive(static_cast<int>(i))) continue;
-    const UpdateOp& op = ops_[i];
+    const UpdateOp& op = Op(static_cast<int>(i));
     if (!op.target_label.valid()) continue;
-    events.push_back({&op.target_label.start, 0, static_cast<int>(i)});
+    events[num_events++] = {okey_[i], 0, static_cast<int>(i)};
     if (op.kind == OpKind::kReplaceNode || op.kind == OpKind::kDelete ||
         op.kind == OpKind::kReplaceChildren) {
-      events.push_back({&op.target_label.start, 1, static_cast<int>(i)});
+      events[num_events++] = {okey_[i], 1, static_cast<int>(i)};
     }
   }
-  std::sort(events.begin(), events.end(),
-            [](const Event& a, const Event& b) {
-              int c = a.code->Compare(*b.code);
+  // Key-first comparison; the full code compare only breaks key ties, so
+  // the order (and hence the sweep) is exactly the pre-key order.
+  std::sort(events, events + num_events,
+            [this](const Event& a, const Event& b) {
+              int c = BitString::CompareKeyed(
+                  a.key, Op(a.op_index).target_label.start, b.key,
+                  Op(b.op_index).target_label.start);
               if (c != 0) return c < 0;
               return a.type < b.type;  // queries before opens at a node
             });
-  // Stack of open killer intervals (indices into ops_), innermost on top.
+  // Stack of open killer intervals (op indices), innermost on top.
   struct OpenKiller {
+    uint64_t end_key;
+    const BitString* end;
     int op_index;
     bool children_only;  // repC: attributes of the target survive
   };
   std::vector<OpenKiller> open;
   bool any = false;
-  for (const Event& ev : events) {
-    const UpdateOp& op = ops_[static_cast<size_t>(ev.op_index)];
+  for (size_t e = 0; e < num_events; ++e) {
+    const Event& ev = events[e];
+    const UpdateOp& op = Op(ev.op_index);
+    const BitString& code = op.target_label.start;
     // Pop intervals that ended before this position.
     while (!open.empty()) {
-      const UpdateOp& killer =
-          ops_[static_cast<size_t>(open.back().op_index)];
-      if (killer.target_label.end < *ev.code) {
+      const OpenKiller& top = open.back();
+      if (BitString::CompareKeyed(top.end_key, *top.end, ev.key, code) < 0) {
         open.pop_back();
       } else {
         break;
       }
     }
     if (ev.type == 1) {
-      open.push_back(
-          {ev.op_index, op.kind == OpKind::kReplaceChildren});
+      const BitString& end = op.target_label.end;
+      open.push_back({end.PrefixKey64(), &end, ev.op_index,
+                      op.kind == OpKind::kReplaceChildren});
       continue;
     }
     if (!Alive(ev.op_index) || open.empty()) continue;
     int killer_index = -1;
     for (const OpenKiller& k : open) {
-      const UpdateOp& killer = ops_[static_cast<size_t>(k.op_index)];
+      const UpdateOp& killer = Op(k.op_index);
       if (killer.target == op.target) continue;  // same node: O1/O2 turf
       if (k.children_only &&
           op.target_label.parent == killer.target &&
@@ -548,7 +570,7 @@ bool Reducer::SweepOverrides() {
       break;
     }
     if (killer_index >= 0) {
-      const UpdateOp& killer = ops_[static_cast<size_t>(killer_index)];
+      const UpdateOp& killer = Op(killer_index);
       EmitKill(killer.kind == OpKind::kReplaceChildren ? "O4" : "O3",
                killer_index, ev.op_index);
       Kill(ev.op_index);
@@ -563,9 +585,9 @@ bool Reducer::StageFixpoint(int stage) {
   if (stage == 1) {
     any |= SweepOverrides();
   }
-  queued_.assign(ops_.size(), 0);
+  queued_.assign(NumOps(), 0);
   worklist_.clear();
-  for (size_t i = 0; i < ops_.size(); ++i) {
+  for (size_t i = 0; i < NumOps(); ++i) {
     if (Alive(static_cast<int>(i))) Enqueue(static_cast<int>(i));
   }
   while (!worklist_.empty()) {
@@ -593,8 +615,12 @@ bool Reducer::StageFixpoint(int stage) {
 }
 
 const std::string& Reducer::OpKey(int i) {
-  auto it = key_cache_.find(i);
-  if (it != key_cache_.end()) return it->second;
+  size_t idx = static_cast<size_t>(i);
+  if (idx >= key_cache_.size()) {
+    key_cache_.resize(NumOps());
+    key_computed_.resize(NumOps(), 0);
+  }
+  if (key_computed_[idx] != 0) return key_cache_[idx];
   const UpdateOp& op = Op(i);
   std::string key;
   if (op.target_label.valid()) {
@@ -630,7 +656,9 @@ const std::string& Reducer::OpKey(int i) {
     key += '\x02';
   }
   key += op.param_string;
-  return key_cache_.emplace(i, std::move(key)).first->second;
+  key_computed_[idx] = 1;
+  key_cache_[idx] = std::move(key);
+  return key_cache_[idx];
 }
 
 void Reducer::CollectRulePairs(int stage, int rule,
@@ -640,7 +668,7 @@ void Reducer::CollectRulePairs(int stage, int rule,
                   int shape, int first, int second) {
     out->push_back({name, op1, op2, result, shape, first, second});
   };
-  for (size_t idx = 0; idx < ops_.size(); ++idx) {
+  for (size_t idx = 0; idx < NumOps(); ++idx) {
     int i = static_cast<int>(idx);
     if (!Alive(i)) continue;
     const UpdateOp& op = Op(i);
@@ -796,7 +824,7 @@ bool Reducer::CanonicalStageStep(int stage) {
   // Drops are order-insensitive: flush them first through the fast path.
   if (stage == 1) {
     bool dropped = SweepOverrides();
-    for (size_t i = 0; i < ops_.size(); ++i) {
+    for (size_t i = 0; i < NumOps(); ++i) {
       int idx = static_cast<int>(i);
       if (Alive(idx) && TryDropRules(idx)) dropped = true;
     }
@@ -835,7 +863,8 @@ Result<Pul> Reducer::Assemble() {
   out.set_policies(input_.policies());
   out.BindIdSpace(1);  // ids preserved on adoption; floor irrelevant
   std::vector<int> order;
-  for (size_t i = 0; i < ops_.size(); ++i) {
+  order.reserve(NumOps());
+  for (size_t i = 0; i < NumOps(); ++i) {
     if (Alive(static_cast<int>(i))) order.push_back(static_cast<int>(i));
   }
   if (mode_ == ReduceMode::kCanonical) {
@@ -857,44 +886,54 @@ Result<Pul> Reducer::Assemble() {
 }
 
 void Reducer::CollectSurvivors(std::vector<Survivor>* out) {
-  for (size_t i = 0; i < ops_.size(); ++i) {
+  for (size_t i = 0; i < NumOps(); ++i) {
     int idx = static_cast<int>(i);
     if (!Alive(idx)) continue;
     Survivor s;
     s.rank = rank_[i];
     if (mode_ == ReduceMode::kCanonical) s.key = OpKey(idx);
-    s.op = &ops_[i];
+    s.op = view_[i];
     out->push_back(std::move(s));
   }
 }
 
 Status Reducer::RunRules() {
   if (subset_ != nullptr) {
-    ops_.reserve(subset_->size());
+    view_.reserve(subset_->size());
     rank_.reserve(subset_->size());
     for (int global : *subset_) {
       rank_.push_back(static_cast<size_t>(global));
-      ops_.push_back(input_.ops()[static_cast<size_t>(global)]);
+      view_.push_back(&input_.ops()[static_cast<size_t>(global)]);
     }
   } else {
-    ops_ = input_.ops();
-    rank_.resize(ops_.size());
-    for (size_t i = 0; i < ops_.size(); ++i) rank_[i] = i;
+    const std::vector<UpdateOp>& ops = input_.ops();
+    view_.reserve(ops.size());
+    rank_.resize(ops.size());
+    for (size_t i = 0; i < ops.size(); ++i) {
+      rank_[i] = i;
+      view_.push_back(&ops[i]);
+    }
   }
-  alive_.assign(ops_.size(), 1);
-  queued_.assign(ops_.size(), 0);
-  for (size_t i = 0; i < ops_.size(); ++i) {
-    by_target_[ops_[i].target].push_back(static_cast<int>(i));
+  okey_.reserve(view_.size());
+  for (const UpdateOp* op : view_) {
+    okey_.push_back(op->target_label.start.PrefixKey64());
+  }
+  alive_.assign(view_.size(), 1);
+  queued_.assign(view_.size(), 0);
+  by_target_.Reset(view_.size());
+  for (size_t i = 0; i < view_.size(); ++i) {
+    by_target_.Append(view_[i]->target, static_cast<int32_t>(i));
   }
 
   auto run_all_stages = [&]() {
     bool any = false;
     for (int stage = 1; stage <= 9; ++stage) {
       if (mode_ == ReduceMode::kCanonical) {
-        key_cache_.clear();
+        // The key cache persists across steps: keys depend only on op
+        // content, which is immutable once an op exists (merges create
+        // new indices, stage 10 only flips the kind).
         while (CanonicalStageStep(stage)) {
           any = true;
-          key_cache_.clear();
         }
       } else {
         any |= StageFixpoint(stage);
@@ -906,10 +945,14 @@ Status Reducer::RunRules() {
   while (run_all_stages()) {
   }
   if (mode_ != ReduceMode::kPlain) {
-    // Stage 10: determinize the surviving insInto operations.
-    for (size_t i = 0; i < ops_.size(); ++i) {
-      if (Alive(static_cast<int>(i)) && ops_[i].kind == OpKind::kInsInto) {
-        ops_[i].kind = OpKind::kInsFirst;
+    // Stage 10: determinize the surviving insInto operations. Base ops
+    // alias the input, so the rewritten op is materialized in owned_.
+    for (size_t i = 0; i < NumOps(); ++i) {
+      if (Alive(static_cast<int>(i)) && Op(static_cast<int>(i)).kind == OpKind::kInsInto) {
+        UpdateOp rewritten = Op(static_cast<int>(i));
+        rewritten.kind = OpKind::kInsFirst;
+        owned_.push_back(std::move(rewritten));
+        view_[i] = &owned_.back();
         ++applications_;
         if (lane_ != nullptr && lane_->enabled()) {
           int idx = static_cast<int>(i);
@@ -949,28 +992,37 @@ std::vector<std::vector<int>> PartitionByTargetSubtree(const Pul& input) {
   };
   auto unite = [&](int a, int b) { uf[static_cast<size_t>(find(a))] = find(b); };
 
-  std::unordered_map<NodeId, int> first_on_target;
+  // First op on each target in listing order — the chain heads of the
+  // flat target join.
+  pul::TargetIndex by_target;
+  by_target.Reset(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
-    auto [it, inserted] = first_on_target.emplace(ops[static_cast<size_t>(i)].target, i);
-    if (!inserted) unite(i, it->second);
+    by_target.Append(ops[static_cast<size_t>(i)].target, i);
+  }
+  for (int i = 0; i < n; ++i) {
+    int head = by_target.Head(ops[static_cast<size_t>(i)].target);
+    if (head != i) unite(i, head);
   }
   for (int i = 0; i < n; ++i) {
     const NodeLabel& lab = ops[static_cast<size_t>(i)].target_label;
     if (!lab.valid()) continue;
     if (lab.parent != kInvalidNode) {
-      auto it = first_on_target.find(lab.parent);
-      if (it != first_on_target.end()) unite(i, it->second);
+      int head = by_target.Head(lab.parent);
+      if (head >= 0) unite(i, head);
     }
     if (lab.left_sibling != kInvalidNode) {
-      auto it = first_on_target.find(lab.left_sibling);
-      if (it != first_on_target.end()) unite(i, it->second);
+      int head = by_target.Head(lab.left_sibling);
+      if (head >= 0) unite(i, head);
     }
   }
 
   // Ancestor containment: sweep the labeled intervals in document order
   // and union every operation with the closest enclosing target, which
-  // transitively covers the whole nesting chain.
+  // transitively covers the whole nesting chain. Order keys decide the
+  // sort and the nesting pops; the full code compare only breaks ties.
   struct Interval {
+    uint64_t start_key;
+    uint64_t end_key;
     const BitString* start;
     const BitString* end;
     int op;
@@ -980,17 +1032,23 @@ std::vector<std::vector<int>> PartitionByTargetSubtree(const Pul& input) {
   for (int i = 0; i < n; ++i) {
     const NodeLabel& lab = ops[static_cast<size_t>(i)].target_label;
     if (!lab.valid()) continue;
-    intervals.push_back({&lab.start, &lab.end, i});
+    intervals.push_back({lab.start.PrefixKey64(), lab.end.PrefixKey64(),
+                         &lab.start, &lab.end, i});
   }
   std::sort(intervals.begin(), intervals.end(),
             [](const Interval& a, const Interval& b) {
-              int c = a.start->Compare(*b.start);
+              int c = BitString::CompareKeyed(a.start_key, *a.start,
+                                              b.start_key, *b.start);
               if (c != 0) return c < 0;
               return a.op < b.op;
             });
   std::vector<const Interval*> open;
   for (const Interval& iv : intervals) {
-    while (!open.empty() && *open.back()->end < *iv.start) open.pop_back();
+    while (!open.empty() &&
+           BitString::CompareKeyed(open.back()->end_key, *open.back()->end,
+                                   iv.start_key, *iv.start) < 0) {
+      open.pop_back();
+    }
     if (!open.empty()) unite(iv.op, open.back()->op);
     open.push_back(&iv);
   }

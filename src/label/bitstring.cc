@@ -2,11 +2,31 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 
 namespace xupdate::label {
 
+namespace {
+
+// Loads `n` (1..8) bytes starting at `p` into a left-aligned big-endian
+// word: p[0] lands in the most significant byte, missing low bytes are
+// zero. With the class invariant that bits past nbits_ are zero, this is
+// exactly "the next 8*n bits of the string, zero-padded to 64".
+inline uint64_t LoadPrefixWord(const uint8_t* p, size_t n) {
+  uint64_t w = 0;
+  std::memcpy(&w, p, n);
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+  return w;
+#else
+  return __builtin_bswap64(w);
+#endif
+}
+
+}  // namespace
+
 BitString BitString::FromBits(std::string_view zeros_and_ones) {
   BitString out;
+  out.bytes_.reserve((zeros_and_ones.size() + 7) / 8);
   for (char c : zeros_and_ones) {
     assert(c == '0' || c == '1');
     out.AppendBit(c == '1');
@@ -28,37 +48,49 @@ void BitString::PopBit() {
 }
 
 int BitString::Compare(const BitString& other) const {
-  const size_t common_bytes = std::min(bytes_.size(), other.bytes_.size());
-  for (size_t i = 0; i < common_bytes; ++i) {
-    // Trailing bits beyond nbits_ are kept zero, so byte comparison is
-    // only decisive within the common bit range; handle the tail below.
-    if (bytes_[i] != other.bytes_[i]) {
-      size_t bit_base = i * 8;
-      size_t limit = std::min(nbits_, other.nbits_) - bit_base;
-      for (size_t b = 0; b < std::min<size_t>(8, limit); ++b) {
-        bool ba = (bytes_[i] >> (7 - b)) & 1;
-        bool bb = (other.bytes_[i] >> (7 - b)) & 1;
-        if (ba != bb) return ba ? 1 : -1;
-      }
-      break;  // bytes differ only in bits past the common length
+  const size_t min_bits = std::min(nbits_, other.nbits_);
+  const uint8_t* a = bytes_.data();
+  const uint8_t* b = other.bytes_.data();
+  // Whole 64-bit words fully inside the common bit range: any byte
+  // difference there is within both strings, so a byte-swapped compare
+  // is decisive.
+  const size_t full_bytes = min_bits / 8;
+  size_t i = 0;
+  for (; i + 8 <= full_bytes; i += 8) {
+    uint64_t wa, wb;
+    std::memcpy(&wa, a + i, 8);
+    std::memcpy(&wb, b + i, 8);
+    if (wa != wb) {
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+#else
+      wa = __builtin_bswap64(wa);
+      wb = __builtin_bswap64(wb);
+#endif
+      return wa < wb ? -1 : 1;
     }
+  }
+  // Masked tail: the remaining 0..63 common bits, left-aligned. Bits
+  // past min_bits must not influence the result (they belong to only
+  // one string — or to neither, by the trailing-zero invariant).
+  const size_t tail_bits = min_bits - i * 8;
+  if (tail_bits > 0) {
+    const size_t tail_bytes = (tail_bits + 7) / 8;
+    const uint64_t mask = ~uint64_t{0} << (64 - tail_bits);
+    const uint64_t wa = LoadPrefixWord(a + i, tail_bytes) & mask;
+    const uint64_t wb = LoadPrefixWord(b + i, tail_bytes) & mask;
+    if (wa != wb) return wa < wb ? -1 : 1;
   }
   // One is a prefix of the other (or equal): shorter sorts first.
   if (nbits_ == other.nbits_) return 0;
-  // The common prefix is equal; the longer one's next bit decides only in
-  // true lexicographic order if strings could contain a virtual
-  // terminator. For plain lexicographic order a proper prefix is smaller.
-  size_t common_bits = std::min(nbits_, other.nbits_);
-  const BitString& longer = nbits_ > other.nbits_ ? *this : other;
-  // Verify the shorter really is a prefix (the byte loop above may have
-  // broken out early when differing bits were past the common length).
-  for (size_t b = (common_bits / 8) * 8; b < common_bits; ++b) {
-    bool ba = bit(b);
-    bool bb = other.bit(b);
-    if (ba != bb) return ba ? 1 : -1;
-  }
-  (void)longer;
   return nbits_ < other.nbits_ ? -1 : 1;
+}
+
+uint64_t BitString::PrefixKey64() const {
+  const size_t n = std::min<size_t>(bytes_.size(), 8);
+  if (n == 0) return 0;
+  // Trailing bits past nbits_ are zero by invariant, so no masking is
+  // needed: this is the first min(nbits_, 64) bits, zero-padded.
+  return LoadPrefixWord(bytes_.data(), n);
 }
 
 std::string BitString::ToString() const {

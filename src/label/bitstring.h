@@ -34,8 +34,31 @@ class BitString {
   // Drops the last bit; requires non-empty.
   void PopBit();
 
-  // Lexicographic three-way comparison.
+  // Lexicographic three-way comparison. Word-wise: whole 64-bit
+  // big-endian words of the common prefix are compared at once, with a
+  // masked tail for the last partial word; a proper prefix sorts before
+  // its extensions.
   int Compare(const BitString& other) const;
+
+  // The first 64 bits, left-aligned (bit 0 in the most significant
+  // position) and zero-padded. Order-preserving prefix key: for any two
+  // strings a, b
+  //   a.PrefixKey64() < b.PrefixKey64()  =>  a < b
+  // so unequal keys decide the comparison outright; equal keys need the
+  // full Compare (the strings may still differ past bit 63, or one may
+  // be a zero-extension-coinciding prefix of the other). Cheap enough
+  // to recompute — persistent caching belongs to flat index layers
+  // (pul::PulView) so labels stay trivially copyable and shareable
+  // across shard threads.
+  uint64_t PrefixKey64() const;
+
+  // Three-way comparison given precomputed prefix keys of both strings;
+  // falls back to the full Compare only on key equality.
+  static int CompareKeyed(uint64_t key_a, const BitString& a,
+                          uint64_t key_b, const BitString& b) {
+    if (key_a != key_b) return key_a < key_b ? -1 : 1;
+    return a.Compare(b);
+  }
   bool operator==(const BitString& other) const {
     return Compare(other) == 0;
   }

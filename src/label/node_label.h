@@ -31,6 +31,22 @@ struct NodeLabel {
 
   bool valid() const { return self != xml::kInvalidNode; }
 
+  // Order-preserving 64-bit key over the containment start code: unequal
+  // keys decide document order outright; equal keys require the full
+  // start.Compare fallback (see BitString::PrefixKey64). Recomputed on
+  // use — one masked 8-byte load — rather than cached in the label, so
+  // NodeLabel stays a trivially copyable aggregate that shard threads
+  // can read concurrently; hot paths cache the key in their flat op
+  // indexes (pul::PulView).
+  uint64_t OrderKey() const { return start.PrefixKey64(); }
+
+  // Three-way document-order comparison of start codes, key-first with
+  // full-compare fallback on key equality.
+  static int CompareByStart(uint64_t key_a, const NodeLabel& a,
+                            uint64_t key_b, const NodeLabel& b) {
+    return BitString::CompareKeyed(key_a, a.start, key_b, b.start);
+  }
+
   // Compact textual form "<type><level>:<start>:<end>:<parent>:
   // <leftsib>:<last>"; self id travels separately. Round-trips through
   // Parse.

@@ -74,6 +74,10 @@ class Pul {
   // right kind for `kind`) and appends it.
   [[nodiscard]] Status AddOp(UpdateOp op);
 
+  // Pre-sizes the operation list, for readers that know the record's op
+  // count before the AddOp loop.
+  void ReserveOps(size_t n) { ops_.reserve(n); }
+
   // Convenience builders: target label is looked up in `labeling`.
   [[nodiscard]] Status AddTreeOp(OpKind kind, xml::NodeId target,
                                  const label::Labeling& labeling,

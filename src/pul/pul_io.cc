@@ -90,6 +90,7 @@ Status ParseOpElement(const Document& temp, NodeId op_node, Pul* out) {
   XUPDATE_ASSIGN_OR_RETURN(op.param_string,
                            AttrValue(temp, op_node, "arg", false));
 
+  op.param_trees.reserve(temp.children(op_node).size());
   for (NodeId param : temp.children(op_node)) {
     if (temp.type(param) != NodeType::kElement) {
       return Status::ParseError("unexpected content inside <op>");
@@ -133,7 +134,12 @@ Status ParseOpElement(const Document& temp, NodeId op_node, Pul* out) {
 }  // namespace
 
 Result<std::string> SerializePul(const Pul& pul) {
-  std::string out = "<pul>";
+  std::string out;
+  // ~96 bytes covers a typical <op .../> record (kind + target + label
+  // attributes); parameter payloads still grow the string, but the bulk
+  // of the doubling-reallocation churn comes from the per-op framing.
+  out.reserve(16 + pul.size() * 96);
+  out += "<pul>";
   // Build first, scan once at the end: a NUL anywhere in the output can
   // only come from an operation argument or parameter value, and NUL is
   // not a legal XML character — consumers reading the serialization as
@@ -198,6 +204,7 @@ Result<Pul> ParsePul(std::string_view xml_text) {
     return Status::ParseError("root element must be <pul>");
   }
   Pul out;
+  out.ReserveOps(temp.children(root).size());
   for (NodeId child : temp.children(root)) {
     if (temp.type(child) != NodeType::kElement) {
       return Status::ParseError("unexpected content inside <pul>");

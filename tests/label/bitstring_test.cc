@@ -40,6 +40,22 @@ TEST(BitStringTest, FromBitsRoundTrip) {
   }
 }
 
+// FromBits sizes its byte storage up front (one reserve instead of
+// doubling growth); every length around the byte and word boundaries
+// must still round-trip bit-exactly.
+TEST(BitStringTest, FromBitsRoundTripAllLengthsToTwoWords) {
+  std::string bits;
+  for (size_t len = 0; len <= 130; ++len) {
+    bits.clear();
+    for (size_t i = 0; i < len; ++i) {
+      bits += ((i * 7 + len) % 3 == 0) ? '1' : '0';
+    }
+    BitString s = BitString::FromBits(bits);
+    EXPECT_EQ(s.size(), len);
+    EXPECT_EQ(s.ToString(), bits) << "length " << len;
+  }
+}
+
 TEST(BitStringTest, LexicographicCompare) {
   // Plain lexicographic order: a proper prefix sorts before extensions.
   auto bs = [](const char* s) { return BitString::FromBits(s); };

@@ -1,0 +1,167 @@
+// Differential fuzz for the word-wise BitString::Compare and the
+// order-preserving 64-bit prefix key (PR 5 hot-path work): on millions
+// of random code pairs,
+//   sign(reference per-bit compare)
+//     == sign(BitString::Compare)
+//     == sign(key compare with full-Compare fallback on key equality).
+// The pool mixes random CDBS codes with adversarial shapes: proper
+// prefixes, shared 64+-bit prefixes, byte- and word-length boundaries,
+// and strings whose keys collide only through zero-padding.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "label/bitstring.h"
+#include "label/node_label.h"
+
+namespace xupdate::label {
+namespace {
+
+// The pre-PR-5 semantics, kept deliberately naive: first differing bit
+// decides; otherwise the proper prefix sorts first.
+int ReferenceCompare(const BitString& a, const BitString& b) {
+  const size_t min_bits = std::min(a.size(), b.size());
+  for (size_t i = 0; i < min_bits; ++i) {
+    bool ba = a.bit(i);
+    bool bb = b.bit(i);
+    if (ba != bb) return ba ? 1 : -1;
+  }
+  if (a.size() == b.size()) return 0;
+  return a.size() < b.size() ? -1 : 1;
+}
+
+int Sign(int v) { return (v > 0) - (v < 0); }
+
+struct XorShift64 {
+  uint64_t state;
+  explicit XorShift64(uint64_t seed) : state(seed ? seed : 0x9e3779b97f4a7c15ull) {}
+  uint64_t Next() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  }
+  // Uniform-ish value in [0, n).
+  uint64_t Below(uint64_t n) { return Next() % n; }
+};
+
+BitString RandomBits(XorShift64& rng, size_t nbits, bool force_code) {
+  std::string bits;
+  bits.reserve(nbits);
+  for (size_t i = 0; i < nbits; ++i) {
+    bits.push_back((rng.Next() & 1) ? '1' : '0');
+  }
+  if (force_code && nbits > 0) bits.back() = '1';  // CDBS codes end in '1'
+  return BitString::FromBits(bits);
+}
+
+std::vector<BitString> BuildPool(XorShift64& rng) {
+  std::vector<BitString> pool;
+  pool.push_back(BitString());  // open boundary
+  // Byte/word boundary lengths, exercised both as general strings and as
+  // CDBS codes (trailing '1').
+  const size_t kEdgeLengths[] = {1,  2,  7,  8,  9,  15, 16, 17, 31, 32,
+                                 33, 55, 56, 57, 63, 64, 65, 71, 72, 73,
+                                 96, 127, 128, 129, 200};
+  for (size_t len : kEdgeLengths) {
+    pool.push_back(RandomBits(rng, len, /*force_code=*/false));
+    pool.push_back(RandomBits(rng, len, /*force_code=*/true));
+  }
+  // Zero-padding key collisions: "1", "10", "100", ... share a prefix
+  // key but are distinct strings; same family starting with '0'.
+  for (const char* stem : {"1", "01"}) {
+    std::string bits = stem;
+    for (int i = 0; i < 70; ++i) {
+      pool.push_back(BitString::FromBits(bits));
+      bits.push_back('0');
+    }
+  }
+  // Long shared prefixes: families that agree on the first 60..130 bits
+  // and then diverge, including divergence exactly at bits 63/64/65.
+  for (int fam = 0; fam < 24; ++fam) {
+    size_t prefix_len = 60 + rng.Below(70);
+    BitString prefix = RandomBits(rng, prefix_len, false);
+    std::string stem = prefix.ToString();
+    pool.push_back(prefix);
+    for (int ext = 0; ext < 6; ++ext) {
+      std::string bits = stem;
+      size_t extra = 1 + rng.Below(16);
+      for (size_t i = 0; i < extra; ++i) {
+        bits.push_back((rng.Next() & 1) ? '1' : '0');
+      }
+      bits.back() = '1';
+      pool.push_back(BitString::FromBits(bits));
+    }
+  }
+  // Bulk random codes at random lengths.
+  while (pool.size() < 1500) {
+    pool.push_back(RandomBits(rng, 1 + rng.Below(160), /*force_code=*/true));
+  }
+  return pool;
+}
+
+TEST(OrderKeyTest, DifferentialFuzzAgainstReferenceCompare) {
+  XorShift64 rng(0x5eed5eed1234ull);
+  std::vector<BitString> pool = BuildPool(rng);
+  std::vector<uint64_t> keys;
+  keys.reserve(pool.size());
+  for (const BitString& s : pool) keys.push_back(s.PrefixKey64());
+
+  constexpr size_t kPairs = 1'200'000;
+  for (size_t iter = 0; iter < kPairs; ++iter) {
+    size_t i = rng.Below(pool.size());
+    size_t j = rng.Below(pool.size());
+    const BitString& a = pool[i];
+    const BitString& b = pool[j];
+    const int ref = Sign(ReferenceCompare(a, b));
+    const int fast = Sign(a.Compare(b));
+    const int keyed = Sign(BitString::CompareKeyed(keys[i], a, keys[j], b));
+    ASSERT_EQ(ref, fast) << "word-wise Compare diverged: a=" << a.ToString()
+                         << " b=" << b.ToString();
+    ASSERT_EQ(ref, keyed) << "keyed compare diverged: a=" << a.ToString()
+                          << " b=" << b.ToString();
+    // The key alone must already be order-consistent: unequal keys imply
+    // the same strict order as the full compare.
+    if (keys[i] != keys[j]) {
+      ASSERT_EQ(keys[i] < keys[j] ? -1 : 1, ref)
+          << "prefix key not order-preserving: a=" << a.ToString()
+          << " b=" << b.ToString();
+    }
+  }
+}
+
+TEST(OrderKeyTest, KeyIsLeftAlignedFirst64Bits) {
+  EXPECT_EQ(BitString().PrefixKey64(), 0u);
+  EXPECT_EQ(BitString::FromBits("1").PrefixKey64(), uint64_t{1} << 63);
+  EXPECT_EQ(BitString::FromBits("01").PrefixKey64(), uint64_t{1} << 62);
+  // 64 bits: exact word, no padding.
+  std::string bits(64, '0');
+  bits[0] = '1';
+  bits[63] = '1';
+  EXPECT_EQ(BitString::FromBits(bits).PrefixKey64(),
+            (uint64_t{1} << 63) | uint64_t{1});
+  // Bits past 64 do not affect the key.
+  bits += "1011";
+  EXPECT_EQ(BitString::FromBits(bits).PrefixKey64(),
+            (uint64_t{1} << 63) | uint64_t{1});
+}
+
+TEST(OrderKeyTest, NodeLabelOrderKeyMatchesStartCode) {
+  NodeLabel a;
+  a.self = 1;
+  a.start = BitString::FromBits("1011");
+  NodeLabel b;
+  b.self = 2;
+  b.start = BitString::FromBits("11");
+  EXPECT_EQ(a.OrderKey(), a.start.PrefixKey64());
+  EXPECT_LT(a.OrderKey(), b.OrderKey());
+  EXPECT_LT(NodeLabel::CompareByStart(a.OrderKey(), a, b.OrderKey(), b), 0);
+  EXPECT_GT(NodeLabel::CompareByStart(b.OrderKey(), b, a.OrderKey(), a), 0);
+  EXPECT_EQ(NodeLabel::CompareByStart(a.OrderKey(), a, a.OrderKey(), a), 0);
+}
+
+}  // namespace
+}  // namespace xupdate::label

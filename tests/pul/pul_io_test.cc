@@ -219,5 +219,33 @@ TEST_F(PulIoTest, RejectsTrailingGarbageAfterRecord) {
   EXPECT_FALSE(ParsePul(*text + "garbage").ok());
 }
 
+TEST_F(PulIoTest, ReserveOpsPresizesOperationList) {
+  Pul p;
+  p.ReserveOps(37);
+  EXPECT_GE(p.ops().capacity(), 37u);
+}
+
+// The reader pre-sizes from element counts it already has: the op list
+// from the <pul> child count, each param list from the <op> child
+// count. Every child yields exactly one entry, so the vectors must come
+// out exactly-sized — doubling growth would leave e.g. capacity 4 for
+// 3 entries.
+TEST_F(PulIoTest, ParseReservesOpAndParamLists) {
+  Pul p = MakeRichPul();
+  auto text = SerializePul(p);
+  ASSERT_TRUE(text.ok());
+  auto back = ParsePul(*text);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), p.size());
+  // The op-list reserve counts <pul> children, which here includes the
+  // <policies/> element: exactly one slot of slack.
+  EXPECT_GE(back->ops().capacity(), back->ops().size());
+  EXPECT_LE(back->ops().capacity(), back->ops().size() + 1);
+  for (const UpdateOp& op : back->ops()) {
+    EXPECT_EQ(op.param_trees.capacity(), op.param_trees.size())
+        << OpKindName(op.kind);
+  }
+}
+
 }  // namespace
 }  // namespace xupdate::pul

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Compare two sets of Google-Benchmark JSON artifacts.
+
+Usage:
+    tools/bench_compare.py BASELINE_DIR CANDIDATE_DIR [options]
+
+Both directories hold BENCH_<name>.json files as produced by
+bench/run_all.sh (the repo root itself is a valid directory). The script
+prints a per-benchmark delta table for every benchmark present in both
+sets and exits non-zero when any *gated* benchmark — by default the
+engine-facing BM_Reduce*/BM_Integrate*/BM_Aggregate* families — regresses
+by more than the threshold (default 10%).
+
+Comparisons are only meaningful between artifacts of the same build
+type; the script refuses to compare when the recorded bench_build_type
+(or, for older artifacts, library_build_type) differs.
+
+Options:
+    --threshold PCT   regression gate in percent (default 10)
+    --gate REGEX      regex of gated benchmark names
+                      (default: ^BM_(Reduce|Integrat|Aggregat))
+    --all-gated       gate every common benchmark, not just the default
+                      families
+"""
+
+import argparse
+import json
+import math
+import re
+import sys
+from pathlib import Path
+
+DEFAULT_GATE = r"^BM_(Reduce|Integrat|Aggregat)"
+
+
+def load_set(directory):
+    """name -> (real_time_ns, build_type) for every BENCH_*.json."""
+    out = {}
+    build_types = set()
+    for path in sorted(Path(directory).glob("BENCH_*.json")):
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"warning: skipping {path}: {exc}", file=sys.stderr)
+            continue
+        if "benchmarks" not in doc:
+            continue  # e.g. BENCH_trace_overhead.json, a different schema
+        ctx = doc.get("context", {})
+        build_types.add(
+            ctx.get("bench_build_type") or ctx.get("library_build_type") or "?"
+        )
+        for bench in doc["benchmarks"]:
+            if bench.get("run_type") == "aggregate":
+                continue
+            name = bench["name"]
+            time_ns = bench.get("real_time")
+            unit = bench.get("time_unit", "ns")
+            scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(unit)
+            if time_ns is None or scale is None:
+                continue
+            out[name] = time_ns * scale
+    return out, build_types
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument("--threshold", type=float, default=10.0)
+    parser.add_argument("--gate", default=DEFAULT_GATE)
+    parser.add_argument("--all-gated", action="store_true")
+    args = parser.parse_args()
+
+    base, base_types = load_set(args.baseline)
+    cand, cand_types = load_set(args.candidate)
+    if not base:
+        print(f"error: no benchmark data in {args.baseline}", file=sys.stderr)
+        return 2
+    if not cand:
+        print(f"error: no benchmark data in {args.candidate}", file=sys.stderr)
+        return 2
+    if base_types != cand_types or len(base_types) != 1:
+        print(
+            f"error: build types differ (baseline {sorted(base_types)}, "
+            f"candidate {sorted(cand_types)}); regenerate both sets from "
+            "the same CMAKE_BUILD_TYPE before comparing",
+            file=sys.stderr,
+        )
+        return 2
+
+    gate_re = re.compile(args.gate)
+    common = sorted(set(base) & set(cand))
+    if not common:
+        print("error: no common benchmarks", file=sys.stderr)
+        return 2
+
+    width = max(len(n) for n in common)
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'candidate':>12}  "
+          f"{'delta':>8}  gate")
+    failures = []
+    for name in common:
+        b, c = base[name], cand[name]
+        delta = (c / b - 1.0) * 100.0 if b > 0 else math.inf
+        gated = args.all_gated or gate_re.search(name) is not None
+        verdict = ""
+        if gated:
+            verdict = "FAIL" if delta > args.threshold else "ok"
+            if delta > args.threshold:
+                failures.append((name, delta))
+        print(f"{name:<{width}}  {b:>12.0f}  {c:>12.0f}  {delta:>+7.1f}%  "
+              f"{verdict}")
+
+    only_base = sorted(set(base) - set(cand))
+    only_cand = sorted(set(cand) - set(base))
+    if only_base:
+        print(f"\nonly in baseline: {', '.join(only_base)}")
+    if only_cand:
+        print(f"only in candidate: {', '.join(only_cand)}")
+
+    if failures:
+        print(
+            f"\n{len(failures)} gated benchmark(s) regressed more than "
+            f"{args.threshold:.0f}%:",
+            file=sys.stderr,
+        )
+        for name, delta in failures:
+            print(f"  {name}: {delta:+.1f}%", file=sys.stderr)
+        return 1
+    print(f"\nall gated benchmarks within {args.threshold:.0f}% "
+          f"({len(common)} compared)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
