@@ -273,7 +273,66 @@ void BM_StoreCheckoutCompacted(benchmark::State& state) {
   (void)vs->Close();
 }
 
+// Group commit: the whole workload committed through CommitBatch in
+// groups of Arg PULs under the always-fsync policy. One iteration = one
+// batch = one fdatasync, so items/s against BM_StoreCommit/0 shows what
+// the server's batcher buys: the fsync cost amortized over the group.
+void BM_StoreCommitBatch(benchmark::State& state) {
+  const size_t group = static_cast<size_t>(state.range(0));
+  const bench::BenchDocument& fixture = bench::XmarkFixture(kDocMb);
+  const std::vector<pul::Pul>& puls = WorkloadFixture();
+  std::string dir = BenchRoot() + "/commit_batch_" + std::to_string(group);
+  store::StoreOptions options;
+  options.fsync = store::FsyncPolicy::kAlways;
+  options.snapshot_every = 0;
+  options.snapshot_bytes = 0;
+
+  store::VersionStore vs = [&] {
+    fs::remove_all(dir);
+    auto init =
+        store::VersionStore::Init(dir, fixture.annotated_text, options);
+    if (!init.ok()) abort();
+    auto opened = store::VersionStore::Open(dir, options);
+    if (!opened.ok()) abort();
+    return std::move(*opened);
+  }();
+  size_t next = 0;
+  uint64_t committed = 0;
+  uint64_t batches = 0;
+  for (auto _ : state) {
+    if (next + group > puls.size()) {
+      state.PauseTiming();
+      if (!vs.Close().ok()) abort();
+      fs::remove_all(dir);
+      auto init =
+          store::VersionStore::Init(dir, fixture.annotated_text, options);
+      if (!init.ok()) abort();
+      auto opened = store::VersionStore::Open(dir, options);
+      if (!opened.ok()) abort();
+      vs = std::move(*opened);
+      next = 0;
+      state.ResumeTiming();
+    }
+    std::vector<const pul::Pul*> batch;
+    batch.reserve(group);
+    for (size_t i = 0; i < group; ++i) batch.push_back(&puls[next++]);
+    auto done = vs.CommitBatch(batch, nullptr);
+    if (!done.ok()) {
+      state.SkipWithError(done.status().ToString().c_str());
+      return;
+    }
+    committed += *done;
+    ++batches;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(committed));
+  state.counters["batch_size"] = static_cast<double>(group);
+  state.counters["fsyncs"] = static_cast<double>(batches);
+  (void)vs.Close();
+}
+
 BENCHMARK(BM_StoreCommit)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_StoreCommitBatch)->Arg(1)->Arg(4)->Arg(16)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_StoreCheckout)->Arg(1)->Arg(4)->Arg(8)->Arg(16)->Arg(0)
     ->Unit(benchmark::kMillisecond);

@@ -1,0 +1,261 @@
+#include "common/socket.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+#include "common/framing.h"
+
+namespace xupdate {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+// sun_path is a fixed ~108-byte array; a longer path cannot be bound.
+Status FillAddr(const std::string& path, sockaddr_un* addr) {
+  if (path.empty()) {
+    return Status::InvalidArgument("socket path is empty");
+  }
+  if (path.size() >= sizeof(addr->sun_path)) {
+    return Status::InvalidArgument(
+        "socket path of " + std::to_string(path.size()) +
+        " bytes exceeds the " + std::to_string(sizeof(addr->sun_path) - 1) +
+        "-byte sun_path limit: " + path);
+  }
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sun_family = AF_UNIX;
+  std::memcpy(addr->sun_path, path.data(), path.size());
+  return Status::OK();
+}
+
+Status SetCloexec(int fd) {
+  if (::fcntl(fd, F_SETFD, FD_CLOEXEC) != 0) {
+    return Errno("fcntl(FD_CLOEXEC)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// UnixSocket
+
+UnixSocket::UnixSocket(UnixSocket&& other) noexcept : fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+UnixSocket& UnixSocket::operator=(UnixSocket&& other) noexcept {
+  if (this != &other) {
+    (void)Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+UnixSocket::~UnixSocket() { (void)Close(); }
+
+Result<UnixSocket> UnixSocket::Connect(const std::string& path) {
+  sockaddr_un addr;
+  XUPDATE_RETURN_IF_ERROR(FillAddr(path, &addr));
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  UnixSocket sock;
+  sock.fd_ = fd;
+  XUPDATE_RETURN_IF_ERROR(SetCloexec(fd));
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) return Errno("connect to " + path);
+  return sock;
+}
+
+Status UnixSocket::SendAll(std::string_view data) {
+  if (fd_ < 0) return Status::IoError("send on closed socket");
+  size_t sent = 0;
+  while (sent < data.size()) {
+    // MSG_NOSIGNAL: a peer that disconnected mid-request must surface
+    // as EPIPE here, not kill the process with SIGPIPE.
+    ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status UnixSocket::SendFrame(std::string_view body) {
+  return SendAll(framing::EncodeFrame(body));
+}
+
+Result<std::string> UnixSocket::RecvFrame(uint64_t max_body_bytes) {
+  if (fd_ < 0) return Status::IoError("recv on closed socket");
+  // Read the 8-byte header first; EOF on the very first byte is the
+  // peer closing between messages, which callers treat as a clean end
+  // of conversation rather than an error.
+  char header[framing::kHeaderSize];
+  size_t got = 0;
+  while (got < sizeof(header)) {
+    ssize_t n = ::recv(fd_, header + got, sizeof(header) - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("recv");
+    }
+    if (n == 0) {
+      if (got == 0) return Status::NotFound("peer closed connection");
+      return Status::IoError("peer closed connection mid-frame header");
+    }
+    got += static_cast<size_t>(n);
+  }
+  std::string_view hv(header, sizeof(header));
+  uint32_t body_len = framing::GetU32(hv, 0);
+  if (body_len > max_body_bytes) {
+    // Framing is unrecoverable past an over-limit length prefix (the
+    // declared body is not going to be read), so callers drop the
+    // connection on this error.
+    return Status::ParseError(
+        "frame body of " + std::to_string(body_len) +
+        " bytes exceeds the " + std::to_string(max_body_bytes) +
+        "-byte frame limit");
+  }
+  std::string frame(hv);
+  frame.resize(framing::kHeaderSize + body_len);
+  got = 0;
+  while (got < body_len) {
+    ssize_t n = ::recv(fd_, frame.data() + framing::kHeaderSize + got,
+                       body_len - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("recv");
+    }
+    if (n == 0) {
+      return Status::IoError("peer closed connection mid-frame body");
+    }
+    got += static_cast<size_t>(n);
+  }
+  // CRC-check through the shared codec so wire corruption and journal
+  // corruption are caught by one code path.
+  size_t offset = 0;
+  std::string_view body;
+  XUPDATE_RETURN_IF_ERROR(
+      framing::DecodeFrame(frame, &offset, &body, max_body_bytes));
+  return std::string(body);
+}
+
+Status UnixSocket::ShutdownBoth() {
+  if (fd_ < 0) return Status::OK();
+  if (::shutdown(fd_, SHUT_RDWR) != 0 && errno != ENOTCONN) {
+    return Errno("shutdown");
+  }
+  return Status::OK();
+}
+
+Status UnixSocket::Close() {
+  if (fd_ < 0) return Status::OK();
+  int fd = fd_;
+  fd_ = -1;
+  if (::close(fd) != 0) return Errno("close");
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// UnixListener
+
+UnixListener::UnixListener(UnixListener&& other) noexcept
+    : fd_(other.fd_), path_(std::move(other.path_)) {
+  other.fd_ = -1;
+  other.path_.clear();
+}
+
+UnixListener& UnixListener::operator=(UnixListener&& other) noexcept {
+  if (this != &other) {
+    (void)Close();
+    fd_ = other.fd_;
+    path_ = std::move(other.path_);
+    other.fd_ = -1;
+    other.path_.clear();
+  }
+  return *this;
+}
+
+UnixListener::~UnixListener() { (void)Close(); }
+
+Result<UnixListener> UnixListener::Bind(const std::string& path, int backlog) {
+  sockaddr_un addr;
+  XUPDATE_RETURN_IF_ERROR(FillAddr(path, &addr));
+  // A socket file left by a crashed server would make bind() fail with
+  // EADDRINUSE even though nothing is listening. Probe it: if a connect
+  // succeeds a live server owns the path and we must not steal it;
+  // ECONNREFUSED means stale, so unlink and proceed.
+  if (UnixSocket::Connect(path).ok()) {
+    return Status::InvalidArgument("a server is already listening on " + path);
+  }
+  (void)::unlink(path.c_str());
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  UnixListener listener;
+  listener.fd_ = fd;
+  listener.path_ = path;
+  XUPDATE_RETURN_IF_ERROR(SetCloexec(fd));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Errno("bind " + path);
+  }
+  if (::listen(fd, backlog) != 0) {
+    return Errno("listen " + path);
+  }
+  return listener;
+}
+
+Result<UnixSocket> UnixListener::AcceptWithTimeout(int timeout_ms) {
+  if (fd_ < 0) return Status::IoError("accept on closed listener");
+  pollfd pfd;
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  pfd.revents = 0;
+  int rc = ::poll(&pfd, 1, timeout_ms);
+  if (rc < 0) {
+    if (errno == EINTR) return UnixSocket();  // treat as a timeout tick
+    return Errno("poll");
+  }
+  if (rc == 0) return UnixSocket();  // timeout: closed socket sentinel
+  int fd = ::accept(fd_, nullptr, nullptr);
+  if (fd < 0) {
+    // The pending connection can vanish between poll and accept.
+    if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN ||
+        errno == EWOULDBLOCK) {
+      return UnixSocket();
+    }
+    return Errno("accept");
+  }
+  UnixSocket sock;
+  sock.fd_ = fd;
+  XUPDATE_RETURN_IF_ERROR(SetCloexec(fd));
+  return sock;
+}
+
+Status UnixListener::Close() {
+  if (fd_ < 0) return Status::OK();
+  int fd = fd_;
+  fd_ = -1;
+  if (::close(fd) != 0) return Errno("close listener");
+  if (!path_.empty()) (void)::unlink(path_.c_str());
+  return Status::OK();
+}
+
+}  // namespace xupdate

@@ -1,0 +1,94 @@
+#ifndef XUPDATE_COMMON_SOCKET_H_
+#define XUPDATE_COMMON_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace xupdate {
+
+// Thin POSIX Unix-domain stream socket layer for the PUL reasoning
+// server. Connections exchange length-prefixed CRC-framed messages
+// (common/framing.h — the same frame the WAL journal uses), so torn and
+// corrupt wire data is detected by the exact code path that detects a
+// torn journal tail. Everything reports through Status/Result; nothing
+// throws. All fds are CLOEXEC.
+
+// A connected stream socket: the client side of Connect(), or one
+// accepted connection on the server side.
+class UnixSocket {
+ public:
+  // Connects to the listening socket at `path`.
+  static Result<UnixSocket> Connect(const std::string& path);
+
+  // A default-constructed socket is closed.
+  UnixSocket() = default;
+  UnixSocket(UnixSocket&& other) noexcept;
+  UnixSocket& operator=(UnixSocket&& other) noexcept;
+  UnixSocket(const UnixSocket&) = delete;
+  UnixSocket& operator=(const UnixSocket&) = delete;
+  ~UnixSocket();
+
+  // Writes all of `data`, retrying on short writes and EINTR.
+  Status SendAll(std::string_view data);
+
+  // Frames `body` (framing::EncodeFrame) and writes it.
+  Status SendFrame(std::string_view body);
+
+  // Reads one complete frame and returns its CRC-verified body.
+  //   kNotFound    clean EOF before the first header byte (the peer
+  //                finished and closed — the idle-disconnect case);
+  //   kIoError     EOF mid-frame or a read error (torn request);
+  //   kParseError  CRC mismatch or body larger than `max_body_bytes`
+  //                (framing is lost; the connection must be dropped).
+  Result<std::string> RecvFrame(uint64_t max_body_bytes);
+
+  // Half-close / close. shutdown() wakes a peer (or own thread) blocked
+  // in RecvFrame; Close() is idempotent and runs on destruction.
+  Status ShutdownBoth();
+  Status Close();
+
+  bool is_open() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+ private:
+  friend class UnixListener;
+  int fd_ = -1;
+};
+
+// The server's listening socket.
+class UnixListener {
+ public:
+  // Binds and listens at `path`. A stale socket file from a previous
+  // run is unlinked first; fails if something is actively listening.
+  static Result<UnixListener> Bind(const std::string& path, int backlog = 64);
+
+  UnixListener() = default;
+  UnixListener(UnixListener&& other) noexcept;
+  UnixListener& operator=(UnixListener&& other) noexcept;
+  UnixListener(const UnixListener&) = delete;
+  UnixListener& operator=(const UnixListener&) = delete;
+  ~UnixListener();
+
+  // Polls for a pending connection for up to `timeout_ms`, then
+  // accepts it. Returns an open socket, or a closed (is_open() ==
+  // false) socket on timeout — the accept-loop idiom that lets the
+  // server check its stop flag between polls.
+  Result<UnixSocket> AcceptWithTimeout(int timeout_ms);
+
+  // Closes the fd and unlinks the socket file.
+  Status Close();
+
+  bool is_open() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+}  // namespace xupdate
+
+#endif  // XUPDATE_COMMON_SOCKET_H_

@@ -1,0 +1,569 @@
+#include "server/server.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/file_io.h"
+#include "core/aggregate.h"
+#include "core/integrate.h"
+#include "core/reduce.h"
+#include "pul/pul_io.h"
+
+namespace xupdate::server {
+
+namespace {
+
+using std::chrono::milliseconds;
+
+Message OkMessage(uint64_t a = 0, uint64_t b = 0,
+                  std::vector<std::string> payload = {}) {
+  Message msg;
+  msg.type = MsgType::kOk;
+  msg.a = a;
+  msg.b = b;
+  msg.payload = std::move(payload);
+  return msg;
+}
+
+}  // namespace
+
+Server::Server(const ServerOptions& options) : options_(options) {}
+
+Result<std::unique_ptr<Server>> Server::Start(const ServerOptions& options) {
+  if (options.socket_path.empty()) {
+    return Status::InvalidArgument("server needs a socket path");
+  }
+  if (options.data_dir.empty()) {
+    return Status::InvalidArgument("server needs a data directory");
+  }
+  XUPDATE_RETURN_IF_ERROR(EnsureDirectory(options.data_dir));
+  std::unique_ptr<Server> server(new Server(options));
+  // Per-tenant stores share the server's metrics registry (it is
+  // thread-safe); the tracer is not, so stores run untraced here.
+  server->options_.store.metrics = options.metrics;
+  server->options_.store.tracer = nullptr;
+  XUPDATE_ASSIGN_OR_RETURN(server->listener_,
+                           UnixListener::Bind(options.socket_path));
+  server->accept_thread_ =
+      std::thread([s = server.get()] { s->AcceptLoop(); });
+  server->batcher_thread_ =
+      std::thread([s = server.get()] { s->BatcherLoop(); });
+  return server;
+}
+
+Server::~Server() { (void)Stop(); }
+
+void Server::Wait(const std::atomic<bool>* external_stop) {
+  std::unique_lock<std::mutex> lock(stop_mu_);
+  while (!stop_requested_.load() && !stop_.load() &&
+         (external_stop == nullptr || !external_stop->load())) {
+    stop_cv_.wait_for(lock, milliseconds(100));
+  }
+}
+
+void Server::RequestStop() {
+  stop_requested_.store(true);
+  stop_cv_.notify_all();
+}
+
+Status Server::Stop() {
+  // Serialize concurrent Stop() calls (destructor vs. owner).
+  std::lock_guard<std::mutex> stop_call(stop_call_mu_);
+  if (stopped_) return Status::OK();
+  stop_.store(true);
+  stop_cv_.notify_all();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // Unblock every session's recv. In-flight requests still finish —
+  // including commits waiting on the batcher, which keeps running
+  // until all sessions are joined (a commit whose promise is never
+  // fulfilled would deadlock the join).
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (Session& session : sessions_) (void)session.sock.ShutdownBoth();
+  }
+  // The accept thread (the only other mutator of sessions_) is joined,
+  // so iterating without the lock is safe — and necessary: joining
+  // under sessions_mu_ could deadlock if a session path ever needed it.
+  for (Session& session : sessions_) {
+    if (session.worker.joinable()) session.worker.join();
+  }
+  batcher_stop_.store(true);
+  queue_cv_.notify_all();
+  if (batcher_thread_.joinable()) batcher_thread_.join();
+  Status worst = listener_.Close();
+  std::lock_guard<std::mutex> tenants_lock(tenants_mu_);
+  for (auto& [name, tenant] : tenants_) {
+    std::lock_guard<std::mutex> lock(tenant->mu);
+    if (tenant->store.has_value()) {
+      Status closed = tenant->store->Close();
+      if (worst.ok() && !closed.ok()) worst = closed;
+    }
+  }
+  stopped_ = true;
+  return worst;
+}
+
+void Server::AcceptLoop() {
+  while (!stop_.load()) {
+    Result<UnixSocket> accepted = listener_.AcceptWithTimeout(100);
+    ReapFinishedSessions();
+    if (!accepted.ok()) {
+      if (options_.metrics != nullptr) {
+        options_.metrics->AddCounter("server.accept.errors");
+      }
+      continue;
+    }
+    if (!accepted->is_open()) continue;  // timeout tick
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    sessions_.emplace_back();
+    Session* session = &sessions_.back();
+    session->sock = std::move(*accepted);
+    session->worker = std::thread([this, session] { SessionLoop(session); });
+    if (options_.metrics != nullptr) {
+      options_.metrics->AddCounter("server.accept.count");
+    }
+  }
+}
+
+void Server::ReapFinishedSessions() {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if (it->finished.load()) {
+      if (it->worker.joinable()) it->worker.join();
+      it = sessions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Server::SessionLoop(Session* session) {
+  // Per-session response pipeline: the read loop pushes thunks, the
+  // writer evaluates them strictly FIFO and sends the results. A queued
+  // commit therefore doesn't block reading the next request — which is
+  // what lets one pipelining connection's commits share a batch — while
+  // responses still leave in request order. Queue depth is bounded by
+  // how far the client pipelines (one thunk per unanswered request).
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<ResponseThunk> pending;
+  bool done = false;
+  std::thread writer([this, session, &mu, &cv, &pending, &done] {
+    for (;;) {
+      ResponseThunk next;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return !pending.empty() || done; });
+        if (pending.empty()) return;  // done and drained
+        next = std::move(pending.front());
+        pending.pop_front();
+      }
+      Message response = next();  // may block on a commit outcome
+      if (!session->sock.SendFrame(EncodeMessage(response)).ok()) {
+        // Peer is gone. Unblock the read loop and bail; any commits
+        // still pending are fulfilled by the batcher regardless.
+        (void)session->sock.ShutdownBoth();
+        return;
+      }
+    }
+  });
+  auto enqueue = [&mu, &cv, &pending](ResponseThunk thunk) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      pending.push_back(std::move(thunk));
+    }
+    cv.notify_all();
+  };
+  bool shutdown = false;
+  for (;;) {
+    Result<std::string> body =
+        session->sock.RecvFrame(options_.max_message_bytes);
+    if (!body.ok()) {
+      // kNotFound is the peer closing between requests — the normal end
+      // of a session. Everything else (EOF mid-frame, CRC mismatch,
+      // oversized length prefix) means the stream can no longer be
+      // trusted to be frame-aligned: drop the connection, count it.
+      if (body.status().code() != StatusCode::kNotFound &&
+          options_.metrics != nullptr) {
+        options_.metrics->AddCounter("server.recv.errors");
+      }
+      break;
+    }
+    Result<Message> request = DecodeMessage(*body, /*expect_request=*/true);
+    if (!request.ok()) {
+      // The frame itself was CRC-clean, so framing is intact; a
+      // malformed message gets an error response and the session lives.
+      Message response = ErrorResponse(request.status());
+      enqueue([response] { return response; });
+      continue;
+    }
+    if (request->type == MsgType::kShutdown) {
+      shutdown = true;
+      break;
+    }
+    enqueue(Handle(*request));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    done = true;
+  }
+  cv.notify_all();
+  writer.join();
+  if (shutdown) {
+    // Acknowledge only after every earlier response was flushed, so the
+    // client sees a fully ordered stream, then stop the server.
+    (void)session->sock.SendFrame(EncodeMessage(OkMessage()));
+    RequestStop();
+  }
+  (void)session->sock.Close();
+  session->finished.store(true);
+}
+
+Server::ResponseThunk Server::Handle(const Message& request) {
+  if (options_.metrics != nullptr) {
+    options_.metrics->AddCounter("server.requests");
+  }
+  if (request.type == MsgType::kCommit) {
+    return HandleCommitDeferred(request);
+  }
+  // Everything else evaluates lazily on the writer thread, after every
+  // commit the connection queued before it.
+  return [this, request] { return HandleSync(request); };
+}
+
+Message Server::HandleSync(const Message& request) {
+  switch (request.type) {
+    case MsgType::kOpen: {
+      ScopedTimer timer(options_.metrics, "server.open.seconds");
+      return HandleOpen(request);
+    }
+    case MsgType::kCheckout: {
+      ScopedTimer timer(options_.metrics, "server.checkout.seconds");
+      return HandleCheckout(request);
+    }
+    case MsgType::kReduce: {
+      ScopedTimer timer(options_.metrics, "server.reduce.seconds");
+      return HandleReduce(request);
+    }
+    case MsgType::kIntegrate: {
+      ScopedTimer timer(options_.metrics, "server.integrate.seconds");
+      return HandleIntegrate(request);
+    }
+    case MsgType::kAggregate: {
+      ScopedTimer timer(options_.metrics, "server.aggregate.seconds");
+      return HandleAggregate(request);
+    }
+    case MsgType::kStat:
+      return HandleStat(request);
+    case MsgType::kPing:
+      return OkMessage(request.a, request.b);
+    case MsgType::kShutdown:
+      return OkMessage();
+    default:
+      return ErrorResponse(Status::InvalidArgument("unhandled request type"));
+  }
+}
+
+Result<Server::Tenant*> Server::GetTenant(const std::string& name,
+                                          bool create) {
+  if (!ValidTenantName(name)) {
+    return Status::InvalidArgument("invalid tenant name: \"" + name + "\"");
+  }
+  std::lock_guard<std::mutex> lock(tenants_mu_);
+  auto it = tenants_.find(name);
+  if (it == tenants_.end()) {
+    if (!create) return Status::NotFound("tenant is not open: " + name);
+    it = tenants_.emplace(name, std::make_unique<Tenant>()).first;
+  }
+  return it->second.get();
+}
+
+Message Server::HandleOpen(const Message& request) {
+  if (request.payload.size() != 2) {
+    return ErrorResponse(
+        Status::InvalidArgument("open expects [tenant, initial_xml]"));
+  }
+  Result<Tenant*> tenant = GetTenant(request.payload[0], /*create=*/true);
+  if (!tenant.ok()) return ErrorResponse(tenant.status());
+  const std::string& initial = request.payload[1];
+  std::lock_guard<std::mutex> lock((*tenant)->mu);
+  if (!(*tenant)->store.has_value()) {
+    std::string dir = options_.data_dir + "/" + request.payload[0];
+    bool exists = PathExists(dir + "/wal.log");
+    if (!exists) {
+      if (initial.empty()) {
+        return ErrorResponse(Status::NotFound(
+            "tenant store does not exist and no initial document was "
+            "given: " +
+            dir));
+      }
+      Status init = store::VersionStore::Init(dir, initial, options_.store);
+      if (!init.ok()) return ErrorResponse(init);
+    } else if (!initial.empty()) {
+      return ErrorResponse(Status::InvalidArgument(
+          "tenant store already exists; reopen it without an initial "
+          "document: " +
+          dir));
+    }
+    Result<store::VersionStore> opened =
+        store::VersionStore::Open(dir, options_.store);
+    if (!opened.ok()) return ErrorResponse(opened.status());
+    (*tenant)->store.emplace(std::move(*opened));
+  } else if (!initial.empty()) {
+    return ErrorResponse(Status::InvalidArgument(
+        "tenant is already open; reopen it without an initial document"));
+  }
+  return OkMessage((*tenant)->store->head());
+}
+
+Server::ResponseThunk Server::HandleCommitDeferred(const Message& request) {
+  auto ready = [](Message m) {
+    return ResponseThunk([m = std::move(m)] { return m; });
+  };
+  if (request.payload.size() != 2) {
+    return ready(ErrorResponse(
+        Status::InvalidArgument("commit expects [tenant, pul_xml]")));
+  }
+  Result<Tenant*> tenant = GetTenant(request.payload[0], /*create=*/false);
+  if (!tenant.ok()) return ready(ErrorResponse(tenant.status()));
+  {
+    std::lock_guard<std::mutex> lock((*tenant)->mu);
+    if (!(*tenant)->store.has_value()) {
+      return ready(ErrorResponse(
+          Status::NotFound("tenant is not open: " + request.payload[0])));
+    }
+  }
+  Result<pul::Pul> pul = pul::ParsePul(request.payload[1]);
+  if (!pul.ok()) return ready(ErrorResponse(pul.status()));
+  std::future<std::pair<Status, uint64_t>> done;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (queue_.size() >= options_.max_pending) {
+      // Explicit load shedding: the client sees kBusy and backs off;
+      // an unbounded queue would instead grow latency without limit.
+      if (options_.metrics != nullptr) {
+        options_.metrics->AddCounter("server.busy.count");
+      }
+      Message busy;
+      busy.type = MsgType::kBusy;
+      return ready(busy);
+    }
+    CommitJob job;
+    job.tenant = *tenant;
+    job.pul = std::move(*pul);
+    done = job.done.get_future();
+    queue_.push_back(std::move(job));
+  }
+  queue_cv_.notify_all();
+  // The job is admitted; the writer thread blocks here, so the read
+  // loop is already free to admit the connection's next commit into the
+  // same batch window.
+  auto outcome =
+      std::make_shared<std::future<std::pair<Status, uint64_t>>>(
+          std::move(done));
+  auto start = std::chrono::steady_clock::now();
+  Metrics* metrics = options_.metrics;
+  return [outcome, start, metrics] {
+    std::pair<Status, uint64_t> result = outcome->get();
+    if (metrics != nullptr) {
+      metrics->RecordDuration(
+          "server.commit.seconds",
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count());
+    }
+    if (!result.first.ok()) return ErrorResponse(result.first);
+    return OkMessage(result.second);
+  };
+}
+
+Message Server::HandleCheckout(const Message& request) {
+  if (request.payload.size() != 1) {
+    return ErrorResponse(Status::InvalidArgument(
+        "checkout expects [tenant] with a = version (b = 1 for head)"));
+  }
+  Result<Tenant*> tenant = GetTenant(request.payload[0], /*create=*/false);
+  if (!tenant.ok()) return ErrorResponse(tenant.status());
+  std::lock_guard<std::mutex> lock((*tenant)->mu);
+  if (!(*tenant)->store.has_value()) {
+    return ErrorResponse(
+        Status::NotFound("tenant is not open: " + request.payload[0]));
+  }
+  uint64_t version =
+      request.b == 1 ? (*tenant)->store->head() : request.a;
+  Result<std::string> xml = (*tenant)->store->CheckoutXml(version);
+  if (!xml.ok()) return ErrorResponse(xml.status());
+  return OkMessage(version, 0, {std::move(*xml)});
+}
+
+int Server::ClampParallelism(uint64_t requested) const {
+  if (requested == 0) return 1;
+  uint64_t cap = options_.max_parallelism > 0
+                     ? static_cast<uint64_t>(options_.max_parallelism)
+                     : 1;
+  return static_cast<int>(requested < cap ? requested : cap);
+}
+
+Message Server::HandleReduce(const Message& request) {
+  if (request.payload.size() != 2) {
+    return ErrorResponse(
+        Status::InvalidArgument("reduce expects [pul_xml, mode]"));
+  }
+  Result<pul::Pul> pul = pul::ParsePul(request.payload[0]);
+  if (!pul.ok()) return ErrorResponse(pul.status());
+  core::ReduceOptions options;
+  const std::string& mode = request.payload[1];
+  if (mode == "plain") {
+    options.mode = core::ReduceMode::kPlain;
+  } else if (mode == "deterministic" || mode.empty()) {
+    options.mode = core::ReduceMode::kDeterministic;
+  } else if (mode == "canonical") {
+    options.mode = core::ReduceMode::kCanonical;
+  } else {
+    return ErrorResponse(Status::InvalidArgument(
+        "reduce mode must be plain|deterministic|canonical, got \"" + mode +
+        "\""));
+  }
+  options.parallelism = ClampParallelism(request.a);
+  options.metrics = options_.metrics;
+  Result<pul::Pul> reduced = core::Reduce(*pul, options);
+  if (!reduced.ok()) return ErrorResponse(reduced.status());
+  Result<std::string> xml = pul::SerializePul(*reduced);
+  if (!xml.ok()) return ErrorResponse(xml.status());
+  return OkMessage(0, 0, {std::move(*xml)});
+}
+
+Message Server::HandleIntegrate(const Message& request) {
+  if (request.payload.size() < 2) {
+    return ErrorResponse(
+        Status::InvalidArgument("integrate expects at least two PULs"));
+  }
+  std::vector<pul::Pul> puls;
+  puls.reserve(request.payload.size());
+  for (const std::string& text : request.payload) {
+    Result<pul::Pul> pul = pul::ParsePul(text);
+    if (!pul.ok()) return ErrorResponse(pul.status());
+    puls.push_back(std::move(*pul));
+  }
+  std::vector<const pul::Pul*> ptrs;
+  for (const pul::Pul& pul : puls) ptrs.push_back(&pul);
+  core::IntegrateOptions options;
+  options.parallelism = ClampParallelism(request.a);
+  options.metrics = options_.metrics;
+  Result<core::IntegrationResult> result = core::Integrate(ptrs, options);
+  if (!result.ok()) return ErrorResponse(result.status());
+  Result<std::string> xml = pul::SerializePul(result->merged);
+  if (!xml.ok()) return ErrorResponse(xml.status());
+  return OkMessage(result->conflicts.size(), 0, {std::move(*xml)});
+}
+
+Message Server::HandleAggregate(const Message& request) {
+  if (request.payload.size() < 2) {
+    return ErrorResponse(
+        Status::InvalidArgument("aggregate expects at least two PULs"));
+  }
+  std::vector<pul::Pul> puls;
+  puls.reserve(request.payload.size());
+  for (const std::string& text : request.payload) {
+    Result<pul::Pul> pul = pul::ParsePul(text);
+    if (!pul.ok()) return ErrorResponse(pul.status());
+    puls.push_back(std::move(*pul));
+  }
+  std::vector<const pul::Pul*> ptrs;
+  for (const pul::Pul& pul : puls) ptrs.push_back(&pul);
+  core::AggregateOptions options;
+  options.metrics = options_.metrics;
+  Result<pul::Pul> aggregate = core::Aggregate(ptrs, options);
+  if (!aggregate.ok()) return ErrorResponse(aggregate.status());
+  Result<std::string> xml = pul::SerializePul(*aggregate);
+  if (!xml.ok()) return ErrorResponse(xml.status());
+  return OkMessage(0, 0, {std::move(*xml)});
+}
+
+Message Server::HandleStat(const Message& request) {
+  std::string json =
+      options_.metrics != nullptr ? options_.metrics->ToJson() : "{}";
+  if (request.payload.empty()) {
+    return OkMessage(0, 0, {std::move(json)});
+  }
+  if (request.payload.size() != 1) {
+    return ErrorResponse(
+        Status::InvalidArgument("stat expects [] or [tenant]"));
+  }
+  Result<Tenant*> tenant = GetTenant(request.payload[0], /*create=*/false);
+  if (!tenant.ok()) return ErrorResponse(tenant.status());
+  std::lock_guard<std::mutex> lock((*tenant)->mu);
+  if (!(*tenant)->store.has_value()) {
+    return ErrorResponse(
+        Status::NotFound("tenant is not open: " + request.payload[0]));
+  }
+  return OkMessage((*tenant)->store->head(), 0, {std::move(json)});
+}
+
+void Server::BatcherLoop() {
+  for (;;) {
+    std::deque<CommitJob> batch;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] {
+        return batcher_stop_.load() || !queue_.empty();
+      });
+      if (queue_.empty()) {
+        // batcher_stop_ is only set after every session thread is
+        // joined, so an empty queue here means no commit can still be
+        // in flight — safe to exit.
+        if (batcher_stop_.load()) return;
+        continue;
+      }
+      if (options_.commit_window_ms > 0 && !batcher_stop_.load()) {
+        // Hold the batch open briefly so concurrent committers pile in;
+        // they enqueue freely because wait_for releases the lock.
+        queue_cv_.wait_for(lock, milliseconds(options_.commit_window_ms),
+                           [this] { return batcher_stop_.load(); });
+      }
+      batch.swap(queue_);
+    }
+    RunBatch(std::move(batch));
+  }
+}
+
+void Server::RunBatch(std::deque<CommitJob> batch) {
+  if (batch.empty()) return;
+  if (options_.metrics != nullptr) {
+    options_.metrics->AddCounter("server.batch.count");
+    options_.metrics->AddCounter("server.batch.jobs", batch.size());
+  }
+  // Group by tenant, preserving each tenant's arrival order, so one
+  // CommitBatch (= one fsync) covers all of a tenant's queued commits.
+  std::vector<Tenant*> order;
+  std::map<Tenant*, std::vector<CommitJob*>> groups;
+  for (CommitJob& job : batch) {
+    auto [it, inserted] = groups.try_emplace(job.tenant);
+    if (inserted) order.push_back(job.tenant);
+    it->second.push_back(&job);
+  }
+  for (Tenant* tenant : order) {
+    std::vector<CommitJob*>& jobs = groups[tenant];
+    std::lock_guard<std::mutex> lock(tenant->mu);
+    if (!tenant->store.has_value()) {
+      for (CommitJob* job : jobs) {
+        job->done.set_value({Status::NotFound("tenant is not open"), 0});
+      }
+      continue;
+    }
+    std::vector<const pul::Pul*> puls;
+    puls.reserve(jobs.size());
+    for (CommitJob* job : jobs) puls.push_back(&job->pul);
+    std::vector<store::CommitOutcome> outcomes;
+    Result<size_t> committed = tenant->store->CommitBatch(puls, &outcomes);
+    if (!committed.ok() && outcomes.size() != jobs.size()) {
+      outcomes.assign(jobs.size(),
+                      store::CommitOutcome{committed.status(), 0});
+    }
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      jobs[i]->done.set_value({outcomes[i].status, outcomes[i].version});
+    }
+  }
+}
+
+}  // namespace xupdate::server

@@ -1,0 +1,190 @@
+#ifndef XUPDATE_SERVER_SERVER_H_
+#define XUPDATE_SERVER_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/result.h"
+#include "common/socket.h"
+#include "pul/pul.h"
+#include "server/protocol.h"
+#include "store/version.h"
+
+namespace xupdate::server {
+
+// The PUL reasoning daemon: a multi-tenant server that keeps parsed
+// documents, their label state and open VersionStores resident across
+// requests, so clients pay parse/index cost once instead of per CLI
+// invocation. Requests arrive over a Unix-domain socket as framed
+// messages (server/protocol.h).
+//
+// Threads:
+//   accept   polls the listener, spawns one session thread per
+//            connection;
+//   session  a read loop plus a writer thread per connection. The read
+//            loop admits commits to the batcher immediately (so a
+//            pipelining client's commits land in the same batch window)
+//            and defers everything else as a thunk; the writer drains
+//            thunks strictly FIFO, blocking on each commit's outcome
+//            before evaluating later requests. Responses therefore
+//            arrive in request order and every read-only request
+//            observes all commits that preceded it on its connection.
+//            (Corollary: pipeline commits only after the tenant's kOpen
+//            acknowledged — commit admission happens at read time.)
+//   batcher  the group-commit engine. Session threads enqueue commit
+//            jobs (bounded queue; a full queue is refused and the
+//            client told kBusy — explicit load shedding, never an
+//            unbounded backlog). The batcher drains the whole queue,
+//            optionally after a short commit window that lets
+//            concurrent committers pile in, groups the jobs by tenant
+//            in arrival order, and feeds each group to
+//            VersionStore::CommitBatch — which appends every frame and
+//            then fsyncs ONCE. N concurrent commits therefore cost one
+//            fdatasync instead of N; `store.wal.fsync.count` against
+//            `store.commit.count` makes the coalescing observable.
+//
+// Consistency: each tenant has one mutex serializing every touch of
+// its store (the batcher's CommitBatch and the sessions' checkouts),
+// so a checkout sees either all of a batch or none of it.
+
+struct ServerOptions {
+  std::string socket_path;
+  // Tenant stores live at <data_dir>/<tenant>/.
+  std::string data_dir;
+  // Template for every tenant store (fsync policy, checkpoint cadence,
+  // fault injection...). Its metrics pointer is overwritten with
+  // `metrics` below so server and store counters land in one registry.
+  store::StoreOptions store;
+  // Commit admission bound: jobs queued but not yet batched. At the
+  // bound, further commits get kBusy.
+  size_t max_pending = 128;
+  // How long the batcher waits after the first queued commit before
+  // draining, letting concurrent committers coalesce. 0 = drain
+  // immediately (still coalesces whatever queued while the previous
+  // batch was fsyncing).
+  int commit_window_ms = 0;
+  // Largest request/response body accepted on the wire.
+  uint64_t max_message_bytes = kDefaultMaxMessageBytes;
+  // Reasoning parallelism cap for reduce/integrate requests.
+  int max_parallelism = 8;
+  Metrics* metrics = nullptr;
+};
+
+class Server {
+ public:
+  // Binds the socket and starts the accept and batcher threads.
+  static Result<std::unique_ptr<Server>> Start(const ServerOptions& options);
+
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Blocks until a kShutdown request arrives (or RequestStop is
+  // called), polling `external_stop` if given — the CLI points it at
+  // its signal flag. Returns without stopping; call Stop() after.
+  void Wait(const std::atomic<bool>* external_stop = nullptr);
+
+  // Asks the server to stop; safe from any thread, returns immediately.
+  void RequestStop();
+
+  // Stops accepting, disconnects every session, drains the batcher and
+  // joins all threads. Idempotent. Must not be called from a session
+  // thread (it joins them); kShutdown requests call RequestStop and the
+  // owner calls Stop after Wait returns.
+  Status Stop();
+
+  const std::string& socket_path() const { return options_.socket_path; }
+
+ private:
+  struct Tenant {
+    std::mutex mu;
+    std::optional<store::VersionStore> store;  // open after kOpen
+  };
+
+  struct CommitJob {
+    Tenant* tenant = nullptr;
+    pul::Pul pul;
+    std::promise<std::pair<Status, uint64_t>> done;
+  };
+
+  struct Session {
+    UnixSocket sock;
+    std::thread worker;
+    std::atomic<bool> finished{false};
+  };
+
+  explicit Server(const ServerOptions& options);
+
+  void AcceptLoop();
+  void ReapFinishedSessions();
+  void SessionLoop(Session* session);
+  void BatcherLoop();
+  void RunBatch(std::deque<CommitJob> batch);
+
+  // A response not yet produced: evaluated on the session's writer
+  // thread, in request order. Commit thunks block on the batcher's
+  // outcome; everything else evaluates lazily.
+  using ResponseThunk = std::function<Message()>;
+
+  // Request dispatch. Handle() runs on the read loop: commits are
+  // admitted to the batcher right away and return a thunk waiting on
+  // the outcome; other requests return a thunk that evaluates
+  // HandleSync later.
+  ResponseThunk Handle(const Message& request);
+  Message HandleSync(const Message& request);
+  ResponseThunk HandleCommitDeferred(const Message& request);
+  Message HandleOpen(const Message& request);
+  Message HandleCheckout(const Message& request);
+  Message HandleReduce(const Message& request);
+  Message HandleIntegrate(const Message& request);
+  Message HandleAggregate(const Message& request);
+  Message HandleStat(const Message& request);
+
+  // Looks up (creating the slot if `create`) the tenant entry.
+  Result<Tenant*> GetTenant(const std::string& name, bool create);
+
+  int ClampParallelism(uint64_t requested) const;
+
+  ServerOptions options_;
+  UnixListener listener_;
+
+  std::atomic<bool> stop_{false};            // accept/session threads
+  std::atomic<bool> stop_requested_{false};  // kShutdown arrived
+  // Set strictly after the session threads are joined, so the batcher
+  // never exits while a commit could still be enqueued.
+  std::atomic<bool> batcher_stop_{false};
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+  std::mutex stop_call_mu_;  // serializes Stop()
+  bool stopped_ = false;     // Stop() ran to completion
+
+  std::thread accept_thread_;
+  std::thread batcher_thread_;
+
+  std::mutex sessions_mu_;
+  std::list<Session> sessions_;
+
+  std::mutex tenants_mu_;
+  std::map<std::string, std::unique_ptr<Tenant>> tenants_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<CommitJob> queue_;
+};
+
+}  // namespace xupdate::server
+
+#endif  // XUPDATE_SERVER_SERVER_H_

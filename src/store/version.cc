@@ -370,6 +370,107 @@ Result<uint64_t> VersionStore::Commit(const pul::Pul& pul) {
   return head_;
 }
 
+Result<size_t> VersionStore::CommitBatch(
+    const std::vector<const pul::Pul*>& puls,
+    std::vector<CommitOutcome>* outcomes) {
+  ScopedTimer timer(options_.metrics, "store.commit_batch.seconds");
+  std::vector<CommitOutcome> local_outcomes;  // caller passed nullptr
+  if (outcomes == nullptr) outcomes = &local_outcomes;
+  outcomes->assign(puls.size(), CommitOutcome{});
+  // Stage 1: validate each PUL against the state its predecessors in
+  // the batch produce, on a scratch copy — nothing durable or visible
+  // happens until the whole batch's frames are on disk.
+  xml::Document scratch = doc_;
+  uint64_t version = head_;
+  std::vector<std::pair<size_t, WalFrame>> accepted;  // index into puls
+  accepted.reserve(puls.size());
+  for (size_t i = 0; i < puls.size(); ++i) {
+    CommitOutcome& out = (*outcomes)[i];
+    if (puls[i] == nullptr) {
+      out.status = Status::InvalidArgument("null PUL in batch");
+      continue;
+    }
+    Status applicable = pul::CheckPulApplicable(scratch, *puls[i]);
+    if (!applicable.ok()) {
+      out.status = std::move(applicable);
+      continue;
+    }
+    Status applied = pul::ApplyPul(&scratch, *puls[i]);
+    if (!applied.ok()) {
+      out.status = std::move(applied);
+      continue;
+    }
+    Result<std::string> payload = pul::SerializePul(*puls[i]);
+    if (!payload.ok()) {
+      // Serialization failed after the scratch apply went through; the
+      // scratch doc now includes this PUL, so later PULs in the batch
+      // would be validated against state we cannot journal. Abort —
+      // nothing has touched disk yet.
+      return payload.status();
+    }
+    WalFrame frame;
+    frame.type = FrameType::kPul;
+    frame.version = ++version;
+    frame.payload = std::move(*payload);
+    accepted.emplace_back(i, std::move(frame));
+  }
+  // Stage 2: WAL-first, one sync. Deferred appends skip the per-frame
+  // policy sync; the single Sync() below makes the whole batch durable
+  // at once — this is the coalescing that group commit buys.
+  for (auto& [index, frame] : accepted) {
+    Status appended = wal_.Append(frame, /*defer_sync=*/true);
+    if (!appended.ok()) {
+      // The journal may end in a torn frame and the handle is poisoned;
+      // in-memory state (doc_, head_) is untouched, so the store still
+      // serves reads. No outcome can claim success: a frame appended
+      // before the failure was never synced and recovery will keep or
+      // drop it based on what reached disk.
+      for (CommitOutcome& out : *outcomes) out.status = appended;
+      return appended;
+    }
+  }
+  if (!accepted.empty() && options_.fsync != FsyncPolicy::kNever) {
+    Status synced = wal_.Sync();
+    if (!synced.ok()) {
+      for (CommitOutcome& out : *outcomes) out.status = synced;
+      return synced;
+    }
+  }
+  // Stage 3: install. The frames are durable; adopt the scratch doc and
+  // index the new frames.
+  size_t frame_base = wal_.frames().size() - accepted.size();
+  for (size_t j = 0; j < accepted.size(); ++j) {
+    const WalFrame& frame = accepted[j].second;
+    (*outcomes)[accepted[j].first] =
+        CommitOutcome{Status::OK(), frame.version};
+    pul_frames_[frame.version] = wal_.frames()[frame_base + j];
+  }
+  doc_ = std::move(scratch);
+  head_ = version;
+  if (options_.metrics != nullptr && !accepted.empty()) {
+    options_.metrics->AddCounter("store.commit.count", accepted.size());
+    options_.metrics->AddCounter("store.commit_batch.count");
+    options_.metrics->AddCounter("store.commit_batch.committed",
+                                 accepted.size());
+  }
+  // Same contract as Commit(): the versions are durable, so a failed
+  // checkpoint is reported via metrics/trace, not as a batch failure.
+  Status checkpoint = MaybeCheckpoint();
+  if (!checkpoint.ok()) {
+    if (options_.metrics != nullptr) {
+      options_.metrics->AddCounter("store.checkpoint.failures");
+    }
+    if (options_.tracer != nullptr) {
+      obs::TraceLane lane =
+          options_.tracer->Lane(options_.tracer->NextPhase(), 0, "store");
+      lane.Emit(obs::EventKind::kNote, "checkpoint-failed", {}, "",
+                "version=" + std::to_string(head_) + " " +
+                    checkpoint.message());
+    }
+  }
+  return accepted.size();
+}
+
 Status VersionStore::MaybeCheckpoint() {
   bool version_trigger =
       options_.snapshot_every > 0 &&

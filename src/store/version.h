@@ -54,6 +54,13 @@ struct StoreOptions {
   obs::Tracer* tracer = nullptr;
 };
 
+// Per-PUL result of a CommitBatch: the version the PUL produced, or
+// why it was rejected (the batch skips it and moves on).
+struct CommitOutcome {
+  Status status;
+  uint64_t version = 0;
+};
+
 // One journal frame, as reported by Log().
 struct LogEntry {
   FrameType type = FrameType::kPul;
@@ -123,6 +130,21 @@ class VersionStore {
   // only then is the PUL applied to the head document. A checkpoint is
   // written when the cadence triggers fire.
   Result<uint64_t> Commit(const pul::Pul& pul);
+
+  // Group commit: commits the PULs in order as consecutive versions,
+  // with ONE fdatasync for the whole batch instead of one per commit
+  // (the server's group-commit path; under fsync=always a batch of N
+  // costs 1 fsync, not N). Each PUL is validated against the state its
+  // predecessors in the batch produced; an inapplicable PUL gets its
+  // failure recorded in `outcomes` and the batch continues without it.
+  // `outcomes` (parallel to `puls`) is always resized and filled, and
+  // may be null when the caller only wants the count. An
+  // append/fsync failure fails the whole call: the journal may hold a
+  // torn tail, in-memory state is untouched, and every outcome is
+  // overwritten with the I/O error. Returns the number of PULs
+  // committed.
+  Result<size_t> CommitBatch(const std::vector<const pul::Pul*>& puls,
+                             std::vector<CommitOutcome>* outcomes);
 
   // Materializes the document at version `v` by replaying from the
   // nearest checkpoint at or below v (forward over kPul/kAggregate

@@ -3,41 +3,14 @@
 #include <cstring>
 #include <utility>
 
-#include "common/crc32c.h"
+#include "common/framing.h"
 
 namespace xupdate::store {
 
 namespace {
 
-// Little-endian fixed-width encoding keeps the journal portable across
-// hosts; the store never memcpy's structs to disk.
-void PutU32(std::string* out, uint32_t v) {
-  for (int i = 0; i < 4; ++i) {
-    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-  }
-}
-
-void PutU64(std::string* out, uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-  }
-}
-
-uint32_t GetU32(std::string_view data, size_t offset) {
-  uint32_t v = 0;
-  for (int i = 3; i >= 0; --i) {
-    v = (v << 8) | static_cast<unsigned char>(data[offset + i]);
-  }
-  return v;
-}
-
-uint64_t GetU64(std::string_view data, size_t offset) {
-  uint64_t v = 0;
-  for (int i = 7; i >= 0; --i) {
-    v = (v << 8) | static_cast<unsigned char>(data[offset + i]);
-  }
-  return v;
-}
+using framing::GetU64;
+using framing::PutU64;
 
 bool ValidFrameType(uint8_t type) {
   return type == static_cast<uint8_t>(FrameType::kPul) ||
@@ -80,31 +53,20 @@ std::string Wal::EncodeFrame(const WalFrame& frame) {
   PutU64(&body, frame.version);
   PutU64(&body, frame.aux);
   body += frame.payload;
-  std::string out;
-  out.reserve(kFrameHeaderSize + body.size());
-  PutU32(&out, static_cast<uint32_t>(body.size()));
-  PutU32(&out, MaskCrc32c(Crc32c(body)));
-  out += body;
-  return out;
+  return framing::EncodeFrame(body);
 }
 
 Result<WalFrame> Wal::DecodeFrame(std::string_view data, size_t* offset) {
   size_t pos = *offset;
-  if (data.size() - pos < kFrameHeaderSize) {
-    return Status::ParseError("torn frame header");
-  }
-  uint32_t body_len = GetU32(data, pos);
-  uint32_t masked_crc = GetU32(data, pos + 4);
-  if (body_len < kFrameBodyFixedSize ||
-      body_len > data.size() - pos - kFrameHeaderSize) {
+  std::string_view body;
+  XUPDATE_RETURN_IF_ERROR(framing::DecodeFrame(data, offset, &body));
+  if (body.size() < kFrameBodyFixedSize) {
+    *offset = pos;
     return Status::ParseError("torn or oversized frame body");
-  }
-  std::string_view body = data.substr(pos + kFrameHeaderSize, body_len);
-  if (MaskCrc32c(Crc32c(body)) != masked_crc) {
-    return Status::ParseError("frame CRC mismatch");
   }
   uint8_t type = static_cast<uint8_t>(body[0]);
   if (!ValidFrameType(type)) {
+    *offset = pos;
     return Status::ParseError("unknown frame type");
   }
   WalFrame frame;
@@ -112,7 +74,6 @@ Result<WalFrame> Wal::DecodeFrame(std::string_view data, size_t* offset) {
   frame.version = GetU64(body, 1);
   frame.aux = GetU64(body, 9);
   frame.payload = std::string(body.substr(kFrameBodyFixedSize));
-  *offset = pos + kFrameHeaderSize + body_len;
   return frame;
 }
 
@@ -165,6 +126,16 @@ Result<Wal> Wal::Open(const std::string& path, const WalOptions& options,
   uint64_t torn = data.size() - valid_bytes;
   if (torn > 0) {
     XUPDATE_RETURN_IF_ERROR(TruncateFile(path, valid_bytes));
+    // Make the truncation itself durable before the store accepts new
+    // commits, mirroring WriteFileAtomic: TruncateFile fsyncs the file,
+    // but the inode change is only safely ordered once the containing
+    // directory is synced too. Recovery is idempotent either way (a
+    // lost truncate just re-runs this scan), but a commit appended
+    // after a non-durable truncate could land beyond resurrected torn
+    // bytes after a second crash.
+    size_t slash = path.find_last_of('/');
+    std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+    XUPDATE_RETURN_IF_ERROR(SyncDirectory(dir));
   }
   if (recovery != nullptr) {
     recovery->frames = wal.frames_.size();
@@ -181,7 +152,7 @@ Result<Wal> Wal::Open(const std::string& path, const WalOptions& options,
   return wal;
 }
 
-Status Wal::Append(const WalFrame& frame) {
+Status Wal::Append(const WalFrame& frame, bool defer_sync) {
   if (poisoned_) {
     return Status::IoError(
         "append refused: journal poisoned by earlier write failure: " +
@@ -238,6 +209,9 @@ Status Wal::Append(const WalFrame& frame) {
   info.offset = size_bytes_ - encoded.size();
   info.payload_bytes = static_cast<uint32_t>(frame.payload.size());
   frames_.push_back(info);
+  // A deferred append leaves the policy sync to the caller (the
+  // group-commit path appends a whole batch, then issues one Sync).
+  if (defer_sync) return Status::OK();
   switch (options_.fsync) {
     case FsyncPolicy::kAlways:
       return Sync();

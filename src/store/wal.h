@@ -125,7 +125,10 @@ class Wal {
   // Appends one frame, honoring the fsync policy. After any append or
   // fsync failure the handle is poisoned: every later Append is refused
   // (kIoError) until the journal is reopened and its tail recovered.
-  Status Append(const WalFrame& frame);
+  // With `defer_sync` the policy sync is skipped — the group-commit
+  // path appends a batch of frames this way and then calls Sync() once,
+  // coalescing N commits into a single fdatasync.
+  Status Append(const WalFrame& frame, bool defer_sync = false);
 
   // Forces an fdatasync regardless of policy.
   Status Sync();

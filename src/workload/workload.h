@@ -1,0 +1,73 @@
+#ifndef XUPDATE_WORKLOAD_WORKLOAD_H_
+#define XUPDATE_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace xupdate::workload {
+
+// Typed request stream for driving the reasoning daemon: a fully
+// materialized, deterministic sequence of items the load generator
+// replays over a connection. Every byte is derived from the seed up
+// front — PULs are pre-generated as per-tenant applicable chains — so
+// the driver can verify server responses against locally recomputed
+// results (byte identity with the one-shot CLI path).
+
+enum class ItemType : uint8_t {
+  kCommit = 0,    // commit pul_xml on the tenant; FIFO order makes the
+                  // produced version deterministic (expected_version)
+  kCheckout = 1,  // check out `version` (the tenant's commit count at
+                  // this point in the stream — a deterministic state)
+  kReduce = 2,    // reduce pul_xml (deterministic mode), stateless
+  kStat = 3,      // metrics probe
+};
+
+struct WorkloadItem {
+  ItemType type = ItemType::kCommit;
+  size_t tenant = 0;  // index into Workload::tenants
+  std::string pul_xml;
+  uint64_t version = 0;           // kCheckout target
+  uint64_t expected_version = 0;  // kCommit: version it must produce
+  // Open-loop arrival offset from stream start (0 everywhere for a
+  // closed loop): exponential inter-arrival times at `arrival_rate`,
+  // i.e. Poisson arrivals that do not slow down when the server does.
+  double arrival_seconds = 0.0;
+};
+
+struct WorkloadOptions {
+  size_t num_tenants = 4;
+  size_t num_items = 64;
+  size_t ops_per_pul = 8;
+  // Approximate plain-serialization size of each tenant's XMark base
+  // document.
+  size_t doc_bytes = 1 << 14;
+  // Tenant skew: tenant ranked r gets weight 1/(r+1)^theta. 0 is
+  // uniform; 0.99 the classic YCSB-style hot-tenant skew.
+  double zipf_theta = 0.99;
+  // Operation mix (weights, not probabilities; any non-negative values
+  // with a positive sum).
+  double commit_weight = 0.6;
+  double checkout_weight = 0.2;
+  double reduce_weight = 0.15;
+  double stat_weight = 0.05;
+  // Open-loop arrival rate in items/second; 0 = closed loop.
+  double arrival_rate = 0.0;
+  // Reducible-pair density of the kReduce payloads (see PulGenerator).
+  double reducible_fraction = 0.2;
+  uint64_t seed = 42;
+};
+
+struct Workload {
+  std::vector<std::string> tenants;      // names, "t0".."tN-1"
+  std::vector<std::string> initial_xml;  // per tenant, id-annotated
+  std::vector<WorkloadItem> items;       // stream order
+};
+
+Result<Workload> GenerateWorkload(const WorkloadOptions& options);
+
+}  // namespace xupdate::workload
+
+#endif  // XUPDATE_WORKLOAD_WORKLOAD_H_

@@ -481,5 +481,108 @@ TEST_F(CliTest, StoreRejectsBadFlags) {
                    .ok());
 }
 
+// Every numeric flag goes through one validated parser; these pin the
+// error contract (flag named, value echoed, reason stated) for the
+// malformed shapes that used to slip through as silent zeros.
+TEST_F(CliTest, NumericFlagRejectsNonNumericText) {
+  std::ostringstream out;
+  Status status = RunCli({"store", "log", "--dir", Path("store"),
+                          "--parallelism=abc"},
+                         out);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("--parallelism=abc"), std::string::npos)
+      << status;
+  EXPECT_NE(status.message().find("not a non-negative integer"),
+            std::string::npos)
+      << status;
+}
+
+TEST_F(CliTest, NumericFlagRejectsNegativeValues) {
+  std::ostringstream out;
+  Status status = RunCli({"store", "log", "--dir", Path("store"),
+                          "--snapshot-every=-1"},
+                         out);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("--snapshot-every=-1"), std::string::npos)
+      << status;
+  // A leading sign is malformed text, not a range violation.
+  EXPECT_NE(status.message().find("not a non-negative integer"),
+            std::string::npos)
+      << status;
+}
+
+TEST_F(CliTest, NumericFlagRejectsOverflow) {
+  std::ostringstream out;
+  Status status = RunCli({"store", "log", "--dir", Path("store"),
+                          "--snapshot-every", "99999999999999999999999"},
+                         out);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("overflows"), std::string::npos) << status;
+  EXPECT_NE(status.message().find("--snapshot-every"), std::string::npos)
+      << status;
+}
+
+TEST_F(CliTest, NumericFlagRejectsOutOfRangeValues) {
+  std::ostringstream out;
+  Status zero = RunCli({"store", "log", "--dir", Path("store"),
+                        "--parallelism", "0"},
+                       out);
+  ASSERT_FALSE(zero.ok());
+  EXPECT_NE(zero.message().find("out of range [1, 256]"), std::string::npos)
+      << zero;
+  Status big = RunCli({"store", "log", "--dir", Path("store"),
+                       "--parallelism", "257"},
+                      out);
+  ASSERT_FALSE(big.ok());
+  EXPECT_NE(big.message().find("out of range"), std::string::npos) << big;
+}
+
+TEST_F(CliTest, NumericFlagRejectsEmbeddedJunkAndSpaces) {
+  std::ostringstream out;
+  for (const std::string& bad : {"1 2", "0x10", "3.5", "", "+4"}) {
+    Status status = RunCli({"store", "log", "--dir", Path("store"),
+                            "--snapshot-every=" + bad},
+                           out);
+    EXPECT_FALSE(status.ok()) << "value " << '"' << bad << '"';
+  }
+}
+
+TEST_F(CliTest, ServeAndLoadgenValidateFlagsBeforeTouchingTheSocket) {
+  std::ostringstream out;
+  Status serve = RunCli({"serve", "--socket", Path("s.sock"), "--data-dir",
+                         Path("data"), "--commit-window-ms=oops"},
+                        out);
+  ASSERT_FALSE(serve.ok());
+  EXPECT_NE(serve.message().find("--commit-window-ms=oops"),
+            std::string::npos)
+      << serve;
+  // The malformed flag failed before the daemon bound its socket.
+  EXPECT_FALSE(fs::exists(Path("s.sock")));
+
+  Status loadgen =
+      RunCli({"loadgen", "--socket", Path("s.sock"), "--items=-3"}, out);
+  ASSERT_FALSE(loadgen.ok());
+  EXPECT_NE(loadgen.message().find("--items=-3"), std::string::npos)
+      << loadgen;
+
+  Status window = RunCli({"serve", "--socket", Path("s.sock"), "--data-dir",
+                          Path("data"), "--commit-window-ms", "10001"},
+                         out);
+  ASSERT_FALSE(window.ok());
+  EXPECT_NE(window.message().find("out of range [0, 10000]"),
+            std::string::npos)
+      << window;
+}
+
+TEST_F(CliTest, ValidNumericFlagFormsStillParse) {
+  WriteDoc("doc.xml", "<r><a>x</a></r>");
+  // Both --flag value and --flag=value forms, at the range edges.
+  Run({"store", "init", "--dir", Path("store"), "--doc", Path("doc.xml"),
+       "--snapshot-every=0", "--parallelism", "1"});
+  std::string log = Run({"store", "log", "--dir", Path("store"),
+                         "--snapshot-every", "1", "--parallelism=256"});
+  EXPECT_NE(log.find("head: 0"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace xupdate::tools

@@ -34,8 +34,16 @@ DEFAULT_GATE = r"^BM_(Reduce|Integrat|Aggregat)"
 
 
 def load_set(directory):
-    """name -> (real_time_ns, build_type) for every BENCH_*.json."""
+    """(name -> real_time_ns, name -> problem, build_types).
+
+    A benchmark with an unusable measurement — absent, non-numeric or
+    zero real_time, unknown time unit — lands in the problem map with a
+    human-readable reason instead of being silently dropped: if it is
+    gated, the comparison must fail by name, not pretend the benchmark
+    never ran.
+    """
     out = {}
+    problems = {}
     build_types = set()
     for path in sorted(Path(directory).glob("BENCH_*.json")):
         try:
@@ -52,14 +60,23 @@ def load_set(directory):
         for bench in doc["benchmarks"]:
             if bench.get("run_type") == "aggregate":
                 continue
-            name = bench["name"]
+            name = bench.get("name")
+            if not name:
+                print(f"warning: unnamed benchmark entry in {path}",
+                      file=sys.stderr)
+                continue
             time_ns = bench.get("real_time")
             unit = bench.get("time_unit", "ns")
             scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(unit)
-            if time_ns is None or scale is None:
-                continue
-            out[name] = time_ns * scale
-    return out, build_types
+            if not isinstance(time_ns, (int, float)) or math.isnan(time_ns):
+                problems[name] = f"real_time absent or non-numeric in {path.name}"
+            elif scale is None:
+                problems[name] = f"unknown time_unit {unit!r} in {path.name}"
+            elif time_ns <= 0:
+                problems[name] = f"non-positive real_time ({time_ns}) in {path.name}"
+            else:
+                out[name] = time_ns * scale
+    return out, problems, build_types
 
 
 def main():
@@ -73,12 +90,14 @@ def main():
     parser.add_argument("--all-gated", action="store_true")
     args = parser.parse_args()
 
-    base, base_types = load_set(args.baseline)
-    cand, cand_types = load_set(args.candidate)
-    if not base:
+    base, base_problems, base_types = load_set(args.baseline)
+    cand, cand_problems, cand_types = load_set(args.candidate)
+    # A set whose entries all failed to parse is empty; a set whose
+    # entries measured badly still carries names to fail on below.
+    if not base and not base_problems:
         print(f"error: no benchmark data in {args.baseline}", file=sys.stderr)
         return 2
-    if not cand:
+    if not cand and not cand_problems:
         print(f"error: no benchmark data in {args.candidate}", file=sys.stderr)
         return 2
     if base_types != cand_types or len(base_types) != 1:
@@ -91,26 +110,51 @@ def main():
         return 2
 
     gate_re = re.compile(args.gate)
+
+    def is_gated(name):
+        return args.all_gated or gate_re.search(name) is not None
+
+    # A gated benchmark that the baseline measured must be measured by
+    # the candidate too: a missing or unusable candidate entry is a
+    # failure with a name and a reason, never a crash or a silent skip.
+    failures = []  # (name, reason) pairs
+    for name in sorted(set(base) | set(base_problems)):
+        if not is_gated(name):
+            continue
+        if name in base_problems:
+            # An unusable baseline measurement makes the comparison
+            # meaningless whatever the candidate measured.
+            failures.append((name, base_problems[name]))
+        elif name in cand:
+            continue
+        elif name in cand_problems:
+            failures.append((name, cand_problems[name]))
+        else:
+            failures.append((name, "missing from candidate"))
+    for name in sorted(cand_problems):
+        if is_gated(name) and name not in base and name not in base_problems:
+            failures.append((name, cand_problems[name]))
+
     common = sorted(set(base) & set(cand))
-    if not common:
+    if not common and not failures:
         print("error: no common benchmarks", file=sys.stderr)
         return 2
 
-    width = max(len(n) for n in common)
-    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'candidate':>12}  "
-          f"{'delta':>8}  gate")
-    failures = []
-    for name in common:
-        b, c = base[name], cand[name]
-        delta = (c / b - 1.0) * 100.0 if b > 0 else math.inf
-        gated = args.all_gated or gate_re.search(name) is not None
-        verdict = ""
-        if gated:
-            verdict = "FAIL" if delta > args.threshold else "ok"
-            if delta > args.threshold:
-                failures.append((name, delta))
-        print(f"{name:<{width}}  {b:>12.0f}  {c:>12.0f}  {delta:>+7.1f}%  "
-              f"{verdict}")
+    if common:
+        width = max(len(n) for n in common)
+        print(f"{'benchmark':<{width}}  {'baseline':>12}  {'candidate':>12}  "
+              f"{'delta':>8}  gate")
+        for name in common:
+            b, c = base[name], cand[name]
+            delta = (c / b - 1.0) * 100.0
+            gated = is_gated(name)
+            verdict = ""
+            if gated:
+                verdict = "FAIL" if delta > args.threshold else "ok"
+                if delta > args.threshold:
+                    failures.append((name, f"regressed {delta:+.1f}%"))
+            print(f"{name:<{width}}  {b:>12.0f}  {c:>12.0f}  {delta:>+7.1f}%  "
+                  f"{verdict}")
 
     only_base = sorted(set(base) - set(cand))
     only_cand = sorted(set(cand) - set(base))
@@ -121,12 +165,12 @@ def main():
 
     if failures:
         print(
-            f"\n{len(failures)} gated benchmark(s) regressed more than "
-            f"{args.threshold:.0f}%:",
+            f"\n{len(failures)} gated benchmark(s) failed the comparison "
+            f"(threshold {args.threshold:.0f}%):",
             file=sys.stderr,
         )
-        for name, delta in failures:
-            print(f"  {name}: {delta:+.1f}%", file=sys.stderr)
+        for name, reason in failures:
+            print(f"  {name}: {reason}", file=sys.stderr)
         return 1
     print(f"\nall gated benchmarks within {args.threshold:.0f}% "
           f"({len(common)} compared)")

@@ -1,11 +1,21 @@
 #include "tools/cli.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <csignal>
 #include <cstdlib>
+#include <deque>
 #include <fstream>
 #include <map>
+#include <mutex>
 #include <ostream>
 #include <sstream>
+#include <thread>
 
 #include "analysis/independence.h"
 #include "analysis/lint.h"
@@ -27,7 +37,10 @@
 #include "obs/trace.h"
 #include "pul/obtainable.h"
 #include "exec/streaming.h"
+#include "server/client.h"
+#include "server/server.h"
 #include "store/version.h"
+#include "workload/workload.h"
 #include "label/labeling.h"
 #include "pul/describe.h"
 #include "pul/pul_io.h"
@@ -104,6 +117,60 @@ Status RequireFlags(const Args& args,
   return Status::OK();
 }
 
+// Validated numeric flag parsing, shared by every command: rejects
+// non-numeric text, signs, embedded junk and 64-bit overflow with an
+// error that names the flag, echoes the offending value and states the
+// accepted range. `fallback` is returned when the flag is absent.
+Result<int64_t> ParseFlagInt(const Args& args, const std::string& name,
+                             int64_t fallback, int64_t min_value,
+                             int64_t max_value) {
+  if (!args.Has(name)) return fallback;
+  std::string text = args.Get(name);
+  int64_t value = ParseNonNegativeInt(text);
+  if (value < 0) {
+    bool digits_only =
+        !text.empty() &&
+        std::all_of(text.begin(), text.end(), [](unsigned char c) {
+          return std::isdigit(c) != 0;
+        });
+    if (digits_only) {
+      return Status::InvalidArgument("--" + name + "=" + text +
+                                     " overflows a 64-bit integer");
+    }
+    return Status::InvalidArgument(
+        "--" + name + "=" + text +
+        " is not a non-negative integer (digits only; no sign, no spaces)");
+  }
+  if (value < min_value || value > max_value) {
+    return Status::InvalidArgument(
+        "--" + name + "=" + text + " is out of range [" +
+        std::to_string(min_value) + ", " + std::to_string(max_value) + "]");
+  }
+  return value;
+}
+
+Result<double> ParseFlagDouble(const Args& args, const std::string& name,
+                               double fallback, double min_value,
+                               double max_value) {
+  if (!args.Has(name)) return fallback;
+  std::string text = args.Get(name);
+  errno = 0;
+  char* end = nullptr;
+  double value = std::strtod(text.c_str(), &end);
+  if (text.empty() || end != text.c_str() + text.size() ||
+      errno == ERANGE || !std::isfinite(value)) {
+    return Status::InvalidArgument("--" + name + "=" + text +
+                                   " is not a finite number");
+  }
+  if (value < min_value || value > max_value) {
+    std::ostringstream range;
+    range << "--" << name << "=" << text << " is out of range ["
+          << min_value << ", " << max_value << "]";
+    return Status::InvalidArgument(range.str());
+  }
+  return value;
+}
+
 Result<xml::Document> LoadDocument(const Args& args) {
   XUPDATE_ASSIGN_OR_RETURN(std::string text, ReadFile(args.Get("doc")));
   return xml::ParseDocument(text);
@@ -131,11 +198,11 @@ Status WritePul(const pul::Pul& pul, const std::string& path,
 Status CmdGenerate(const Args& args, std::ostream& out) {
   XUPDATE_RETURN_IF_ERROR(RequireFlags(args, {"bytes", "out"}));
   xmark::Config config;
-  int64_t bytes = ParseNonNegativeInt(args.Get("bytes"));
-  if (bytes <= 0) return Status::InvalidArgument("bad --bytes");
+  XUPDATE_ASSIGN_OR_RETURN(int64_t bytes,
+                           ParseFlagInt(args, "bytes", 0, 1, INT64_MAX));
   config.target_bytes = static_cast<size_t>(bytes);
-  int64_t seed = ParseNonNegativeInt(args.Get("seed", "42"));
-  if (seed < 0) return Status::InvalidArgument("bad --seed");
+  XUPDATE_ASSIGN_OR_RETURN(int64_t seed,
+                           ParseFlagInt(args, "seed", 42, 0, INT64_MAX));
   config.seed = static_cast<uint64_t>(seed);
   XUPDATE_ASSIGN_OR_RETURN(std::string text,
                            xmark::GenerateDocumentText(config));
@@ -152,8 +219,8 @@ Status CmdProduce(const Args& args, std::ostream& out) {
   ctx.doc = &doc;
   ctx.labeling = &labeling;
   if (args.Has("id-base")) {
-    int64_t base = ParseNonNegativeInt(args.Get("id-base"));
-    if (base <= 0) return Status::InvalidArgument("bad --id-base");
+    XUPDATE_ASSIGN_OR_RETURN(int64_t base,
+                             ParseFlagInt(args, "id-base", 0, 1, INT64_MAX));
     ctx.id_base = static_cast<xml::NodeId>(base);
   }
   std::string policies = args.Get("policies");
@@ -196,9 +263,8 @@ Status CmdApply(const Args& args, std::ostream& out) {
 // dumps the engine's counters/timers as JSON ("-" for the output
 // stream).
 Result<int> ParseParallelismFlag(const Args& args) {
-  if (!args.Has("parallelism")) return 1;
-  int64_t n = ParseNonNegativeInt(args.Get("parallelism"));
-  if (n <= 0) return Status::InvalidArgument("bad --parallelism");
+  XUPDATE_ASSIGN_OR_RETURN(int64_t n,
+                           ParseFlagInt(args, "parallelism", 1, 1, 256));
   return static_cast<int>(n);
 }
 
@@ -629,16 +695,18 @@ Result<store::StoreOptions> ParseStoreOptions(const Args& args,
       !store::FsyncPolicyFromName(args.Get("fsync"), &options.fsync)) {
     return Status::InvalidArgument("--fsync must be always|batch|never");
   }
-  if (args.Has("snapshot-every")) {
-    int64_t n = ParseNonNegativeInt(args.Get("snapshot-every"));
-    if (n < 0) return Status::InvalidArgument("bad --snapshot-every");
-    options.snapshot_every = static_cast<uint64_t>(n);
-  }
-  if (args.Has("snapshot-bytes")) {
-    int64_t n = ParseNonNegativeInt(args.Get("snapshot-bytes"));
-    if (n < 0) return Status::InvalidArgument("bad --snapshot-bytes");
-    options.snapshot_bytes = static_cast<uint64_t>(n);
-  }
+  XUPDATE_ASSIGN_OR_RETURN(
+      int64_t snapshot_every,
+      ParseFlagInt(args, "snapshot-every",
+                   static_cast<int64_t>(options.snapshot_every), 0,
+                   INT64_MAX));
+  options.snapshot_every = static_cast<uint64_t>(snapshot_every);
+  XUPDATE_ASSIGN_OR_RETURN(
+      int64_t snapshot_bytes,
+      ParseFlagInt(args, "snapshot-bytes",
+                   static_cast<int64_t>(options.snapshot_bytes), 0,
+                   INT64_MAX));
+  options.snapshot_bytes = static_cast<uint64_t>(snapshot_bytes);
   XUPDATE_ASSIGN_OR_RETURN(options.parallelism, ParseParallelismFlag(args));
   if (const char* budget = std::getenv("XUPDATE_STORE_FAIL_AFTER_BYTES");
       budget != nullptr && *budget != '\0') {
@@ -653,10 +721,8 @@ Result<store::StoreOptions> ParseStoreOptions(const Args& args,
 }
 
 Result<uint64_t> ParseVersionFlag(const Args& args, const char* name) {
-  int64_t v = ParseNonNegativeInt(args.Get(name));
-  if (v < 0) {
-    return Status::InvalidArgument(std::string("bad --") + name);
-  }
+  XUPDATE_ASSIGN_OR_RETURN(int64_t v,
+                           ParseFlagInt(args, name, 0, 0, INT64_MAX));
   return static_cast<uint64_t>(v);
 }
 
@@ -763,11 +829,495 @@ Status CmdStore(const Args& args, std::ostream& out) {
   return result;
 }
 
+// ---------------------------------------------------------------------------
+// serve / loadgen: the PUL reasoning daemon and its driver.
+
+std::atomic<bool> g_serve_signal{false};
+
+void HandleServeSignal(int) { g_serve_signal.store(true); }
+
+Status CmdServe(const Args& args, std::ostream& out) {
+  XUPDATE_RETURN_IF_ERROR(RequireFlags(args, {"socket", "data-dir"}));
+  Metrics metrics;
+  obs::Tracer tracer;
+  server::ServerOptions options;
+  options.socket_path = args.Get("socket");
+  options.data_dir = args.Get("data-dir");
+  XUPDATE_ASSIGN_OR_RETURN(options.store,
+                           ParseStoreOptions(args, &metrics, &tracer));
+  XUPDATE_ASSIGN_OR_RETURN(
+      int64_t max_pending,
+      ParseFlagInt(args, "max-pending", 128, 1, 1 << 20));
+  options.max_pending = static_cast<size_t>(max_pending);
+  XUPDATE_ASSIGN_OR_RETURN(
+      int64_t window, ParseFlagInt(args, "commit-window-ms", 0, 0, 10000));
+  options.commit_window_ms = static_cast<int>(window);
+  XUPDATE_ASSIGN_OR_RETURN(int64_t max_parallelism,
+                           ParseFlagInt(args, "max-parallelism", 8, 1, 256));
+  options.max_parallelism = static_cast<int>(max_parallelism);
+  options.metrics = &metrics;
+  XUPDATE_ASSIGN_OR_RETURN(std::unique_ptr<server::Server> server,
+                           server::Server::Start(options));
+  out << "serving on " << options.socket_path << " (data in "
+      << options.data_dir << ", commit window " << options.commit_window_ms
+      << " ms, max pending " << options.max_pending << ")\n";
+  out.flush();
+  g_serve_signal.store(false);
+  std::signal(SIGINT, HandleServeSignal);
+  std::signal(SIGTERM, HandleServeSignal);
+  server->Wait(&g_serve_signal);
+  Status stopped = server->Stop();
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  out << "server stopped\n";
+  XUPDATE_RETURN_IF_ERROR(MaybeDumpMetrics(args, metrics, out));
+  return stopped;
+}
+
+// One loadgen connection: the tenants it owns, the items it streams (in
+// global stream order) and the verification state shared with main.
+struct LoadgenConnection {
+  server::Client client;
+  std::vector<const workload::WorkloadItem*> items;
+  std::vector<size_t> tenants;
+
+  std::thread worker;
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::pair<const workload::WorkloadItem*,
+                       std::chrono::steady_clock::time_point>>
+      in_flight;
+  bool send_done = false;
+  Status failure;  // first sender/receiver error, named
+  uint64_t busy = 0;
+};
+
+struct LoadgenPlan {
+  workload::Workload workload;
+  bool verify = false;
+  double rate = 0.0;
+  // Max requests in flight per connection: deep enough to let the
+  // server's batcher coalesce, bounded so the loadgen doesn't trip its
+  // own admission control.
+  size_t window = 16;
+  // Per tenant: annotated serialization after v commits (index v), the
+  // one-shot reference the server's bytes must match. Empty when not
+  // verifying.
+  std::vector<std::vector<std::string>> expected;
+  Metrics* metrics = nullptr;
+};
+
+const char* LoadgenItemName(workload::ItemType type) {
+  switch (type) {
+    case workload::ItemType::kCommit:
+      return "commit";
+    case workload::ItemType::kCheckout:
+      return "checkout";
+    case workload::ItemType::kReduce:
+      return "reduce";
+    case workload::ItemType::kStat:
+      return "stat";
+  }
+  return "unknown";
+}
+
+// Local one-shot reference for a reduce item: the same deterministic
+// engine configuration the server uses.
+Result<std::string> LocalReduce(const std::string& pul_xml) {
+  XUPDATE_ASSIGN_OR_RETURN(pul::Pul pul, pul::ParsePul(pul_xml));
+  core::ReduceOptions options;
+  options.mode = core::ReduceMode::kDeterministic;
+  XUPDATE_ASSIGN_OR_RETURN(pul::Pul reduced, core::Reduce(pul, options));
+  return pul::SerializePul(reduced);
+}
+
+Status VerifyLoadgenResponse(const LoadgenPlan& plan,
+                             const workload::WorkloadItem& item,
+                             const server::Message& response) {
+  std::string where = std::string(LoadgenItemName(item.type)) +
+                      " on tenant " + plan.workload.tenants[item.tenant];
+  if (response.type == server::MsgType::kBusy) {
+    // Outside --verify the caller counts busy responses as shed load;
+    // under --verify every item must land.
+    if (item.type != workload::ItemType::kCommit || !plan.verify) {
+      return Status::OK();
+    }
+    return Status::Internal("commit shed with kBusy under --verify: " +
+                            where);
+  }
+  if (response.type == server::MsgType::kError) {
+    // Without --verify an error response is counted, not fatal: a shed
+    // commit legitimately makes a later checkout of that version fail.
+    if (!plan.verify) {
+      if (plan.metrics != nullptr) {
+        plan.metrics->AddCounter("loadgen.error.count");
+      }
+      return Status::OK();
+    }
+    return Status::Internal(where + " failed: " +
+                            server::StatusFromError(response).ToString());
+  }
+  if (!plan.verify) return Status::OK();
+  switch (item.type) {
+    case workload::ItemType::kCommit:
+      if (response.a != item.expected_version) {
+        return Status::Internal(
+            where + " produced version " + std::to_string(response.a) +
+            ", expected " + std::to_string(item.expected_version));
+      }
+      return Status::OK();
+    case workload::ItemType::kCheckout: {
+      const std::vector<std::string>& chain = plan.expected[item.tenant];
+      if (item.version >= chain.size()) {
+        return Status::Internal(where + ": no reference for version " +
+                                std::to_string(item.version));
+      }
+      if (response.payload.size() != 1 ||
+          response.payload[0] != chain[item.version]) {
+        return Status::Internal(
+            where + " of version " + std::to_string(item.version) +
+            " differs from the locally replayed document");
+      }
+      return Status::OK();
+    }
+    case workload::ItemType::kReduce: {
+      XUPDATE_ASSIGN_OR_RETURN(std::string expected,
+                               LocalReduce(item.pul_xml));
+      if (response.payload.size() != 1 || response.payload[0] != expected) {
+        return Status::Internal(where +
+                                " differs from the local reduction");
+      }
+      return Status::OK();
+    }
+    case workload::ItemType::kStat:
+      return Status::OK();
+  }
+  return Status::OK();
+}
+
+server::Message LoadgenRequest(const workload::Workload& workload,
+                               const workload::WorkloadItem& item) {
+  server::Message request;
+  switch (item.type) {
+    case workload::ItemType::kCommit:
+      request.type = server::MsgType::kCommit;
+      request.payload = {workload.tenants[item.tenant], item.pul_xml};
+      break;
+    case workload::ItemType::kCheckout:
+      request.type = server::MsgType::kCheckout;
+      request.a = item.version;
+      request.payload = {workload.tenants[item.tenant]};
+      break;
+    case workload::ItemType::kReduce:
+      request.type = server::MsgType::kReduce;
+      request.payload = {item.pul_xml, "deterministic"};
+      break;
+    case workload::ItemType::kStat:
+      request.type = server::MsgType::kStat;
+      request.payload = {};
+      break;
+  }
+  return request;
+}
+
+// Streams one connection's items (sender thread pipelines, this thread
+// receives in order) and records per-type latency histograms.
+void RunLoadgenConnection(const LoadgenPlan& plan,
+                          LoadgenConnection* conn,
+                          std::chrono::steady_clock::time_point start) {
+  std::thread sender([&plan, conn, start] {
+    for (const workload::WorkloadItem* item : conn->items) {
+      if (plan.rate > 0) {
+        std::this_thread::sleep_until(
+            start + std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(
+                            item->arrival_seconds)));
+      }
+      server::Message request = LoadgenRequest(plan.workload, *item);
+      {
+        std::unique_lock<std::mutex> lock(conn->mu);
+        conn->cv.wait(lock, [&plan, conn] {
+          return conn->in_flight.size() < plan.window ||
+                 !conn->failure.ok();
+        });
+        if (!conn->failure.ok()) break;
+        conn->in_flight.emplace_back(item,
+                                     std::chrono::steady_clock::now());
+      }
+      conn->cv.notify_all();
+      Status sent = conn->client.Send(request);
+      if (!sent.ok()) {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        if (conn->failure.ok()) conn->failure = sent;
+        break;
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      conn->send_done = true;
+    }
+    conn->cv.notify_all();
+  });
+  for (;;) {
+    const workload::WorkloadItem* item = nullptr;
+    std::chrono::steady_clock::time_point sent_at;
+    {
+      std::unique_lock<std::mutex> lock(conn->mu);
+      conn->cv.wait(lock, [conn] {
+        return !conn->in_flight.empty() || conn->send_done ||
+               !conn->failure.ok();
+      });
+      if (conn->in_flight.empty()) break;
+      item = conn->in_flight.front().first;
+      sent_at = conn->in_flight.front().second;
+      conn->in_flight.pop_front();
+    }
+    conn->cv.notify_all();  // window slot freed for the sender
+    Result<server::Message> response = conn->client.Receive();
+    double seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - sent_at)
+                         .count();
+    if (!response.ok()) {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      if (conn->failure.ok()) {
+        conn->failure = Status::IoError(
+            std::string("lost connection awaiting ") +
+            LoadgenItemName(item->type) + " response: " +
+            response.status().message());
+      }
+      break;
+    }
+    if (plan.metrics != nullptr) {
+      plan.metrics->RecordDuration(std::string("loadgen.") +
+                                       LoadgenItemName(item->type) +
+                                       ".seconds",
+                                   seconds);
+      plan.metrics->AddCounter(std::string("loadgen.") +
+                               LoadgenItemName(item->type) + ".count");
+    }
+    if (response->type == server::MsgType::kBusy) {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      ++conn->busy;
+    }
+    Status verified = VerifyLoadgenResponse(plan, *item, *response);
+    if (!verified.ok()) {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      if (conn->failure.ok()) conn->failure = verified;
+      break;
+    }
+  }
+  sender.join();
+}
+
+Status CmdLoadgen(const Args& args, std::ostream& out) {
+  XUPDATE_RETURN_IF_ERROR(RequireFlags(args, {"socket"}));
+  const std::string socket_path = args.Get("socket");
+  workload::WorkloadOptions wopts;
+  XUPDATE_ASSIGN_OR_RETURN(int64_t tenants,
+                           ParseFlagInt(args, "tenants", 2, 1, 64));
+  wopts.num_tenants = static_cast<size_t>(tenants);
+  XUPDATE_ASSIGN_OR_RETURN(int64_t items,
+                           ParseFlagInt(args, "items", 64, 1, 1000000));
+  wopts.num_items = static_cast<size_t>(items);
+  XUPDATE_ASSIGN_OR_RETURN(int64_t ops,
+                           ParseFlagInt(args, "ops-per-pul", 8, 1, 10000));
+  wopts.ops_per_pul = static_cast<size_t>(ops);
+  XUPDATE_ASSIGN_OR_RETURN(
+      int64_t doc_bytes,
+      ParseFlagInt(args, "doc-bytes", 1 << 14, 256, 1 << 26));
+  wopts.doc_bytes = static_cast<size_t>(doc_bytes);
+  XUPDATE_ASSIGN_OR_RETURN(wopts.zipf_theta,
+                           ParseFlagDouble(args, "zipf-theta", 0.99, 0, 16));
+  XUPDATE_ASSIGN_OR_RETURN(wopts.arrival_rate,
+                           ParseFlagDouble(args, "rate", 0, 0, 1e9));
+  XUPDATE_ASSIGN_OR_RETURN(
+      wopts.commit_weight,
+      ParseFlagDouble(args, "commit-weight", wopts.commit_weight, 0, 1e6));
+  XUPDATE_ASSIGN_OR_RETURN(wopts.checkout_weight,
+                           ParseFlagDouble(args, "checkout-weight",
+                                           wopts.checkout_weight, 0, 1e6));
+  XUPDATE_ASSIGN_OR_RETURN(
+      wopts.reduce_weight,
+      ParseFlagDouble(args, "reduce-weight", wopts.reduce_weight, 0, 1e6));
+  XUPDATE_ASSIGN_OR_RETURN(
+      wopts.stat_weight,
+      ParseFlagDouble(args, "stat-weight", wopts.stat_weight, 0, 1e6));
+  XUPDATE_ASSIGN_OR_RETURN(int64_t seed,
+                           ParseFlagInt(args, "seed", 42, 0, INT64_MAX));
+  wopts.seed = static_cast<uint64_t>(seed);
+  XUPDATE_ASSIGN_OR_RETURN(int64_t connections,
+                           ParseFlagInt(args, "connections", 1, 1, 64));
+  XUPDATE_ASSIGN_OR_RETURN(int64_t window,
+                           ParseFlagInt(args, "window", 16, 1, 4096));
+  XUPDATE_ASSIGN_OR_RETURN(int64_t verify,
+                           ParseFlagInt(args, "verify", 0, 0, 1));
+  XUPDATE_ASSIGN_OR_RETURN(int64_t shutdown,
+                           ParseFlagInt(args, "shutdown", 0, 0, 1));
+  if (connections > tenants) connections = tenants;
+
+  XUPDATE_ASSIGN_OR_RETURN(workload::Workload workload,
+                           workload::GenerateWorkload(wopts));
+  Metrics metrics;
+  LoadgenPlan plan;
+  plan.verify = verify != 0;
+  plan.rate = wopts.arrival_rate;
+  plan.window = static_cast<size_t>(window);
+  plan.metrics = &metrics;
+
+  // Local one-shot reference: replay each tenant's commit chain and keep
+  // the store-canonical bytes of every version. This is the exact
+  // pipeline `xupdate store commit/checkout` runs, so matching bytes
+  // here is byte-identity with the one-shot CLI.
+  if (plan.verify) {
+    plan.expected.resize(workload.tenants.size());
+    std::vector<xml::Document> docs;
+    docs.reserve(workload.tenants.size());
+    for (size_t t = 0; t < workload.tenants.size(); ++t) {
+      XUPDATE_ASSIGN_OR_RETURN(xml::Document doc,
+                               xml::ParseDocument(workload.initial_xml[t]));
+      XUPDATE_ASSIGN_OR_RETURN(
+          std::string bytes, store::VersionStore::SerializeAnnotated(doc));
+      plan.expected[t].push_back(std::move(bytes));
+      docs.push_back(std::move(doc));
+    }
+    for (const workload::WorkloadItem& item : workload.items) {
+      if (item.type != workload::ItemType::kCommit) continue;
+      XUPDATE_ASSIGN_OR_RETURN(pul::Pul pul, pul::ParsePul(item.pul_xml));
+      XUPDATE_RETURN_IF_ERROR(pul::ApplyPul(&docs[item.tenant], pul));
+      XUPDATE_ASSIGN_OR_RETURN(std::string bytes,
+                               store::VersionStore::SerializeAnnotated(
+                                   docs[item.tenant]));
+      plan.expected[item.tenant].push_back(std::move(bytes));
+    }
+  }
+  plan.workload = std::move(workload);
+
+  // Tenants are partitioned round-robin across connections, so each
+  // tenant's requests stay FIFO on one connection (deterministic
+  // versions) while commits from different connections coalesce in the
+  // server's group-commit batch.
+  std::vector<std::unique_ptr<LoadgenConnection>> conns;
+  for (int64_t c = 0; c < connections; ++c) {
+    conns.push_back(std::make_unique<LoadgenConnection>());
+    XUPDATE_ASSIGN_OR_RETURN(conns.back()->client,
+                             server::Client::Connect(socket_path));
+    for (size_t t = c; t < plan.workload.tenants.size();
+         t += static_cast<size_t>(connections)) {
+      conns.back()->tenants.push_back(t);
+    }
+  }
+  for (const workload::WorkloadItem& item : plan.workload.items) {
+    conns[item.tenant % conns.size()]->items.push_back(&item);
+  }
+  // Open every tenant before the clock starts (create, or reopen a
+  // store left by an earlier run — but a non-empty store breaks the
+  // deterministic version numbering --verify checks).
+  for (std::unique_ptr<LoadgenConnection>& conn : conns) {
+    for (size_t t : conn->tenants) {
+      Result<uint64_t> head =
+          conn->client.Open(plan.workload.tenants[t],
+                            plan.workload.initial_xml[t]);
+      if (!head.ok() &&
+          head.status().code() == StatusCode::kInvalidArgument) {
+        head = conn->client.Open(plan.workload.tenants[t], "");
+      }
+      if (!head.ok()) return head.status();
+      if (plan.verify && *head != 0) {
+        return Status::InvalidArgument(
+            "tenant " + plan.workload.tenants[t] + " already has " +
+            std::to_string(*head) +
+            " versions; --verify 1 needs a fresh data dir");
+      }
+    }
+  }
+
+  std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
+  for (std::unique_ptr<LoadgenConnection>& conn : conns) {
+    LoadgenConnection* raw = conn.get();
+    raw->worker = std::thread(
+        [&plan, raw, start] { RunLoadgenConnection(plan, raw, start); });
+  }
+  Status failure;
+  uint64_t busy = 0;
+  for (std::unique_ptr<LoadgenConnection>& conn : conns) {
+    conn->worker.join();
+    busy += conn->busy;
+    if (failure.ok() && !conn->failure.ok()) failure = conn->failure;
+  }
+  double wall = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+  XUPDATE_RETURN_IF_ERROR(failure);
+
+  // Final head check: every tenant's head document must equal the local
+  // replay byte for byte. --dump-head also writes each head to
+  // <dir>/<tenant>.head.xml so CI can diff it against what the one-shot
+  // `xupdate store checkout` prints for the same data dir.
+  const bool dump_head = args.Has("dump-head");
+  if (plan.verify || dump_head) {
+    for (std::unique_ptr<LoadgenConnection>& conn : conns) {
+      for (size_t t : conn->tenants) {
+        XUPDATE_ASSIGN_OR_RETURN(
+            std::string head_xml,
+            conn->client.Checkout(plan.workload.tenants[t], 0,
+                                  /*head=*/true));
+        if (plan.verify && head_xml != plan.expected[t].back()) {
+          return Status::Internal("head checkout of tenant " +
+                                  plan.workload.tenants[t] +
+                                  " differs from the local replay");
+        }
+        if (dump_head) {
+          XUPDATE_RETURN_IF_ERROR(EnsureDirectory(args.Get("dump-head")));
+          XUPDATE_RETURN_IF_ERROR(WriteFileAtomic(
+              args.Get("dump-head") + "/" + plan.workload.tenants[t] +
+                  ".head.xml",
+              head_xml));
+        }
+      }
+    }
+    if (plan.verify) {
+      out << "verify ok: every response matched the local one-shot "
+             "replay\n";
+    }
+  }
+
+  out << "loadgen: " << plan.workload.items.size() << " items over "
+      << conns.size() << " connection(s) in " << wall << " s";
+  if (busy > 0) out << " (" << busy << " commits shed with kBusy)";
+  out << "\n";
+  for (const char* kind : {"commit", "checkout", "reduce", "stat"}) {
+    Metrics::TimerSnapshot snap =
+        metrics.timer(std::string("loadgen.") + kind + ".seconds");
+    if (snap.count == 0) continue;
+    std::ostringstream line;
+    line << "  " << kind << ": n=" << snap.count << " p50=" << snap.p50
+         << "s p95=" << snap.p95 << "s p99=" << snap.p99
+         << "s max=" << snap.max << "s";
+    out << line.str() << "\n";
+  }
+  XUPDATE_RETURN_IF_ERROR(MaybeDumpMetrics(args, metrics, out));
+  if (args.Has("server-metrics")) {
+    XUPDATE_ASSIGN_OR_RETURN(std::string json, conns.front()->client.Stat());
+    XUPDATE_RETURN_IF_ERROR(
+        WriteFileAtomic(args.Get("server-metrics"), json));
+    out << "server metrics written to " << args.Get("server-metrics")
+        << "\n";
+  }
+  if (shutdown != 0) {
+    XUPDATE_RETURN_IF_ERROR(conns.front()->client.Shutdown());
+    out << "server shutdown requested\n";
+  }
+  return Status::OK();
+}
+
 constexpr char kUsage[] =
     "usage: xupdate <command> [flags] [operands]\n"
     "commands: generate produce apply reduce aggregate integrate\n"
     "          reconcile invert diff query show stats equivalent\n"
     "          sidecar-save sidecar-load analyze explain store\n"
+    "          serve loadgen\n"
     "see tools/cli.h for per-command flags\n";
 
 }  // namespace
@@ -797,6 +1347,8 @@ Status RunCli(const std::vector<std::string>& argv, std::ostream& out) {
   if (command == "analyze") return CmdAnalyze(args, out);
   if (command == "explain") return CmdExplain(args, out);
   if (command == "store") return CmdStore(args, out);
+  if (command == "serve") return CmdServe(args, out);
+  if (command == "loadgen") return CmdLoadgen(args, out);
   out << kUsage;
   return Status::InvalidArgument("unknown command \"" + command + "\"");
 }

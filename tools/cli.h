@@ -32,6 +32,24 @@ namespace xupdate::tools {
 //   xupdate store     checkout --dir DIR --version V --out out.xml
 //   xupdate store     log|compact|verify --dir DIR
 //   xupdate store     rollback --dir DIR --to V
+//   xupdate serve     --socket PATH --data-dir DIR
+//                     [--commit-window-ms N] [--max-pending N]
+//                     [--max-parallelism N]
+//   xupdate loadgen   --socket PATH [--tenants N] [--items N]
+//                     [--connections N] [--window N] [--ops-per-pul N]
+//                     [--doc-bytes N] [--zipf-theta F] [--rate F]
+//                     [--commit-weight F] [--checkout-weight F]
+//                     [--reduce-weight F] [--stat-weight F] [--seed S]
+//                     [--verify 0|1] [--dump-head DIR]
+//                     [--server-metrics PATH] [--shutdown 0|1]
+//
+// `serve` runs the PUL reasoning daemon (src/server/) until SIGINT,
+// SIGTERM or a client kShutdown. `loadgen` replays a deterministic
+// typed workload (src/workload/) against it over pipelined
+// connections; --verify 1 checks every response byte-for-byte against
+// a local one-shot replay, --dump-head writes each tenant's final
+// head document for external diffing, --server-metrics saves the
+// server's metrics JSON (fsync-coalescing counters included).
 //
 // The store subcommands share --fsync always|batch|never,
 // --snapshot-every N and --snapshot-bytes N, and honor the environment

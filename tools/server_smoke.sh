@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the PUL reasoning daemon, as run by CI (under
+# ASan there): start the server, drive it with a verified mixed
+# workload over pipelined connections, prove byte identity of every
+# tenant head against the one-shot `store checkout` path, prove the
+# group commit actually coalesced fsyncs, and shut the daemon down
+# cleanly. Usage: tools/server_smoke.sh BUILD_DIR [WORK_DIR]
+set -euo pipefail
+
+build=${1:?usage: server_smoke.sh BUILD_DIR [WORK_DIR]}
+work=${2:-$(mktemp -d "${TMPDIR:-/tmp}/xupdate_smoke.XXXXXX")}
+xupdate="$build/tools/xupdate"
+sock="$work/xupdate.sock"
+data="$work/tenants"
+mkdir -p "$work"
+
+cleanup() {
+  if [[ -n "${server_pid:-}" ]] && kill -0 "$server_pid" 2>/dev/null; then
+    kill "$server_pid" 2>/dev/null || true
+    wait "$server_pid" 2>/dev/null || true
+  fi
+}
+trap cleanup EXIT
+
+echo "== starting daemon"
+"$xupdate" serve --socket "$sock" --data-dir "$data" \
+  --commit-window-ms 5 --max-pending 256 >"$work/serve.log" 2>&1 &
+server_pid=$!
+for _ in $(seq 1 100); do
+  [[ -S "$sock" ]] && break
+  kill -0 "$server_pid" || { cat "$work/serve.log"; exit 1; }
+  sleep 0.1
+done
+[[ -S "$sock" ]] || { echo "server socket never appeared"; exit 1; }
+
+echo "== verified mixed workload over pipelined connections"
+"$xupdate" loadgen --socket "$sock" \
+  --tenants 4 --items 300 --connections 4 --window 16 \
+  --ops-per-pul 6 --doc-bytes 8192 --seed 7 --verify 1 \
+  --dump-head "$work/heads" --server-metrics "$work/server_metrics.json" \
+  --metrics - | tee "$work/loadgen.log"
+grep -q "verify ok" "$work/loadgen.log"
+
+echo "== byte identity: loadgen heads vs one-shot store checkout"
+for tenant_dir in "$data"/*/; do
+  tenant=$(basename "$tenant_dir")
+  head=$("$xupdate" store log --dir "$tenant_dir" |
+    sed -n 's/^head: \([0-9][0-9]*\)$/\1/p')
+  "$xupdate" store checkout --dir "$tenant_dir" --version "$head" \
+    --out "$work/cli_$tenant.xml"
+  cmp "$work/heads/$tenant.head.xml" "$work/cli_$tenant.xml"
+  echo "   $tenant: version $head identical"
+done
+
+echo "== group commit coalesced fsyncs"
+python3 - "$work/server_metrics.json" <<'EOF'
+import json, sys
+m = json.load(open(sys.argv[1]))["counters"]
+fsyncs, commits = m["store.wal.fsync.count"], m["store.commit.count"]
+print(f"   {commits} commits, {fsyncs} wal fsyncs")
+assert commits > 0 and fsyncs < commits, "group commit did not coalesce"
+EOF
+
+echo "== remote shutdown"
+"$xupdate" loadgen --socket "$sock" --tenants 1 --items 1 \
+  --commit-weight 0 --checkout-weight 0 --reduce-weight 0 --stat-weight 1 \
+  --shutdown 1 >/dev/null
+for _ in $(seq 1 100); do
+  kill -0 "$server_pid" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$server_pid" 2>/dev/null; then
+  echo "server still running after shutdown request"; exit 1
+fi
+wait "$server_pid" || { echo "server exited non-zero"; cat "$work/serve.log"; exit 1; }
+server_pid=""
+
+echo "== server smoke OK ($work)"
