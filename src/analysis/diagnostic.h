@@ -38,6 +38,16 @@ std::string_view SeverityName(Severity severity);
 //                                            may-conflict verdicts
 //   XU007 info     empty-replace-node        repN with no replacement trees
 //                                            (behaves exactly like del)
+//   XU008 warning  schema-invalid-insertion  inserted content admitted by no
+//                                            candidate parent type's content
+//                                            model (schema lint only)
+//   XU009 warning  deletes-required-child    every candidate (parent, child)
+//                                            typing of the deleted element
+//                                            is schema-required (schema lint
+//                                            only)
+//   XU010 warning  undeclared-attribute      insAttributes parameter name
+//                                            declared on no candidate target
+//                                            type (schema lint only)
 inline constexpr const char* kCodeDuplicateReplacement = "XU001";
 inline constexpr const char* kCodeOverriddenBySubtreeOp = "XU002";
 inline constexpr const char* kCodeDanglingSiblingRef = "XU003";
@@ -45,6 +55,9 @@ inline constexpr const char* kCodeNonCanonicalOrder = "XU004";
 inline constexpr const char* kCodeDuplicateAttribute = "XU005";
 inline constexpr const char* kCodeMissingTargetLabel = "XU006";
 inline constexpr const char* kCodeEmptyReplaceNode = "XU007";
+inline constexpr const char* kCodeSchemaInvalidInsertion = "XU008";
+inline constexpr const char* kCodeDeletesRequiredChild = "XU009";
+inline constexpr const char* kCodeUndeclaredAttribute = "XU010";
 
 // One lint finding, anchored on the listing index of the offending
 // operation (`op_index`); `related_op` is the other half of a pairwise

@@ -1,0 +1,41 @@
+#ifndef XUPDATE_ANALYSIS_SCHEMA_TIER_H_
+#define XUPDATE_ANALYSIS_SCHEMA_TIER_H_
+
+#include "analysis/diagnostic.h"
+#include "analysis/independence.h"
+#include "pul/pul.h"
+#include "schema/schema.h"
+#include "schema/summary.h"
+
+namespace xupdate::analysis {
+
+// Schema lint: the XU008-XU010 findings derivable only with a schema in
+// hand. Like LintPul, it candidate-types every target through its
+// (level, node type) label — a PUL never names its targets — so a
+// finding fires only when *no* candidate typing admits the op's result.
+// Returns findings sorted by (op_index, code); callers merge with
+// LintPul's report.
+[[nodiscard]] DiagnosticReport LintPulWithSchema(const schema::Schema& schema,
+                                                 const pul::Pul& pul);
+
+// Outcome of the tiered pairwise analysis: when the type-level tier
+// proves the pair independent, `report` is synthesized (verdict
+// kIndependent, reason "disjoint" — byte-identical to what the exact
+// analyzer returns for an independent fully-labeled pair) and
+// `resolved_at_tier0` is true; otherwise the exact O(n log n) sweep
+// runs and fills `report`.
+struct TieredIndependence {
+  bool resolved_at_tier0 = false;
+  IndependenceReport report;
+};
+
+// Tier-0 short-circuit in front of AnalyzeIndependence. Summaries are
+// passed in (not recomputed) so an N-PUL caller infers each once and
+// amortizes it over N-1 pairs.
+[[nodiscard]] TieredIndependence AnalyzeIndependenceTiered(
+    const schema::TypeSummary& summary_a, const schema::TypeSummary& summary_b,
+    const pul::Pul& a, const pul::Pul& b);
+
+}  // namespace xupdate::analysis
+
+#endif  // XUPDATE_ANALYSIS_SCHEMA_TIER_H_

@@ -13,6 +13,7 @@
 #include "label/node_label.h"
 #include "obs/trace.h"
 #include "pul/pul_view.h"
+#include "schema/summary.h"
 #include "pul/update_op.h"
 
 namespace xupdate::core {
@@ -354,10 +355,66 @@ Result<IntegrationResult> Integrator::Run() {
     }
   }
 
-  // Static fast path: when every PUL pair is provably independent, no
-  // conflict rule can fire and Delta is simply the union of all
-  // operations — identical to what the detection path below produces
-  // with an empty conflict list, at a fraction of the cost.
+  // Fast-path body shared by the schema and static tiers: when every
+  // PUL pair is provably independent no conflict rule can fire, and
+  // Delta is simply the union of all operations — identical to what the
+  // detection path below produces with an empty conflict list, at a
+  // fraction of the cost.
+  auto merge_all = [this, tracing,
+                    &input_lane](const char* label,
+                                 const char* note) -> Result<IntegrationResult> {
+    if (tracing) {
+      input_lane.Emit(obs::EventKind::kFastPathTaken, label, {}, {}, note);
+    }
+    IntegrationResult result;
+    size_t j = 0;
+    for (const TaggedOp& t : tagged_) {
+      XUPDATE_RETURN_IF_ERROR(
+          result.merged.AdoptOp(t.owner->forest(), *t.op));
+      if (tracing) {
+        input_lane.Emit(obs::EventKind::kOpSurvived,
+                        pul::OpKindName(t.op->kind), {RefId(t.ref)},
+                        "merged#" + std::to_string(j));
+      }
+      ++j;
+    }
+    return result;
+  };
+
+  // Schema tier (tier 0): one touched-type summary per PUL, one O(types)
+  // set comparison per pair — no per-op sweep at all. Sound relative to
+  // documents conforming to the schema: a proven pair is one the static
+  // analyzer below would also call independent.
+  if (options_.use_schema_analysis && options_.schema != nullptr &&
+      puls_.size() >= 2) {
+    ScopedTimer timer(metrics, "integrate.schema_analysis_seconds");
+    std::vector<schema::TypeSummary> summaries;
+    summaries.reserve(puls_.size());
+    for (const pul::Pul* p : puls_) {
+      summaries.push_back(schema::InferTouchedTypes(*options_.schema, *p));
+    }
+    bool all_proven = true;
+    for (size_t i = 0; i < puls_.size() && all_proven; ++i) {
+      for (size_t j = i + 1; j < puls_.size(); ++j) {
+        if (metrics) metrics->AddCounter("integrate.schema.pairs");
+        if (schema::DecideIndependence(summaries[i], summaries[j]) !=
+            schema::SchemaVerdict::kProvenIndependent) {
+          all_proven = false;
+          break;
+        }
+        if (metrics) metrics->AddCounter("integrate.schema.proven");
+      }
+    }
+    if (all_proven) {
+      if (metrics) {
+        metrics->AddCounter("integrate.schema.skips");
+        metrics->AddCounter("integrate.conflicts", 0);
+      }
+      return merge_all("schema-independent",
+                       "all PUL pairs proven independent at type level");
+    }
+  }
+
   if (options_.use_static_analysis && puls_.size() >= 2) {
     ScopedTimer timer(metrics, "integrate.static_analysis_seconds");
     bool all_independent = true;
@@ -378,24 +435,8 @@ Result<IntegrationResult> Integrator::Run() {
         metrics->AddCounter("integrate.static.skips");
         metrics->AddCounter("integrate.conflicts", 0);
       }
-      if (tracing) {
-        input_lane.Emit(obs::EventKind::kFastPathTaken,
-                        "static-independent", {}, {},
-                        "all PUL pairs statically independent");
-      }
-      IntegrationResult result;
-      size_t j = 0;
-      for (const TaggedOp& t : tagged_) {
-        XUPDATE_RETURN_IF_ERROR(
-            result.merged.AdoptOp(t.owner->forest(), *t.op));
-        if (tracing) {
-          input_lane.Emit(obs::EventKind::kOpSurvived,
-                          pul::OpKindName(t.op->kind), {RefId(t.ref)},
-                          "merged#" + std::to_string(j));
-        }
-        ++j;
-      }
-      return result;
+      return merge_all("static-independent",
+                       "all PUL pairs statically independent");
     }
   }
 

@@ -1,0 +1,607 @@
+#include "schema/schema.h"
+
+#include <bit>
+#include <cctype>
+#include <deque>
+
+#include "common/status.h"
+
+namespace xupdate::schema {
+
+size_t TypeSet::Count() const {
+  size_t n = 0;
+  for (uint64_t w : words_) n += static_cast<size_t>(std::popcount(w));
+  return n;
+}
+
+bool operator==(const TypeSet& a, const TypeSet& b) {
+  size_t n = std::max(a.words_.size(), b.words_.size());
+  for (size_t w = 0; w < n; ++w) {
+    uint64_t wa = w < a.words_.size() ? a.words_[w] : 0;
+    uint64_t wb = w < b.words_.size() ? b.words_[w] : 0;
+    if (wa != wb) return false;
+  }
+  return true;
+}
+
+template <typename Pred>
+bool Schema::Nfa::AcceptReachable(Pred allowed) const {
+  std::vector<char> seen(states.size(), 0);
+  std::deque<int> frontier = {start};
+  seen[start] = 1;
+  while (!frontier.empty()) {
+    int s = frontier.front();
+    frontier.pop_front();
+    if (s == accept) return true;
+    for (const Edge& e : states[s]) {
+      if (e.symbol != -1 && !allowed(e.symbol)) continue;
+      if (!seen[e.to]) {
+        seen[e.to] = 1;
+        frontier.push_back(e.to);
+      }
+    }
+  }
+  return false;
+}
+
+int Schema::TypeId(std::string_view name) const {
+  auto it = type_ids_.find(name);
+  return it == type_ids_.end() ? -1 : it->second;
+}
+
+int Schema::Intern(std::string_view name) {
+  auto it = type_ids_.find(name);
+  if (it != type_ids_.end()) return it->second;
+  int id = static_cast<int>(types_.size());
+  ElementType type;
+  type.name = std::string(name);
+  types_.push_back(std::move(type));
+  type_ids_.emplace(std::string(name), id);
+  if (root_type_ < 0) root_type_ = id;
+  return id;
+}
+
+bool Schema::AllowsChild(int parent, int child) const {
+  const ElementType& p = types_[parent];
+  return p.allows_any || p.child_set.Test(static_cast<size_t>(child));
+}
+
+bool Schema::AllowsChildName(int parent, std::string_view child_name) const {
+  if (types_[parent].allows_any) return true;
+  int child = TypeId(child_name);
+  return child >= 0 && AllowsChild(parent, child);
+}
+
+bool Schema::IsRequiredChild(int parent, int child) const {
+  return required_[parent].Test(static_cast<size_t>(child));
+}
+
+bool Schema::HasAttribute(int type, std::string_view name) const {
+  for (const AttributeDecl& attr : types_[type].attributes) {
+    if (attr.name == name) return true;
+  }
+  return false;
+}
+
+bool Schema::AcceptsChildren(int type,
+                             const std::vector<std::string>& children) const {
+  const ElementType& t = types_[type];
+  if (t.allows_any) return true;
+  // Subset simulation over the Thompson NFA.
+  const Nfa& nfa = t.automaton;
+  std::vector<char> current(nfa.states.size(), 0);
+  auto close = [&nfa](std::vector<char>* set) {
+    std::deque<int> frontier;
+    for (size_t s = 0; s < set->size(); ++s) {
+      if ((*set)[s]) frontier.push_back(static_cast<int>(s));
+    }
+    while (!frontier.empty()) {
+      int s = frontier.front();
+      frontier.pop_front();
+      for (const Nfa::Edge& e : nfa.states[s]) {
+        if (e.symbol == -1 && !(*set)[e.to]) {
+          (*set)[e.to] = 1;
+          frontier.push_back(e.to);
+        }
+      }
+    }
+  };
+  current[nfa.start] = 1;
+  close(&current);
+  for (const std::string& child : children) {
+    int symbol = TypeId(child);
+    if (symbol < 0) return false;
+    std::vector<char> next(nfa.states.size(), 0);
+    bool any = false;
+    for (size_t s = 0; s < current.size(); ++s) {
+      if (!current[s]) continue;
+      for (const Nfa::Edge& e : nfa.states[s]) {
+        if (e.symbol == symbol && !next[e.to]) {
+          next[e.to] = 1;
+          any = true;
+        }
+      }
+    }
+    if (!any) return false;
+    close(&next);
+    current.swap(next);
+  }
+  return current[nfa.accept] != 0;
+}
+
+const TypeSet& Schema::ElementTypesAtLevel(uint32_t level) const {
+  if (level < level_sets_.size()) return level_sets_[level];
+  return deep_set_;
+}
+
+TypeSet Schema::ProperDescendantTypes(const TypeSet& types) const {
+  TypeSet result(static_cast<size_t>(num_types()));
+  std::deque<int> frontier;
+  auto push_children = [this, &result, &frontier](int type) {
+    if (types_[type].allows_any) {
+      // ANY admits every declared type; pull them all in.
+      for (int t = 0; t < num_types(); ++t) {
+        if (!result.Test(static_cast<size_t>(t))) {
+          result.Set(static_cast<size_t>(t));
+          frontier.push_back(t);
+        }
+      }
+      return;
+    }
+    for (int child : types_[type].child_list) {
+      if (!result.Test(static_cast<size_t>(child))) {
+        result.Set(static_cast<size_t>(child));
+        frontier.push_back(child);
+      }
+    }
+  };
+  for (int t = 0; t < num_types(); ++t) {
+    if (types.Test(static_cast<size_t>(t))) push_children(t);
+  }
+  while (!frontier.empty()) {
+    int t = frontier.front();
+    frontier.pop_front();
+    push_children(t);
+  }
+  return result;
+}
+
+void Schema::Finalize() {
+  // Child alphabets: collect every symbol with an edge in the automaton
+  // (the Thompson build emits one symbol edge per regex leaf).
+  for (ElementType& type : types_) {
+    type.child_set = TypeSet(static_cast<size_t>(num_types()));
+    if (type.allows_any) {
+      for (int t = 0; t < num_types(); ++t) {
+        type.child_set.Set(static_cast<size_t>(t));
+        type.child_list.push_back(t);
+      }
+      continue;
+    }
+    for (const auto& state : type.automaton.states) {
+      for (const Nfa::Edge& e : state) {
+        if (e.symbol >= 0 && !type.child_set.Test(static_cast<size_t>(
+                                 e.symbol))) {
+          type.child_set.Set(static_cast<size_t>(e.symbol));
+          type.child_list.push_back(e.symbol);
+        }
+      }
+    }
+    std::sort(type.child_list.begin(), type.child_list.end());
+  }
+
+  // Required children: child c is required by t iff the accepting state
+  // is unreachable once c-labelled transitions are removed.
+  required_.assign(static_cast<size_t>(num_types()),
+                   TypeSet(static_cast<size_t>(num_types())));
+  for (int t = 0; t < num_types(); ++t) {
+    const ElementType& type = types_[static_cast<size_t>(t)];
+    if (type.allows_any) continue;
+    for (int child : type.child_list) {
+      if (!type.automaton.AcceptReachable(
+              [child](int symbol) { return symbol != child; })) {
+        required_[static_cast<size_t>(t)].Set(static_cast<size_t>(child));
+      }
+    }
+  }
+
+  // Per-depth element-type sets: level 0 = {root}, level L+1 = union of
+  // the level-L members' child alphabets. The iteration stops at the
+  // empty set (all deeper levels are empty — exact for non-recursive
+  // DTDs) or at a conservative cap, past which deep_set_ — everything
+  // reachable from the deepest tabulated set, plus that set itself —
+  // over-approximates every deeper level.
+  constexpr size_t kMaxTabulatedLevels = 128;
+  level_sets_.clear();
+  deep_set_ = TypeSet(static_cast<size_t>(num_types()));
+  if (root_type_ < 0) return;
+  TypeSet current(static_cast<size_t>(num_types()));
+  current.Set(static_cast<size_t>(root_type_));
+  while (!current.Empty() && level_sets_.size() < kMaxTabulatedLevels) {
+    level_sets_.push_back(current);
+    TypeSet next(static_cast<size_t>(num_types()));
+    for (int t = 0; t < num_types(); ++t) {
+      if (!current.Test(static_cast<size_t>(t))) continue;
+      next.UnionWith(types_[static_cast<size_t>(t)].child_set);
+    }
+    current = std::move(next);
+  }
+  if (!current.Empty()) {
+    deep_set_ = current;
+    deep_set_.UnionWith(ProperDescendantTypes(current));
+  }
+}
+
+// --- DTD parsing -----------------------------------------------------------
+
+namespace {
+
+bool IsNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+         c == ':';
+}
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+         c == ':' || c == '-' || c == '.';
+}
+
+}  // namespace
+
+// Recursive-descent parser over the DTD subset documented in schema.h.
+// Content models parse into Thompson NFAs directly (one fragment per
+// regex node, composed bottom-up).
+class DtdParser {
+ public:
+  explicit DtdParser(std::string_view text) : text_(text) {}
+
+  Result<Schema> Parse() {
+    for (;;) {
+      SkipSpaceAndComments();
+      if (pos_ >= text_.size()) break;
+      if (!Consume("<!")) {
+        return Err("expected '<!ELEMENT' or '<!ATTLIST'");
+      }
+      if (Consume("ELEMENT")) {
+        XUPDATE_RETURN_IF_ERROR(ParseElement());
+      } else if (Consume("ATTLIST")) {
+        XUPDATE_RETURN_IF_ERROR(ParseAttlist());
+      } else {
+        return Err("unsupported declaration (only ELEMENT and ATTLIST)");
+      }
+    }
+    if (schema_.root_type_ < 0) {
+      return Status::InvalidArgument("DTD declares no element types");
+    }
+    // Referenced-but-undeclared names become implicit ANY so every
+    // derived judgment stays a sound over-approximation.
+    for (auto& type : schema_.types_) {
+      if (!type.declared) type.allows_any = true;
+    }
+    schema_.Finalize();
+    return std::move(schema_);
+  }
+
+ private:
+  using Nfa = Schema::Nfa;
+
+  // An NFA fragment under construction: entry/exit states inside
+  // `nfa_`'s state vector.
+  struct Frag {
+    int start = 0;
+    int accept = 0;
+  };
+
+  Status Err(const std::string& message) const {
+    size_t line = 1;
+    for (size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') ++line;
+    }
+    return Status::InvalidArgument("DTD line " + std::to_string(line) +
+                                   ": " + message);
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  void SkipSpaceAndComments() {
+    for (;;) {
+      SkipSpace();
+      if (text_.substr(pos_).rfind("<!--", 0) == 0) {
+        size_t end = text_.find("-->", pos_ + 4);
+        pos_ = end == std::string_view::npos ? text_.size() : end + 3;
+        continue;
+      }
+      return;
+    }
+  }
+
+  bool Consume(std::string_view token) {
+    if (text_.substr(pos_).rfind(token, 0) == 0) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeChar(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  char Peek() {
+    SkipSpace();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  Result<std::string> ParseName() {
+    SkipSpace();
+    if (pos_ >= text_.size() || !IsNameStart(text_[pos_])) {
+      return Err("expected a name");
+    }
+    size_t begin = pos_;
+    while (pos_ < text_.size() && IsNameChar(text_[pos_])) ++pos_;
+    return std::string(text_.substr(begin, pos_ - begin));
+  }
+
+  // NOTE: parsing a content model interns the referenced names, which
+  // may grow (and reallocate) schema_.types_ — so the declared type is
+  // addressed by index and re-looked-up after each parse step, never
+  // held by reference across an Intern.
+  Status ParseElement() {
+    XUPDATE_ASSIGN_OR_RETURN(std::string name, ParseName());
+    size_t type = static_cast<size_t>(schema_.Intern(name));
+    if (schema_.types_[type].declared) {
+      return Err("duplicate <!ELEMENT " + name + ">");
+    }
+    schema_.types_[type].declared = true;
+    SkipSpace();
+    if (Consume("EMPTY")) {
+      schema_.types_[type].automaton = EmptyAutomaton();
+    } else if (Consume("ANY")) {
+      schema_.types_[type].allows_any = true;
+      schema_.types_[type].automaton = EmptyAutomaton();
+    } else if (Peek() == '(') {
+      size_t mark = pos_;
+      ++pos_;  // consume '('
+      SkipSpace();
+      if (Consume("#PCDATA")) {
+        XUPDATE_RETURN_IF_ERROR(ParseMixed(type));
+      } else {
+        pos_ = mark;
+        nfa_ = Nfa();
+        XUPDATE_ASSIGN_OR_RETURN(Frag frag, ParseChoice());
+        nfa_.start = frag.start;
+        nfa_.accept = frag.accept;
+        schema_.types_[type].automaton = std::move(nfa_);
+      }
+    } else {
+      return Err("expected EMPTY, ANY or '(' after element name");
+    }
+    if (!ConsumeChar('>')) return Err("expected '>'");
+    return Status::OK();
+  }
+
+  // Inside "(#PCDATA"; parses the optional "|name" alternatives, the
+  // closing ")" and the optional trailing "*".
+  Status ParseMixed(size_t type) {
+    schema_.types_[type].allows_text = true;
+    std::vector<int> alternatives;
+    while (ConsumeChar('|')) {
+      XUPDATE_ASSIGN_OR_RETURN(std::string name, ParseName());
+      alternatives.push_back(schema_.Intern(name));
+    }
+    if (!ConsumeChar(')')) return Err("expected ')' after #PCDATA");
+    bool starred = ConsumeChar('*');
+    if (!alternatives.empty() && !starred) {
+      return Err("mixed content with elements must end in ')*'");
+    }
+    // (#PCDATA|a|b)* over elements only is (a|b)*.
+    nfa_ = Nfa();
+    int state = nfa_.AddState();
+    for (int symbol : alternatives) {
+      nfa_.states[state].push_back({symbol, state});
+    }
+    nfa_.start = state;
+    nfa_.accept = state;
+    schema_.types_[type].automaton = std::move(nfa_);
+    return Status::OK();
+  }
+
+  // choice := seq ('|' seq)*
+  Result<Frag> ParseChoice() {
+    XUPDATE_ASSIGN_OR_RETURN(Frag left, ParseSeq());
+    while (Peek() == '|') {
+      ++pos_;
+      XUPDATE_ASSIGN_OR_RETURN(Frag right, ParseSeq());
+      Frag both;
+      both.start = nfa_.AddState();
+      both.accept = nfa_.AddState();
+      nfa_.states[both.start].push_back({-1, left.start});
+      nfa_.states[both.start].push_back({-1, right.start});
+      nfa_.states[left.accept].push_back({-1, both.accept});
+      nfa_.states[right.accept].push_back({-1, both.accept});
+      left = both;
+    }
+    return left;
+  }
+
+  // seq := atom (',' atom)*
+  Result<Frag> ParseSeq() {
+    XUPDATE_ASSIGN_OR_RETURN(Frag left, ParseAtom());
+    while (Peek() == ',') {
+      ++pos_;
+      XUPDATE_ASSIGN_OR_RETURN(Frag right, ParseAtom());
+      nfa_.states[left.accept].push_back({-1, right.start});
+      left.accept = right.accept;
+    }
+    return left;
+  }
+
+  // atom := (name | '(' choice ')') ('?' | '*' | '+')?
+  Result<Frag> ParseAtom() {
+    Frag frag;
+    if (ConsumeChar('(')) {
+      XUPDATE_ASSIGN_OR_RETURN(frag, ParseChoice());
+      if (!ConsumeChar(')')) return Err("expected ')'");
+    } else {
+      XUPDATE_ASSIGN_OR_RETURN(std::string name, ParseName());
+      int symbol = schema_.Intern(name);
+      frag.start = nfa_.AddState();
+      frag.accept = nfa_.AddState();
+      nfa_.states[frag.start].push_back({symbol, frag.accept});
+    }
+    char suffix = Peek();
+    if (suffix == '?' || suffix == '*' || suffix == '+') {
+      ++pos_;
+      Frag wrapped;
+      wrapped.start = nfa_.AddState();
+      wrapped.accept = nfa_.AddState();
+      nfa_.states[wrapped.start].push_back({-1, frag.start});
+      nfa_.states[frag.accept].push_back({-1, wrapped.accept});
+      if (suffix != '+') {
+        nfa_.states[wrapped.start].push_back({-1, wrapped.accept});
+      }
+      if (suffix != '?') {
+        nfa_.states[frag.accept].push_back({-1, frag.start});
+      }
+      frag = wrapped;
+    }
+    return frag;
+  }
+
+  Status ParseAttlist() {
+    XUPDATE_ASSIGN_OR_RETURN(std::string element, ParseName());
+    int type = schema_.Intern(element);
+    while (Peek() != '>' && Peek() != '\0') {
+      AttributeDecl attr;
+      XUPDATE_ASSIGN_OR_RETURN(attr.name, ParseName());
+      // Attribute type: a single token (CDATA, ID, ...) or an
+      // enumeration "(a|b|c)" — the tier only needs the name.
+      SkipSpace();
+      if (ConsumeChar('(')) {
+        while (Peek() != ')' && Peek() != '\0') ++pos_;
+        if (!ConsumeChar(')')) return Err("unterminated enumeration");
+      } else {
+        Result<std::string> attr_type = ParseName();
+        if (!attr_type.ok()) return attr_type.status();
+      }
+      SkipSpace();
+      if (Consume("#REQUIRED")) {
+        attr.required = true;
+      } else if (Consume("#IMPLIED")) {
+        attr.required = false;
+      } else {
+        if (Consume("#FIXED")) SkipSpace();
+        XUPDATE_RETURN_IF_ERROR(ParseQuoted());
+      }
+      schema_.types_[static_cast<size_t>(type)].attributes.push_back(
+          std::move(attr));
+    }
+    if (!ConsumeChar('>')) return Err("expected '>'");
+    return Status::OK();
+  }
+
+  Status ParseQuoted() {
+    SkipSpace();
+    if (pos_ >= text_.size() || (text_[pos_] != '"' && text_[pos_] != '\'')) {
+      return Err("expected a quoted default value");
+    }
+    char quote = text_[pos_++];
+    size_t end = text_.find(quote, pos_);
+    if (end == std::string_view::npos) return Err("unterminated literal");
+    pos_ = end + 1;
+    return Status::OK();
+  }
+
+  Nfa EmptyAutomaton() {
+    Nfa nfa;
+    int state = nfa.AddState();
+    nfa.start = state;
+    nfa.accept = state;
+    return nfa;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  Schema schema_;
+  Nfa nfa_;  // automaton of the content model currently being parsed
+};
+
+Result<Schema> Schema::ParseDtd(std::string_view text) {
+  return DtdParser(text).Parse();
+}
+
+Schema Schema::BuiltinXmark() {
+  // Mirrors src/xmark/generator.cc exactly: same elements, same child
+  // orders, same attributes.
+  static constexpr std::string_view kXmarkDtd = R"dtd(
+<!-- XMark auction schema, as emitted by xmark::GenerateDocument. -->
+<!ELEMENT site (regions, categories, people, open_auctions,
+                closed_auctions)>
+<!ELEMENT regions (africa, asia, australia, europe, namerica, samerica)>
+<!ELEMENT africa (item*)>
+<!ELEMENT asia (item*)>
+<!ELEMENT australia (item*)>
+<!ELEMENT europe (item*)>
+<!ELEMENT namerica (item*)>
+<!ELEMENT samerica (item*)>
+<!ELEMENT item (location, name, payment, description, quantity)>
+<!ATTLIST item id CDATA #REQUIRED>
+<!ELEMENT location (#PCDATA)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT payment (#PCDATA)>
+<!ELEMENT description (text)>
+<!ELEMENT text (#PCDATA)>
+<!ELEMENT quantity (#PCDATA)>
+<!ELEMENT categories (category*)>
+<!ELEMENT category (name, description)>
+<!ATTLIST category id CDATA #REQUIRED>
+<!ELEMENT people (person*)>
+<!ELEMENT person (name, emailaddress, phone?, address?)>
+<!ATTLIST person id CDATA #REQUIRED>
+<!ELEMENT emailaddress (#PCDATA)>
+<!ELEMENT phone (#PCDATA)>
+<!ELEMENT address (street, city, country)>
+<!ELEMENT street (#PCDATA)>
+<!ELEMENT city (#PCDATA)>
+<!ELEMENT country (#PCDATA)>
+<!ELEMENT open_auctions (open_auction*)>
+<!ELEMENT open_auction (initial, bidder*, current, itemref)>
+<!ATTLIST open_auction id CDATA #REQUIRED>
+<!ELEMENT initial (#PCDATA)>
+<!ELEMENT bidder (time, personref, increase)>
+<!ELEMENT time (#PCDATA)>
+<!ELEMENT personref EMPTY>
+<!ATTLIST personref person CDATA #REQUIRED>
+<!ELEMENT increase (#PCDATA)>
+<!ELEMENT current (#PCDATA)>
+<!ELEMENT itemref EMPTY>
+<!ATTLIST itemref item CDATA #REQUIRED>
+<!ELEMENT closed_auctions (closed_auction*)>
+<!ELEMENT closed_auction (seller, buyer, itemref, price, date,
+                          annotation)>
+<!ATTLIST closed_auction id CDATA #REQUIRED>
+<!ELEMENT seller EMPTY>
+<!ATTLIST seller person CDATA #REQUIRED>
+<!ELEMENT buyer EMPTY>
+<!ATTLIST buyer person CDATA #REQUIRED>
+<!ELEMENT price (#PCDATA)>
+<!ELEMENT date (#PCDATA)>
+<!ELEMENT annotation (text)>
+)dtd";
+  Result<Schema> parsed = ParseDtd(kXmarkDtd);
+  // The DTD above is a compile-time constant; a parse failure is a
+  // programming error caught by the unit tests.
+  return std::move(parsed).ValueOrDie();
+}
+
+}  // namespace xupdate::schema

@@ -1,0 +1,193 @@
+#ifndef XUPDATE_SCHEMA_SCHEMA_H_
+#define XUPDATE_SCHEMA_SCHEMA_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace xupdate::schema {
+
+// Dense bitset over small integer universes (element-type ids, or the
+// 3-atoms-per-type universe of summary.h). Fixed capacity chosen at
+// construction; all set algebra is word-wise.
+class TypeSet {
+ public:
+  TypeSet() = default;
+  explicit TypeSet(size_t capacity) : words_((capacity + 63) / 64) {}
+
+  size_t capacity() const { return words_.size() * 64; }
+
+  void Set(size_t i) { words_[i / 64] |= uint64_t{1} << (i % 64); }
+  bool Test(size_t i) const {
+    return i < capacity() &&
+           (words_[i / 64] >> (i % 64) & uint64_t{1}) != 0;
+  }
+
+  bool Intersects(const TypeSet& other) const {
+    size_t n = std::min(words_.size(), other.words_.size());
+    for (size_t w = 0; w < n; ++w) {
+      if ((words_[w] & other.words_[w]) != 0) return true;
+    }
+    return false;
+  }
+
+  void UnionWith(const TypeSet& other) {
+    if (other.words_.size() > words_.size()) {
+      words_.resize(other.words_.size(), 0);
+    }
+    for (size_t w = 0; w < other.words_.size(); ++w) {
+      words_[w] |= other.words_[w];
+    }
+  }
+
+  bool Empty() const {
+    for (uint64_t w : words_) {
+      if (w != 0) return false;
+    }
+    return true;
+  }
+
+  size_t Count() const;
+
+  friend bool operator==(const TypeSet& a, const TypeSet& b);
+
+ private:
+  std::vector<uint64_t> words_;
+};
+
+// One attribute declaration of an element type.
+struct AttributeDecl {
+  std::string name;
+  bool required = false;
+};
+
+// A DTD-style schema: element types, one content-model automaton per
+// type (a Thompson NFA over the child-element alphabet, built from the
+// declaration's regular expression), attribute lists, and the derived
+// tables the reasoning tier consumes — allowed/required children and
+// the per-depth element-type sets.
+//
+// The supported DTD subset (ParseDtd):
+//   <!ELEMENT name EMPTY | ANY | (#PCDATA) | (#PCDATA|a|b)* | regex>
+//     with regex over names, `,` `|` `?` `*` `+` and parentheses;
+//   <!ATTLIST name (attr CDATA|(tok|...) #REQUIRED|#IMPLIED|#FIXED "v"|"v")+>
+// Comments (<!-- -->) are skipped. The root type is the first declared
+// element. Child names referenced but never declared get an implicit
+// ANY declaration (an unconstrained over-approximation, which keeps
+// every derived verdict sound).
+class Schema {
+ public:
+  // The XMark auction DTD matching src/xmark/generator.cc.
+  static Schema BuiltinXmark();
+
+  static Result<Schema> ParseDtd(std::string_view text);
+
+  int num_types() const { return static_cast<int>(types_.size()); }
+  int root_type() const { return root_type_; }
+  // -1 when the name is not a declared (or referenced) element type.
+  int TypeId(std::string_view name) const;
+  std::string_view TypeName(int type) const { return types_[type].name; }
+
+  bool AllowsText(int type) const { return types_[type].allows_text; }
+  bool AllowsAny(int type) const { return types_[type].allows_any; }
+  // Whether a conforming document may hold a text child / an attribute
+  // on a node of `type`. ANY content admits character data, and
+  // referenced-but-undeclared types are implicit ANY with unknown
+  // attribute lists — both stay conservatively true.
+  bool MayHaveText(int type) const {
+    return types_[type].allows_text || types_[type].allows_any;
+  }
+  bool MayHaveAttributes(int type) const {
+    return !types_[type].attributes.empty() || types_[type].allows_any;
+  }
+  // True when `child` may occur in `parent`'s content model (alphabet
+  // membership; ANY admits every declared type).
+  bool AllowsChild(int parent, int child) const;
+  bool AllowsChildName(int parent, std::string_view child_name) const;
+  // True when every word of `parent`'s content language contains
+  // `child`: the accepting state is unreachable once child-labelled
+  // transitions are removed. Always false under ANY.
+  bool IsRequiredChild(int parent, int child) const;
+  // Allowed child types of `parent`, ascending; all types under ANY.
+  const std::vector<int>& Children(int parent) const {
+    return types_[parent].child_list;
+  }
+  const std::vector<AttributeDecl>& Attributes(int type) const {
+    return types_[type].attributes;
+  }
+  // True when `type` declares an attribute called `name`.
+  bool HasAttribute(int type, std::string_view name) const;
+
+  // Runs the content-model automaton of `type` over an ordered child
+  // sequence (element names; text children are validated separately via
+  // AllowsText and must not appear in `children`).
+  bool AcceptsChildren(int type, const std::vector<std::string>& children)
+      const;
+
+  // Element types that can appear at depth `level` of a conforming
+  // document (root = level 0). Exact for levels below the computed
+  // table; a sound over-approximation (all types reachable from the
+  // deepest tabulated set) past it. An empty set means the schema
+  // admits no element at that depth.
+  const TypeSet& ElementTypesAtLevel(uint32_t level) const;
+
+  // Element types that can appear strictly below a node whose type is
+  // in `types`: the closure of the child relation seeded with the
+  // children of `types`. ANY members pull in every type.
+  TypeSet ProperDescendantTypes(const TypeSet& types) const;
+
+ private:
+  // Thompson NFA over child-type symbols; edge symbol -1 is epsilon.
+  struct Nfa {
+    struct Edge {
+      int symbol = -1;
+      int to = 0;
+    };
+    std::vector<std::vector<Edge>> states;
+    int start = 0;
+    int accept = 0;
+
+    int AddState() {
+      states.emplace_back();
+      return static_cast<int>(states.size()) - 1;
+    }
+    // Accept-state reachability using epsilon edges and any symbol for
+    // which `allowed` returns true.
+    template <typename Pred>
+    bool AcceptReachable(Pred allowed) const;
+  };
+
+  struct ElementType {
+    std::string name;
+    bool declared = false;     // false: referenced only (implicit ANY)
+    bool allows_text = false;  // (#PCDATA ...) mixed content
+    bool allows_any = false;   // ANY (or implicit declaration)
+    Nfa automaton;
+    std::vector<int> child_list;  // alphabet, ascending type ids
+    TypeSet child_set;
+    std::vector<AttributeDecl> attributes;
+  };
+
+  friend class DtdParser;
+
+  int Intern(std::string_view name);
+  // Computes child lists/sets, required children and the level table.
+  void Finalize();
+
+  std::vector<ElementType> types_;
+  std::map<std::string, int, std::less<>> type_ids_;
+  int root_type_ = -1;
+  // required_[parent] bit `child` — precomputed IsRequiredChild.
+  std::vector<TypeSet> required_;
+  std::vector<TypeSet> level_sets_;
+  TypeSet deep_set_;  // over-approximation for levels past the table
+};
+
+}  // namespace xupdate::schema
+
+#endif  // XUPDATE_SCHEMA_SCHEMA_H_

@@ -1,0 +1,70 @@
+#ifndef XUPDATE_SCHEMA_SUMMARY_H_
+#define XUPDATE_SCHEMA_SUMMARY_H_
+
+#include <string_view>
+
+#include "pul/pul.h"
+#include "schema/schema.h"
+
+namespace xupdate::schema {
+
+// The summary universe has three atoms per element type: the element
+// nodes of that type, their attribute nodes and their text children.
+// A summary talks about *sets* of atoms because a PUL carries only the
+// structural label of each target — type, level — never the element
+// name (names live in the document, which reasoning must not touch);
+// the level is mapped through the schema's per-depth type sets to the
+// candidate types a conforming document can hold there.
+inline constexpr int kAtomsPerType = 3;
+inline size_t ElemAtom(int type) {
+  return static_cast<size_t>(type) * kAtomsPerType;
+}
+inline size_t AttrAtom(int type) {
+  return static_cast<size_t>(type) * kAtomsPerType + 1;
+}
+inline size_t TextAtom(int type) {
+  return static_cast<size_t>(type) * kAtomsPerType + 2;
+}
+
+// Touched-type summary of one PUL (atom sets over the schema):
+//   targets — atoms that may contain a target node of the PUL;
+//   killed  — atoms that may lie strictly inside a subtree the PUL
+//             deletes or replaces (del / repN / repC overriders, the
+//             type-5 conflict sources; attributes of a repC target
+//             survive and are excluded, mirroring the dynamic rule).
+// `unknown` poisons the summary: some op's target cannot be typed (no
+// label — a node created by an earlier PUL — or a depth the schema
+// admits no element at), so no verdict may be derived from it.
+struct TypeSummary {
+  TypeSet targets;
+  TypeSet killed;
+  bool unknown = false;
+};
+
+// Verdict of the type-level tier. There is deliberately no
+// "proven-conflicting": the tier only ever short-circuits the exact
+// analyzer, never contradicts it.
+enum class SchemaVerdict : int {
+  kProvenIndependent = 0,
+  kUnknown = 1,
+};
+
+std::string_view SchemaVerdictName(SchemaVerdict verdict);
+
+// Maps every op target through (level, node type) to its candidate
+// atom set and closes deletion/replacement effects over the content
+// models (ProperDescendantTypes). O(ops * schema).
+[[nodiscard]] TypeSummary InferTouchedTypes(const Schema& schema,
+                                            const pul::Pul& pul);
+
+// kProvenIndependent iff both summaries are known, their target atom
+// sets are disjoint, and neither PUL's killed set meets the other's
+// targets. Sound relative to documents conforming to the schema: a
+// proven pair is one analysis::AnalyzeIndependence reports
+// kIndependent for (see DESIGN.md §10 for the argument).
+[[nodiscard]] SchemaVerdict DecideIndependence(const TypeSummary& a,
+                                               const TypeSummary& b);
+
+}  // namespace xupdate::schema
+
+#endif  // XUPDATE_SCHEMA_SUMMARY_H_

@@ -8,6 +8,7 @@
 #include "core/integrate.h"
 #include "core/reduce.h"
 #include "pul/pul_io.h"
+#include "schema/summary.h"
 
 namespace xupdate::server {
 
@@ -348,6 +349,19 @@ Server::ResponseThunk Server::HandleCommitDeferred(const Message& request) {
       busy.type = MsgType::kBusy;
       return ready(busy);
     }
+    if (options_.max_pending_per_tenant > 0 &&
+        (*tenant)->pending >= options_.max_pending_per_tenant) {
+      // Per-tenant shedding: the hot tenant is over its share of the
+      // admission queue; everyone else's commits still get through.
+      if (options_.metrics != nullptr) {
+        options_.metrics->AddCounter("server.busy.count");
+        options_.metrics->AddCounter("server.busy.tenant_quota");
+      }
+      Message busy;
+      busy.type = MsgType::kBusy;
+      return ready(busy);
+    }
+    ++(*tenant)->pending;
     CommitJob job;
     job.tenant = *tenant;
     job.pul = std::move(*pul);
@@ -522,6 +536,12 @@ void Server::BatcherLoop() {
                            [this] { return batcher_stop_.load(); });
       }
       batch.swap(queue_);
+      // The swapped jobs stop counting against their tenants' admission
+      // quotas: they are the batcher's now, and the point of the quota
+      // is bounding what still waits in the queue.
+      for (const CommitJob& job : batch) {
+        if (job.tenant->pending > 0) --job.tenant->pending;
+      }
     }
     RunBatch(std::move(batch));
   }
@@ -542,27 +562,94 @@ void Server::RunBatch(std::deque<CommitJob> batch) {
     if (inserted) order.push_back(job.tenant);
     it->second.push_back(&job);
   }
+  if (options_.schema == nullptr) {
+    for (Tenant* tenant : order) {
+      CommitGroup(tenant, groups[tenant]);
+    }
+    return;
+  }
+
+  // Schema router: type-check each tenant group. A group whose queued
+  // PULs are pairwise proven independent at the type level — trivially
+  // true for a single commit — needs no conflict detection and joins
+  // the concurrent wave (distinct tenants own distinct stores, and
+  // CommitBatch preserves the group's internal order, so the wave
+  // commutes with the sequential path byte for byte). Groups the tier
+  // cannot prove fall back to the sequential path.
+  std::vector<Tenant*> routed;
+  std::vector<Tenant*> fallback;
   for (Tenant* tenant : order) {
-    std::vector<CommitJob*>& jobs = groups[tenant];
-    std::lock_guard<std::mutex> lock(tenant->mu);
-    if (!tenant->store.has_value()) {
-      for (CommitJob* job : jobs) {
-        job->done.set_value({Status::NotFound("tenant is not open"), 0});
+    const std::vector<CommitJob*>& jobs = groups[tenant];
+    bool proven = true;
+    if (jobs.size() > 1) {
+      std::vector<schema::TypeSummary> summaries;
+      summaries.reserve(jobs.size());
+      for (const CommitJob* job : jobs) {
+        summaries.push_back(
+            schema::InferTouchedTypes(*options_.schema, job->pul));
       }
-      continue;
+      for (size_t i = 0; i < summaries.size() && proven; ++i) {
+        for (size_t j = i + 1; j < summaries.size(); ++j) {
+          if (schema::DecideIndependence(summaries[i], summaries[j]) !=
+              schema::SchemaVerdict::kProvenIndependent) {
+            proven = false;
+            break;
+          }
+        }
+      }
     }
-    std::vector<const pul::Pul*> puls;
-    puls.reserve(jobs.size());
-    for (CommitJob* job : jobs) puls.push_back(&job->pul);
-    std::vector<store::CommitOutcome> outcomes;
-    Result<size_t> committed = tenant->store->CommitBatch(puls, &outcomes);
-    if (!committed.ok() && outcomes.size() != jobs.size()) {
-      outcomes.assign(jobs.size(),
-                      store::CommitOutcome{committed.status(), 0});
+    (proven ? routed : fallback).push_back(tenant);
+    if (options_.metrics != nullptr) {
+      options_.metrics->AddCounter(
+          proven ? "server.schema.routed" : "server.schema.fallback",
+          jobs.size());
     }
-    for (size_t i = 0; i < jobs.size(); ++i) {
-      jobs[i]->done.set_value({outcomes[i].status, outcomes[i].version});
+  }
+  if (routed.size() <= 1) {
+    for (Tenant* tenant : routed) CommitGroup(tenant, groups[tenant]);
+  } else {
+    size_t workers = routed.size();
+    if (options_.max_parallelism > 0 &&
+        workers > static_cast<size_t>(options_.max_parallelism)) {
+      workers = static_cast<size_t>(options_.max_parallelism);
     }
+    std::atomic<size_t> next{0};
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) {
+      threads.emplace_back([this, &routed, &groups, &next] {
+        for (;;) {
+          size_t i = next.fetch_add(1);
+          if (i >= routed.size()) return;
+          CommitGroup(routed[i], groups[routed[i]]);
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  for (Tenant* tenant : fallback) CommitGroup(tenant, groups[tenant]);
+}
+
+void Server::CommitGroup(Tenant* tenant,
+                         const std::vector<CommitJob*>& jobs) {
+  std::lock_guard<std::mutex> lock(tenant->mu);
+  if (!tenant->store.has_value()) {
+    for (CommitJob* job : jobs) {
+      job->done.set_value({Status::NotFound("tenant is not open"), 0});
+    }
+    return;
+  }
+  std::vector<const pul::Pul*> puls;
+  puls.reserve(jobs.size());
+  for (CommitJob* job : jobs) puls.push_back(&job->pul);
+  std::vector<store::CommitOutcome> outcomes;
+  Result<size_t> committed = tenant->store->CommitBatch(puls, &outcomes);
+  if (!committed.ok() && outcomes.size() != jobs.size()) {
+    outcomes.assign(jobs.size(),
+                    store::CommitOutcome{committed.status(), 0});
+  }
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    jobs[i]->done.set_value({outcomes[i].status, outcomes[i].version});
   }
 }
 

@@ -20,6 +20,7 @@
 #include "common/result.h"
 #include "common/socket.h"
 #include "pul/pul.h"
+#include "schema/schema.h"
 #include "server/protocol.h"
 #include "store/version.h"
 
@@ -71,6 +72,20 @@ struct ServerOptions {
   // Commit admission bound: jobs queued but not yet batched. At the
   // bound, further commits get kBusy.
   size_t max_pending = 128;
+  // Per-tenant admission quota: one tenant's jobs queued but not yet
+  // batched. 0 disables the quota (only max_pending applies). With a
+  // quota, a hot tenant that fills its share gets kBusy
+  // (`server.busy.tenant_quota`) while other tenants keep committing —
+  // one producer can no longer monopolize the admission queue.
+  size_t max_pending_per_tenant = 0;
+  // Schema router. When set, the batcher type-checks each tenant
+  // group's PULs (schema::InferTouchedTypes / DecideIndependence):
+  // groups whose members are pairwise proven independent — trivially so
+  // for single-commit groups — are routed to a concurrent commit wave
+  // that never enters conflict detection, while the rest fall back to
+  // the sequential path. `server.schema.routed` / `server.schema.fallback`
+  // count the jobs on each side. Not owned; must outlive the server.
+  const schema::Schema* schema = nullptr;
   // How long the batcher waits after the first queued commit before
   // draining, letting concurrent committers coalesce. 0 = drain
   // immediately (still coalesces whatever queued while the previous
@@ -112,6 +127,9 @@ class Server {
   struct Tenant {
     std::mutex mu;
     std::optional<store::VersionStore> store;  // open after kOpen
+    // Jobs admitted but not yet swapped into a batch; guarded by
+    // queue_mu_ (NOT mu — it is part of the admission queue's state).
+    size_t pending = 0;
   };
 
   struct CommitJob {
@@ -133,6 +151,9 @@ class Server {
   void SessionLoop(Session* session);
   void BatcherLoop();
   void RunBatch(std::deque<CommitJob> batch);
+  // Commits one tenant's jobs of the current batch (one CommitBatch,
+  // one fsync). Caller holds no locks; takes the tenant's mutex.
+  void CommitGroup(Tenant* tenant, const std::vector<CommitJob*>& jobs);
 
   // A response not yet produced: evaluated on the session's writer
   // thread, in request order. Commit thunks block on the batcher's

@@ -282,6 +282,60 @@ TEST_F(CliTest, AnalyzeReportsVerdictAndDiagnostics) {
   EXPECT_FALSE(RunCli({"analyze"}, sink).ok());
 }
 
+TEST_F(CliTest, AnalyzeSchemaGoldenReport) {
+  // Pins every byte of the schema-tier report: the tier0 flag per pair,
+  // the synthesized independent verdict (reason "disjoint", ops -1/-1 —
+  // identical to the exact analyzer's), and the deterministic precision
+  // summary. An attribute edit against a text edit under a 3-type DTD
+  // is provably disjoint at the type level.
+  WriteDoc("s.dtd",
+           "<!ELEMENT r (x, y)>\n"
+           "<!ATTLIST r a CDATA #IMPLIED>\n"
+           "<!ELEMENT x (#PCDATA)>\n"
+           "<!ELEMENT y EMPTY>\n");
+  WriteDoc("doc.xml", "<r a=\"1\"><x>hello</x><y/></r>");
+  Run({"produce", "--doc", Path("doc.xml"), "--update",
+       "replace value of node /r/@a with \"2\"", "--id-base", "100",
+       "--out", Path("p1.xml")});
+  Run({"produce", "--doc", Path("doc.xml"), "--update",
+       "replace value of node /r/x/text() with \"bye\"", "--id-base",
+       "200", "--out", Path("p2.xml")});
+
+  std::string out = Run({"analyze", Path("p1.xml"), Path("p2.xml"),
+                         "--schema", Path("s.dtd")});
+  std::string expected =
+      "{\"puls\":[{\"path\":\"" + Path("p1.xml") +
+      "\",\"ops\":1,\"lint\":[],\"prediction\":{\"inputOps\":1,"
+      "\"survivingUpperBound\":1,\"guaranteedKills\":0,"
+      "\"noRuleCanFire\":true,\"hasInsInto\":false}},{\"path\":\"" +
+      Path("p2.xml") +
+      "\",\"ops\":1,\"lint\":[],\"prediction\":{\"inputOps\":1,"
+      "\"survivingUpperBound\":1,\"guaranteedKills\":0,"
+      "\"noRuleCanFire\":true,\"hasInsInto\":false}}],"
+      "\"independence\":[{\"a\":0,\"b\":1,\"report\":{"
+      "\"verdict\":\"independent\",\"reason\":\"disjoint\","
+      "\"opA\":-1,\"opB\":-1},\"tier0\":true}],"
+      "\"schema\":{\"types\":3,\"pairs\":1,\"tier0\":1,"
+      "\"precision\":\"1.000\"}}\n";
+  EXPECT_EQ(out, expected);
+
+  // Without --schema the report must stay byte-identical to the
+  // pre-schema surface: no tier0 fields, no schema object.
+  std::string plain = Run({"analyze", Path("p1.xml"), Path("p2.xml")});
+  EXPECT_EQ(plain.find("tier0"), std::string::npos);
+  EXPECT_EQ(plain.find("\"schema\""), std::string::npos);
+
+  // builtin:xmark resolves without a file; a bad path is a clean error.
+  std::string builtin = Run({"analyze", Path("p1.xml"), Path("p2.xml"),
+                             "--schema", "builtin:xmark"});
+  EXPECT_NE(builtin.find("\"schema\":{\"types\":41"), std::string::npos);
+  std::ostringstream sink;
+  EXPECT_FALSE(RunCli({"analyze", Path("p1.xml"), "--schema",
+                       Path("missing.dtd")},
+                      sink)
+                   .ok());
+}
+
 TEST_F(CliTest, EqualsFlagSyntax) {
   WriteDoc("doc.xml", "<r><a/></r>");
   Run({"produce", "--doc=" + Path("doc.xml"),

@@ -8,11 +8,13 @@
 #include <cmath>
 #include <condition_variable>
 #include <csignal>
+#include <cstdio>
 #include <cstdlib>
 #include <deque>
 #include <fstream>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <ostream>
 #include <sstream>
 #include <thread>
@@ -21,6 +23,7 @@
 #include "analysis/lint.h"
 #include "analysis/predict.h"
 #include "analysis/report.h"
+#include "analysis/schema_tier.h"
 #include "common/metrics.h"
 #include "common/result.h"
 #include "common/string_util.h"
@@ -584,17 +587,41 @@ Status CmdStats(const Args& args, std::ostream& out) {
   return Status::OK();
 }
 
-// `xupdate analyze PUL... [--out report.json]`: the static analyzer as
-// a batch tool. Emits one JSON object — per-PUL lint diagnostics and
-// reduction-effect prediction, plus the pairwise independence verdict
-// for every pair when two or more PULs are given. The report is
-// byte-deterministic, so it can be golden-tested and diffed.
+// Loads a --schema flag value: "builtin:xmark" or a path to a DTD file
+// in the subset schema::Schema::ParseDtd documents.
+Result<schema::Schema> LoadSchema(const std::string& spec) {
+  if (spec == "builtin:xmark") return schema::Schema::BuiltinXmark();
+  XUPDATE_ASSIGN_OR_RETURN(std::string text, ReadFile(spec));
+  return schema::Schema::ParseDtd(text);
+}
+
+// `xupdate analyze PUL... [--schema dtd|builtin:xmark] [--out
+// report.json]`: the static analyzer as a batch tool. Emits one JSON
+// object — per-PUL lint diagnostics and reduction-effect prediction,
+// plus the pairwise independence verdict for every pair when two or
+// more PULs are given. With --schema, the schema lint (XU008-XU010)
+// joins the per-PUL diagnostics, each pair gains a "tier0" marker (true
+// when the type-level tier proved it independent without running the
+// pairwise sweep) and a trailing "schema" object reports the tier's
+// precision — the fraction of pairs resolved at type level. The report
+// is byte-deterministic, so it can be golden-tested and diffed.
 Status CmdAnalyze(const Args& args, std::ostream& out) {
   if (args.positional.empty()) {
     return Status::InvalidArgument("analyze needs at least one PUL");
   }
   XUPDATE_ASSIGN_OR_RETURN(std::vector<pul::Pul> puls,
                            LoadPuls(args.positional));
+  std::optional<schema::Schema> schema;
+  std::vector<schema::TypeSummary> summaries;
+  if (args.Has("schema")) {
+    XUPDATE_ASSIGN_OR_RETURN(schema::Schema loaded,
+                             LoadSchema(args.Get("schema")));
+    schema.emplace(std::move(loaded));
+    summaries.reserve(puls.size());
+    for (const pul::Pul& pul : puls) {
+      summaries.push_back(schema::InferTouchedTypes(*schema, pul));
+    }
+  }
   obs::Tracer tracer;
   obs::TraceLane lane;
   if (WantTrace(args)) {
@@ -608,6 +635,19 @@ Status CmdAnalyze(const Args& args, std::ostream& out) {
   for (size_t i = 0; i < puls.size(); ++i) {
     if (i > 0) json << ",";
     analysis::DiagnosticReport lint = analysis::LintPul(puls[i]);
+    if (schema.has_value()) {
+      analysis::DiagnosticReport schema_lint =
+          analysis::LintPulWithSchema(*schema, puls[i]);
+      lint.insert(lint.end(), schema_lint.begin(), schema_lint.end());
+      std::sort(lint.begin(), lint.end(),
+                [](const analysis::Diagnostic& a,
+                   const analysis::Diagnostic& b) {
+                  if (a.op_index != b.op_index) {
+                    return a.op_index < b.op_index;
+                  }
+                  return a.code < b.code;
+                });
+    }
     analysis::ReductionPrediction prediction =
         analysis::PredictReduction(puls[i]);
     if (lane.enabled()) {
@@ -631,12 +671,25 @@ Status CmdAnalyze(const Args& args, std::ostream& out) {
   }
   json << "],\"independence\":[";
   bool first = true;
+  size_t pairs = 0;
+  size_t tier0_hits = 0;
   for (size_t i = 0; i < puls.size(); ++i) {
     for (size_t j = i + 1; j < puls.size(); ++j) {
       if (!first) json << ",";
       first = false;
-      analysis::IndependenceReport verdict =
-          analysis::AnalyzeIndependence(puls[i], puls[j]);
+      ++pairs;
+      bool tier0 = false;
+      analysis::IndependenceReport verdict;
+      if (schema.has_value()) {
+        analysis::TieredIndependence tiered =
+            analysis::AnalyzeIndependenceTiered(summaries[i], summaries[j],
+                                                puls[i], puls[j]);
+        tier0 = tiered.resolved_at_tier0;
+        if (tier0) ++tier0_hits;
+        verdict = std::move(tiered.report);
+      } else {
+        verdict = analysis::AnalyzeIndependence(puls[i], puls[j]);
+      }
       if (lane.enabled()) {
         std::vector<std::string> ops;
         if (verdict.op_a >= 0) ops.push_back(ref(i, verdict.op_a));
@@ -647,10 +700,28 @@ Status CmdAnalyze(const Args& args, std::ostream& out) {
             verdict.reason);
       }
       json << "{\"a\":" << i << ",\"b\":" << j
-           << ",\"report\":" << analysis::IndependenceToJson(verdict) << "}";
+           << ",\"report\":" << analysis::IndependenceToJson(verdict);
+      if (schema.has_value()) {
+        json << ",\"tier0\":" << (tier0 ? "true" : "false");
+      }
+      json << "}";
     }
   }
-  json << "]}";
+  json << "]";
+  if (schema.has_value()) {
+    // Fixed 3-decimal precision keeps the line byte-deterministic; a
+    // pairless report (one PUL) is vacuously fully resolved.
+    double precision =
+        pairs == 0 ? 1.0
+                   : static_cast<double>(tier0_hits) /
+                         static_cast<double>(pairs);
+    char fixed[16];
+    std::snprintf(fixed, sizeof(fixed), "%.3f", precision);
+    json << ",\"schema\":{\"types\":" << schema->num_types()
+         << ",\"pairs\":" << pairs << ",\"tier0\":" << tier0_hits
+         << ",\"precision\":\"" << fixed << "\"}";
+  }
+  json << "}";
   std::string text = json.str() + "\n";
   if (args.Has("out") && args.Get("out") != "-") {
     XUPDATE_RETURN_IF_ERROR(WriteFile(args.Get("out"), text));
@@ -850,6 +921,17 @@ Status CmdServe(const Args& args, std::ostream& out) {
       ParseFlagInt(args, "max-pending", 128, 1, 1 << 20));
   options.max_pending = static_cast<size_t>(max_pending);
   XUPDATE_ASSIGN_OR_RETURN(
+      int64_t per_tenant,
+      ParseFlagInt(args, "max-pending-per-tenant", 0, 0, 1 << 20));
+  options.max_pending_per_tenant = static_cast<size_t>(per_tenant);
+  std::optional<schema::Schema> schema;
+  if (args.Has("schema")) {
+    XUPDATE_ASSIGN_OR_RETURN(schema::Schema loaded,
+                             LoadSchema(args.Get("schema")));
+    schema.emplace(std::move(loaded));
+    options.schema = &*schema;
+  }
+  XUPDATE_ASSIGN_OR_RETURN(
       int64_t window, ParseFlagInt(args, "commit-window-ms", 0, 0, 10000));
   options.commit_window_ms = static_cast<int>(window);
   XUPDATE_ASSIGN_OR_RETURN(int64_t max_parallelism,
@@ -860,7 +942,12 @@ Status CmdServe(const Args& args, std::ostream& out) {
                            server::Server::Start(options));
   out << "serving on " << options.socket_path << " (data in "
       << options.data_dir << ", commit window " << options.commit_window_ms
-      << " ms, max pending " << options.max_pending << ")\n";
+      << " ms, max pending " << options.max_pending;
+  if (options.max_pending_per_tenant > 0) {
+    out << ", per-tenant quota " << options.max_pending_per_tenant;
+  }
+  if (options.schema != nullptr) out << ", schema router on";
+  out << ")\n";
   out.flush();
   g_serve_signal.store(false);
   std::signal(SIGINT, HandleServeSignal);
