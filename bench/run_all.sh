@@ -54,4 +54,8 @@ echo "== trace_overhead =="
 "$build/bench/trace_overhead_check" "$root/BENCH_trace_overhead.json" \
   || status=1
 
+echo "== telemetry_overhead =="
+"$build/bench/telemetry_overhead_check" \
+  "$root/BENCH_telemetry_overhead.json" || status=1
+
 exit $status

@@ -1,0 +1,65 @@
+#ifndef XUPDATE_COMMON_JSON_H_
+#define XUPDATE_COMMON_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace xupdate::json {
+
+// Minimal JSON value model + recursive-descent parser for the telemetry
+// plumbing: the `top`/`stat` subcommands parse the versioned kStat
+// payload, tests parse flight-recorder dumps and slow-request logs.
+// Parses strictly (RFC 8259 grammar, UTF-16 escapes folded to UTF-8,
+// bounded nesting depth) and never throws. Numbers are held as doubles —
+// every value we read back (counts, gauges, seconds) fits in 53 bits.
+class Value {
+ public:
+  enum class Kind : uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<Value> items;                            // kArray
+  std::vector<std::pair<std::string, Value>> members;  // kObject, source order
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_bool() const { return kind == Kind::kBool; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  // Object member lookup (first match); nullptr when absent or when
+  // this value is not an object.
+  const Value* Find(std::string_view key) const;
+
+  // Typed accessors with defaults — the telemetry readers treat a
+  // missing or mistyped field as "not reported".
+  double NumberOr(double fallback) const {
+    return is_number() ? number : fallback;
+  }
+  uint64_t U64Or(uint64_t fallback) const {
+    return is_number() && number >= 0 ? static_cast<uint64_t>(number)
+                                      : fallback;
+  }
+  int64_t I64Or(int64_t fallback) const {
+    return is_number() ? static_cast<int64_t>(number) : fallback;
+  }
+  std::string_view StringOr(std::string_view fallback) const {
+    return is_string() ? std::string_view(str) : fallback;
+  }
+};
+
+// Parses exactly one JSON document (trailing non-whitespace is an
+// error). kParseError carries the byte offset of the failure.
+Result<Value> Parse(std::string_view text);
+
+}  // namespace xupdate::json
+
+#endif  // XUPDATE_COMMON_JSON_H_

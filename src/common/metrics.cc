@@ -4,8 +4,6 @@
 #include <cmath>
 #include <cstdio>
 
-#include "common/string_util.h"
-
 namespace xupdate {
 
 namespace {
@@ -17,10 +15,146 @@ size_t BucketOf(double seconds) {
   return kNumLatencyBuckets - 1;  // overflow
 }
 
+void AppendFixed(std::string* out, double value) {
+  char buf[64];
+  snprintf(buf, sizeof(buf), "%.9f", value);
+  *out += buf;
+}
+
 }  // namespace
+
+bool IsValidMetricName(std::string_view name) {
+  if (name.empty()) return false;
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '/' ||
+              c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+double PercentileFromBuckets(
+    const std::array<uint64_t, kNumLatencyBuckets>& buckets, uint64_t count,
+    double q, double max_clamp) {
+  if (count == 0) return 0.0;
+  auto rank = static_cast<uint64_t>(std::ceil(q * static_cast<double>(count)));
+  if (rank < 1) rank = 1;
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < kNumLatencyBuckets; ++b) {
+    cumulative += buckets[b];
+    if (cumulative >= rank) {
+      if (b == kNumLatencyBuckets - 1) return max_clamp;
+      return std::min(kLatencyBucketBounds[b], max_clamp);
+    }
+  }
+  return max_clamp;
+}
+
+MetricsDelta DeltaSnapshots(const MetricsSnapshot& before,
+                            const MetricsSnapshot& after) {
+  MetricsDelta delta;
+  for (const auto& [name, value] : after.counters) {
+    auto it = before.counters.find(name);
+    uint64_t prior = it == before.counters.end() ? 0 : it->second;
+    delta.counters[name] = value >= prior ? value - prior : 0;
+  }
+  delta.gauges = after.gauges;
+  for (const auto& [name, t] : after.timers) {
+    auto it = before.timers.find(name);
+    MetricsDelta::TimerDelta d;
+    std::array<uint64_t, kNumLatencyBuckets> diff{};
+    if (it == before.timers.end()) {
+      d.count = t.count;
+      d.seconds = t.seconds;
+      diff = t.buckets;
+    } else {
+      const MetricsSnapshot::TimerState& prior = it->second;
+      d.count = t.count >= prior.count ? t.count - prior.count : 0;
+      d.seconds = t.seconds >= prior.seconds ? t.seconds - prior.seconds : 0.0;
+      for (size_t b = 0; b < kNumLatencyBuckets; ++b) {
+        diff[b] =
+            t.buckets[b] >= prior.buckets[b] ? t.buckets[b] - prior.buckets[b]
+                                             : 0;
+      }
+    }
+    // The interval maximum is not tracked; clamp to the lifetime max,
+    // which bounds every interval sample from above.
+    d.p50 = PercentileFromBuckets(diff, d.count, 0.50, t.max);
+    d.p95 = PercentileFromBuckets(diff, d.count, 0.95, t.max);
+    d.p99 = PercentileFromBuckets(diff, d.count, 0.99, t.max);
+    delta.timers[name] = d;
+  }
+  return delta;
+}
+
+std::string MetricsSnapshotToJson(const MetricsSnapshot& snapshot) {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += name;
+    out += "\":";
+    out += std::to_string(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += name;
+    out += "\":";
+    out += std::to_string(value);
+  }
+  out += "},\"timers\":{";
+  first = true;
+  for (const auto& [name, t] : snapshot.timers) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += name;
+    out += "\":{\"seconds\":";
+    AppendFixed(&out, t.seconds);
+    out += ",\"count\":";
+    out += std::to_string(t.count);
+    out += ",\"min\":";
+    AppendFixed(&out, t.min);
+    out += ",\"max\":";
+    AppendFixed(&out, t.max);
+    out += ",\"p50\":";
+    AppendFixed(&out, PercentileFromBuckets(t.buckets, t.count, 0.50, t.max));
+    out += ",\"p95\":";
+    AppendFixed(&out, PercentileFromBuckets(t.buckets, t.count, 0.95, t.max));
+    out += ",\"p99\":";
+    AppendFixed(&out, PercentileFromBuckets(t.buckets, t.count, 0.99, t.max));
+    out += ",\"buckets\":[";
+    for (size_t b = 0; b < kNumLatencyBuckets; ++b) {
+      if (b != 0) out += ',';
+      out += std::to_string(t.buckets[b]);
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+bool Metrics::CheckNameLocked(std::string_view name) {
+  if (IsValidMetricName(name)) return true;
+  auto it = counters_.find(kInvalidMetricNameCounter);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(kInvalidMetricNameCounter), uint64_t{1});
+  } else {
+    it->second += 1;
+  }
+  return false;
+}
 
 void Metrics::AddCounter(std::string_view name, uint64_t delta) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (!CheckNameLocked(name)) return;
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     counters_.emplace(std::string(name), delta);
@@ -29,8 +163,20 @@ void Metrics::AddCounter(std::string_view name, uint64_t delta) {
   }
 }
 
+void Metrics::SetGauge(std::string_view name, int64_t value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!CheckNameLocked(name)) return;
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(name), value);
+  } else {
+    it->second = value;
+  }
+}
+
 void Metrics::RecordDuration(std::string_view name, double seconds) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (!CheckNameLocked(name)) return;
   auto it = timers_.find(name);
   if (it == timers_.end()) {
     it = timers_.emplace(std::string(name), Timer{}).first;
@@ -54,26 +200,16 @@ uint64_t Metrics::counter(std::string_view name) const {
   return it == counters_.end() ? 0 : it->second;
 }
 
+int64_t Metrics::gauge(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second;
+}
+
 double Metrics::total_seconds(std::string_view name) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = timers_.find(name);
   return it == timers_.end() ? 0.0 : it->second.seconds;
-}
-
-double Metrics::Percentile(const Timer& timer, double q) {
-  if (timer.count == 0) return 0.0;
-  auto rank = static_cast<uint64_t>(
-      std::ceil(q * static_cast<double>(timer.count)));
-  if (rank < 1) rank = 1;
-  uint64_t cumulative = 0;
-  for (size_t b = 0; b < kNumLatencyBuckets; ++b) {
-    cumulative += timer.buckets[b];
-    if (cumulative >= rank) {
-      if (b == kNumLatencyBuckets - 1) return timer.max;
-      return std::min(kLatencyBucketBounds[b], timer.max);
-    }
-  }
-  return timer.max;
 }
 
 Metrics::TimerSnapshot Metrics::timer(std::string_view name) const {
@@ -86,48 +222,35 @@ Metrics::TimerSnapshot Metrics::timer(std::string_view name) const {
   snap.count = t.count;
   snap.min = t.min;
   snap.max = t.max;
-  snap.p50 = Percentile(t, 0.50);
-  snap.p95 = Percentile(t, 0.95);
-  snap.p99 = Percentile(t, 0.99);
+  snap.p50 = PercentileFromBuckets(t.buckets, t.count, 0.50, t.max);
+  snap.p95 = PercentileFromBuckets(t.buckets, t.count, 0.95, t.max);
+  snap.p99 = PercentileFromBuckets(t.buckets, t.count, 0.99, t.max);
   return snap;
 }
 
-std::string Metrics::ToJson() const {
+MetricsSnapshot Metrics::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
-  std::string out = "{\"counters\":{";
-  bool first = true;
-  for (const auto& [name, value] : counters_) {
-    if (!first) out += ',';
-    first = false;
-    out += '"';
-    out += JsonEscape(name);
-    out += "\":";
-    out += std::to_string(value);
+  MetricsSnapshot snap;
+  snap.counters = counters_;
+  snap.gauges = gauges_;
+  for (const auto& [name, t] : timers_) {
+    MetricsSnapshot::TimerState state;
+    state.seconds = t.seconds;
+    state.count = t.count;
+    state.min = t.min;
+    state.max = t.max;
+    state.buckets = t.buckets;
+    snap.timers.emplace(name, state);
   }
-  out += "},\"timers\":{";
-  first = true;
-  for (const auto& [name, timer] : timers_) {
-    if (!first) out += ',';
-    first = false;
-    char buf[256];
-    snprintf(buf, sizeof(buf),
-             "{\"seconds\":%.9f,\"count\":%llu,\"min\":%.9f,\"max\":%.9f,"
-             "\"p50\":%.9f,\"p95\":%.9f,\"p99\":%.9f}",
-             timer.seconds, static_cast<unsigned long long>(timer.count),
-             timer.min, timer.max, Percentile(timer, 0.50),
-             Percentile(timer, 0.95), Percentile(timer, 0.99));
-    out += '"';
-    out += JsonEscape(name);
-    out += "\":";
-    out += buf;
-  }
-  out += "}}";
-  return out;
+  return snap;
 }
+
+std::string Metrics::ToJson() const { return MetricsSnapshotToJson(Snapshot()); }
 
 void Metrics::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   counters_.clear();
+  gauges_.clear();
   timers_.clear();
 }
 

@@ -24,10 +24,72 @@ inline constexpr double kLatencyBucketBounds[] = {
 inline constexpr size_t kNumLatencyBuckets =
     std::size(kLatencyBucketBounds) + 1;  // + overflow
 
-// Lightweight counters/timers registry shared by the reasoning engines,
-// the benches and the CLI. Thread-safe; names are sorted (std::map) so
-// ToJson() output is byte-deterministic. Cheap enough for hot paths that
-// record a handful of values per phase — not a per-operation profiler.
+// Metric names are restricted to [A-Za-z0-9._/-] (nonempty) so every
+// downstream sink — the JSON dump, the Prometheus text exposition, the
+// JSONL slow-request log — can embed them without escaping. `/` is the
+// scope separator: the serving layer registers per-tenant metrics as
+// "tenant/<name>/rest" and the exposition layer folds that prefix into
+// a {tenant="<name>"} label.
+bool IsValidMetricName(std::string_view name);
+
+// Registrations with invalid names are dropped and tallied under this
+// (valid) counter, so operator typos and hostile tenant strings surface
+// without poisoning the sinks.
+inline constexpr std::string_view kInvalidMetricNameCounter =
+    "metrics.invalid_name.dropped";
+
+// Point-in-time copy of a registry (or one tenant section of a parsed
+// stat payload). Value type: pollers diff two of these to get rates.
+struct MetricsSnapshot {
+  struct TimerState {
+    double seconds = 0.0;
+    uint64_t count = 0;
+    double min = 0.0;
+    double max = 0.0;
+    std::array<uint64_t, kNumLatencyBuckets> buckets{};
+  };
+  std::map<std::string, uint64_t, std::less<>> counters;
+  std::map<std::string, int64_t, std::less<>> gauges;
+  std::map<std::string, TimerState, std::less<>> timers;
+};
+
+// Interval view between two snapshots of the same registry: counter and
+// timer deltas (clamped at zero so a registry Clear() between polls
+// cannot produce underflow), gauges as the later point-in-time values,
+// and percentiles recomputed from the bucket-count differences — i.e.
+// the latency distribution *of the interval*, not of process lifetime.
+struct MetricsDelta {
+  struct TimerDelta {
+    uint64_t count = 0;
+    double seconds = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+  };
+  std::map<std::string, uint64_t, std::less<>> counters;
+  std::map<std::string, int64_t, std::less<>> gauges;
+  std::map<std::string, TimerDelta, std::less<>> timers;
+};
+MetricsDelta DeltaSnapshots(const MetricsSnapshot& before,
+                            const MetricsSnapshot& after);
+
+// Percentile over a fixed-boundary bucket vector: the upper boundary of
+// the bucket holding the rank-ceil(q*count) sample, clamped to
+// `max_clamp`; `max_clamp` is also the answer for the overflow bucket.
+double PercentileFromBuckets(
+    const std::array<uint64_t, kNumLatencyBuckets>& buckets, uint64_t count,
+    double q, double max_clamp);
+
+// Serializes a snapshot exactly the way Metrics::ToJson does (sorted
+// keys, fixed 9-digit seconds), including the raw per-timer bucket
+// vector so a remote poller can delta-diff distributions.
+std::string MetricsSnapshotToJson(const MetricsSnapshot& snapshot);
+
+// Lightweight counters/gauges/timers registry shared by the reasoning
+// engines, the server, the benches and the CLI. Thread-safe; names are
+// sorted (std::map) so ToJson() output is byte-deterministic. Cheap
+// enough for hot paths that record a handful of values per phase — not
+// a per-operation profiler.
 class Metrics {
  public:
   Metrics() = default;
@@ -38,12 +100,17 @@ class Metrics {
   // Adds `delta` to the counter `name` (created at zero on first use).
   void AddCounter(std::string_view name, uint64_t delta = 1);
 
+  // Sets the gauge `name` to an absolute point-in-time value (queue
+  // depth, resident tenants, WAL bytes...).
+  void SetGauge(std::string_view name, int64_t value);
+
   // Accumulates one timing sample (seconds) under `name`; the JSON dump
-  // reports the sum, the sample count, min/max and the p50/p95/p99
-  // latency estimates from the fixed-boundary histogram.
+  // reports the sum, the sample count, min/max, the p50/p95/p99
+  // latency estimates and the raw fixed-boundary histogram.
   void RecordDuration(std::string_view name, double seconds);
 
   uint64_t counter(std::string_view name) const;
+  int64_t gauge(std::string_view name) const;
   double total_seconds(std::string_view name) const;
 
   // One timer's distribution. Percentiles are the upper boundary of the
@@ -61,11 +128,16 @@ class Metrics {
   // Zero snapshot for unknown names.
   TimerSnapshot timer(std::string_view name) const;
 
-  // {"counters":{"a":1,...},
+  // Consistent point-in-time copy of every counter, gauge and timer
+  // (one lock acquisition — safe to call from a poller thread while the
+  // serving threads keep recording).
+  MetricsSnapshot Snapshot() const;
+
+  // {"counters":{"a":1,...},"gauges":{"g":0,...},
   //  "timers":{"b":{"seconds":...,"count":...,"min":...,"max":...,
-  //                 "p50":...,"p95":...,"p99":...},...}}
-  // with keys in sorted order and JSON-escaped; seconds use a fixed
-  // 9-digit format.
+  //                 "p50":...,"p95":...,"p99":...,"buckets":[...]},...}}
+  // with keys in sorted order; seconds use a fixed 9-digit format.
+  // Names never need escaping (IsValidMetricName at registration).
   std::string ToJson() const;
 
   void Clear();
@@ -79,10 +151,13 @@ class Metrics {
     std::array<uint64_t, kNumLatencyBuckets> buckets{};
   };
 
-  static double Percentile(const Timer& timer, double q);
+  // Returns false (and tallies kInvalidMetricNameCounter) for names the
+  // sinks could not embed verbatim. Caller holds mu_.
+  bool CheckNameLocked(std::string_view name);
 
   mutable std::mutex mu_;
   std::map<std::string, uint64_t, std::less<>> counters_;
+  std::map<std::string, int64_t, std::less<>> gauges_;
   std::map<std::string, Timer, std::less<>> timers_;
 };
 

@@ -1,0 +1,137 @@
+#include "obs/exposition.h"
+
+#include <cstdio>
+#include <map>
+
+namespace xupdate::obs {
+
+namespace {
+
+constexpr std::string_view kTenantPrefix = "tenant/";
+
+std::string FamilyName(std::string_view name) {
+  std::string family = "xupdate_";
+  for (char c : name) {
+    family += (c == '.' || c == '/' || c == '-') ? '_' : c;
+  }
+  return family;
+}
+
+// Exposition-format label value escaping: backslash, quote, newline.
+std::string EscapeLabelValue(std::string_view value) {
+  std::string out;
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string Labels(std::string_view tenant, std::string_view extra = {}) {
+  if (tenant.empty() && extra.empty()) return "";
+  std::string out = "{";
+  if (!tenant.empty()) {
+    out += "tenant=\"";
+    out += EscapeLabelValue(tenant);
+    out += '"';
+    if (!extra.empty()) out += ',';
+  }
+  out += extra;
+  out += '}';
+  return out;
+}
+
+void AppendSeconds(std::string* out, double value) {
+  char buf[64];
+  snprintf(buf, sizeof(buf), "%.9f", value);
+  *out += buf;
+}
+
+// family -> tenant ("" first) -> sample, preserving one # TYPE line per
+// family however many tenants share it.
+template <typename Sample>
+using Families =
+    std::map<std::string, std::map<std::string, Sample, std::less<>>,
+             std::less<>>;
+
+template <typename Map, typename Sample>
+Families<Sample> GroupByFamily(const Map& metrics) {
+  Families<Sample> families;
+  for (const auto& [name, sample] : metrics) {
+    std::string_view tenant, rest;
+    if (SplitTenantMetric(name, &tenant, &rest)) {
+      families[FamilyName(rest)].emplace(std::string(tenant), sample);
+    } else {
+      families[FamilyName(name)].emplace(std::string(), sample);
+    }
+  }
+  return families;
+}
+
+}  // namespace
+
+bool SplitTenantMetric(std::string_view name, std::string_view* tenant,
+                       std::string_view* rest) {
+  if (name.substr(0, kTenantPrefix.size()) != kTenantPrefix) return false;
+  std::string_view tail = name.substr(kTenantPrefix.size());
+  size_t slash = tail.find('/');
+  if (slash == std::string_view::npos || slash == 0 ||
+      slash + 1 >= tail.size()) {
+    return false;
+  }
+  *tenant = tail.substr(0, slash);
+  *rest = tail.substr(slash + 1);
+  return true;
+}
+
+std::string RenderPrometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+
+  for (const auto& [family, samples] :
+       GroupByFamily<decltype(snapshot.counters), uint64_t>(
+           snapshot.counters)) {
+    out += "# TYPE " + family + " counter\n";
+    for (const auto& [tenant, value] : samples) {
+      out += family + Labels(tenant) + " " + std::to_string(value) + "\n";
+    }
+  }
+
+  for (const auto& [family, samples] :
+       GroupByFamily<decltype(snapshot.gauges), int64_t>(snapshot.gauges)) {
+    out += "# TYPE " + family + " gauge\n";
+    for (const auto& [tenant, value] : samples) {
+      out += family + Labels(tenant) + " " + std::to_string(value) + "\n";
+    }
+  }
+
+  for (const auto& [family, samples] :
+       GroupByFamily<decltype(snapshot.timers), MetricsSnapshot::TimerState>(
+           snapshot.timers)) {
+    out += "# TYPE " + family + " summary\n";
+    for (const auto& [tenant, t] : samples) {
+      constexpr struct { double q; const char* label; } kQuantiles[] = {
+          {0.50, "quantile=\"0.5\""},
+          {0.95, "quantile=\"0.95\""},
+          {0.99, "quantile=\"0.99\""}};
+      for (const auto& [q, label] : kQuantiles) {
+        out += family + Labels(tenant, label) + " ";
+        AppendSeconds(&out, PercentileFromBuckets(t.buckets, t.count, q,
+                                                  t.max));
+        out += '\n';
+      }
+      out += family + "_sum" + Labels(tenant) + " ";
+      AppendSeconds(&out, t.seconds);
+      out += '\n';
+      out += family + "_count" + Labels(tenant) + " " +
+             std::to_string(t.count) + "\n";
+    }
+  }
+
+  return out;
+}
+
+}  // namespace xupdate::obs

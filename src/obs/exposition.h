@@ -1,0 +1,39 @@
+#ifndef XUPDATE_OBS_EXPOSITION_H_
+#define XUPDATE_OBS_EXPOSITION_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/metrics.h"
+
+namespace xupdate::obs {
+
+// Prometheus text-exposition rendering of a metrics snapshot.
+//
+// Grammar (documented in DESIGN.md "Serving-layer observability"):
+//  - a registry name maps to family "xupdate_" + name with every
+//    '.', '/' and '-' folded to '_';
+//  - names of the form "tenant/<t>/<rest>" instead map to the family of
+//    <rest> with a {tenant="<t>"} label, so per-tenant series share one
+//    family and one # TYPE line;
+//  - counters and gauges render as single samples, timers as summaries
+//    (quantile="0.5|0.95|0.99" samples plus _sum and _count).
+// Registration-time name validation (IsValidMetricName) guarantees the
+// rendered family names never need escaping; tenant label values are
+// quote/backslash-escaped anyway, per the exposition spec.
+//
+// Output is byte-deterministic for a given snapshot: families sorted,
+// tenant-less sample first, then tenant samples sorted; seconds use the
+// fixed %.9f format shared with the JSON dump.
+std::string RenderPrometheus(const MetricsSnapshot& snapshot);
+
+// Splits "tenant/<t>/<rest>" metric names: true iff `name` is
+// tenant-scoped, with the tenant and remainder returned through the
+// out-params. Shared by the exposition renderer and the versioned stat
+// payload builder.
+bool SplitTenantMetric(std::string_view name, std::string_view* tenant,
+                       std::string_view* rest);
+
+}  // namespace xupdate::obs
+
+#endif  // XUPDATE_OBS_EXPOSITION_H_

@@ -113,7 +113,11 @@ Result<std::string> Client::Stat() {
   Message request;
   request.type = MsgType::kStat;
   XUPDATE_ASSIGN_OR_RETURN(Message response, Call(request));
-  if (response.payload.size() != 1) {
+  // Forward compatibility: a newer server may append payload strings (or
+  // bump the version scalar in response.b); only a payload with no
+  // metrics at all is an error. Payload shape is not a protocol version
+  // check — server/stat.h's parser handles every known payload version.
+  if (response.payload.empty()) {
     return Status::Internal("stat response carries no metrics");
   }
   return std::move(response.payload[0]);

@@ -40,7 +40,13 @@ namespace xupdate::server {
 //   kIntegrate [pul_xml...]           a = parallelism. ok.a = number of
 //              conflicts, payload = [merged xml].
 //   kAggregate [pul_xml...]           payload = [aggregate xml].
-//   kStat      []                     ok payload = [metrics json].
+//   kStat      [] or [tenant]         ok.a = tenant head (tenant form),
+//              ok.b = stat payload version (server/stat.h), payload[0] =
+//              versioned stat json ({"v":...,"seq":...,"uptime_ticks":...,
+//              "global":{...},"tenants":{...}}). Clients must tolerate
+//              extra payload strings and unknown json keys; version
+//              dispatch goes through ok.b / the "v" key, never through
+//              payload arity.
 //   kPing      []                     ok, empty.
 //   kShutdown  []                     ok, then the server stops.
 //

@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <fstream>
 #include <functional>
 #include <future>
 #include <list>
@@ -19,6 +20,8 @@
 #include "common/metrics.h"
 #include "common/result.h"
 #include "common/socket.h"
+#include "obs/flight_recorder.h"
+#include "obs/trace.h"
 #include "pul/pul.h"
 #include "schema/schema.h"
 #include "server/protocol.h"
@@ -60,6 +63,17 @@ namespace xupdate::server {
 // Consistency: each tenant has one mutex serializing every touch of
 // its store (the batcher's CommitBatch and the sessions' checkouts),
 // so a checkout sees either all of a batch or none of it.
+//
+// Telemetry (see DESIGN.md "Serving-layer observability"): every
+// admitted request gets a stable id; commits carry it through the
+// batcher so the per-phase decomposition (admission wait, batch wait,
+// fsync, apply, respond) lands in the slow-request log, in per-tenant
+// "tenant/<t>/..." metrics, and — when a tracer is attached — as
+// per-request spans keyed (phase = request id, lane = pipeline stage),
+// which keeps the JSONL journal deterministic for serial
+// single-connection workloads. A fixed-size flight recorder retains the
+// recent event window regardless of tracing, dumped on SIGUSR1 (via
+// DumpFlightRecorder), on WAL poisoning and at shutdown.
 
 struct ServerOptions {
   std::string socket_path;
@@ -96,6 +110,26 @@ struct ServerOptions {
   // Reasoning parallelism cap for reduce/integrate requests.
   int max_parallelism = 8;
   Metrics* metrics = nullptr;
+  // Per-request span tracing into the (phase = request id, lane =
+  // pipeline stage) discipline. Not owned; null = off (one branch per
+  // emission site — the disabled-telemetry overhead gate pins this).
+  obs::Tracer* tracer = nullptr;
+  // Slow-request log: requests slower than this (milliseconds, end to
+  // end) emit one JSONL line naming tenant, type, batch id and the
+  // phase breakdown. < 0 disables. Independent of `tracer`.
+  int slow_request_ms = -1;
+  // Where slow-request lines go; empty = stderr.
+  std::string slow_request_log_path;
+  // Token-bucket cap on slow-request lines (burst = 2s worth); beyond
+  // it lines are dropped and counted under `server.slowlog.dropped`.
+  int slow_request_log_max_per_sec = 20;
+  // Flight-recorder window (recent server events). 0 disables.
+  size_t flight_recorder_capacity = 1024;
+  // Where flight-recorder dumps land; empty = <data_dir>/flight.jsonl.
+  std::string flight_dump_path;
+  // Per-tenant "tenant/<t>/..." counters/timers. Off caps metric
+  // cardinality for deployments with very many tenants.
+  bool per_tenant_metrics = true;
 };
 
 class Server {
@@ -115,27 +149,74 @@ class Server {
   // Asks the server to stop; safe from any thread, returns immediately.
   void RequestStop();
 
+  // True once a kShutdown request arrived or a stop began — the CLI's
+  // housekeeping loop polls this instead of blocking in Wait() so it
+  // can also service SIGUSR1 dumps and periodic metrics exposition.
+  bool stop_requested() const {
+    return stop_requested_.load() || stop_.load();
+  }
+
   // Stops accepting, disconnects every session, drains the batcher and
   // joins all threads. Idempotent. Must not be called from a session
   // thread (it joins them); kShutdown requests call RequestStop and the
   // owner calls Stop after Wait returns.
   Status Stop();
 
+  // Writes the flight-recorder window to the configured dump path
+  // (atomic replace). No-op when the recorder is disabled. Safe from
+  // any thread — the CLI calls it on SIGUSR1; the server calls it on
+  // WAL poisoning and at shutdown.
+  Status DumpFlightRecorder();
+
+  // The recorder itself (null when disabled) — tests inspect it.
+  const obs::FlightRecorder* flight_recorder() const {
+    return flight_.get();
+  }
+
+  // Milliseconds since Start() — the stat payload's uptime ticks.
+  uint64_t uptime_ms() const;
+
   const std::string& socket_path() const { return options_.socket_path; }
 
  private:
   struct Tenant {
     std::mutex mu;
+    std::string name;
     std::optional<store::VersionStore> store;  // open after kOpen
+    // Journal bytes at the last gauge update; guarded by mu.
+    uint64_t wal_bytes_last = 0;
     // Jobs admitted but not yet swapped into a batch; guarded by
     // queue_mu_ (NOT mu — it is part of the admission queue's state).
     size_t pending = 0;
+    // Pre-built "tenant/<name>/..." metric names (const after GetTenant
+    // creates the slot) so the per-commit hot path never concatenates.
+    std::string m_commit_seconds;
+    std::string m_commit_count;
+    std::string m_commit_errors;
+    std::string m_checkout_seconds;
+    std::string m_shed_count;
+    std::string m_requests;
+    std::string m_wal_bytes;
+  };
+
+  // What the batcher hands back through a commit job's promise: the
+  // outcome plus the phase decomposition the telemetry consumes.
+  struct CommitResult {
+    Status status;
+    uint64_t version = 0;
+    uint64_t batch_id = 0;
+    double batch_wait_seconds = 0.0;  // admission -> group commit start
+    double fsync_seconds = 0.0;       // the group's single WAL sync
+    double apply_seconds = 0.0;       // install + checkpoint
+    double store_seconds = 0.0;       // whole CommitBatch for the group
   };
 
   struct CommitJob {
     Tenant* tenant = nullptr;
+    uint64_t request_id = 0;
+    std::chrono::steady_clock::time_point admit_tp;
     pul::Pul pul;
-    std::promise<std::pair<Status, uint64_t>> done;
+    std::promise<CommitResult> done;
   };
 
   struct Session {
@@ -153,7 +234,8 @@ class Server {
   void RunBatch(std::deque<CommitJob> batch);
   // Commits one tenant's jobs of the current batch (one CommitBatch,
   // one fsync). Caller holds no locks; takes the tenant's mutex.
-  void CommitGroup(Tenant* tenant, const std::vector<CommitJob*>& jobs);
+  void CommitGroup(Tenant* tenant, const std::vector<CommitJob*>& jobs,
+                   uint64_t batch_id);
 
   // A response not yet produced: evaluated on the session's writer
   // thread, in request order. Commit thunks block on the batcher's
@@ -179,6 +261,17 @@ class Server {
 
   int ClampParallelism(uint64_t requested) const;
 
+  // Null-safe flight-recorder append.
+  void RecordFlight(obs::FlightEventKind kind, std::string_view tenant,
+                    uint64_t request = 0, uint64_t batch = 0,
+                    uint64_t value = 0, std::string_view detail = {});
+
+  // Emits one slow-request JSONL line if the request crossed the
+  // threshold and the token bucket admits it.
+  void MaybeLogSlowRequest(std::string_view type, const std::string& tenant,
+                           uint64_t request_id, const CommitResult& result,
+                           double admission_seconds, double total_seconds);
+
   ServerOptions options_;
   UnixListener listener_;
 
@@ -200,10 +293,28 @@ class Server {
 
   std::mutex tenants_mu_;
   std::map<std::string, std::unique_ptr<Tenant>> tenants_;
+  // Open stores (gauge `server.tenants.resident`).
+  std::atomic<uint64_t> resident_tenants_{0};
+  // Journal bytes across every open store (gauge `server.wal.bytes`).
+  std::atomic<uint64_t> total_wal_bytes_{0};
 
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;
   std::deque<CommitJob> queue_;
+
+  std::chrono::steady_clock::time_point started_;
+  std::atomic<uint64_t> next_request_id_{1};
+  std::atomic<uint64_t> next_batch_id_{1};
+  std::atomic<uint64_t> stat_seq_{0};
+
+  std::unique_ptr<obs::FlightRecorder> flight_;
+
+  // Slow-request log sink + token bucket; all guarded by slow_mu_.
+  std::mutex slow_mu_;
+  std::ofstream slow_log_stream_;
+  bool slow_log_to_file_ = false;
+  double slow_tokens_ = 0.0;
+  std::chrono::steady_clock::time_point slow_refill_;
 };
 
 }  // namespace xupdate::server

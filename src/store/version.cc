@@ -372,8 +372,18 @@ Result<uint64_t> VersionStore::Commit(const pul::Pul& pul) {
 
 Result<size_t> VersionStore::CommitBatch(
     const std::vector<const pul::Pul*>& puls,
-    std::vector<CommitOutcome>* outcomes) {
+    std::vector<CommitOutcome>* outcomes, BatchCommitStats* stats) {
   ScopedTimer timer(options_.metrics, "store.commit_batch.seconds");
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point stage_start;
+  if (stats != nullptr) stage_start = Clock::now();
+  auto stage_seconds = [&stage_start] {
+    Clock::time_point now = Clock::now();
+    double elapsed =
+        std::chrono::duration<double>(now - stage_start).count();
+    stage_start = now;
+    return elapsed;
+  };
   std::vector<CommitOutcome> local_outcomes;  // caller passed nullptr
   if (outcomes == nullptr) outcomes = &local_outcomes;
   outcomes->assign(puls.size(), CommitOutcome{});
@@ -414,6 +424,7 @@ Result<size_t> VersionStore::CommitBatch(
     frame.payload = std::move(*payload);
     accepted.emplace_back(i, std::move(frame));
   }
+  if (stats != nullptr) stats->validate_seconds = stage_seconds();
   // Stage 2: WAL-first, one sync. Deferred appends skip the per-frame
   // policy sync; the single Sync() below makes the whole batch durable
   // at once — this is the coalescing that group commit buys.
@@ -429,6 +440,7 @@ Result<size_t> VersionStore::CommitBatch(
       return appended;
     }
   }
+  if (stats != nullptr) stage_start = Clock::now();
   if (!accepted.empty() && options_.fsync != FsyncPolicy::kNever) {
     Status synced = wal_.Sync();
     if (!synced.ok()) {
@@ -436,6 +448,7 @@ Result<size_t> VersionStore::CommitBatch(
       return synced;
     }
   }
+  if (stats != nullptr) stats->fsync_seconds = stage_seconds();
   // Stage 3: install. The frames are durable; adopt the scratch doc and
   // index the new frames.
   size_t frame_base = wal_.frames().size() - accepted.size();
@@ -467,6 +480,10 @@ Result<size_t> VersionStore::CommitBatch(
                 "version=" + std::to_string(head_) + " " +
                     checkpoint.message());
     }
+  }
+  if (stats != nullptr) {
+    stats->apply_seconds = stage_seconds();
+    stats->wal_bytes = wal_.size_bytes();
   }
   return accepted.size();
 }

@@ -61,6 +61,15 @@ struct CommitOutcome {
   uint64_t version = 0;
 };
 
+// Timing/size decomposition of one CommitBatch call, captured only when
+// the caller asks for it (the serving layer's per-request telemetry).
+struct BatchCommitStats {
+  double validate_seconds = 0.0;  // stage 1: scratch applicability+apply
+  double fsync_seconds = 0.0;     // stage 2: the single wal Sync()
+  double apply_seconds = 0.0;     // stage 3: install + checkpoint
+  uint64_t wal_bytes = 0;         // journal size after the batch
+};
+
 // One journal frame, as reported by Log().
 struct LogEntry {
   FrameType type = FrameType::kPul;
@@ -142,9 +151,11 @@ class VersionStore {
   // append/fsync failure fails the whole call: the journal may hold a
   // torn tail, in-memory state is untouched, and every outcome is
   // overwritten with the I/O error. Returns the number of PULs
-  // committed.
+  // committed. `stats`, when non-null, receives the per-stage timing
+  // decomposition (a null pointer costs nothing on the hot path).
   Result<size_t> CommitBatch(const std::vector<const pul::Pul*>& puls,
-                             std::vector<CommitOutcome>* outcomes);
+                             std::vector<CommitOutcome>* outcomes,
+                             BatchCommitStats* stats = nullptr);
 
   // Materializes the document at version `v` by replaying from the
   // nearest checkpoint at or below v (forward over kPul/kAggregate
@@ -182,6 +193,9 @@ class VersionStore {
   std::vector<LogEntry> Log() const;
 
   uint64_t head() const { return head_; }
+
+  // Journal size on disk — the serving layer exposes it as a gauge.
+  uint64_t wal_bytes() const { return wal_.size_bytes(); }
   const xml::Document& head_doc() const { return doc_; }
   const std::string& dir() const { return dir_; }
   const SnapshotStore& snapshots() const { return snapshots_; }

@@ -62,7 +62,9 @@ Result<Workload> GenerateWorkload(const WorkloadOptions& options) {
   std::vector<size_t> commits_per_tenant(options.num_tenants, 0);
   std::vector<size_t> reduces_per_tenant(options.num_tenants, 0);
   double clock = 0.0;
+  uint64_t next_id = 0;
   for (WorkloadItem& item : out.items) {
+    item.id = next_id++;
     item.tenant = rng.WeightedIndex(tenant_weights);
     item.type = static_cast<ItemType>(rng.WeightedIndex(mix));
     if (options.arrival_rate > 0) {

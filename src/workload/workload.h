@@ -26,6 +26,10 @@ enum class ItemType : uint8_t {
 };
 
 struct WorkloadItem {
+  // Stable stream ordinal (0-based position in Workload::items), so
+  // drivers can correlate a response, an error message or a server-side
+  // slow-request line back to the exact generated item.
+  uint64_t id = 0;
   ItemType type = ItemType::kCommit;
   size_t tenant = 0;  // index into Workload::tenants
   std::string pul_xml;

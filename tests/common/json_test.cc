@@ -1,0 +1,130 @@
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace xupdate::json {
+namespace {
+
+Value MustParse(std::string_view text) {
+  Result<Value> parsed = Parse(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().message();
+  return std::move(parsed).value();
+}
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(MustParse("null").is_null());
+  EXPECT_TRUE(MustParse("true").boolean);
+  EXPECT_FALSE(MustParse("false").boolean);
+  EXPECT_DOUBLE_EQ(MustParse("42").number, 42.0);
+  EXPECT_DOUBLE_EQ(MustParse("-3.5").number, -3.5);
+  EXPECT_DOUBLE_EQ(MustParse("1e3").number, 1000.0);
+  EXPECT_DOUBLE_EQ(MustParse("0.125").number, 0.125);
+  EXPECT_EQ(MustParse("\"hi\"").str, "hi");
+  EXPECT_EQ(MustParse("  \"ws\"  ").str, "ws");
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  EXPECT_EQ(MustParse("\"a\\\"b\\\\c\"").str, "a\"b\\c");
+  EXPECT_EQ(MustParse("\"line\\nbreak\\ttab\"").str, "line\nbreak\ttab");
+  EXPECT_EQ(MustParse("\"\\u0041\"").str, "A");
+  // Two-byte and three-byte UTF-8 from \u escapes.
+  EXPECT_EQ(MustParse("\"\\u00e9\"").str, "\xc3\xa9");
+  EXPECT_EQ(MustParse("\"\\u20ac\"").str, "\xe2\x82\xac");
+  // Surrogate pair -> 4-byte UTF-8.
+  EXPECT_EQ(MustParse("\"\\ud83d\\ude00\"").str, "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParseTest, ArraysAndObjects) {
+  Value v = MustParse("[1,\"two\",[3],{}]");
+  ASSERT_TRUE(v.is_array());
+  ASSERT_EQ(v.items.size(), 4u);
+  EXPECT_DOUBLE_EQ(v.items[0].number, 1.0);
+  EXPECT_EQ(v.items[1].str, "two");
+  ASSERT_TRUE(v.items[2].is_array());
+  EXPECT_TRUE(v.items[3].is_object());
+
+  Value o = MustParse("{\"a\":1,\"b\":{\"c\":true}}");
+  ASSERT_TRUE(o.is_object());
+  const Value* a = o.Find("a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_DOUBLE_EQ(a->number, 1.0);
+  const Value* b = o.Find("b");
+  ASSERT_NE(b, nullptr);
+  const Value* c = b->Find("c");
+  ASSERT_NE(c, nullptr);
+  EXPECT_TRUE(c->boolean);
+  EXPECT_EQ(o.Find("missing"), nullptr);
+  EXPECT_EQ(a->Find("a"), nullptr);  // non-object lookup
+}
+
+TEST(JsonParseTest, MemberOrderIsSourceOrder) {
+  Value o = MustParse("{\"z\":1,\"a\":2}");
+  ASSERT_EQ(o.members.size(), 2u);
+  EXPECT_EQ(o.members[0].first, "z");
+  EXPECT_EQ(o.members[1].first, "a");
+}
+
+TEST(JsonParseTest, TypedAccessors) {
+  Value o = MustParse("{\"n\":7,\"neg\":-2,\"s\":\"x\"}");
+  EXPECT_EQ(o.Find("n")->U64Or(99), 7u);
+  EXPECT_EQ(o.Find("neg")->U64Or(99), 99u);  // negative -> fallback
+  EXPECT_EQ(o.Find("neg")->I64Or(99), -2);
+  EXPECT_EQ(o.Find("s")->StringOr("d"), "x");
+  EXPECT_EQ(o.Find("n")->StringOr("d"), "d");  // mistyped -> fallback
+  EXPECT_DOUBLE_EQ(o.Find("s")->NumberOr(1.5), 1.5);
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  EXPECT_FALSE(Parse("").ok());
+  EXPECT_FALSE(Parse("{").ok());
+  EXPECT_FALSE(Parse("[1,]").ok());
+  EXPECT_FALSE(Parse("{\"a\":}").ok());
+  EXPECT_FALSE(Parse("{\"a\" 1}").ok());
+  EXPECT_FALSE(Parse("\"unterminated").ok());
+  EXPECT_FALSE(Parse("\"bad\\q\"").ok());
+  EXPECT_FALSE(Parse("\"\\u12\"").ok());
+  EXPECT_FALSE(Parse("nul").ok());
+  EXPECT_FALSE(Parse("+1").ok());
+  EXPECT_FALSE(Parse("01").ok());
+  EXPECT_FALSE(Parse("1.").ok());
+  // Exactly one document: trailing tokens are an error.
+  EXPECT_FALSE(Parse("{} {}").ok());
+  EXPECT_FALSE(Parse("1 2").ok());
+}
+
+TEST(JsonParseTest, ErrorCarriesOffset) {
+  Result<Value> r = Parse("{\"a\":bad}");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("offset"), std::string::npos);
+}
+
+TEST(JsonParseTest, BoundedNestingDepth) {
+  // Just inside the limit parses; a pathological deep nest is rejected
+  // instead of overflowing the stack.
+  std::string ok_doc(90, '[');
+  ok_doc += std::string(90, ']');
+  EXPECT_TRUE(Parse(ok_doc).ok());
+  std::string deep(500, '[');
+  deep += std::string(500, ']');
+  EXPECT_FALSE(Parse(deep).ok());
+}
+
+TEST(JsonParseTest, ParsesMetricsShapedPayload) {
+  // The exact shape the telemetry readers consume.
+  Value v = MustParse(
+      "{\"counters\":{\"a\":1},\"gauges\":{\"g\":-2},"
+      "\"timers\":{\"t\":{\"seconds\":0.125000000,\"count\":1,"
+      "\"buckets\":[0,1,0]}}}");
+  EXPECT_EQ(v.Find("counters")->Find("a")->U64Or(0), 1u);
+  EXPECT_EQ(v.Find("gauges")->Find("g")->I64Or(0), -2);
+  const Value* t = v.Find("timers")->Find("t");
+  ASSERT_NE(t, nullptr);
+  EXPECT_DOUBLE_EQ(t->Find("seconds")->NumberOr(0), 0.125);
+  ASSERT_EQ(t->Find("buckets")->items.size(), 3u);
+  EXPECT_EQ(t->Find("buckets")->items[1].U64Or(0), 1u);
+}
+
+}  // namespace
+}  // namespace xupdate::json

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -19,6 +20,16 @@ TEST(MetricsTest, CountersAccumulate) {
   EXPECT_EQ(m.counter("b"), 2u);
 }
 
+TEST(MetricsTest, GaugesHoldLastValue) {
+  Metrics m;
+  EXPECT_EQ(m.gauge("depth"), 0);
+  m.SetGauge("depth", 7);
+  m.SetGauge("depth", 3);
+  m.SetGauge("negative", -12);
+  EXPECT_EQ(m.gauge("depth"), 3);
+  EXPECT_EQ(m.gauge("negative"), -12);
+}
+
 TEST(MetricsTest, TimersAccumulate) {
   Metrics m;
   m.RecordDuration("t", 0.25);
@@ -31,29 +42,54 @@ TEST(MetricsTest, JsonIsSortedAndDeterministic) {
   Metrics m;
   m.AddCounter("zeta", 3);
   m.AddCounter("alpha", 1);
+  m.SetGauge("depth", 4);
   m.RecordDuration("phase", 0.125);
   std::string json = m.ToJson();
-  // A single sample pins every percentile to the observed max.
+  // A single sample pins every percentile to the observed max; 0.125 s
+  // lands in the (0.1, 0.2] bucket (index 16 of the 1-2-5 ladder).
   EXPECT_EQ(json,
             "{\"counters\":{\"alpha\":1,\"zeta\":3},"
+            "\"gauges\":{\"depth\":4},"
             "\"timers\":{\"phase\":{\"seconds\":0.125000000,\"count\":1,"
             "\"min\":0.125000000,\"max\":0.125000000,\"p50\":0.125000000,"
-            "\"p95\":0.125000000,\"p99\":0.125000000}}}");
+            "\"p95\":0.125000000,\"p99\":0.125000000,"
+            "\"buckets\":[0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,1,0,0,0,0,0,0]}}}");
   // Insertion order must not matter.
   Metrics m2;
   m2.RecordDuration("phase", 0.125);
+  m2.SetGauge("depth", 4);
   m2.AddCounter("alpha", 1);
   m2.AddCounter("zeta", 3);
   EXPECT_EQ(m2.ToJson(), json);
 }
 
-TEST(MetricsTest, JsonEscapesNames) {
+TEST(MetricsTest, ValidNamesCoverTheDocumentedCharset) {
+  EXPECT_TRUE(IsValidMetricName("server.commit.seconds"));
+  EXPECT_TRUE(IsValidMetricName("tenant/t0/commit.seconds"));
+  EXPECT_TRUE(IsValidMetricName("a-b_c/D.9"));
+  EXPECT_FALSE(IsValidMetricName(""));
+  EXPECT_FALSE(IsValidMetricName("has space"));
+  EXPECT_FALSE(IsValidMetricName("quote\"d"));
+  EXPECT_FALSE(IsValidMetricName("new\nline"));
+  EXPECT_FALSE(IsValidMetricName("tab\tname"));
+  EXPECT_FALSE(IsValidMetricName(std::string("nul\0byte", 8)));
+}
+
+TEST(MetricsTest, InvalidNamesAreDroppedAndCounted) {
   Metrics m;
-  m.AddCounter("a\"b\\c", 1);
+  // A hostile "name" trying to break out of the JSON / Prometheus /
+  // JSONL sinks must never register.
+  const std::string hostile = "evil\"}\n,{\"injected\":1";
+  m.AddCounter(hostile, 5);
+  m.SetGauge("also bad", 1);
   m.RecordDuration("t\n", 0.5);
+  EXPECT_EQ(m.counter(hostile), 0u);
+  EXPECT_EQ(m.counter(kInvalidMetricNameCounter), 3u);
   std::string json = m.ToJson();
-  EXPECT_NE(json.find("\"a\\\"b\\\\c\":1"), std::string::npos);
-  EXPECT_NE(json.find("\"t\\n\":{"), std::string::npos);
+  EXPECT_EQ(json.find("evil"), std::string::npos);
+  EXPECT_EQ(json.find("injected"), std::string::npos);
+  EXPECT_NE(json.find("\"metrics.invalid_name.dropped\":3"),
+            std::string::npos);
 }
 
 TEST(MetricsTest, TimerSnapshotTracksExtremaAndPercentiles) {
@@ -83,17 +119,95 @@ TEST(MetricsTest, MissingTimerSnapshotIsZero) {
 
 TEST(MetricsTest, EmptyJson) {
   Metrics m;
-  EXPECT_EQ(m.ToJson(), "{\"counters\":{},\"timers\":{}}");
+  EXPECT_EQ(m.ToJson(), "{\"counters\":{},\"gauges\":{},\"timers\":{}}");
 }
 
 TEST(MetricsTest, ClearResets) {
   Metrics m;
   m.AddCounter("a", 7);
+  m.SetGauge("g", 2);
   m.RecordDuration("t", 1.0);
   m.Clear();
   EXPECT_EQ(m.counter("a"), 0u);
+  EXPECT_EQ(m.gauge("g"), 0);
   EXPECT_DOUBLE_EQ(m.total_seconds("t"), 0.0);
-  EXPECT_EQ(m.ToJson(), "{\"counters\":{},\"timers\":{}}");
+  EXPECT_EQ(m.ToJson(), "{\"counters\":{},\"gauges\":{},\"timers\":{}}");
+}
+
+TEST(MetricsTest, SnapshotIsConsistentCopy) {
+  Metrics m;
+  m.AddCounter("c", 2);
+  m.SetGauge("g", -5);
+  m.RecordDuration("t", 0.003);
+  MetricsSnapshot snap = m.Snapshot();
+  // Later registry mutations must not leak into the snapshot.
+  m.AddCounter("c", 100);
+  m.SetGauge("g", 100);
+  EXPECT_EQ(snap.counters.at("c"), 2u);
+  EXPECT_EQ(snap.gauges.at("g"), -5);
+  EXPECT_EQ(snap.timers.at("t").count, 1u);
+  EXPECT_EQ(MetricsSnapshotToJson(snap), MetricsSnapshotToJson(snap));
+  // Serializing a snapshot equals serializing the registry it copied.
+  Metrics m2;
+  m2.AddCounter("c", 2);
+  m2.SetGauge("g", -5);
+  m2.RecordDuration("t", 0.003);
+  EXPECT_EQ(MetricsSnapshotToJson(snap), m2.ToJson());
+}
+
+TEST(MetricsDeltaTest, CountersDiffAndClampAtZero) {
+  Metrics m;
+  m.AddCounter("grow", 10);
+  MetricsSnapshot before = m.Snapshot();
+  m.AddCounter("grow", 5);
+  m.AddCounter("fresh", 3);
+  MetricsSnapshot after = m.Snapshot();
+  MetricsDelta delta = DeltaSnapshots(before, after);
+  EXPECT_EQ(delta.counters.at("grow"), 5u);
+  EXPECT_EQ(delta.counters.at("fresh"), 3u);
+  // A registry reset between polls must clamp, not underflow.
+  MetricsDelta clamped = DeltaSnapshots(after, before);
+  EXPECT_EQ(clamped.counters.at("grow"), 0u);
+}
+
+TEST(MetricsDeltaTest, GaugesArePointInTime) {
+  Metrics m;
+  m.SetGauge("depth", 9);
+  MetricsSnapshot before = m.Snapshot();
+  m.SetGauge("depth", 2);
+  MetricsDelta delta = DeltaSnapshots(before, m.Snapshot());
+  EXPECT_EQ(delta.gauges.at("depth"), 2);
+}
+
+TEST(MetricsDeltaTest, TimerPercentilesReflectTheIntervalOnly) {
+  Metrics m;
+  // Lifetime starts slow...
+  for (int i = 0; i < 100; ++i) m.RecordDuration("lat", 0.08);
+  MetricsSnapshot before = m.Snapshot();
+  // ...but the interval is fast: interval percentiles must report the
+  // fast bucket, not the slow lifetime mixture.
+  for (int i = 0; i < 50; ++i) m.RecordDuration("lat", 0.0008);
+  MetricsSnapshot after = m.Snapshot();
+  MetricsDelta delta = DeltaSnapshots(before, after);
+  const MetricsDelta::TimerDelta& t = delta.timers.at("lat");
+  EXPECT_EQ(t.count, 50u);
+  EXPECT_NEAR(t.seconds, 50 * 0.0008, 1e-9);
+  EXPECT_DOUBLE_EQ(t.p50, 0.001);
+  EXPECT_DOUBLE_EQ(t.p99, 0.001);
+  // Lifetime view still sees the slow mass (bucket bound 0.1 clamped
+  // to the observed max).
+  EXPECT_DOUBLE_EQ(m.timer("lat").p50, 0.08);
+}
+
+TEST(MetricsDeltaTest, EmptyIntervalHasZeroPercentiles) {
+  Metrics m;
+  m.RecordDuration("lat", 0.01);
+  MetricsSnapshot snap = m.Snapshot();
+  MetricsDelta delta = DeltaSnapshots(snap, snap);
+  const MetricsDelta::TimerDelta& t = delta.timers.at("lat");
+  EXPECT_EQ(t.count, 0u);
+  EXPECT_DOUBLE_EQ(t.p50, 0.0);
+  EXPECT_DOUBLE_EQ(t.p99, 0.0);
 }
 
 TEST(MetricsTest, ConcurrentUpdatesAreLossless) {

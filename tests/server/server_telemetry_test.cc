@@ -1,0 +1,380 @@
+// Serving-layer telemetry: per-tenant metric isolation, the versioned
+// kStat payload on the wire, the flight recorder window, slow-request
+// logging and per-request trace determinism.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/metrics.h"
+#include "label/labeling.h"
+#include "obs/flight_recorder.h"
+#include "obs/sinks.h"
+#include "obs/trace.h"
+#include "pul/apply.h"
+#include "pul/pul_io.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "server/server.h"
+#include "server/stat.h"
+#include "store/version.h"
+#include "testing/test_docs.h"
+#include "workload/pul_generator.h"
+
+namespace xupdate::server {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ServerTelemetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("xupdate_server_telemetry_test_" +
+            std::to_string(
+                ::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    fs::create_directories(dir_);
+
+    doc_ = xupdate::testing::PaperFigureDocument();
+    auto xml = store::VersionStore::SerializeAnnotated(doc_);
+    ASSERT_TRUE(xml.ok());
+    base_xml_ = *xml;
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) {
+      ASSERT_TRUE(server_->Stop().ok());
+      server_.reset();
+    }
+    fs::remove_all(dir_);
+  }
+
+  ServerOptions BaseOptions(const std::string& tag) {
+    ServerOptions options;
+    options.socket_path = (dir_ / (tag + ".sock")).string();
+    options.data_dir = (dir_ / (tag + "_data")).string();
+    options.commit_window_ms = 0;
+    options.metrics = &metrics_;
+    options.store.snapshot_every = 0;
+    options.store.snapshot_bytes = 0;
+    return options;
+  }
+
+  void StartServer(const ServerOptions& options) {
+    auto server = Server::Start(options);
+    ASSERT_TRUE(server.ok()) << server.status();
+    server_ = std::move(*server);
+    socket_path_ = options.socket_path;
+  }
+
+  Client Connect() {
+    auto client = Client::Connect(socket_path_);
+    EXPECT_TRUE(client.ok()) << client.status();
+    return std::move(*client);
+  }
+
+  std::vector<std::string> ChainXml(size_t n, uint64_t seed) {
+    label::Labeling labeling = label::Labeling::Build(doc_);
+    workload::PulGenerator gen(doc_, labeling, seed);
+    workload::PulGenerator::SequenceOptions seq;
+    seq.num_puls = n;
+    seq.ops_per_pul = 3;
+    auto puls = gen.GenerateSequence(seq);
+    EXPECT_TRUE(puls.ok()) << puls.status();
+    std::vector<std::string> out;
+    for (const pul::Pul& pul : *puls) {
+      auto xml = pul::SerializePul(pul);
+      EXPECT_TRUE(xml.ok());
+      out.push_back(*xml);
+    }
+    return out;
+  }
+
+  fs::path dir_;
+  std::string socket_path_;
+  Metrics metrics_;
+  std::unique_ptr<Server> server_;
+  xml::Document doc_;
+  std::string base_xml_;
+};
+
+TEST_F(ServerTelemetryTest, PerTenantMetricsDoNotBleed) {
+  StartServer(BaseOptions("iso"));
+  Client client = Connect();
+  ASSERT_TRUE(client.Open("t0", base_xml_).ok());
+  ASSERT_TRUE(client.Open("t1", base_xml_).ok());
+
+  std::vector<std::string> chain0 = ChainXml(3, 7);
+  std::vector<std::string> chain1 = ChainXml(2, 11);
+  for (const std::string& pul_xml : chain0) {
+    auto ack = client.Commit("t0", pul_xml);
+    ASSERT_TRUE(ack.ok()) << ack.status();
+  }
+  for (const std::string& pul_xml : chain1) {
+    auto ack = client.Commit("t1", pul_xml);
+    ASSERT_TRUE(ack.ok()) << ack.status();
+  }
+  ASSERT_TRUE(client.Checkout("t0", 1).ok());
+
+  // Each tenant sees exactly its own traffic...
+  EXPECT_EQ(metrics_.counter("tenant/t0/commit.count"), 3u);
+  EXPECT_EQ(metrics_.counter("tenant/t1/commit.count"), 2u);
+  EXPECT_EQ(metrics_.counter("tenant/t0/commit.errors"), 0u);
+  EXPECT_EQ(metrics_.counter("tenant/t1/commit.errors"), 0u);
+  EXPECT_EQ(metrics_.timer("tenant/t0/commit.seconds").count, 3u);
+  EXPECT_EQ(metrics_.timer("tenant/t1/commit.seconds").count, 2u);
+  EXPECT_EQ(metrics_.timer("tenant/t0/checkout.seconds").count, 1u);
+  EXPECT_EQ(metrics_.timer("tenant/t1/checkout.seconds").count, 0u);
+  EXPECT_EQ(metrics_.counter("tenant/t0/shed.count"), 0u);
+  // ...and the global aggregate equals the per-tenant sum.
+  EXPECT_EQ(metrics_.counter("store.commit.count"),
+            metrics_.counter("tenant/t0/commit.count") +
+                metrics_.counter("tenant/t1/commit.count"));
+  // WAL gauges are per tenant and sum to the global gauge.
+  int64_t wal0 = metrics_.gauge("tenant/t0/wal.bytes");
+  int64_t wal1 = metrics_.gauge("tenant/t1/wal.bytes");
+  EXPECT_GT(wal0, 0);
+  EXPECT_GT(wal1, 0);
+  EXPECT_EQ(metrics_.gauge("server.wal.bytes"), wal0 + wal1);
+  EXPECT_EQ(metrics_.gauge("server.tenants.resident"), 2);
+}
+
+TEST_F(ServerTelemetryTest, PerTenantMetricsCanBeDisabled) {
+  ServerOptions options = BaseOptions("off");
+  options.per_tenant_metrics = false;
+  StartServer(options);
+  Client client = Connect();
+  ASSERT_TRUE(client.Open("t0", base_xml_).ok());
+  std::vector<std::string> chain = ChainXml(2, 7);
+  for (const std::string& pul_xml : chain) {
+    ASSERT_TRUE(client.Commit("t0", pul_xml).ok());
+  }
+  EXPECT_EQ(metrics_.counter("store.commit.count"), 2u);
+  EXPECT_EQ(metrics_.counter("tenant/t0/commit.count"), 0u);
+  EXPECT_EQ(metrics_.timer("tenant/t0/commit.seconds").count, 0u);
+}
+
+TEST_F(ServerTelemetryTest, StatPayloadIsVersionedAndParsable) {
+  StartServer(BaseOptions("stat"));
+  Client client = Connect();
+  ASSERT_TRUE(client.Open("t0", base_xml_).ok());
+  std::vector<std::string> chain = ChainXml(2, 7);
+  for (const std::string& pul_xml : chain) {
+    ASSERT_TRUE(client.Commit("t0", pul_xml).ok());
+  }
+
+  // The raw response advertises the payload version out-of-band (ok.b)
+  // and keeps the whole story in payload[0] — the shape an old client
+  // that slices payload[0] still reads.
+  Message request;
+  request.type = MsgType::kStat;
+  ASSERT_TRUE(client.Send(request).ok());
+  auto response = client.Receive();
+  ASSERT_TRUE(response.ok()) << response.status();
+  ASSERT_EQ(response->type, MsgType::kOk);
+  EXPECT_EQ(response->b, kStatVersion);
+  ASSERT_GE(response->payload.size(), 1u);
+
+  auto stat = ParseStatJson(response->payload[0]);
+  ASSERT_TRUE(stat.ok()) << stat.status().message();
+  EXPECT_EQ(stat->version, kStatVersion);
+  EXPECT_GE(stat->seq, 1u);
+  EXPECT_EQ(stat->global.counters.at("store.commit.count"), 2u);
+  ASSERT_EQ(stat->tenants.count("t0"), 1u);
+  EXPECT_EQ(stat->tenants.at("t0").counters.at("commit.count"), 2u);
+
+  // Consecutive polls advance the snapshot ordinal and never rewind
+  // the uptime clock.
+  ASSERT_TRUE(client.Send(request).ok());
+  auto second = client.Receive();
+  ASSERT_TRUE(second.ok());
+  auto stat2 = ParseStatJson(second->payload[0]);
+  ASSERT_TRUE(stat2.ok());
+  EXPECT_EQ(stat2->seq, stat->seq + 1);
+  EXPECT_GE(stat2->uptime_ticks, stat->uptime_ticks);
+}
+
+TEST_F(ServerTelemetryTest, FlightRecorderCapturesTheServingWindow) {
+  ServerOptions options = BaseOptions("flight");
+  options.flight_dump_path = (dir_ / "flight.jsonl").string();
+  StartServer(options);
+  Client client = Connect();
+  ASSERT_TRUE(client.Open("t0", base_xml_).ok());
+  std::vector<std::string> chain = ChainXml(2, 7);
+  for (const std::string& pul_xml : chain) {
+    ASSERT_TRUE(client.Commit("t0", pul_xml).ok());
+  }
+
+  const obs::FlightRecorder* flight = server_->flight_recorder();
+  ASSERT_NE(flight, nullptr);
+  size_t opens = 0, admits = 0, seals = 0, fsyncs = 0, applies = 0;
+  for (const obs::FlightRecorder::Event& e : flight->Events()) {
+    switch (e.kind) {
+      case obs::FlightEventKind::kTenantOpen: ++opens; break;
+      case obs::FlightEventKind::kAdmit: ++admits; break;
+      case obs::FlightEventKind::kBatchSeal: ++seals; break;
+      case obs::FlightEventKind::kFsyncOk: ++fsyncs; break;
+      case obs::FlightEventKind::kApply: ++applies; break;
+      default: break;
+    }
+  }
+  EXPECT_EQ(opens, 1u);
+  EXPECT_EQ(admits, 2u);
+  EXPECT_GE(seals, 1u);
+  EXPECT_GE(fsyncs, 1u);
+  EXPECT_GE(applies, 1u);
+
+  // An explicit dump (the SIGUSR1 path) writes parseable JSONL.
+  ASSERT_TRUE(server_->DumpFlightRecorder().ok());
+  std::ifstream in(options.flight_dump_path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  int lines = 0;
+  bool saw_seal = false;
+  while (std::getline(in, line)) {
+    auto parsed = json::Parse(line);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().message() << ": " << line;
+    if (parsed->Find("kind")->StringOr("") == "batch-seal") saw_seal = true;
+    ++lines;
+  }
+  EXPECT_GT(lines, 0);
+  EXPECT_TRUE(saw_seal);
+
+  // Shutdown appends the shutdown marker to a fresh dump.
+  ASSERT_TRUE(server_->Stop().ok());
+  server_.reset();
+  std::ifstream in2(options.flight_dump_path);
+  std::stringstream buffer;
+  buffer << in2.rdbuf();
+  EXPECT_NE(buffer.str().find("\"kind\":\"shutdown\""), std::string::npos);
+}
+
+TEST_F(ServerTelemetryTest, FlightRecorderCanBeDisabled) {
+  ServerOptions options = BaseOptions("noflight");
+  options.flight_recorder_capacity = 0;
+  StartServer(options);
+  Client client = Connect();
+  ASSERT_TRUE(client.Ping().ok());
+  EXPECT_EQ(server_->flight_recorder(), nullptr);
+  EXPECT_TRUE(server_->DumpFlightRecorder().ok());  // no-op, not an error
+}
+
+TEST_F(ServerTelemetryTest, SlowRequestLogWritesStructuredLines) {
+  ServerOptions options = BaseOptions("slow");
+  options.slow_request_ms = 0;  // every request is "slow"
+  options.slow_request_log_path = (dir_ / "slow.jsonl").string();
+  StartServer(options);
+  Client client = Connect();
+  ASSERT_TRUE(client.Open("t0", base_xml_).ok());
+  std::vector<std::string> chain = ChainXml(2, 7);
+  for (const std::string& pul_xml : chain) {
+    ASSERT_TRUE(client.Commit("t0", pul_xml).ok());
+  }
+  ASSERT_TRUE(client.Checkout("t0", 1).ok());
+  ASSERT_TRUE(server_->Stop().ok());
+  server_.reset();
+
+  std::ifstream in(options.slow_request_log_path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  int commit_lines = 0, other_lines = 0;
+  while (std::getline(in, line)) {
+    auto parsed = json::Parse(line);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().message() << ": " << line;
+    const json::Value& v = *parsed;
+    ASSERT_NE(v.Find("type"), nullptr) << line;
+    ASSERT_NE(v.Find("total_ms"), nullptr) << line;
+    EXPECT_EQ(v.Find("status")->StringOr(""), "ok") << line;
+    if (v.Find("type")->StringOr("") == "commit") {
+      ++commit_lines;
+      EXPECT_EQ(v.Find("tenant")->StringOr(""), "t0");
+      EXPECT_GE(v.Find("batch")->U64Or(0), 1u);
+      EXPECT_NE(v.Find("fsync_ms"), nullptr);
+      EXPECT_NE(v.Find("admission_ms"), nullptr);
+    } else {
+      ++other_lines;
+    }
+  }
+  EXPECT_EQ(commit_lines, 2);
+  EXPECT_GE(other_lines, 2);  // open + checkout at least
+  EXPECT_EQ(metrics_.counter("server.slowlog.count"),
+            static_cast<uint64_t>(commit_lines + other_lines));
+}
+
+TEST_F(ServerTelemetryTest, SlowLogRateLimitCountsDrops) {
+  ServerOptions options = BaseOptions("ratelimit");
+  options.slow_request_ms = 0;
+  options.slow_request_log_path = (dir_ / "slow.jsonl").string();
+  options.slow_request_log_max_per_sec = 1;  // burst cap 2
+  StartServer(options);
+  Client client = Connect();
+  ASSERT_TRUE(client.Open("t0", base_xml_).ok());
+  std::vector<std::string> chain = ChainXml(6, 7);
+  for (const std::string& pul_xml : chain) {
+    ASSERT_TRUE(client.Commit("t0", pul_xml).ok());
+  }
+  uint64_t written = metrics_.counter("server.slowlog.count");
+  uint64_t dropped = metrics_.counter("server.slowlog.dropped");
+  EXPECT_GE(written, 1u);
+  EXPECT_GE(dropped, 1u);
+  EXPECT_EQ(written + dropped, 7u);  // open + 6 commits
+}
+
+TEST_F(ServerTelemetryTest, TraceJournalIsDeterministicForSerialWorkload) {
+  // Two fresh servers replaying the same serial single-connection
+  // workload must emit byte-identical journals: request ids are
+  // allocated in arrival order, the journal carries no timestamps, and
+  // events sort by (request, lane, seq).
+  std::vector<std::string> chain = ChainXml(3, 7);
+  auto run = [&](const std::string& tag) {
+    obs::Tracer tracer;
+    ServerOptions options = BaseOptions(tag);
+    options.tracer = &tracer;
+    auto server = Server::Start(options);
+    EXPECT_TRUE(server.ok()) << server.status();
+    {
+      auto client = Client::Connect(options.socket_path);
+      EXPECT_TRUE(client.ok());
+      EXPECT_TRUE(client->Open("t0", base_xml_).ok());
+      for (const std::string& pul_xml : chain) {
+        EXPECT_TRUE(client->Commit("t0", pul_xml).ok());
+      }
+      EXPECT_TRUE(client->Checkout("t0", 2).ok());
+    }
+    EXPECT_TRUE((*server)->Stop().ok());
+    return obs::ToJournalJsonl(tracer);
+  };
+  std::string first = run("trace_a");
+  metrics_.Clear();
+  std::string second = run("trace_b");
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+  // The journal names the commit phases the tracing contract promises.
+  EXPECT_NE(first.find("commit.admit"), std::string::npos);
+  EXPECT_NE(first.find("commit.store"), std::string::npos);
+  EXPECT_NE(first.find("commit.respond"), std::string::npos);
+  EXPECT_NE(first.find("batch.sealed"), std::string::npos);
+}
+
+TEST_F(ServerTelemetryTest, GaugesTrackServingState) {
+  StartServer(BaseOptions("gauges"));
+  Client client = Connect();
+  ASSERT_TRUE(client.Open("t0", base_xml_).ok());
+  std::vector<std::string> chain = ChainXml(1, 7);
+  ASSERT_TRUE(client.Commit("t0", chain[0]).ok());
+  EXPECT_EQ(metrics_.gauge("server.tenants.resident"), 1);
+  EXPECT_GT(metrics_.gauge("server.wal.bytes"), 0);
+  EXPECT_GE(metrics_.gauge("server.batch.window.occupancy"), 1);
+  EXPECT_EQ(metrics_.gauge("server.queue.depth"), 0);  // drained
+}
+
+}  // namespace
+}  // namespace xupdate::server

@@ -36,12 +36,14 @@
 #include "exec/in_memory.h"
 #include "label/sidecar.h"
 #include "obs/explain.h"
+#include "obs/exposition.h"
 #include "obs/sinks.h"
 #include "obs/trace.h"
 #include "pul/obtainable.h"
 #include "exec/streaming.h"
 #include "server/client.h"
 #include "server/server.h"
+#include "server/stat.h"
 #include "store/version.h"
 #include "workload/workload.h"
 #include "label/labeling.h"
@@ -904,8 +906,10 @@ Status CmdStore(const Args& args, std::ostream& out) {
 // serve / loadgen: the PUL reasoning daemon and its driver.
 
 std::atomic<bool> g_serve_signal{false};
+std::atomic<bool> g_serve_usr1{false};
 
 void HandleServeSignal(int) { g_serve_signal.store(true); }
+void HandleServeUsr1(int) { g_serve_usr1.store(true); }
 
 Status CmdServe(const Args& args, std::ostream& out) {
   XUPDATE_RETURN_IF_ERROR(RequireFlags(args, {"socket", "data-dir"}));
@@ -938,6 +942,36 @@ Status CmdServe(const Args& args, std::ostream& out) {
                            ParseFlagInt(args, "max-parallelism", 8, 1, 256));
   options.max_parallelism = static_cast<int>(max_parallelism);
   options.metrics = &metrics;
+  // --trace/--chrome-trace attach per-request span tracing; the
+  // journal/timeline files are written when the server exits.
+  if (WantTrace(args)) options.tracer = &tracer;
+  if (args.Has("slow-request-ms")) {
+    XUPDATE_ASSIGN_OR_RETURN(
+        int64_t slow_ms,
+        ParseFlagInt(args, "slow-request-ms", 0, 0, 3600000));
+    options.slow_request_ms = static_cast<int>(slow_ms);
+    options.slow_request_log_path = args.Get("slow-request-log");
+  }
+  XUPDATE_ASSIGN_OR_RETURN(
+      int64_t slow_rate,
+      ParseFlagInt(args, "slow-request-log-rate", 20, 0, 100000));
+  options.slow_request_log_max_per_sec = static_cast<int>(slow_rate);
+  XUPDATE_ASSIGN_OR_RETURN(
+      int64_t flight_capacity,
+      ParseFlagInt(args, "flight-capacity", 1024, 0, 1 << 20));
+  options.flight_recorder_capacity = static_cast<size_t>(flight_capacity);
+  options.flight_dump_path = args.Get("flight-dump");
+  XUPDATE_ASSIGN_OR_RETURN(
+      int64_t per_tenant_metrics,
+      ParseFlagInt(args, "per-tenant-metrics", 1, 0, 1));
+  options.per_tenant_metrics = per_tenant_metrics != 0;
+  // --metrics-out writes the Prometheus text exposition atomically every
+  // --metrics-interval-ms, so any file-based scraper tails a consistent
+  // snapshot without speaking the wire protocol.
+  std::string metrics_out = args.Get("metrics-out");
+  XUPDATE_ASSIGN_OR_RETURN(
+      int64_t metrics_interval,
+      ParseFlagInt(args, "metrics-interval-ms", 1000, 10, 3600000));
   XUPDATE_ASSIGN_OR_RETURN(std::unique_ptr<server::Server> server,
                            server::Server::Start(options));
   out << "serving on " << options.socket_path << " (data in "
@@ -947,18 +981,204 @@ Status CmdServe(const Args& args, std::ostream& out) {
     out << ", per-tenant quota " << options.max_pending_per_tenant;
   }
   if (options.schema != nullptr) out << ", schema router on";
+  if (options.tracer != nullptr) out << ", tracing on";
+  if (options.slow_request_ms >= 0) {
+    out << ", slow-request log at " << options.slow_request_ms << " ms";
+  }
+  if (!metrics_out.empty()) out << ", metrics to " << metrics_out;
   out << ")\n";
   out.flush();
   g_serve_signal.store(false);
+  g_serve_usr1.store(false);
   std::signal(SIGINT, HandleServeSignal);
   std::signal(SIGTERM, HandleServeSignal);
-  server->Wait(&g_serve_signal);
+  std::signal(SIGUSR1, HandleServeUsr1);
+  // Housekeeping loop instead of a blocking Wait: services SIGUSR1
+  // flight-recorder dumps and the periodic metrics exposition while
+  // watching for shutdown (signal or kShutdown request).
+  auto next_metrics_write = std::chrono::steady_clock::now();
+  while (!g_serve_signal.load() && !server->stop_requested()) {
+    if (g_serve_usr1.exchange(false)) {
+      Status dumped = server->DumpFlightRecorder();
+      out << (dumped.ok() ? "flight recorder dumped\n"
+                          : "flight recorder dump failed: " +
+                                dumped.ToString() + "\n");
+      out.flush();
+    }
+    if (!metrics_out.empty() &&
+        std::chrono::steady_clock::now() >= next_metrics_write) {
+      Status written = WriteFileAtomic(
+          metrics_out, obs::RenderPrometheus(metrics.Snapshot()));
+      if (!written.ok()) {
+        out << "metrics exposition failed (disabled): " << written.ToString()
+            << "\n";
+        out.flush();
+        metrics_out.clear();
+      }
+      next_metrics_write = std::chrono::steady_clock::now() +
+                           std::chrono::milliseconds(metrics_interval);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
   Status stopped = server->Stop();
   std::signal(SIGINT, SIG_DFL);
   std::signal(SIGTERM, SIG_DFL);
+  std::signal(SIGUSR1, SIG_DFL);
+  if (!metrics_out.empty()) {
+    // Final exposition so scrapers see the shutdown-complete totals.
+    XUPDATE_RETURN_IF_ERROR(WriteFileAtomic(
+        metrics_out, obs::RenderPrometheus(metrics.Snapshot())));
+  }
   out << "server stopped\n";
   XUPDATE_RETURN_IF_ERROR(MaybeDumpMetrics(args, metrics, out));
+  XUPDATE_RETURN_IF_ERROR(MaybeWriteTraces(args, tracer, out));
   return stopped;
+}
+
+// ---------------------------------------------------------------------------
+// stat / top: poll a running server's versioned kStat payload.
+
+Result<server::StatSnapshot> FetchStat(server::Client* client) {
+  XUPDATE_ASSIGN_OR_RETURN(std::string payload, client->Stat());
+  return server::ParseStatJson(payload);
+}
+
+Status CmdStat(const Args& args, std::ostream& out) {
+  XUPDATE_RETURN_IF_ERROR(RequireFlags(args, {"socket"}));
+  XUPDATE_ASSIGN_OR_RETURN(server::Client client,
+                           server::Client::Connect(args.Get("socket")));
+  const std::string format = args.Get("format", "json");
+  if (format == "json") {
+    XUPDATE_ASSIGN_OR_RETURN(std::string payload, client.Stat());
+    out << payload << "\n";
+    return Status::OK();
+  }
+  if (format == "prom") {
+    XUPDATE_ASSIGN_OR_RETURN(server::StatSnapshot stat, FetchStat(&client));
+    out << obs::RenderPrometheus(server::FlattenStatSnapshot(stat));
+    return Status::OK();
+  }
+  return Status::InvalidArgument("--format must be json|prom, got \"" +
+                                 format + "\"");
+}
+
+uint64_t DeltaCounter(const MetricsDelta& delta, std::string_view name) {
+  auto it = delta.counters.find(name);
+  return it == delta.counters.end() ? 0 : it->second;
+}
+
+int64_t DeltaGauge(const MetricsDelta& delta, std::string_view name) {
+  auto it = delta.gauges.find(name);
+  return it == delta.gauges.end() ? 0 : it->second;
+}
+
+// One refresh of the live monitor: global throughput/health line plus a
+// per-tenant table, all computed from the delta between two stat polls.
+void RenderTopFrame(std::ostream& out, bool raw,
+                    const server::StatSnapshot& stat,
+                    const MetricsDelta& delta, double dt) {
+  if (!raw) out << "\x1b[2J\x1b[H";  // clear + home (ANSI)
+  char line[256];
+  const uint64_t commits = DeltaCounter(delta, "store.commit.count");
+  const uint64_t fsyncs = DeltaCounter(delta, "store.wal.fsync.count");
+  const uint64_t requests = DeltaCounter(delta, "server.requests");
+  const uint64_t shed = DeltaCounter(delta, "server.busy.count");
+  const uint64_t routed = DeltaCounter(delta, "server.schema.routed");
+  const uint64_t fallback = DeltaCounter(delta, "server.schema.fallback");
+  std::snprintf(line, sizeof(line),
+                "xupdate top  seq=%llu  uptime=%.1fs  interval=%.2fs\n",
+                static_cast<unsigned long long>(stat.seq),
+                static_cast<double>(stat.uptime_ticks) / 1000.0, dt);
+  out << line;
+  std::snprintf(line, sizeof(line),
+                "req/s %.1f  commit/s %.1f  shed/s %.1f  queue %lld  "
+                "tenants %lld  wal %lld B\n",
+                static_cast<double>(requests) / dt,
+                static_cast<double>(commits) / dt,
+                static_cast<double>(shed) / dt,
+                static_cast<long long>(
+                    DeltaGauge(delta, "server.queue.depth")),
+                static_cast<long long>(
+                    DeltaGauge(delta, "server.tenants.resident")),
+                static_cast<long long>(DeltaGauge(delta, "server.wal.bytes")));
+  out << line;
+  // Coalescing ratio: commits per WAL fsync in the interval — the
+  // group-commit batcher's whole point made visible.
+  if (fsyncs > 0) {
+    std::snprintf(line, sizeof(line), "fsync/s %.1f  coalescing %.2fx",
+                  static_cast<double>(fsyncs) / dt,
+                  static_cast<double>(commits) / static_cast<double>(fsyncs));
+    out << line;
+  } else {
+    out << "fsync/s 0.0  coalescing -";
+  }
+  if (routed + fallback > 0) {
+    std::snprintf(line, sizeof(line), "  schema routed %.0f%%",
+                  100.0 * static_cast<double>(routed) /
+                      static_cast<double>(routed + fallback));
+    out << line;
+  }
+  out << "\n";
+  if (stat.tenants.empty()) {
+    out << "(no per-tenant metrics)\n";
+    out.flush();
+    return;
+  }
+  std::snprintf(line, sizeof(line), "%-18s %9s %9s %9s %9s %9s %7s %11s\n",
+                "tenant", "req/s", "commit/s", "p50ms", "p95ms", "p99ms",
+                "shed", "wal-bytes");
+  out << line;
+  for (const auto& [name, section] : stat.tenants) {
+    const std::string prefix = "tenant/" + name + "/";
+    const uint64_t treq = DeltaCounter(delta, prefix + "requests");
+    const uint64_t tcommit = DeltaCounter(delta, prefix + "commit.count");
+    const uint64_t tshed = DeltaCounter(delta, prefix + "shed.count");
+    MetricsDelta::TimerDelta timer;
+    auto it = delta.timers.find(prefix + "commit.seconds");
+    if (it != delta.timers.end()) timer = it->second;
+    std::snprintf(line, sizeof(line),
+                  "%-18s %9.1f %9.1f %9.3f %9.3f %9.3f %7llu %11lld\n",
+                  name.c_str(), static_cast<double>(treq) / dt,
+                  static_cast<double>(tcommit) / dt, timer.p50 * 1000.0,
+                  timer.p95 * 1000.0, timer.p99 * 1000.0,
+                  static_cast<unsigned long long>(tshed),
+                  static_cast<long long>(
+                      DeltaGauge(delta, prefix + "wal.bytes")));
+    out << line;
+  }
+  out.flush();
+}
+
+Status CmdTop(const Args& args, std::ostream& out) {
+  XUPDATE_RETURN_IF_ERROR(RequireFlags(args, {"socket"}));
+  XUPDATE_ASSIGN_OR_RETURN(int64_t interval_ms,
+                           ParseFlagInt(args, "interval-ms", 1000, 50, 60000));
+  // 0 = run until the connection drops (live monitoring); a bounded
+  // iteration count makes the command scriptable in CI and smoke tests.
+  XUPDATE_ASSIGN_OR_RETURN(int64_t iterations,
+                           ParseFlagInt(args, "iterations", 0, 0, 1000000));
+  // --raw 1 appends frames without ANSI clear/home, for logs and CI.
+  XUPDATE_ASSIGN_OR_RETURN(int64_t raw_flag, ParseFlagInt(args, "raw", 0, 0, 1));
+  const bool raw = raw_flag != 0;
+  XUPDATE_ASSIGN_OR_RETURN(server::Client client,
+                           server::Client::Connect(args.Get("socket")));
+  XUPDATE_ASSIGN_OR_RETURN(server::StatSnapshot prev, FetchStat(&client));
+  MetricsSnapshot prev_flat = server::FlattenStatSnapshot(prev);
+  for (int64_t i = 0; iterations == 0 || i < iterations; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    XUPDATE_ASSIGN_OR_RETURN(server::StatSnapshot cur, FetchStat(&client));
+    MetricsSnapshot cur_flat = server::FlattenStatSnapshot(cur);
+    MetricsDelta delta = DeltaSnapshots(prev_flat, cur_flat);
+    // Rates use the server's own uptime ticks, not the local sleep, so
+    // scheduling jitter on the poller cannot skew them.
+    double dt = static_cast<double>(cur.uptime_ticks - prev.uptime_ticks) /
+                1000.0;
+    if (dt <= 0) dt = static_cast<double>(interval_ms) / 1000.0;
+    RenderTopFrame(out, raw, cur, delta, dt);
+    prev = std::move(cur);
+    prev_flat = std::move(cur_flat);
+  }
+  return Status::OK();
 }
 
 // One loadgen connection: the tenants it owns, the items it streams (in
@@ -1021,8 +1241,9 @@ Result<std::string> LocalReduce(const std::string& pul_xml) {
 Status VerifyLoadgenResponse(const LoadgenPlan& plan,
                              const workload::WorkloadItem& item,
                              const server::Message& response) {
-  std::string where = std::string(LoadgenItemName(item.type)) +
-                      " on tenant " + plan.workload.tenants[item.tenant];
+  std::string where = std::string(LoadgenItemName(item.type)) + " on tenant " +
+                      plan.workload.tenants[item.tenant] + " (item #" +
+                      std::to_string(item.id) + ")";
   if (response.type == server::MsgType::kBusy) {
     // Outside --verify the caller counts busy responses as shed load;
     // under --verify every item must land.
@@ -1170,8 +1391,8 @@ void RunLoadgenConnection(const LoadgenPlan& plan,
       if (conn->failure.ok()) {
         conn->failure = Status::IoError(
             std::string("lost connection awaiting ") +
-            LoadgenItemName(item->type) + " response: " +
-            response.status().message());
+            LoadgenItemName(item->type) + " response (item #" +
+            std::to_string(item->id) + "): " + response.status().message());
       }
       break;
     }
@@ -1404,7 +1625,7 @@ constexpr char kUsage[] =
     "commands: generate produce apply reduce aggregate integrate\n"
     "          reconcile invert diff query show stats equivalent\n"
     "          sidecar-save sidecar-load analyze explain store\n"
-    "          serve loadgen\n"
+    "          serve loadgen stat top\n"
     "see tools/cli.h for per-command flags\n";
 
 }  // namespace
@@ -1436,6 +1657,8 @@ Status RunCli(const std::vector<std::string>& argv, std::ostream& out) {
   if (command == "store") return CmdStore(args, out);
   if (command == "serve") return CmdServe(args, out);
   if (command == "loadgen") return CmdLoadgen(args, out);
+  if (command == "stat") return CmdStat(args, out);
+  if (command == "top") return CmdTop(args, out);
   out << kUsage;
   return Status::InvalidArgument("unknown command \"" + command + "\"");
 }

@@ -3,8 +3,10 @@
 # ASan there): start the server, drive it with a verified mixed
 # workload over pipelined connections, prove byte identity of every
 # tenant head against the one-shot `store checkout` path, prove the
-# group commit actually coalesced fsyncs, and shut the daemon down
-# cleanly. Usage: tools/server_smoke.sh BUILD_DIR [WORK_DIR]
+# group commit actually coalesced fsyncs, exercise the telemetry
+# surface (versioned stat payload, Prometheus exposition, `top` deltas,
+# slow-request log, SIGUSR1 flight-recorder dump), and shut the daemon
+# down cleanly. Usage: tools/server_smoke.sh BUILD_DIR [WORK_DIR]
 set -euo pipefail
 
 build=${1:?usage: server_smoke.sh BUILD_DIR [WORK_DIR]}
@@ -24,9 +26,12 @@ cleanup() {
 }
 trap cleanup EXIT
 
-echo "== starting daemon"
+echo "== starting daemon (telemetry on: metrics-out, slow log, flight dump)"
 "$xupdate" serve --socket "$sock" --data-dir "$data" \
   --commit-window-ms 5 --max-pending 256 --schema builtin:xmark \
+  --metrics-out "$work/metrics.prom" --metrics-interval-ms 200 \
+  --slow-request-ms 0 --slow-request-log "$work/slow.jsonl" \
+  --slow-request-log-rate 100000 --flight-dump "$work/flight.jsonl" \
   >"$work/serve.log" 2>&1 &
 server_pid=$!
 for _ in $(seq 1 100); do
@@ -58,7 +63,12 @@ done
 echo "== group commit coalesced fsyncs, router accounted every commit"
 python3 - "$work/server_metrics.json" <<'EOF'
 import json, sys
-m = json.load(open(sys.argv[1]))["counters"]
+doc = json.load(open(sys.argv[1]))
+# The stat payload is the versioned wrapper now; global metrics moved
+# under "global", tenant-scoped series under "tenants".
+assert doc.get("v") == 1, f"unexpected stat payload version: {doc.get('v')}"
+assert doc.get("seq", 0) >= 1 and "uptime_ticks" in doc
+m = doc["global"]["counters"]
 fsyncs, commits = m["store.wal.fsync.count"], m["store.commit.count"]
 print(f"   {commits} commits, {fsyncs} wal fsyncs")
 assert commits > 0 and fsyncs < commits, "group commit did not coalesce"
@@ -69,6 +79,66 @@ routed = m.get("server.schema.routed", 0)
 fallback = m.get("server.schema.fallback", 0)
 print(f"   {routed} routed, {fallback} fallback")
 assert routed + fallback == commits, "router accounting does not cover commits"
+# Per-tenant isolation: the global aggregate is exactly the sum of the
+# per-tenant sections.
+per_tenant = {t: s["counters"].get("commit.count", 0)
+              for t, s in doc["tenants"].items()}
+print(f"   per-tenant commits: {per_tenant}")
+assert sum(per_tenant.values()) == commits, "tenant sections do not sum"
+assert all(c > 0 for c in per_tenant.values()), "a tenant saw no commits"
+EOF
+
+echo "== prometheus exposition: stat --format=prom and --metrics-out"
+"$xupdate" stat --socket "$sock" --format=prom >"$work/stat.prom"
+grep -q '^# TYPE xupdate_store_commit_count counter$' "$work/stat.prom"
+grep -q '^xupdate_commit_count{tenant="t0"} ' "$work/stat.prom"
+grep -q 'quantile="0.99"' "$work/stat.prom"
+for _ in $(seq 1 50); do
+  [[ -s "$work/metrics.prom" ]] && break
+  sleep 0.1
+done
+grep -q '^# TYPE xupdate_store_commit_count counter$' "$work/metrics.prom"
+echo "   exposition renders global + tenant families"
+
+echo "== live monitor: top over stat deltas"
+"$xupdate" top --socket "$sock" --interval-ms 200 --iterations 2 --raw 1 \
+  >"$work/top.log"
+grep -q 'xupdate top  seq=' "$work/top.log"
+grep -q 'p50ms' "$work/top.log"
+grep -q '^t0 ' "$work/top.log"
+echo "   top rendered per-tenant percentile rows"
+
+echo "== slow-request log is structured jsonl"
+python3 - "$work/slow.jsonl" <<'EOF'
+import json, sys
+lines = [json.loads(l) for l in open(sys.argv[1]) if l.strip()]
+assert lines, "slow-request log is empty at threshold 0"
+commits = [l for l in lines if l["type"] == "commit"]
+assert commits, "no commit lines in slow-request log"
+for l in commits:
+    assert l["tenant"].startswith("t") and l["batch"] >= 1
+    for key in ("total_ms", "admission_ms", "batch_wait_ms", "fsync_ms"):
+        assert key in l, f"missing {key}"
+print(f"   {len(lines)} slow-log lines, {len(commits)} commits")
+EOF
+
+echo "== SIGUSR1 dumps the flight recorder"
+rm -f "$work/flight.jsonl"
+kill -USR1 "$server_pid"
+for _ in $(seq 1 50); do
+  [[ -s "$work/flight.jsonl" ]] && break
+  sleep 0.1
+done
+python3 - "$work/flight.jsonl" <<'EOF'
+import json, sys
+events = [json.loads(l) for l in open(sys.argv[1]) if l.strip()]
+assert events, "flight dump is empty"
+kinds = {e["kind"] for e in events}
+assert "batch-seal" in kinds, f"no batch seals in flight dump: {kinds}"
+assert "admit" in kinds and "fsync-ok" in kinds
+seqs = [e["seq"] for e in events]
+assert seqs == sorted(seqs), "flight dump out of seq order"
+print(f"   {len(events)} flight events, kinds: {sorted(kinds)}")
 EOF
 
 echo "== schema router routes unpipelined singles (fresh daemon)"
@@ -96,7 +166,7 @@ done
 grep -q "verify ok" "$work/router_loadgen.log"
 python3 - "$work/router_metrics.json" <<'EOF'
 import json, sys
-m = json.load(open(sys.argv[1]))["counters"]
+m = json.load(open(sys.argv[1]))["global"]["counters"]
 routed = m.get("server.schema.routed", 0)
 fallback = m.get("server.schema.fallback", 0)
 commits = m["store.commit.count"]
@@ -121,5 +191,8 @@ if kill -0 "$server_pid" 2>/dev/null; then
 fi
 wait "$server_pid" || { echo "server exited non-zero"; cat "$work/serve.log"; exit 1; }
 server_pid=""
+
+echo "== shutdown wrote a final flight dump with the shutdown marker"
+grep -q '"kind":"shutdown"' "$work/flight.jsonl"
 
 echo "== server smoke OK ($work)"
