@@ -26,7 +26,8 @@ status=0
 for bench in fig6a_eval fig6b_reduction fig6c_aggregation \
              fig6d_agg_vs_seq fig6e_integration abl_parallel \
              abl_reduction_density abl_label abl_canonical \
-             abl_encoding abl_sidecar abl_analysis abl_schema store hot_path; do
+             abl_encoding abl_sidecar abl_analysis abl_schema store merge \
+             hot_path; do
   binary="$build/bench/${bench}_bench"
   if [ ! -x "$binary" ]; then
     echo "skip: $binary missing" >&2

@@ -1,0 +1,208 @@
+#include "branch/merge.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "core/aggregate.h"
+#include "core/diff.h"
+#include "core/reduce.h"
+#include "label/labeling.h"
+#include "pul/apply.h"
+
+namespace xupdate::branch {
+
+namespace {
+
+// One side's divergent suffix folded to a single canonical PUL against
+// the merge-base state, carrying the branch's reconciliation policies.
+//
+// The reasoning path (Aggregate + canonical Reduce) is byte-verified:
+// applying the fold to the base state must reproduce the side's head
+// bytes. A suffix that crosses a merge frame can rewind below the base
+// and re-apply operations, producing delete/re-create pairs of the same
+// node id that no single PUL can express under the staged apply order
+// (insertions run before deletions) — for those, the fold falls back to
+// the paper's diff operator: the net delta base -> head, drawing fresh
+// ids from `fresh_floor` so the two sides' fallbacks cannot collide.
+Result<pul::Pul> FoldSuffix(const std::vector<pul::Pul>& suffix,
+                            const xml::Document& base_doc,
+                            const xml::Document& head_doc,
+                            xml::NodeId fresh_floor,
+                            const pul::Policies& policies,
+                            const MergeOptions& options) {
+  XUPDATE_ASSIGN_OR_RETURN(
+      std::string head_bytes,
+      store::VersionStore::SerializeAnnotated(head_doc));
+  auto reasoned = [&]() -> Result<pul::Pul> {
+    pul::Pul folded;
+    if (suffix.size() == 1) {
+      folded = suffix.front();
+    } else {
+      std::vector<const pul::Pul*> pointers;
+      pointers.reserve(suffix.size());
+      for (const pul::Pul& pul : suffix) pointers.push_back(&pul);
+      core::AggregateOptions aggregate_options;
+      aggregate_options.metrics = options.metrics;
+      aggregate_options.tracer = options.tracer;
+      XUPDATE_ASSIGN_OR_RETURN(folded,
+                               core::Aggregate(pointers, aggregate_options));
+    }
+    core::ReduceOptions reduce_options;
+    reduce_options.mode = core::ReduceMode::kCanonical;
+    reduce_options.parallelism = options.parallelism;
+    reduce_options.metrics = options.metrics;
+    XUPDATE_ASSIGN_OR_RETURN(pul::Pul canon,
+                             core::Reduce(folded, reduce_options));
+    xml::Document scratch = base_doc;
+    XUPDATE_RETURN_IF_ERROR(pul::ApplyPul(&scratch, canon));
+    XUPDATE_ASSIGN_OR_RETURN(
+        std::string bytes, store::VersionStore::SerializeAnnotated(scratch));
+    if (bytes != head_bytes) {
+      return Status::Internal("fold does not reproduce the head bytes");
+    }
+    // Chain-member undos (core/invert) leave ops targeting nodes the
+    // forward PUL created unlabeled; the reconciliation needs a label
+    // on every op, and against the base state every fold target is a
+    // base node, so relabel here.
+    label::Labeling base_labeling = label::Labeling::Build(base_doc);
+    for (pul::UpdateOp& op : canon.mutable_ops()) {
+      if (op.target_label.valid()) continue;
+      const label::NodeLabel* label = base_labeling.Find(op.target);
+      if (label == nullptr) {
+        return Status::Internal("fold op targets a non-base node " +
+                                std::to_string(op.target));
+      }
+      op.target_label = *label;
+    }
+    return canon;
+  };
+  Result<pul::Pul> fold = reasoned();
+  pul::Pul canon;
+  if (fold.ok()) {
+    canon = std::move(*fold);
+  } else {
+    if (options.metrics != nullptr) {
+      options.metrics->AddCounter("branch.merge.fold_fallback");
+    }
+    label::Labeling labeling = label::Labeling::Build(base_doc);
+    XUPDATE_ASSIGN_OR_RETURN(
+        canon, core::ComputeDelta(base_doc, labeling, head_doc, fresh_floor));
+  }
+  canon.set_policies(policies);
+  return canon;
+}
+
+// Fresh-id spacing between the two sides' fallback deltas.
+constexpr xml::NodeId kFallbackIdSpan = xml::NodeId(1) << 20;
+
+}  // namespace
+
+Result<store::MergeCommitResult> Merge(store::VersionStore* store,
+                                       const std::string& a,
+                                       const std::string& b,
+                                       const MergeOptions& options,
+                                       MergeStats* stats) {
+  ScopedTimer timer(options.metrics, "branch.merge.seconds");
+  XUPDATE_ASSIGN_OR_RETURN(store::BranchInfo info_a, store->GetBranch(a));
+  XUPDATE_ASSIGN_OR_RETURN(store::BranchInfo info_b, store->GetBranch(b));
+  XUPDATE_ASSIGN_OR_RETURN(store::SyncPoint base, store->MergeBase(a, b));
+  XUPDATE_ASSIGN_OR_RETURN(std::vector<pul::Pul> suffix_a,
+                           store->SuffixPuls(a, base.base_a));
+  XUPDATE_ASSIGN_OR_RETURN(std::vector<pul::Pul> suffix_b,
+                           store->SuffixPuls(b, base.base_b));
+  if (stats != nullptr) {
+    stats->base_a = base.base_a;
+    stats->base_b = base.base_b;
+    stats->suffix_a = suffix_a.size();
+    stats->suffix_b = suffix_b.size();
+  }
+  store::MergePlan plan;
+  plan.branch_a = a;
+  plan.branch_b = b;
+  plan.base_a = base.base_a;
+  plan.base_b = base.base_b;
+  if (suffix_a.empty() && suffix_b.empty()) {
+    if (stats != nullptr) stats->no_op = true;
+    if (options.metrics != nullptr) {
+      options.metrics->AddCounter("branch.merge.noop");
+    }
+    return store->CommitMerge(plan);
+  }
+  if (suffix_a.empty() || suffix_b.empty()) {
+    // Fast-forward: the empty side sits exactly at the base state, so
+    // the other side's suffix replays on it verbatim.
+    if (suffix_a.empty()) {
+      plan.chain_a = std::move(suffix_b);
+    } else {
+      plan.chain_b = std::move(suffix_a);
+    }
+    if (stats != nullptr) stats->fast_forward = true;
+    if (options.metrics != nullptr) {
+      options.metrics->AddCounter("branch.merge.fast_forward");
+    }
+    return store->CommitMerge(plan);
+  }
+  // Full merge: fold each side, reconcile under the producers'
+  // policies, canonicalize, and land both sides on base + Pm.
+  XUPDATE_ASSIGN_OR_RETURN(xml::Document base_doc_a,
+                           store->CheckoutBranch(a, base.base_a));
+  XUPDATE_ASSIGN_OR_RETURN(xml::Document base_doc_b,
+                           store->CheckoutBranch(b, base.base_b));
+  XUPDATE_ASSIGN_OR_RETURN(const xml::Document* head_a,
+                           store->BranchHeadDoc(a));
+  XUPDATE_ASSIGN_OR_RETURN(const xml::Document* head_b,
+                           store->BranchHeadDoc(b));
+  // Name order assigns the disjoint fallback id floors, so Merge(a, b)
+  // and Merge(b, a) produce byte-identical results.
+  xml::NodeId floor =
+      std::max({base_doc_a.max_assigned_id(), base_doc_b.max_assigned_id(),
+                head_a->max_assigned_id(), head_b->max_assigned_id()}) +
+      1;
+  xml::NodeId floor_a = (a < b) ? floor : floor + kFallbackIdSpan;
+  xml::NodeId floor_b = (a < b) ? floor + kFallbackIdSpan : floor;
+  XUPDATE_ASSIGN_OR_RETURN(
+      pul::Pul folded_a,
+      FoldSuffix(suffix_a, base_doc_a, *head_a, floor_a, info_a.policies,
+                 options));
+  XUPDATE_ASSIGN_OR_RETURN(
+      pul::Pul folded_b,
+      FoldSuffix(suffix_b, base_doc_b, *head_b, floor_b, info_b.policies,
+                 options));
+  std::vector<const pul::Pul*> inputs;
+  if (a < b) {
+    inputs = {&folded_a, &folded_b};
+  } else {
+    inputs = {&folded_b, &folded_a};
+  }
+  core::ReconcileOptions reconcile_options;
+  reconcile_options.parallelism = options.parallelism;
+  reconcile_options.use_schema_analysis = options.use_schema_analysis;
+  reconcile_options.schema = options.schema;
+  reconcile_options.metrics = options.metrics;
+  reconcile_options.tracer = options.tracer;
+  core::ReconcileStats reconcile_stats;
+  XUPDATE_ASSIGN_OR_RETURN(
+      pul::Pul merged,
+      core::Reconcile(inputs, reconcile_options, &reconcile_stats));
+  core::ReduceOptions reduce_options;
+  reduce_options.mode = core::ReduceMode::kCanonical;
+  reduce_options.parallelism = options.parallelism;
+  reduce_options.metrics = options.metrics;
+  XUPDATE_ASSIGN_OR_RETURN(pul::Pul canonical,
+                           core::Reduce(merged, reduce_options));
+  if (stats != nullptr) {
+    stats->reconcile = reconcile_stats;
+    stats->merged_ops = canonical.size();
+  }
+  XUPDATE_ASSIGN_OR_RETURN(plan.chain_a, store->UndoChain(a, base.base_a));
+  XUPDATE_ASSIGN_OR_RETURN(plan.chain_b, store->UndoChain(b, base.base_b));
+  plan.chain_a.push_back(canonical);
+  plan.chain_b.push_back(std::move(canonical));
+  if (options.metrics != nullptr) {
+    options.metrics->AddCounter("branch.merge.full");
+  }
+  return store->CommitMerge(plan);
+}
+
+}  // namespace xupdate::branch

@@ -22,8 +22,9 @@ using xml::NodeType;
 class DeltaBuilder {
  public:
   DeltaBuilder(const Document& from, const label::Labeling& labeling,
-               const Document& to)
-      : from_(from), labeling_(labeling), to_(to) {}
+               const Document& to, NodeId fresh_floor)
+      : from_(from), labeling_(labeling), to_(to),
+        fresh_floor_(fresh_floor) {}
 
   Result<Pul> Run() {
     if (from_.root() == kInvalidNode || to_.root() == kInvalidNode) {
@@ -35,9 +36,8 @@ class DeltaBuilder {
           "Table 2 vocabulary (the root cannot be replaced)");
     }
     // Fresh parameter ids must clash with nothing in either document.
-    out_.BindIdSpace(std::max(from_.max_assigned_id(),
-                              to_.max_assigned_id()) +
-                     1);
+    out_.BindIdSpace(std::max({from_.max_assigned_id() + 1,
+                               to_.max_assigned_id() + 1, fresh_floor_}));
     XUPDATE_RETURN_IF_ERROR(SyncElement(from_.root()));
     return std::move(out_);
   }
@@ -211,6 +211,7 @@ class DeltaBuilder {
   const Document& from_;
   const label::Labeling& labeling_;
   const Document& to_;
+  NodeId fresh_floor_ = 0;
   Pul out_;
 };
 
@@ -218,8 +219,8 @@ class DeltaBuilder {
 
 Result<pul::Pul> ComputeDelta(const Document& from,
                               const label::Labeling& from_labeling,
-                              const Document& to) {
-  DeltaBuilder builder(from, from_labeling, to);
+                              const Document& to, xml::NodeId fresh_floor) {
+  DeltaBuilder builder(from, from_labeling, to, fresh_floor);
   return builder.Run();
 }
 

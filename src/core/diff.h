@@ -31,9 +31,15 @@ namespace xupdate::core {
 //   * anchored children are diffed recursively.
 //
 // Requires the two documents to share the root node id.
+//
+// `fresh_floor` raises the id space the delta's re-created nodes draw
+// from (0 keeps the default: just above both documents). Callers that
+// reconcile two independently computed deltas pass disjoint floors so
+// the fresh ids of the two sides can never collide.
 [[nodiscard]] Result<pul::Pul> ComputeDelta(const xml::Document& from,
                               const label::Labeling& from_labeling,
-                              const xml::Document& to);
+                              const xml::Document& to,
+                              xml::NodeId fresh_floor = 0);
 
 }  // namespace xupdate::core
 

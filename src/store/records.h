@@ -1,0 +1,107 @@
+#ifndef XUPDATE_STORE_RECORDS_H_
+#define XUPDATE_STORE_RECORDS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "pul/pul.h"
+
+namespace xupdate::store {
+
+// Binary payload codecs for the branch subsystem's journal frames
+// (store/wal.h). Two frame types carry them:
+//
+//   kMerge       payload = MergeRecord — a merge commit on one branch.
+//   kBranchMeta  payload = u8 kind | record:
+//                  kind 0  BranchMetaRecord (first frame of a branch
+//                          journal: identity + fork + policies)
+//                  kind 1  SyncRecord (branches.log: marks a two-sided
+//                          merge as committed — the crash-atomicity
+//                          anchor for cross-journal merges)
+//                  kind 2  RebaseRecord (branches.log: a branch's
+//                          history was rewritten; earlier sync records
+//                          naming it are void)
+//
+// All integers little-endian via common/framing.h helpers; strings are
+// u32 length + bytes. Every decoder is total: truncated or trailing
+// bytes are kParseError, never UB.
+
+// Identity frame of a branch journal (branch-<name>.log). The branch's
+// version space extends its parent's: the first commit on the branch is
+// version fork + 1, and versions <= fork resolve through the parent
+// chain (which is how branches share the mainline's snapshots at the
+// fork point).
+struct BranchMetaRecord {
+  std::string name;
+  std::string parent;       // "main" or another branch
+  uint64_t fork = 0;        // version on the parent at which it forked
+  pul::Policies policies;   // the branch's reconciliation policies
+};
+
+// Payload of a kMerge frame on branch B producing version `frame.version`
+// (local parent = frame.aux, B's pre-merge head). `chain` applied in
+// order to B's state at frame.aux lands byte-exactly on the merged
+// state: first the per-version undo PULs rewinding B to the merge base,
+// then the reconciled merge PUL. Both parents of the merge are
+// (B, frame.aux) and (other, other_parent) — both strictly below their
+// branches' post-merge heads, so they stay resolvable after any
+// torn-tail recovery.
+struct MergeRecord {
+  std::string other;            // the other parent branch
+  uint64_t other_parent = 0;    // its pre-merge head
+  uint64_t base_own = 0;        // merge base, on this branch's chain
+  uint64_t base_other = 0;      // merge base, on the other's chain
+  std::vector<std::string> chain;  // serialized PULs (pul/pul_io.h)
+};
+
+// One committed sync between two branches, appended to branches.log
+// only after every merge frame of the sync is durable in its journal.
+// Recovery treats a branch journal's *tail* kMerge frame as effective
+// iff a SyncRecord names it (branch + version + side flag); an unnamed
+// tail merge frame is a torn sync and is truncated.
+struct SyncRecord {
+  std::string branch_a;
+  uint64_t version_a = 0;  // a's head after the sync
+  std::string branch_b;
+  uint64_t version_b = 0;  // b's head after the sync
+  bool frame_a = false;    // a committed a merge frame (false: a was
+                           // already at the merged state)
+  bool frame_b = false;
+};
+
+// Appended to branches.log when a branch's journal is atomically
+// rewritten by rebase. Sync records appended before it that name the
+// branch are void: the versions they reference no longer mean the same
+// states.
+struct RebaseRecord {
+  std::string branch;
+  uint64_t old_fork = 0;
+  uint64_t new_fork = 0;
+};
+
+std::string EncodeBranchMeta(const BranchMetaRecord& record);
+std::string EncodeMergeRecord(const MergeRecord& record);
+std::string EncodeSyncRecord(const SyncRecord& record);
+std::string EncodeRebaseRecord(const RebaseRecord& record);
+
+// A decoded branches.log frame: exactly one of sync/rebase is set.
+struct BranchLogRecord {
+  uint8_t kind = 0;  // 1 = sync, 2 = rebase
+  SyncRecord sync;
+  RebaseRecord rebase;
+};
+
+Result<BranchMetaRecord> DecodeBranchMeta(std::string_view payload);
+Result<MergeRecord> DecodeMergeRecord(std::string_view payload);
+// Decodes any branches.log kBranchMeta payload (kind 1 or 2).
+Result<BranchLogRecord> DecodeBranchLogRecord(std::string_view payload);
+
+// Valid branch name: [A-Za-z0-9_-]{1,64} and not "main" (the mainline's
+// reserved name — it has no branch journal).
+Status ValidateBranchName(const std::string& name);
+
+}  // namespace xupdate::store
+
+#endif  // XUPDATE_STORE_RECORDS_H_

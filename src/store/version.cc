@@ -19,6 +19,7 @@ namespace xupdate::store {
 namespace {
 
 constexpr char kJournalName[] = "wal.log";
+constexpr char kBranchLogName[] = "branches.log";
 
 WalOptions ToWalOptions(const StoreOptions& options) {
   WalOptions wal;
@@ -161,10 +162,34 @@ Result<VersionStore> VersionStore::Open(const std::string& dir,
   VersionStore store;
   store.dir_ = dir;
   store.options_ = options;
+  // branches.log first: its sync records decide whether a tail merge
+  // frame of any journal (the mainline's included) is effective.
+  std::string branch_log_path = dir + "/" + kBranchLogName;
+  if (PathExists(branch_log_path)) {
+    XUPDATE_ASSIGN_OR_RETURN(
+        store.branch_log_,
+        Wal::Open(branch_log_path, ToWalOptions(options)));
+    store.has_branch_log_ = true;
+    for (const WalFrameInfo& info : store.branch_log_.frames()) {
+      if (info.type != FrameType::kBranchMeta) {
+        return Status::ParseError(
+            "branches.log holds a non-metadata frame at offset " +
+            std::to_string(info.offset));
+      }
+      XUPDATE_ASSIGN_OR_RETURN(WalFrame frame,
+                               store.branch_log_.ReadFrame(info));
+      XUPDATE_ASSIGN_OR_RETURN(BranchLogRecord record,
+                               DecodeBranchLogRecord(frame.payload));
+      store.branch_log_records_.push_back(std::move(record));
+    }
+  }
   WalRecovery recovery;
   XUPDATE_ASSIGN_OR_RETURN(
       store.wal_,
       Wal::Open(dir + "/" + kJournalName, ToWalOptions(options), &recovery));
+  size_t merges_rolled_back = 0;
+  XUPDATE_RETURN_IF_ERROR(
+      store.RollBackTornSyncs(&store.wal_, "main", &merges_rolled_back));
   XUPDATE_ASSIGN_OR_RETURN(store.snapshots_,
                            SnapshotStore::Open(dir, options.metrics));
   XUPDATE_RETURN_IF_ERROR(store.BuildIndex());
@@ -181,12 +206,17 @@ Result<VersionStore> VersionStore::Open(const std::string& dir,
   }
   store.last_checkpoint_version_ = nearest;
   store.wal_bytes_at_checkpoint_ = store.wal_.size_bytes();
+  OpenReport branch_report;
+  XUPDATE_RETURN_IF_ERROR(store.OpenBranches(&branch_report));
   if (report != nullptr) {
     report->wal = recovery;
     report->head = store.head_;
     report->snapshots = store.snapshots_.versions().size();
     report->snapshots_ignored =
         store.snapshots_.skipped_files() + stale_snapshots;
+    report->branches = branch_report.branches;
+    report->merges_rolled_back =
+        merges_rolled_back + branch_report.merges_rolled_back;
   }
   if (options.tracer != nullptr) {
     obs::TraceLane lane =
@@ -204,6 +234,7 @@ Result<VersionStore> VersionStore::Open(const std::string& dir,
 
 Status VersionStore::BuildIndex() {
   pul_frames_.clear();
+  merge_frames_.clear();
   segments_.clear();
   const std::vector<WalFrameInfo>& frames = wal_.frames();
   uint64_t cur = 0;
@@ -219,6 +250,19 @@ Status VersionStore::BuildIndex() {
               std::to_string(cur));
         }
         pul_frames_[info.version] = info;
+        cur = info.version;
+        ++i;
+        break;
+      }
+      case FrameType::kMerge: {
+        if (info.version != cur + 1 || info.aux != cur) {
+          return Status::ParseError(
+              "journal gap: merge frame for version " +
+              std::to_string(info.version) + " (parent " +
+              std::to_string(info.aux) + ") after version " +
+              std::to_string(cur));
+        }
+        merge_frames_[info.version] = info;
         cur = info.version;
         ++i;
         break;
@@ -257,6 +301,18 @@ Status VersionStore::BuildIndex() {
       case FrameType::kSnapshot:
         return Status::ParseError(
             "journal structure: snapshot frame inside journal");
+      case FrameType::kBranchMeta:
+        return Status::ParseError(
+            "journal structure: branch metadata frame inside the "
+            "mainline journal");
+      default:
+        // Wal::Open fails on unknown frame types before BuildIndex can
+        // run; this is a second, independent guard against silently
+        // skipping a frame a future format might add.
+        return Status::InvalidArgument(
+            "journal structure: unknown frame type " +
+            std::to_string(static_cast<int>(info.type)) +
+            " for version " + std::to_string(info.version));
     }
   }
   head_ = cur;
@@ -290,6 +346,21 @@ Result<xml::Document> VersionStore::Checkout(uint64_t v) const {
     if (it != pul_frames_.end()) {
       XUPDATE_ASSIGN_OR_RETURN(pul::Pul pul, ReadPul(it->second));
       XUPDATE_RETURN_IF_ERROR(pul::ApplyPul(&doc, pul));
+      ++cur;
+      ++replayed;
+      continue;
+    }
+    auto mit = merge_frames_.find(cur + 1);
+    if (mit != merge_frames_.end()) {
+      // A merge commit replays as its chain: the undo PULs down to the
+      // merge base, then the reconciled merge PUL (store/records.h).
+      XUPDATE_ASSIGN_OR_RETURN(WalFrame frame, wal_.ReadFrame(mit->second));
+      XUPDATE_ASSIGN_OR_RETURN(MergeRecord record,
+                               DecodeMergeRecord(frame.payload));
+      for (const std::string& text : record.chain) {
+        XUPDATE_ASSIGN_OR_RETURN(pul::Pul pul, pul::ParsePul(text));
+        XUPDATE_RETURN_IF_ERROR(pul::ApplyPul(&doc, pul));
+      }
       ++cur;
       ++replayed;
       continue;
@@ -520,12 +591,20 @@ Result<pul::Pul> VersionStore::UndoFor(uint64_t v) const {
     }
   }
   auto it = pul_frames_.find(v);
-  if (it == pul_frames_.end()) {
-    return Status::Internal("no frame for version " + std::to_string(v));
+  if (it != pul_frames_.end()) {
+    XUPDATE_ASSIGN_OR_RETURN(pul::Pul pul, ReadPul(it->second));
+    XUPDATE_ASSIGN_OR_RETURN(xml::Document prev, Checkout(v - 1));
+    return ComputeUndo(prev, pul, options_);
   }
-  XUPDATE_ASSIGN_OR_RETURN(pul::Pul pul, ReadPul(it->second));
-  XUPDATE_ASSIGN_OR_RETURN(xml::Document prev, Checkout(v - 1));
-  return ComputeUndo(prev, pul, options_);
+  if (merge_frames_.count(v) != 0) {
+    // A merge version has no single-PUL undo (its chain can delete and
+    // re-create the same node id, which one PUL cannot express under
+    // the staged apply order); callers rewind through UndoChainRange,
+    // which expands the chain into one exact inverse per member.
+    return Status::Internal("version " + std::to_string(v) +
+                            " is a merge commit; rewind through its chain");
+  }
+  return Status::Internal("no frame for version " + std::to_string(v));
 }
 
 Result<pul::Pul> VersionStore::ComputeUndo(const xml::Document& pre,
@@ -553,10 +632,9 @@ Result<uint64_t> VersionStore::Rollback(uint64_t to) {
   XUPDATE_ASSIGN_OR_RETURN(std::string target, CheckoutXml(to));
   std::vector<pul::Pul> undos;
   undos.reserve(static_cast<size_t>(head_ - to));
-  for (uint64_t v = head_; v > to; --v) {
-    XUPDATE_ASSIGN_OR_RETURN(pul::Pul undo, UndoFor(v));
-    undos.push_back(std::move(undo));
-  }
+  // A merge version contributes one undo per chain member, so the
+  // chain may be longer than head - to.
+  XUPDATE_RETURN_IF_ERROR(UndoChainRange("main", head_, to, &undos));
   // The chain is the ground truth: applying it must land on the target
   // bytes before anything is committed.
   {
@@ -663,11 +741,28 @@ Result<VerifyReport> VersionStore::Verify() const {
   std::string segment_base_bytes;  // serialized doc at each segment base
   while (cur < head_) {
     auto it = pul_frames_.find(cur + 1);
+    auto mit = merge_frames_.find(cur + 1);
     if (it != pul_frames_.end()) {
       XUPDATE_ASSIGN_OR_RETURN(pul::Pul pul, ReadPul(it->second));
       XUPDATE_RETURN_IF_ERROR(pul::ApplyPul(&doc, pul));
       ++cur;
       ++report.replayed_versions;
+    } else if (mit != merge_frames_.end()) {
+      XUPDATE_ASSIGN_OR_RETURN(WalFrame frame, wal_.ReadFrame(mit->second));
+      XUPDATE_ASSIGN_OR_RETURN(MergeRecord record,
+                               DecodeMergeRecord(frame.payload));
+      for (const std::string& text : record.chain) {
+        XUPDATE_ASSIGN_OR_RETURN(pul::Pul pul, pul::ParsePul(text));
+        XUPDATE_RETURN_IF_ERROR(pul::ApplyPul(&doc, pul));
+      }
+      // Both parents must stay resolvable, and the sync record that
+      // made this merge effective must exist.
+      XUPDATE_RETURN_IF_ERROR(
+          VerifyMergeFrame("main", mit->second.version, mit->second.aux,
+                           record));
+      ++cur;
+      ++report.replayed_versions;
+      ++report.merges_checked;
     } else {
       const Segment* segment = nullptr;
       for (const Segment& s : segments_) {
@@ -716,6 +811,12 @@ Result<VerifyReport> VersionStore::Verify() const {
       ++report.snapshots_checked;
     }
   }
+  // Every branch journal gets the same treatment: structural re-scan,
+  // forward replay from the fork point, merge-frame resolution.
+  for (const auto& [name, branch] : branches_) {
+    XUPDATE_ASSIGN_OR_RETURN(BranchVerifyResult result, VerifyBranch(name));
+    report.branches.push_back(std::move(result));
+  }
   return report;
 }
 
@@ -734,6 +835,17 @@ std::vector<LogEntry> VersionStore::Log() const {
   return entries;
 }
 
-Status VersionStore::Close() { return wal_.Close(); }
+Status VersionStore::Close() {
+  Status status = wal_.Close();
+  for (auto& [name, branch] : branches_) {
+    Status closed = branch.wal.Close();
+    if (status.ok() && !closed.ok()) status = closed;
+  }
+  if (has_branch_log_) {
+    Status closed = branch_log_.Close();
+    if (status.ok() && !closed.ok()) status = closed;
+  }
+  return status;
+}
 
 }  // namespace xupdate::store

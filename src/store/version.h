@@ -11,6 +11,7 @@
 #include "label/labeling.h"
 #include "obs/trace.h"
 #include "pul/pul.h"
+#include "store/records.h"
 #include "store/snapshot.h"
 #include "store/wal.h"
 #include "xml/document.h"
@@ -23,6 +24,11 @@ namespace xupdate::store {
 //
 //   wal.log        the journal (store/wal.h)
 //   snap-*.snap    snapshot checkpoints (store/snapshot.h)
+//
+// plus, when branches exist (see "Branches" below),
+//
+//   branch-<name>.log   one journal per named branch
+//   branches.log        sync-commit + rebase markers (store/records.h)
 //
 // and nothing else — there is no manifest; the whole state is derived
 // by scanning both at Open(). Commit is WAL-first: the serialized PUL
@@ -70,13 +76,18 @@ struct BatchCommitStats {
   uint64_t wal_bytes = 0;         // journal size after the batch
 };
 
-// One journal frame, as reported by Log().
+// One journal frame, as reported by Log() / LogBranch().
 struct LogEntry {
   FrameType type = FrameType::kPul;
   uint64_t version = 0;
-  uint64_t aux = 0;  // kAggregate: the segment's base version
+  uint64_t aux = 0;  // kAggregate: the segment's base version;
+                     // kMerge: the local parent version
   uint64_t offset = 0;
   uint32_t payload_bytes = 0;
+  // Operation count of the frame's payload (kMerge: total across its
+  // chain). Filled only by LogBranch(..., with_op_counts=true); plain
+  // Log() leaves it 0 — counting requires parsing every payload.
+  uint64_t ops = 0;
 };
 
 // What Open() found and repaired.
@@ -89,6 +100,21 @@ struct OpenReport {
   // never can leave these behind). Stale ones are deleted at Open so a
   // later commit past their version can never replay pre-crash bytes.
   size_t snapshots_ignored = 0;
+  // Branch journals recovered.
+  size_t branches = 0;
+  // Tail merge frames truncated because their sync-commit record never
+  // reached branches.log (a crash mid-sync; see CommitMerge).
+  size_t merges_rolled_back = 0;
+};
+
+// Per-branch slice of a Verify() run.
+struct BranchVerifyResult {
+  std::string name;
+  size_t frames = 0;       // journal frames (meta frame included)
+  uint64_t head = 0;
+  size_t replayed_versions = 0;
+  size_t merges_checked = 0;  // merge frames whose parents + sync
+                              // record were resolved
 };
 
 struct VerifyReport {
@@ -101,6 +127,49 @@ struct VerifyReport {
   size_t snapshots_checked = 0;
   // Undo chains of compacted segments walked back to a checkpoint.
   size_t undo_chains_checked = 0;
+  // Merge frames on the mainline whose parents + sync record resolved.
+  size_t merges_checked = 0;
+  // Every branch journal, in name order (empty when no branches exist).
+  std::vector<BranchVerifyResult> branches;
+};
+
+// A branch as reported by GetBranch()/BranchNames(). For "main":
+// parent is empty, fork is 0, policies default.
+struct BranchInfo {
+  std::string name;
+  std::string parent;
+  uint64_t fork = 0;
+  pul::Policies policies;
+  uint64_t head = 0;
+};
+
+// The merge base of a branch pair: a version on each side's chain at
+// which the two materialize byte-identical documents (the fork point,
+// or the pair's last committed sync).
+struct SyncPoint {
+  uint64_t base_a = 0;
+  uint64_t base_b = 0;
+};
+
+// A fully-computed merge handed to CommitMerge: each side's chain,
+// applied in order to that side's head, must land byte-exactly on one
+// shared merged state (CommitMerge verifies this before any journal
+// write). An empty chain means that side is already at the merged
+// state and gets no frame — a fast-forward for the other side.
+struct MergePlan {
+  std::string branch_a;
+  std::string branch_b;
+  uint64_t base_a = 0;  // merge base on a's chain
+  uint64_t base_b = 0;
+  std::vector<pul::Pul> chain_a;
+  std::vector<pul::Pul> chain_b;
+};
+
+struct MergeCommitResult {
+  uint64_t head_a = 0;  // post-merge heads
+  uint64_t head_b = 0;
+  bool committed_a = false;  // a merge frame landed on that side
+  bool committed_b = false;
 };
 
 struct CompactStats {
@@ -192,6 +261,89 @@ class VersionStore {
   // Journal frames in file order.
   std::vector<LogEntry> Log() const;
 
+  // --- Branches (store/records.h; merge/rebase logic in src/branch/) ---
+  //
+  // A branch is a journal of its own (branch-<name>.log) whose version
+  // space extends its parent's: it forks at version `fork` of the
+  // parent, its first commit is fork + 1, and versions <= fork resolve
+  // through the parent chain — which is how every branch shares the
+  // mainline's snapshot checkpoints at its fork point. The mainline is
+  // addressable as branch "main" in every branch-taking method.
+  //
+  // Cross-journal merges are made crash-atomic by the sync protocol:
+  // CommitMerge appends each side's kMerge frame (fsync'd regardless
+  // of policy), then a SyncRecord to branches.log, then installs in
+  // memory. Open() treats a journal's tail kMerge frame with no
+  // SyncRecord as a torn sync and truncates it — both journals of the
+  // torn sync roll back independently to their pre-merge heads, so
+  // both parents of every surviving merge stay resolvable.
+
+  // Creates branch `name` forking from `parent` (a branch or "main")
+  // at `at` (<= the parent's head). Forces the parent journal durable
+  // first so the fork point can never outlive its base in a crash.
+  Status CreateBranch(const std::string& name, const std::string& parent,
+                      uint64_t at, const pul::Policies& policies = {});
+
+  // Branch names in sorted order, "main" excluded.
+  std::vector<std::string> BranchNames() const;
+
+  Result<BranchInfo> GetBranch(const std::string& name) const;
+
+  // Commit/Checkout addressed to a branch; "main" delegates to the
+  // mainline methods. Branch commits are WAL-first like Commit() but
+  // never write checkpoints (branches replay from the fork point).
+  Result<uint64_t> CommitOnBranch(const std::string& branch,
+                                  const pul::Pul& pul);
+  Result<xml::Document> CheckoutBranch(const std::string& branch,
+                                       uint64_t v) const;
+  Result<std::string> CheckoutXmlBranch(const std::string& branch,
+                                        uint64_t v) const;
+
+  // Branch head document (the mainline's for "main").
+  Result<const xml::Document*> BranchHeadDoc(const std::string& branch) const;
+
+  // Journal frames of a branch in file order (the branch's meta frame
+  // included). With `with_op_counts` every payload is parsed and
+  // LogEntry::ops filled.
+  Result<std::vector<LogEntry>> LogBranch(const std::string& branch,
+                                          bool with_op_counts) const;
+
+  // The pair's merge base: their last committed sync still valid (no
+  // later rebase of either side), else the fork point of their chains.
+  Result<SyncPoint> MergeBase(const std::string& a,
+                              const std::string& b) const;
+
+  // The PULs whose in-order application takes the state at version
+  // `from` of `branch`'s chain to the branch head: one per kPul frame,
+  // a compacted segment's aggregate where the range aligns (an error if
+  // `from` falls strictly inside one), and a merge frame's full chain.
+  Result<std::vector<pul::Pul>> SuffixPuls(const std::string& branch,
+                                           uint64_t from) const;
+
+  // SuffixPuls generalized to an explicit upper bound: the PULs taking
+  // version `from` to version `to` of `branch`'s chain.
+  Result<std::vector<pul::Pul>> RangePuls(const std::string& branch,
+                                          uint64_t from, uint64_t to) const;
+
+  // Undo PULs rewinding `branch` from its head down to version
+  // `down_to`, in application order (head first). Byte-exact: stored
+  // kUndo frames where compaction kept them, the ComputeUndo formula
+  // elsewhere; merge frames rewind through their verified flattened
+  // chain.
+  Result<std::vector<pul::Pul>> UndoChain(const std::string& branch,
+                                          uint64_t down_to) const;
+
+  // Commits a computed merge under the sync protocol described above.
+  Result<MergeCommitResult> CommitMerge(const MergePlan& plan);
+
+  // Atomically replaces `name`'s journal with `commits` replayed on
+  // fork point `new_fork` (rebase's installation step): a RebaseRecord
+  // voiding the branch's old sync records is made durable first, then
+  // the rewritten journal is renamed into place and the in-memory
+  // state rebuilt.
+  Status RewriteBranch(const std::string& name, uint64_t new_fork,
+                       const std::vector<pul::Pul>& commits);
+
   uint64_t head() const { return head_; }
 
   // Journal size on disk — the serving layer exposes it as a gauge.
@@ -223,6 +375,16 @@ class VersionStore {
 
   VersionStore() = default;
 
+  // In-memory state of one branch journal.
+  struct BranchState {
+    BranchMetaRecord meta;
+    Wal wal;
+    std::map<uint64_t, WalFrameInfo> pul_frames;    // kPul by version
+    std::map<uint64_t, WalFrameInfo> merge_frames;  // kMerge by version
+    xml::Document doc;  // at head
+    uint64_t head = 0;  // == meta.fork when the branch has no commits
+  };
+
   // A compacted journal segment (from, to]: one aggregate frame plus
   // undo frames for versions to .. from+1.
   struct Segment {
@@ -232,8 +394,8 @@ class VersionStore {
     std::map<uint64_t, WalFrameInfo> undos;
   };
 
-  // Rebuilds pul_frames_ / segments_ / head_ from wal_.frames();
-  // enforces the contiguous-version journal structure.
+  // Rebuilds pul_frames_ / merge_frames_ / segments_ / head_ from
+  // wal_.frames(); enforces the contiguous-version journal structure.
   Status BuildIndex();
 
   Result<pul::Pul> ReadPul(const WalFrameInfo& info) const;
@@ -247,6 +409,65 @@ class VersionStore {
   // Writes a checkpoint for the current head if a cadence trigger fired.
   Status MaybeCheckpoint();
 
+  // --- Branch internals (store/branch.cc) ---
+
+  // Appends one exact inverse per member of a merge frame's chain to
+  // `out`, in rewind order (last member's undo first), starting from
+  // the pre-merge document. Optionally hands back the post-merge state.
+  // A merge has no single-PUL undo in general: its chain can delete
+  // and re-create the same node id, which the staged apply order
+  // (insertions before deletions) cannot express inside one PUL.
+  Status AppendChainUndos(const xml::Document& pre, const WalFrameInfo& info,
+                          const Wal& wal, std::vector<pul::Pul>* out,
+                          xml::Document* post) const;
+
+  // Parses the frames of a branch journal (after the meta frame) into
+  // the branch's indexes; enforces contiguity from the fork point.
+  static Status BuildBranchIndex(BranchState* branch);
+
+  // Truncates unnamed tail kMerge frames of a journal (the torn-sync
+  // recovery rule); reopens the journal in place. `branch_name` is
+  // "main" for wal.log. Increments *rolled_back per frame dropped.
+  Status RollBackTornSyncs(Wal* wal, const std::string& branch_name,
+                           size_t* rolled_back);
+
+  // Loads branches.log + every branch-*.log (called from Open).
+  Status OpenBranches(OpenReport* report);
+
+  // True iff a committed sync record names (branch, version) on a
+  // flagged side.
+  bool SyncRecordNames(const std::string& branch, uint64_t version) const;
+
+  // Checks a merge frame's parents are resolvable and its sync record
+  // exists (shared by mainline and branch verification).
+  Status VerifyMergeFrame(const std::string& branch, uint64_t version,
+                          uint64_t local_parent,
+                          const MergeRecord& record) const;
+
+  // Per-branch slice of Verify().
+  Result<BranchVerifyResult> VerifyBranch(const std::string& name) const;
+
+  // Appends one record frame to branches.log, creating it on first
+  // use, and mirrors it into branch_log_records_. Always fsync'd.
+  Status AppendBranchLogRecord(const std::string& payload);
+
+  // Collects the forward PULs for versions (from, to] of `branch`'s
+  // chain (recursing into the parent below the fork point).
+  Status CollectPuls(const std::string& branch, uint64_t from, uint64_t to,
+                     std::vector<pul::Pul>* out) const;
+
+  // UndoChain generalized to rewind from `top` instead of the head
+  // (recursing into the parent below the fork point).
+  Status UndoChainRange(const std::string& branch, uint64_t top,
+                        uint64_t down_to, std::vector<pul::Pul>* out) const;
+
+  // Lineage of a branch up to the mainline: [(name, head-or-fork
+  // bound), ...] — helper for MergeBase's fork-point fallback.
+  Result<std::vector<std::pair<std::string, uint64_t>>> Lineage(
+      const std::string& branch) const;
+
+  std::string BranchJournalPath(const std::string& name) const;
+
   std::string dir_;
   StoreOptions options_;
   Wal wal_;
@@ -255,7 +476,13 @@ class VersionStore {
   uint64_t head_ = 0;
 
   std::map<uint64_t, WalFrameInfo> pul_frames_;  // by produced version
+  std::map<uint64_t, WalFrameInfo> merge_frames_;  // mainline kMerge
   std::vector<Segment> segments_;                // ascending by `from`
+
+  std::map<std::string, BranchState> branches_;  // by name; no "main"
+  Wal branch_log_;  // branches.log; open iff has_branch_log_
+  bool has_branch_log_ = false;
+  std::vector<BranchLogRecord> branch_log_records_;  // in file order
 
   uint64_t last_checkpoint_version_ = 0;
   uint64_t wal_bytes_at_checkpoint_ = 0;

@@ -13,10 +13,8 @@ using framing::GetU64;
 using framing::PutU64;
 
 bool ValidFrameType(uint8_t type) {
-  return type == static_cast<uint8_t>(FrameType::kPul) ||
-         type == static_cast<uint8_t>(FrameType::kAggregate) ||
-         type == static_cast<uint8_t>(FrameType::kUndo) ||
-         type == static_cast<uint8_t>(FrameType::kSnapshot);
+  return type >= static_cast<uint8_t>(FrameType::kPul) &&
+         type <= static_cast<uint8_t>(FrameType::kBranchMeta);
 }
 
 }  // namespace
@@ -66,8 +64,15 @@ Result<WalFrame> Wal::DecodeFrame(std::string_view data, size_t* offset) {
   }
   uint8_t type = static_cast<uint8_t>(body[0]);
   if (!ValidFrameType(type)) {
+    // The CRC already passed, so this is not a torn tail or a bit flip:
+    // the frame is intact but written by a format this build does not
+    // understand. Report it as a distinct, named condition — callers
+    // must not mistake it for corruption and truncate real data.
     *offset = pos;
-    return Status::ParseError("unknown frame type");
+    return Status::InvalidArgument("unknown frame type " +
+                                   std::to_string(type) + " at offset " +
+                                   std::to_string(pos) +
+                                   " (CRC-valid frame; not corruption)");
   }
   WalFrame frame;
   frame.type = static_cast<FrameType>(type);
@@ -104,12 +109,22 @@ Result<Wal> Wal::Open(const std::string& path, const WalOptions& options,
   wal.options_ = options;
   // Scan every frame; stop (and truncate) at the first torn or corrupt
   // one. A frame that fails its CRC mid-file also truncates — bytes
-  // after a broken frame cannot be trusted to be frame-aligned.
+  // after a broken frame cannot be trusted to be frame-aligned. A
+  // CRC-valid frame with an unknown type byte is NOT corruption
+  // (DecodeFrame reports it as kInvalidArgument, not kParseError):
+  // truncating it would silently destroy data written by a newer
+  // format, so Open fails with the named error instead.
   size_t offset = kMagicSize;
   while (offset < data.size()) {
     size_t frame_start = offset;
     Result<WalFrame> frame = DecodeFrame(data, &offset);
-    if (!frame.ok()) break;
+    if (!frame.ok()) {
+      if (frame.status().code() == StatusCode::kInvalidArgument) {
+        return Status::InvalidArgument("journal " + path + ": " +
+                                       frame.status().message());
+      }
+      break;
+    }
     WalFrameInfo info;
     info.type = frame->type;
     info.version = frame->version;

@@ -64,11 +64,26 @@ std::string_view FsyncPolicyName(FsyncPolicy policy);
 
 // kSnapshot never appears in the journal — it is the single frame of a
 // snapshot checkpoint file (magic + frame, same CRC discipline).
+//
+//   kMerge      a merge commit on a branch journal: the payload is a
+//               store/records.h MergeRecord (the other parent branch,
+//               both parents' pre-merge versions, the merge base, and
+//               the exact PUL chain that takes this branch's pre-merge
+//               head to the merged state). `version` is the version it
+//               produces on this branch; `aux` is this branch's
+//               pre-merge head (the local parent).
+//   kBranchMeta branch metadata records (store/records.h): the first
+//               frame of every branch journal (kind 0, the branch's
+//               name/parent/fork/policies) and every frame of
+//               branches.log (kind 1 sync-commit markers, kind 2
+//               rebase markers). `version`/`aux` are record-defined.
 enum class FrameType : uint8_t {
   kPul = 1,
   kAggregate = 2,
   kUndo = 3,
   kSnapshot = 4,
+  kMerge = 5,
+  kBranchMeta = 6,
 };
 
 struct WalFrame {

@@ -47,8 +47,9 @@ PulGenerator::NodePools PulGenerator::CollectPools(const Document& doc) {
 }
 
 bool PulGenerator::EmitRandomOp(
-    Pul* pul, const NodePools& pools, const Labeling& labeling,
-    std::set<std::pair<NodeId, int>>* used_rep, int* fresh) {
+    Pul* pul, const Document& doc, const NodePools& pools,
+    const Labeling& labeling, std::set<std::pair<NodeId, int>>* used_rep,
+    int* fresh) {
   auto pick = [&](const std::vector<NodeId>& pool) -> NodeId {
     if (pool.empty()) return kInvalidNode;
     return pool[static_cast<size_t>(rng_.Below(pool.size()))];
@@ -79,8 +80,19 @@ bool PulGenerator::EmitRandomOp(
       case OpKind::kInsAttributes: {
         NodeId target = pick(pools.elements);
         if (target == kInvalidNode) continue;
-        NodeId attr = pul->NewAttributeParam(
-            "w" + std::to_string((*fresh)++), "v");
+        std::string name = "w" + std::to_string((*fresh)++);
+        // The fresh counter restarts per PUL, so a previous commit (or a
+        // merged-in edit) may already have put this name on the element;
+        // inserting it again would make the PUL inapplicable.
+        bool taken = false;
+        for (NodeId a : doc.attributes(target)) {
+          if (doc.name(a) == name) {
+            taken = true;
+            break;
+          }
+        }
+        if (taken) continue;
+        NodeId attr = pul->NewAttributeParam(name, "v");
         return pul->AddTreeOp(kind, target, labeling, {attr}).ok();
       }
       case OpKind::kDelete: {
@@ -208,7 +220,7 @@ Result<Pul> PulGenerator::Generate(const PulOptions& options) {
       // One pair counts as two operations and one rule application.
       EmitReduciblePair(&pul, pools, labeling_, &used_rep, &fresh);
     } else {
-      EmitRandomOp(&pul, pools, labeling_, &used_rep, &fresh);
+      EmitRandomOp(&pul, doc_, pools, labeling_, &used_rep, &fresh);
     }
   }
   if (pul.size() < options.num_ops) {
@@ -282,7 +294,8 @@ Result<std::vector<Pul>> PulGenerator::GenerateSequence(
           }
         }
       } else {
-        EmitRandomOp(&pul, pools, working_labeling, &used_rep, &fresh);
+        EmitRandomOp(&pul, working, pools, working_labeling, &used_rep,
+                     &fresh);
       }
     }
     if (pul.size() < options.ops_per_pul) {

@@ -75,10 +75,11 @@ class PulGenerator {
     std::vector<xml::NodeId> attributes;
   };
 
-  // Emits one random applicable operation on `pul`; returns false if no
-  // suitable target was found in a few attempts.
-  bool EmitRandomOp(pul::Pul* pul, const NodePools& pools,
-                    const label::Labeling& labeling,
+  // Emits one random operation applicable on `doc` (the document the
+  // pools were collected from); returns false if no suitable target was
+  // found in a few attempts.
+  bool EmitRandomOp(pul::Pul* pul, const xml::Document& doc,
+                    const NodePools& pools, const label::Labeling& labeling,
                     std::set<std::pair<xml::NodeId, int>>* used_rep,
                     int* fresh);
   // Emits a pair of operations guaranteed to trigger one reduction rule.

@@ -1,0 +1,244 @@
+#include "branch/rebase.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "branch/merge.h"
+#include "label/labeling.h"
+#include "store/version.h"
+#include "testing/test_docs.h"
+
+namespace xupdate::branch {
+namespace {
+
+namespace fs = std::filesystem;
+using store::VersionStore;
+
+class BranchRebaseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("xupdate_branch_rebase_test_" +
+            std::to_string(
+                ::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    fs::create_directories(dir_);
+    base_doc_ = xupdate::testing::PaperFigureDocument();
+    auto xml = VersionStore::SerializeAnnotated(base_doc_);
+    ASSERT_TRUE(xml.ok());
+    base_xml_ = *xml;
+  }
+
+  void TearDown() override { fs::remove_all(dir_); }
+
+  VersionStore MakeStore() {
+    std::string path = (dir_ / "store").string();
+    auto init = VersionStore::Init(path, base_xml_);
+    EXPECT_TRUE(init.ok()) << init;
+    auto store = VersionStore::Open(path);
+    EXPECT_TRUE(store.ok()) << store.status();
+    return std::move(*store);
+  }
+
+  pul::Pul RepVPul(const xml::Document& doc, int round) {
+    label::Labeling labeling = label::Labeling::Build(doc);
+    pul::Pul p;
+    p.BindIdSpace(doc.max_assigned_id() + 1 +
+                  static_cast<xml::NodeId>(round) * 1000);
+    EXPECT_TRUE(p.AddStringOp(pul::OpKind::kReplaceValue, 15, labeling,
+                              "value round " + std::to_string(round))
+                    .ok());
+    return p;
+  }
+
+  pul::Pul InsertPul(const xml::Document& doc, int round) {
+    label::Labeling labeling = label::Labeling::Build(doc);
+    pul::Pul p;
+    p.BindIdSpace(doc.max_assigned_id() + 1 +
+                  static_cast<xml::NodeId>(round) * 1000);
+    auto frag = p.AddFragment("<note>round " + std::to_string(round) +
+                              "</note>");
+    EXPECT_TRUE(frag.ok());
+    EXPECT_TRUE(
+        p.AddTreeOp(pul::OpKind::kInsAfter, 19, labeling, {*frag}).ok());
+    return p;
+  }
+
+  // del(14) — removes the subtree holding text node 15.
+  pul::Pul DeletePul(const xml::Document& doc) {
+    label::Labeling labeling = label::Labeling::Build(doc);
+    pul::Pul p;
+    p.BindIdSpace(doc.max_assigned_id() + 1);
+    EXPECT_TRUE(p.AddTreeOp(pul::OpKind::kDelete, 14, labeling, {}).ok());
+    return p;
+  }
+
+  std::string HeadBytes(const VersionStore& store, const std::string& name) {
+    auto info = store.GetBranch(name);
+    EXPECT_TRUE(info.ok()) << info.status();
+    auto bytes = store.CheckoutXmlBranch(name, info->head);
+    EXPECT_TRUE(bytes.ok()) << bytes.status();
+    return *bytes;
+  }
+
+  fs::path dir_;
+  xml::Document base_doc_;
+  std::string base_xml_;
+};
+
+TEST_F(BranchRebaseTest, ReplaysIndependentCommitsOntoNewBase) {
+  VersionStore store = MakeStore();
+  ASSERT_TRUE(store.CreateBranch("w", "main", 0).ok());
+  auto doc = store.BranchHeadDoc("w");
+  ASSERT_TRUE(store.CommitOnBranch("w", RepVPul(**doc, 1)).ok());
+  ASSERT_TRUE(store.Commit(InsertPul(store.head_doc(), 2)).ok());
+  ASSERT_TRUE(store.Commit(InsertPul(store.head_doc(), 3)).ok());
+  RebaseOptions options;
+  options.onto = store.head();
+  auto report = Rebase(&store, "w", options);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->applied);
+  EXPECT_EQ(report->old_fork, 0u);
+  EXPECT_EQ(report->new_fork, 2u);
+  EXPECT_EQ(report->replayed, 1u);
+  EXPECT_EQ(report->dropped, 0u);
+  EXPECT_TRUE(report->conflicts.empty());
+  auto info = store.GetBranch("w");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->fork, 2u);
+  EXPECT_EQ(info->head, 3u);
+  // The rebased head carries both mainline inserts and the branch edit.
+  std::string head = HeadBytes(store, "w");
+  EXPECT_NE(head.find("round 2"), std::string::npos);
+  EXPECT_NE(head.find("round 3"), std::string::npos);
+  EXPECT_NE(head.find("value round 1"), std::string::npos);
+  auto verified = store.Verify();
+  ASSERT_TRUE(verified.ok()) << verified.status();
+}
+
+TEST_F(BranchRebaseTest, ConflictAbortsAndInstallsNothing) {
+  VersionStore store = MakeStore();
+  ASSERT_TRUE(store.CreateBranch("w", "main", 0).ok());
+  auto doc = store.BranchHeadDoc("w");
+  ASSERT_TRUE(store.CommitOnBranch("w", RepVPul(**doc, 1)).ok());
+  // Main deletes the subtree the branch edited inside.
+  ASSERT_TRUE(store.Commit(DeletePul(store.head_doc())).ok());
+  std::string before = HeadBytes(store, "w");
+  RebaseOptions options;
+  options.onto = store.head();
+  auto report = Rebase(&store, "w", options);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_FALSE(report->applied);
+  ASSERT_EQ(report->conflicts.size(), 1u);
+  EXPECT_EQ(report->conflicts[0].version, 1u);
+  // Classified by the integration engine: the branch's repV is
+  // overridden by the parent's ancestor-target delete.
+  ASSERT_FALSE(report->conflicts[0].types.empty());
+  EXPECT_EQ(report->conflicts[0].types[0],
+            core::ConflictType::kNonLocalOverride);
+  // Nothing changed on disk or in memory.
+  auto info = store.GetBranch("w");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->fork, 0u);
+  EXPECT_EQ(HeadBytes(store, "w"), before);
+}
+
+TEST_F(BranchRebaseTest, SkipConflictingDropsAndContinues) {
+  VersionStore store = MakeStore();
+  ASSERT_TRUE(store.CreateBranch("w", "main", 0).ok());
+  auto doc = store.BranchHeadDoc("w");
+  ASSERT_TRUE(store.CommitOnBranch("w", RepVPul(**doc, 1)).ok());
+  doc = store.BranchHeadDoc("w");
+  ASSERT_TRUE(store.CommitOnBranch("w", InsertPul(**doc, 2)).ok());
+  ASSERT_TRUE(store.Commit(DeletePul(store.head_doc())).ok());
+  RebaseOptions options;
+  options.onto = store.head();
+  options.skip_conflicting = true;
+  auto report = Rebase(&store, "w", options);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->applied);
+  EXPECT_EQ(report->replayed, 1u);  // the insert survives
+  EXPECT_EQ(report->dropped, 1u);   // the repV inside the deleted subtree
+  ASSERT_EQ(report->conflicts.size(), 1u);
+  auto info = store.GetBranch("w");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->fork, 1u);
+  EXPECT_EQ(info->head, 2u);
+  std::string head = HeadBytes(store, "w");
+  EXPECT_NE(head.find("round 2"), std::string::npos);
+  EXPECT_EQ(head.find("value round 1"), std::string::npos);
+}
+
+TEST_F(BranchRebaseTest, RefusesBranchesWithMergeCommits) {
+  VersionStore store = MakeStore();
+  ASSERT_TRUE(store.CreateBranch("w", "main", 0).ok());
+  ASSERT_TRUE(store.Commit(InsertPul(store.head_doc(), 1)).ok());
+  auto doc = store.BranchHeadDoc("w");
+  ASSERT_TRUE(store.CommitOnBranch("w", RepVPul(**doc, 2)).ok());
+  ASSERT_TRUE(Merge(&store, "main", "w").ok());
+  ASSERT_TRUE(store.Commit(InsertPul(store.head_doc(), 3)).ok());
+  RebaseOptions options;
+  options.onto = store.head();
+  auto report = Rebase(&store, "w", options);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.status().message().find("merge commit"),
+            std::string::npos)
+      << report.status();
+}
+
+TEST_F(BranchRebaseTest, VoidsOlderSyncRecords) {
+  VersionStore store = MakeStore();
+  ASSERT_TRUE(store.CreateBranch("w", "main", 0).ok());
+  // w edits, main fast-forwards onto it: a sync record, but no merge
+  // frame on w's journal — so w stays rebasable.
+  auto doc = store.BranchHeadDoc("w");
+  ASSERT_TRUE(store.CommitOnBranch("w", RepVPul(**doc, 1)).ok());
+  ASSERT_TRUE(Merge(&store, "main", "w").ok());
+  auto base = store.MergeBase("main", "w");
+  ASSERT_TRUE(base.ok());
+  EXPECT_EQ(base->base_a, 1u);  // the sync
+  ASSERT_TRUE(store.Commit(InsertPul(store.head_doc(), 2)).ok());
+  RebaseOptions options;
+  options.onto = store.head();
+  auto report = Rebase(&store, "w", options);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->applied);
+  // w's one commit replays even though the sync already carried it into
+  // main — repV is idempotent, so the replay is harmless.
+  EXPECT_EQ(report->replayed, 1u);
+  auto info = store.GetBranch("w");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->fork, 2u);
+  EXPECT_EQ(info->head, 3u);
+  // The rebase voided the sync record: the base falls back to the new
+  // fork point.
+  base = store.MergeBase("main", "w");
+  ASSERT_TRUE(base.ok());
+  EXPECT_EQ(base->base_a, 2u);
+  EXPECT_EQ(base->base_b, 2u);
+  // And a later merge still converges the pair.
+  doc = store.BranchHeadDoc("w");
+  ASSERT_TRUE(store.CommitOnBranch("w", RepVPul(**doc, 3)).ok());
+  ASSERT_TRUE(Merge(&store, "main", "w").ok());
+  EXPECT_EQ(HeadBytes(store, "main"), HeadBytes(store, "w"));
+}
+
+TEST_F(BranchRebaseTest, RejectsBadTargets) {
+  VersionStore store = MakeStore();
+  ASSERT_TRUE(store.Commit(InsertPul(store.head_doc(), 1)).ok());
+  ASSERT_TRUE(store.CreateBranch("w", "main", 1).ok());
+  RebaseOptions options;
+  options.onto = 0;  // below the fork
+  EXPECT_FALSE(Rebase(&store, "w", options).ok());
+  options.onto = 7;  // beyond the parent head
+  EXPECT_FALSE(Rebase(&store, "w", options).ok());
+  EXPECT_FALSE(Rebase(&store, "main", options).ok());
+  EXPECT_FALSE(Rebase(&store, "nope", options).ok());
+}
+
+}  // namespace
+}  // namespace xupdate::branch

@@ -474,6 +474,86 @@ TEST_F(CliTest, StoreLifecycle) {
   EXPECT_NE(v2_content.str().find("old"), std::string::npos);
 }
 
+TEST_F(CliTest, StoreBranchMergeRebaseAndSim) {
+  WriteDoc("doc.xml", "<r><a>one</a><b>two</b></r>");
+  Run({"store", "init", "--dir", Path("st"), "--doc", Path("doc.xml")});
+  Run({"produce", "--doc", Path("doc.xml"), "--update",
+       "replace value of node /r/a/text() with \"main1\"", "--out",
+       Path("p1.xml")});
+  Run({"store", "commit", "--dir", Path("st"), "--pul", Path("p1.xml")});
+  std::string created = Run({"store", "branch", "--dir", Path("st"),
+                             "--name", "w1", "--policies",
+                             "preserve-inserted-data"});
+  EXPECT_NE(created.find("created branch w1 forking main at version 1"),
+            std::string::npos);
+  Run({"produce", "--doc", Path("doc.xml"), "--update",
+       "insert nodes <c>three</c> as last into /r", "--id-base", "100",
+       "--out", Path("p2.xml")});
+  std::string commit = Run({"store", "commit", "--dir", Path("st"),
+                            "--branch", "w1", "--pul", Path("p2.xml")});
+  EXPECT_NE(commit.find("committed version 2 (1 operations) on branch w1"),
+            std::string::npos);
+  Run({"produce", "--doc", Path("doc.xml"), "--update",
+       "replace value of node /r/b/text() with \"main2\"", "--id-base",
+       "200", "--out", Path("p3.xml")});
+  Run({"store", "commit", "--dir", Path("st"), "--pul", Path("p3.xml")});
+  std::string merge = Run({"store", "merge", "--dir", Path("st"), "--a",
+                           "main", "--b", "w1"});
+  EXPECT_NE(merge.find("main -> v3, w1 -> v3"), std::string::npos);
+
+  // Both heads materialize the merged state: each side's edit plus the
+  // other's.
+  Run({"store", "checkout", "--dir", Path("st"), "--branch", "w1",
+       "--version", "3", "--out", Path("w1.xml")});
+  Run({"store", "checkout", "--dir", Path("st"), "--version", "3",
+       "--out", Path("main.xml")});
+  std::ifstream w1_file(Path("w1.xml")), main_file(Path("main.xml"));
+  std::stringstream w1_content, main_content;
+  w1_content << w1_file.rdbuf();
+  main_content << main_file.rdbuf();
+  EXPECT_EQ(w1_content.str(), main_content.str());
+  EXPECT_NE(w1_content.str().find("main2"), std::string::npos);
+  EXPECT_NE(w1_content.str().find("three"), std::string::npos);
+
+  // Golden: the branch log output — per-version op counts, frame
+  // offsets and the branch-head footer — is pinned byte-for-byte.
+  std::string log = Run({"store", "log", "--dir", Path("st"), "--branch",
+                         "w1"});
+  EXPECT_EQ(log,
+            "branch w1: head 3 (fork 1 of main)\n"
+            "  meta       (24 bytes at offset 8)\n"
+            "  pul       v2  1 ops  (122 bytes at offset 57)\n"
+            "  merge     v2 -> v3  3 ops  (270 bytes at offset 204)\n"
+            "branches:\n"
+            "  w1: head 3 (fork 1 of main)\n");
+
+  std::string verify = Run({"store", "verify", "--dir", Path("st")});
+  EXPECT_NE(verify.find("1 merges checked"), std::string::npos);
+  EXPECT_NE(verify.find("branch w1:"), std::string::npos);
+
+  // Rebase a second branch over the mainline's merge commit.
+  Run({"store", "branch", "--dir", Path("st"), "--name", "w2", "--at",
+       "1"});
+  Run({"produce", "--doc", Path("doc.xml"), "--update",
+       "insert nodes <d>four</d> as last into /r", "--id-base", "300",
+       "--out", Path("p4.xml")});
+  Run({"store", "commit", "--dir", Path("st"), "--branch", "w2", "--pul",
+       Path("p4.xml")});
+  std::string rebase = Run({"store", "rebase", "--dir", Path("st"),
+                            "--name", "w2", "--onto", "2"});
+  EXPECT_NE(rebase.find("rebased w2 onto v2: 1 commits replayed"),
+            std::string::npos);
+  std::string listing = Run({"store", "branch", "--dir", Path("st")});
+  EXPECT_NE(listing.find("branches: 2"), std::string::npos);
+  EXPECT_NE(listing.find("w2: head 3 (fork 2 of main)"),
+            std::string::npos);
+
+  // The simulator through the CLI: a tiny sweep must fully converge.
+  std::string sim = Run({"sim", "--writers", "2", "--schedules", "2",
+                         "--seed", "5", "--scratch", Path("sim")});
+  EXPECT_NE(sim.find("sim: 2/2 schedules converged"), std::string::npos);
+}
+
 TEST_F(CliTest, StoreCompactAndMetrics) {
   WriteDoc("doc.xml", "<r><a>x</a></r>");
   Run({"store", "init", "--dir", Path("store"), "--doc", Path("doc.xml"),

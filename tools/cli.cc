@@ -20,6 +20,9 @@
 #include <thread>
 
 #include "analysis/independence.h"
+#include "branch/merge.h"
+#include "branch/rebase.h"
+#include "branch/sim.h"
 #include "analysis/lint.h"
 #include "analysis/predict.h"
 #include "analysis/report.h"
@@ -750,8 +753,11 @@ Status CmdExplain(const Args& args, std::ostream& out) {
   return Status::OK();
 }
 
-// `xupdate store <init|commit|checkout|log|compact|rollback|verify>`:
-// the durable versioned update store (store/version.h) as a tool.
+// `xupdate store <init|commit|checkout|log|compact|rollback|verify|
+// branch|merge|rebase>`: the durable versioned update store
+// (store/version.h) plus the branch/merge subsystem (src/branch/) as a
+// tool. commit/checkout/log address a branch with --branch NAME
+// ("main" is the mainline).
 // Shared flags: --dir DIR (the store directory), --fsync
 // always|batch|never, --snapshot-every N, --snapshot-bytes N,
 // --parallelism N, --metrics PATH, --trace PATH. The environment
@@ -799,11 +805,82 @@ Result<uint64_t> ParseVersionFlag(const Args& args, const char* name) {
   return static_cast<uint64_t>(v);
 }
 
+Result<pul::Policies> ParsePoliciesFlag(const Args& args) {
+  pul::Policies policies;
+  if (!args.Has("policies")) return policies;
+  std::vector<std::string> names;
+  std::istringstream list(args.Get("policies"));
+  for (std::string piece; std::getline(list, piece, ',');) {
+    names.push_back(std::string(Trim(piece)));
+  }
+  for (const std::string& name : names) {
+    if (name == "preserve-insertion-order") {
+      policies.preserve_insertion_order = true;
+    } else if (name == "preserve-inserted-data") {
+      policies.preserve_inserted_data = true;
+    } else if (name == "preserve-removed-data") {
+      policies.preserve_removed_data = true;
+    } else if (!name.empty()) {
+      return Status::InvalidArgument(
+          "--policies accepts a comma list of preserve-insertion-order|"
+          "preserve-inserted-data|preserve-removed-data, got \"" + name +
+          "\"");
+    }
+  }
+  return policies;
+}
+
+// Branch heads in name order, appended to every `store log` output so
+// the one command shows the whole journal family.
+void PrintBranchHeads(const store::VersionStore& vs, std::ostream& out) {
+  std::vector<std::string> names = vs.BranchNames();
+  if (names.empty()) return;
+  out << "branches:\n";
+  for (const std::string& name : names) {
+    auto info = vs.GetBranch(name);
+    if (!info.ok()) continue;
+    out << "  " << name << ": head " << info->head << " (fork "
+        << info->fork << " of " << info->parent << ")\n";
+  }
+}
+
+void PrintLogEntry(const store::LogEntry& entry, bool with_ops,
+                   std::ostream& out) {
+  switch (entry.type) {
+    case store::FrameType::kPul:
+      out << "  pul       v" << entry.version;
+      break;
+    case store::FrameType::kAggregate:
+      out << "  aggregate v" << entry.aux << " -> v" << entry.version;
+      break;
+    case store::FrameType::kUndo:
+      out << "  undo      v" << entry.version << " -> v"
+          << entry.version - 1;
+      break;
+    case store::FrameType::kSnapshot:
+      out << "  snapshot  v" << entry.version;
+      break;
+    case store::FrameType::kMerge:
+      out << "  merge     v" << entry.aux << " -> v" << entry.version;
+      break;
+    case store::FrameType::kBranchMeta:
+      out << "  meta     ";
+      break;
+  }
+  if (with_ops && entry.type != store::FrameType::kSnapshot &&
+      entry.type != store::FrameType::kBranchMeta) {
+    out << "  " << entry.ops << " ops";
+  }
+  out << "  (" << entry.payload_bytes << " bytes at offset "
+      << entry.offset << ")\n";
+}
+
 Status CmdStore(const Args& args, std::ostream& out) {
   if (args.positional.empty()) {
     return Status::InvalidArgument(
         "store needs a subcommand: "
-        "init|commit|checkout|log|compact|rollback|verify");
+        "init|commit|checkout|log|compact|rollback|verify|branch|merge|"
+        "rebase");
   }
   const std::string& sub = args.positional[0];
   XUPDATE_RETURN_IF_ERROR(RequireFlags(args, {"dir"}));
@@ -828,44 +905,137 @@ Status CmdStore(const Args& args, std::ostream& out) {
       out << "recovered journal: dropped " << report.wal.truncated_bytes
           << " torn bytes, head is version " << vs.head() << "\n";
     }
+    std::string branch = args.Get("branch", "main");
     if (sub == "commit") {
       XUPDATE_RETURN_IF_ERROR(RequireFlags(args, {"pul"}));
       XUPDATE_ASSIGN_OR_RETURN(std::string text, ReadFile(args.Get("pul")));
       XUPDATE_ASSIGN_OR_RETURN(pul::Pul pul, pul::ParsePul(text));
-      XUPDATE_ASSIGN_OR_RETURN(uint64_t version, vs.Commit(pul));
+      XUPDATE_ASSIGN_OR_RETURN(uint64_t version,
+                               vs.CommitOnBranch(branch, pul));
       out << "committed version " << version << " (" << pul.size()
-          << " operations)\n";
+          << " operations)";
+      if (branch != "main") out << " on branch " << branch;
+      out << "\n";
     } else if (sub == "checkout") {
       XUPDATE_RETURN_IF_ERROR(RequireFlags(args, {"version", "out"}));
       XUPDATE_ASSIGN_OR_RETURN(uint64_t version,
                                ParseVersionFlag(args, "version"));
-      XUPDATE_ASSIGN_OR_RETURN(std::string xml, vs.CheckoutXml(version));
+      XUPDATE_ASSIGN_OR_RETURN(std::string xml,
+                               vs.CheckoutXmlBranch(branch, version));
       XUPDATE_RETURN_IF_ERROR(WriteFile(args.Get("out"), xml));
       out << "checked out version " << version << " to " << args.Get("out")
           << " (" << xml.size() << " bytes)\n";
     } else if (sub == "log") {
-      out << "head: " << vs.head() << "\n";
-      out << "snapshots:";
-      for (uint64_t v : vs.snapshots().versions()) out << " " << v;
-      out << "\n";
-      for (const store::LogEntry& entry : vs.Log()) {
-        switch (entry.type) {
-          case store::FrameType::kPul:
-            out << "  pul       v" << entry.version;
-            break;
-          case store::FrameType::kAggregate:
-            out << "  aggregate v" << entry.aux << " -> v" << entry.version;
-            break;
-          case store::FrameType::kUndo:
-            out << "  undo      v" << entry.version << " -> v"
-                << entry.version - 1;
-            break;
-          case store::FrameType::kSnapshot:
-            out << "  snapshot  v" << entry.version;
-            break;
+      if (args.Has("branch") && branch != "main") {
+        XUPDATE_ASSIGN_OR_RETURN(store::BranchInfo info,
+                                 vs.GetBranch(branch));
+        out << "branch " << branch << ": head " << info.head << " (fork "
+            << info.fork << " of " << info.parent << ")\n";
+        XUPDATE_ASSIGN_OR_RETURN(
+            std::vector<store::LogEntry> entries,
+            vs.LogBranch(branch, /*with_op_counts=*/true));
+        for (const store::LogEntry& entry : entries) {
+          PrintLogEntry(entry, /*with_ops=*/true, out);
         }
-        out << "  (" << entry.payload_bytes << " bytes at offset "
-            << entry.offset << ")\n";
+      } else {
+        out << "head: " << vs.head() << "\n";
+        out << "snapshots:";
+        for (uint64_t v : vs.snapshots().versions()) out << " " << v;
+        out << "\n";
+        bool with_ops = args.Has("branch");
+        if (with_ops) {
+          XUPDATE_ASSIGN_OR_RETURN(
+              std::vector<store::LogEntry> entries,
+              vs.LogBranch("main", /*with_op_counts=*/true));
+          for (const store::LogEntry& entry : entries) {
+            PrintLogEntry(entry, with_ops, out);
+          }
+        } else {
+          for (const store::LogEntry& entry : vs.Log()) {
+            PrintLogEntry(entry, with_ops, out);
+          }
+        }
+      }
+      PrintBranchHeads(vs, out);
+    } else if (sub == "branch") {
+      if (!args.Has("name")) {
+        // No --name: list.
+        std::vector<std::string> names = vs.BranchNames();
+        out << "branches: " << names.size() << "\n";
+        PrintBranchHeads(vs, out);
+      } else {
+        XUPDATE_ASSIGN_OR_RETURN(pul::Policies policies,
+                                 ParsePoliciesFlag(args));
+        std::string parent = args.Get("parent", "main");
+        XUPDATE_ASSIGN_OR_RETURN(store::BranchInfo parent_info,
+                                 vs.GetBranch(parent));
+        uint64_t at = parent_info.head;
+        if (args.Has("at")) {
+          XUPDATE_ASSIGN_OR_RETURN(at, ParseVersionFlag(args, "at"));
+        }
+        XUPDATE_RETURN_IF_ERROR(
+            vs.CreateBranch(args.Get("name"), parent, at, policies));
+        out << "created branch " << args.Get("name") << " forking "
+            << parent << " at version " << at << "\n";
+      }
+    } else if (sub == "merge") {
+      XUPDATE_RETURN_IF_ERROR(RequireFlags(args, {"a", "b"}));
+      branch::MergeOptions merge_options;
+      merge_options.parallelism = options.parallelism;
+      merge_options.metrics = &metrics;
+      if (WantTrace(args)) merge_options.tracer = &tracer;
+      schema::Schema xmark_schema = schema::Schema::BuiltinXmark();
+      if (args.Has("schema")) {
+        merge_options.use_schema_analysis = true;
+        merge_options.schema = &xmark_schema;
+      }
+      branch::MergeStats stats;
+      XUPDATE_ASSIGN_OR_RETURN(
+          store::MergeCommitResult merged,
+          branch::Merge(&vs, args.Get("a"), args.Get("b"), merge_options,
+                        &stats));
+      if (stats.no_op) {
+        out << "merge is a no-op (neither side diverged)\n";
+      } else if (stats.fast_forward) {
+        out << "fast-forwarded";
+      } else {
+        out << "merged " << stats.suffix_a << "+" << stats.suffix_b
+            << " divergent commits, " << stats.merged_ops
+            << " reconciled ops, " << stats.reconcile.conflicts_total
+            << " conflicts (" << stats.reconcile.operations_excluded
+            << " ops excluded)";
+      }
+      if (!stats.no_op) {
+        out << ": " << args.Get("a") << " -> v" << merged.head_a << ", "
+            << args.Get("b") << " -> v" << merged.head_b << "\n";
+      }
+    } else if (sub == "rebase") {
+      XUPDATE_RETURN_IF_ERROR(RequireFlags(args, {"name", "onto"}));
+      branch::RebaseOptions rebase_options;
+      XUPDATE_ASSIGN_OR_RETURN(rebase_options.onto,
+                               ParseVersionFlag(args, "onto"));
+      rebase_options.skip_conflicting = args.Has("skip-conflicts");
+      rebase_options.parallelism = options.parallelism;
+      rebase_options.metrics = &metrics;
+      if (WantTrace(args)) rebase_options.tracer = &tracer;
+      XUPDATE_ASSIGN_OR_RETURN(
+          branch::RebaseReport report2,
+          branch::Rebase(&vs, args.Get("name"), rebase_options));
+      for (const branch::RebaseConflict& conflict : report2.conflicts) {
+        out << "conflict at old v" << conflict.version << ":";
+        for (core::ConflictType type : conflict.types) {
+          out << " " << core::ConflictTypeName(type);
+        }
+        out << " (" << conflict.detail << ")\n";
+      }
+      if (report2.applied) {
+        out << "rebased " << report2.branch << " onto v"
+            << report2.new_fork << ": " << report2.replayed
+            << " commits replayed, " << report2.dropped << " dropped\n";
+      } else {
+        out << "rebase aborted: " << report2.conflicts.size()
+            << " conflicting commits (use --skip-conflicts to drop "
+               "them)\n";
       }
     } else if (sub == "compact") {
       store::CompactStats stats;
@@ -890,7 +1060,16 @@ Status CmdStore(const Args& args, std::ostream& out) {
           << report2.snapshots << " snapshots, head " << report2.head
           << ", " << report2.replayed_versions << " versions replayed, "
           << report2.snapshots_checked << " snapshots byte-checked, "
-          << report2.undo_chains_checked << " undo chains walked\n";
+          << report2.undo_chains_checked << " undo chains walked, "
+          << report2.merges_checked << " merges checked\n";
+      for (const store::BranchVerifyResult& branch_result :
+           report2.branches) {
+        out << "  branch " << branch_result.name << ": "
+            << branch_result.frames << " frames, head "
+            << branch_result.head << ", " << branch_result.replayed_versions
+            << " versions replayed, " << branch_result.merges_checked
+            << " merges checked\n";
+      }
     } else {
       result = Status::InvalidArgument("unknown store subcommand \"" + sub +
                                        "\"");
@@ -1620,12 +1799,81 @@ Status CmdLoadgen(const Args& args, std::ostream& out) {
   return Status::OK();
 }
 
+// `xupdate sim`: the P2P convergence simulator (branch/sim.h). Flags:
+// --writers N, --schedules N, --events N, --ops-per-edit N,
+// --sync-prob P, --seed S, --xmark-bytes N, --scratch DIR, --schema
+// (route merges through the schema tier), --verify-stores.
+Status CmdSim(const Args& args, std::ostream& out) {
+  branch::SimOptions options;
+  XUPDATE_ASSIGN_OR_RETURN(
+      int64_t writers,
+      ParseFlagInt(args, "writers", options.writers, 1, 64));
+  options.writers = static_cast<int>(writers);
+  XUPDATE_ASSIGN_OR_RETURN(
+      int64_t schedules,
+      ParseFlagInt(args, "schedules",
+                   static_cast<int64_t>(options.schedules), 1, INT64_MAX));
+  options.schedules = static_cast<size_t>(schedules);
+  XUPDATE_ASSIGN_OR_RETURN(
+      int64_t events, ParseFlagInt(args, "events",
+                                   static_cast<int64_t>(options.events), 0,
+                                   INT64_MAX));
+  options.events = static_cast<size_t>(events);
+  XUPDATE_ASSIGN_OR_RETURN(
+      int64_t ops, ParseFlagInt(args, "ops-per-edit",
+                                static_cast<int64_t>(options.ops_per_edit),
+                                1, INT64_MAX));
+  options.ops_per_edit = static_cast<size_t>(ops);
+  XUPDATE_ASSIGN_OR_RETURN(
+      options.sync_probability,
+      ParseFlagDouble(args, "sync-prob", options.sync_probability, 0.0,
+                      1.0));
+  XUPDATE_ASSIGN_OR_RETURN(
+      int64_t seed,
+      ParseFlagInt(args, "seed", static_cast<int64_t>(options.seed), 0,
+                   INT64_MAX));
+  options.seed = static_cast<uint64_t>(seed);
+  XUPDATE_ASSIGN_OR_RETURN(
+      int64_t xmark_bytes,
+      ParseFlagInt(args, "xmark-bytes",
+                   static_cast<int64_t>(options.xmark_bytes), 256,
+                   INT64_MAX));
+  options.xmark_bytes = static_cast<size_t>(xmark_bytes);
+  options.use_schema_analysis = args.Has("schema");
+  options.verify_stores = args.Has("verify-stores");
+  if (args.Has("scratch")) options.scratch_dir = args.Get("scratch");
+  Metrics metrics;
+  options.metrics = &metrics;
+  XUPDATE_ASSIGN_OR_RETURN(branch::SimReport report,
+                           branch::RunSim(options));
+  out << "sim: " << report.converged << "/" << report.schedules
+      << " schedules converged (writers=" << options.writers
+      << " events=" << options.events << " seed=" << options.seed
+      << ")\n";
+  out << "  edits: " << report.edits << ", merges: " << report.merges
+      << " (" << report.fast_forwards << " fast-forward, "
+      << report.full_merges << " full), conflicts seen: "
+      << report.conflicts_auto_solved << "\n";
+  out << "  digest: " << report.digest << "\n";
+  for (const branch::ScheduleResult& failure : report.failures) {
+    out << "  FAILED seed " << failure.seed << ": " << failure.error
+        << "\n";
+  }
+  XUPDATE_RETURN_IF_ERROR(MaybeDumpMetrics(args, metrics, out));
+  if (report.converged != report.schedules) {
+    return Status::Internal(
+        std::to_string(report.schedules - report.converged) +
+        " schedules failed to converge");
+  }
+  return Status::OK();
+}
+
 constexpr char kUsage[] =
     "usage: xupdate <command> [flags] [operands]\n"
     "commands: generate produce apply reduce aggregate integrate\n"
     "          reconcile invert diff query show stats equivalent\n"
     "          sidecar-save sidecar-load analyze explain store\n"
-    "          serve loadgen stat top\n"
+    "          serve loadgen stat top sim\n"
     "see tools/cli.h for per-command flags\n";
 
 }  // namespace
@@ -1659,6 +1907,7 @@ Status RunCli(const std::vector<std::string>& argv, std::ostream& out) {
   if (command == "loadgen") return CmdLoadgen(args, out);
   if (command == "stat") return CmdStat(args, out);
   if (command == "top") return CmdTop(args, out);
+  if (command == "sim") return CmdSim(args, out);
   out << kUsage;
   return Status::InvalidArgument("unknown command \"" + command + "\"");
 }
