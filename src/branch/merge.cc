@@ -14,6 +14,9 @@ namespace xupdate::branch {
 
 namespace {
 
+// Fresh-id spacing between the two sides' fallback deltas.
+constexpr xml::NodeId kFallbackIdSpan = xml::NodeId(1) << 20;
+
 // One side's divergent suffix folded to a single canonical PUL against
 // the merge-base state, carrying the branch's reconciliation policies.
 //
@@ -88,13 +91,19 @@ Result<pul::Pul> FoldSuffix(const std::vector<pul::Pul>& suffix,
     label::Labeling labeling = label::Labeling::Build(base_doc);
     XUPDATE_ASSIGN_OR_RETURN(
         canon, core::ComputeDelta(base_doc, labeling, head_doc, fresh_floor));
+    // The span is an id-space reservation, not a guarantee: a delta
+    // re-creating more than kFallbackIdSpan nodes would run into the
+    // other side's floor and the two fallbacks could collide.
+    if (canon.forest().max_assigned_id() >= fresh_floor + kFallbackIdSpan) {
+      return Status::Internal(
+          "fallback delta allocated node ids beyond its reserved span [" +
+          std::to_string(fresh_floor) + ", " +
+          std::to_string(fresh_floor + kFallbackIdSpan) + ")");
+    }
   }
   canon.set_policies(policies);
   return canon;
 }
-
-// Fresh-id spacing between the two sides' fallback deltas.
-constexpr xml::NodeId kFallbackIdSpan = xml::NodeId(1) << 20;
 
 }  // namespace
 

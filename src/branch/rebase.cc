@@ -42,6 +42,20 @@ Result<RebaseReport> Rebase(store::VersionStore* store,
     return Status::InvalidArgument("the mainline cannot be rebased");
   }
   XUPDATE_ASSIGN_OR_RETURN(store::BranchInfo info, store->GetBranch(branch));
+  // A child resolves every version at or below its fork through this
+  // branch's journal; rewriting it would silently change the child's
+  // checkouts, and a head landing below the child's fork makes the
+  // store unopenable. Refuse while children exist.
+  for (const std::string& other : store->BranchNames()) {
+    if (other == branch) continue;
+    XUPDATE_ASSIGN_OR_RETURN(store::BranchInfo other_info,
+                             store->GetBranch(other));
+    if (other_info.parent == branch) {
+      return Status::InvalidArgument(
+          "branch " + branch + " has a child branch " + other +
+          " forked from it — rebase or merge " + other + " first");
+    }
+  }
   XUPDATE_ASSIGN_OR_RETURN(store::BranchInfo parent,
                            store->GetBranch(info.parent));
   if (options.onto < info.fork || options.onto > parent.head) {

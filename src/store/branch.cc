@@ -100,16 +100,27 @@ Status VersionStore::CreateBranch(const std::string& name,
   branch.meta.parent = parent;
   branch.meta.fork = at;
   branch.meta.policies = policies;
+  // Fork document before the journal: once the journal is durable the
+  // branch materializes at the next Open, so every fallible step must
+  // precede it (a failure here leaves nothing behind to clean up).
+  XUPDATE_ASSIGN_OR_RETURN(branch.doc, CheckoutBranch(parent, at));
   XUPDATE_ASSIGN_OR_RETURN(
       branch.wal, Wal::Create(path, BranchWalOptions(options_)));
   WalFrame meta_frame;
   meta_frame.type = FrameType::kBranchMeta;
   meta_frame.payload = EncodeBranchMeta(branch.meta);
-  XUPDATE_RETURN_IF_ERROR(branch.wal.Append(meta_frame));
-  XUPDATE_RETURN_IF_ERROR(branch.wal.Sync());
-  XUPDATE_RETURN_IF_ERROR(SyncDirectory(dir_));
+  Status written = branch.wal.Append(meta_frame);
+  if (written.ok()) written = branch.wal.Sync();
+  if (written.ok()) written = SyncDirectory(dir_);
+  if (!written.ok()) {
+    // A half-written journal would fail in-session retries with
+    // "already exists" and materialize the branch at the next Open.
+    (void)branch.wal.Close();
+    (void)RemoveFile(path);
+    (void)SyncDirectory(dir_);
+    return written;
+  }
   branch.head = at;
-  XUPDATE_ASSIGN_OR_RETURN(branch.doc, CheckoutBranch(parent, at));
   branches_.emplace(name, std::move(branch));
   if (options_.metrics != nullptr) {
     options_.metrics->AddCounter("store.branch.create.count");
@@ -771,6 +782,16 @@ Status VersionStore::RewriteBranch(const std::string& name,
   auto it = branches_.find(name);
   if (it == branches_.end()) {
     return Status::NotFound("branch not found: " + name);
+  }
+  // Children resolve versions through this journal; a rewrite changes
+  // what they check out and can strand a child's fork point beyond the
+  // rewritten head (failing the fork <= parent_head check at Open).
+  for (const auto& [other_name, other] : branches_) {
+    if (other_name != name && other.meta.parent == name) {
+      return Status::InvalidArgument(
+          "branch " + name + " cannot be rewritten: child branch " +
+          other_name + " forks from it");
+    }
   }
   BranchState& b = it->second;
   uint64_t parent_head = 0;

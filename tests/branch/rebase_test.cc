@@ -227,6 +227,35 @@ TEST_F(BranchRebaseTest, VoidsOlderSyncRecords) {
   EXPECT_EQ(HeadBytes(store, "main"), HeadBytes(store, "w"));
 }
 
+TEST_F(BranchRebaseTest, RefusesBranchesWithChildren) {
+  VersionStore store = MakeStore();
+  ASSERT_TRUE(store.CreateBranch("w", "main", 0).ok());
+  auto doc = store.BranchHeadDoc("w");
+  ASSERT_TRUE(store.CommitOnBranch("w", RepVPul(**doc, 1)).ok());
+  ASSERT_TRUE(store.CreateBranch("child", "w", 1).ok());
+  ASSERT_TRUE(store.Commit(InsertPul(store.head_doc(), 2)).ok());
+  std::string child_before = HeadBytes(store, "child");
+  RebaseOptions options;
+  options.onto = store.head();
+  auto report = Rebase(&store, "w", options);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.status().message().find("child"), std::string::npos)
+      << report.status();
+  // The store-level installer refuses independently of the rebase
+  // engine's guard.
+  EXPECT_FALSE(store.RewriteBranch("w", store.head(), {}).ok());
+  // The child's history through w is untouched.
+  EXPECT_EQ(HeadBytes(store, "child"), child_before);
+  auto verified = store.Verify();
+  ASSERT_TRUE(verified.ok()) << verified.status();
+  // Rebasing the leaf child itself stays legal (onto its parent w's
+  // head, which is still version 1).
+  RebaseOptions child_options;
+  child_options.onto = 1;
+  auto child_report = Rebase(&store, "child", child_options);
+  ASSERT_TRUE(child_report.ok()) << child_report.status();
+}
+
 TEST_F(BranchRebaseTest, RejectsBadTargets) {
   VersionStore store = MakeStore();
   ASSERT_TRUE(store.Commit(InsertPul(store.head_doc(), 1)).ok());

@@ -337,6 +337,31 @@ TEST_F(BranchRecoveryTest, ForkPointSnapshotReuseIsByteIdenticalAcrossParallelis
   }
 }
 
+TEST_F(BranchRecoveryTest, FailedCreateBranchLeavesNoJournalBehind) {
+  std::string path = (dir_ / "create_fail").string();
+  ASSERT_TRUE(VersionStore::Init(path, base_xml_).ok());
+  {
+    StoreOptions options;
+    options.fail_after_bytes = 0;  // the meta-frame append tears
+    auto store = VersionStore::Open(path, options);
+    ASSERT_TRUE(store.ok()) << store.status();
+    auto created = store->CreateBranch("w", "main", 0);
+    ASSERT_FALSE(created.ok());
+    // The torn journal was removed: an in-session retry fails on the
+    // (still-injected) write fault, not on "journal already exists".
+    auto retried = store->CreateBranch("w", "main", 0);
+    ASSERT_FALSE(retried.ok());
+    EXPECT_EQ(retried.message().find("already exists"), std::string::npos)
+        << retried;
+    ASSERT_TRUE(store->Close().ok());
+  }
+  // No branch materializes at the next Open, and the name is free.
+  auto reopened = VersionStore::Open(path);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_TRUE(reopened->BranchNames().empty());
+  EXPECT_TRUE(reopened->CreateBranch("w", "main", 0).ok());
+}
+
 TEST_F(BranchRecoveryTest, UnknownFrameTypeIsANamedErrorNotASilentSkip) {
   BuildBaseStore();
   // A CRC-valid frame of a type this build does not know must fail the
